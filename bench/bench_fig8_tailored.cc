@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 8 — Tailored attacks: usable JIT-ROP surface vs.
+ * diversification probability.
+ *
+ * An attacker aware of the diversification interleaves
+ * diversification-invariant gadgets. Same-ISA invariance (measured by
+ * comparing effects across program variants) leaves Isomeron-based
+ * systems with a large floor; cross-ISA invariance (the same bytes
+ * decoding to an equivalent gadget under both ISAs) is nearly empty,
+ * which is HIPStR's punchline: at p=1 its surface collapses to a
+ * handful of gadgets or none.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "attack/jitrop.hh"
+#include "attack/tailored.hh"
+#include "bench_util.hh"
+#include "support/stats.hh"
+
+using namespace hipstr;
+using namespace hipstr::bench;
+
+namespace
+{
+
+void
+runFigure8()
+{
+    // Aggregate the cache-resident surface and invariance counts over
+    // the benchmark set.
+    uint32_t cache_resident = 0, psr_surviving = 0;
+    InvarianceCensus inv_total;
+    unsigned zero_surface = 0;
+    for (const std::string &name : allWorkloadNames()) {
+        const FatBinary &bin = compiledWorkload(name, 1);
+        Memory mem;
+        loadFatBinary(bin, mem);
+        PsrConfig cfg;
+        GadgetStudy study =
+            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+
+        GuestOs os;
+        PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+        vm.reset();
+        (void)vm.run(1'000'000'000);
+        JitRopResult jr =
+            analyzeJitRop(vm, study.gadgets, study.verdicts);
+        cache_resident += jr.discoverable;
+        psr_surviving += jr.survivingPsr;
+
+        InvarianceCensus inv = measureInvariance(
+            bin, mem, study.gadgets, study.verdicts);
+        inv_total.total += inv.total;
+        inv_total.sameIsaInvariant += inv.sameIsaInvariant;
+        inv_total.crossIsaInvariant += inv.crossIsaInvariant;
+        if (inv.crossIsaInvariant == 0)
+            ++zero_surface;
+    }
+
+    std::cout << "\n=== Figure 8: Surface vs diversification "
+                 "probability ===\n";
+    std::cout << "Invariance census: " << inv_total.total
+              << " gadgets, " << inv_total.sameIsaInvariant
+              << " same-ISA invariant, "
+              << inv_total.crossIsaInvariant
+              << " cross-ISA invariant\n";
+    std::cout << zero_surface << "/" << allWorkloadNames().size()
+              << " applications have zero cross-ISA-invariant "
+                 "gadgets (paper: 5/8)\n";
+
+    auto curves = surfaceVsDiversification(
+        cache_resident, psr_surviving, inv_total);
+    std::vector<std::string> headers = { "p" };
+    for (const auto &c : curves)
+        headers.push_back(c.name);
+    TextTable table(headers);
+    for (size_t i = 0; i < curves[0].probability.size(); ++i) {
+        std::vector<std::string> row = { formatDouble(
+            curves[0].probability[i], 1) };
+        for (const auto &c : curves)
+            row.push_back(formatDouble(c.survivingGadgets[i], 1));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+}
+
+void
+BM_InvarianceMeasurement(benchmark::State &state)
+{
+    const FatBinary &bin = compiledWorkload("lbm", 1);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    PsrConfig cfg;
+    GadgetStudy study = studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(measureInvariance(
+            bin, mem, study.gadgets, study.verdicts));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_InvarianceMeasurement);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runFigure8();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 2 — Inferences from the brute-force simulation.
+ *
+ * Per benchmark: average randomizable parameters per gadget, average
+ * per-gadget entropy in bits, and the expected attempts for the
+ * four-gadget execve chain of Algorithm 1, with and without the
+ * register bias. The paper's numbers (~6.7 params, ~87 bits,
+ * ~10^33-10^34 attempts) come from gadget populations mined over full
+ * SPEC binaries; magnitudes here scale with our smaller populations
+ * while remaining computationally infeasible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "attack/brute_force.hh"
+#include "bench_util.hh"
+#include "support/stats.hh"
+
+using namespace hipstr;
+using namespace hipstr::bench;
+
+namespace
+{
+
+void
+runTable2()
+{
+    std::cout << "\n=== Table 2: Brute-force simulation (Cisc, 8 KB "
+                 "frames) ===\n";
+    TextTable table({ "Benchmark", "Rand. params (avg)",
+                      "Entropy (bits)", "Attempts (no bias)",
+                      "Attempts (reg bias)", "Chain found" });
+    for (const std::string &name : specWorkloadNames()) {
+        const FatBinary &bin = compiledWorkload(name, 1);
+        Memory mem;
+        loadFatBinary(bin, mem);
+        PsrConfig cfg;
+        GadgetStudy study =
+            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+        BruteForceResult res = simulateBruteForce(
+            study.gadgets, study.verdicts, cfg.randSpaceBytes,
+            false);
+        table.addRow({ name, formatDouble(res.avgRandomizableParams),
+                       formatDouble(res.avgEntropyBits, 1),
+                       formatScientific(res.attemptsNoBias),
+                       formatScientific(res.attemptsRegBias),
+                       res.chainFound ? "yes" : "no" });
+    }
+    table.print(std::cout);
+    std::cout << "(paper: ~6.5-6.9 params, 84-90 bits, ~1e33-1e34 "
+                 "attempts on SPEC-scale binaries)\n";
+}
+
+void
+BM_BruteForceSimulation(benchmark::State &state)
+{
+    const FatBinary &bin = compiledWorkload("bzip2", 1);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    PsrConfig cfg;
+    GadgetStudy study = studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulateBruteForce(
+            study.gadgets, study.verdicts, cfg.randSpaceBytes,
+            false));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+BENCHMARK(BM_BruteForceSimulation);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    runTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

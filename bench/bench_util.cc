@@ -1,0 +1,142 @@
+#include "bench_util.hh"
+
+#include <cmath>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace hipstr::bench
+{
+
+PerfResult
+measurePerf(const FatBinary &bin, IsaKind isa, const PsrConfig &cfg,
+            uint64_t max_insts)
+{
+    PerfResult res;
+
+    // The paper fast-forwards past initialization and measures steady
+    // state (Section 6). We mirror that: run the first 40% of the
+    // program as warmup (translations happen, code cache fills), then
+    // measure the remainder.
+    uint64_t total_insts = 0;
+    {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        Interpreter interp(isa, mem, os);
+        initMachineState(interp.state, bin, isa);
+        RunResult r = interp.run(max_insts);
+        if (r.reason != StopReason::Exited)
+            hipstr_fatal("native run did not complete: %s",
+                         stopReasonName(r.reason));
+        total_insts = r.instsExecuted;
+    }
+    const uint64_t warmup = total_insts * 2 / 5;
+
+    // Native baseline. The register-cache L0 is enabled here too: it
+    // stands in for store-to-load forwarding on the baseline core, so
+    // only PSR's *extra* spread-out slot traffic shows as overhead.
+    {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        Interpreter interp(isa, mem, os);
+        initMachineState(interp.state, bin, isa);
+        TimingHarness harness(isa, /*reg_cache_on=*/true);
+        (void)interp.run(warmup);
+        harness.attachInterpreter(interp);
+        TimingSnapshot t0 = harness.snapshot();
+        RunResult r = interp.run(max_insts);
+        if (r.reason != StopReason::Exited)
+            hipstr_fatal("native run did not complete: %s",
+                         stopReasonName(r.reason));
+        res.nativeCycles = harness.nativeCyclesSince(t0);
+        res.nativeInsts = warmup + r.instsExecuted;
+    }
+
+    // PSR VM, warmed up the same way.
+    {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        PsrVm vm(bin, isa, mem, os, cfg);
+        vm.reset();
+        TimingHarness harness(isa,
+                              cfg.globalRegCache() &&
+                                  !cfg.isomeronMode,
+                              cfg.regCacheEntries);
+        harness.attachVm(vm);
+        VmRunResult w = vm.run(warmup);
+        if (w.reason != VmStop::StepLimit &&
+            w.reason != VmStop::Exited) {
+            hipstr_fatal("vm warmup failed: %s",
+                         vmStopName(w.reason));
+        }
+        VmStats before = vm.stats;
+        TimingSnapshot t0 = harness.snapshot();
+        VmRunResult r = vm.run(max_insts);
+        if (r.reason != VmStop::Exited)
+            hipstr_fatal("vm run did not complete: %s",
+                         vmStopName(r.reason));
+        res.vmCycles = harness.vmCyclesSince(before, vm.stats, t0);
+        res.stats = vm.stats;
+    }
+
+    res.relative = res.nativeCycles / res.vmCycles;
+    return res;
+}
+
+const FatBinary &
+compiledWorkload(const std::string &name, uint32_t scale)
+{
+    static std::map<std::pair<std::string, uint32_t>, FatBinary>
+        cache;
+    auto key = std::make_pair(name, scale);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        WorkloadConfig cfg;
+        cfg.scale = scale;
+        it = cache.emplace(key,
+                           compileModule(buildWorkload(name, cfg)))
+                 .first;
+    }
+    return it->second;
+}
+
+GadgetStudy
+studyGadgets(const FatBinary &bin, Memory &mem, IsaKind isa,
+             const PsrConfig &cfg, unsigned trials)
+{
+    GadgetStudy study;
+    study.gadgets = scanBinary(bin, isa);
+    PsrGadgetEvaluator eval(bin, mem, isa, cfg, trials);
+    double params = 0;
+    for (const Gadget &g : study.gadgets) {
+        ObfuscationVerdict v = eval.evaluate(g);
+        params += v.randomizableParams;
+        if (v.nativeViable)
+            ++study.viable;
+        if (v.unobfuscated)
+            ++study.unobfuscated;
+        if (v.survivesBruteForce)
+            ++study.surviving;
+        study.verdicts.push_back(std::move(v));
+    }
+    study.avgParams = study.gadgets.empty()
+        ? 0
+        : params / double(study.gadgets.size());
+    return study;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace hipstr::bench

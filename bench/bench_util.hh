@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses: compile-and-measure
+ * helpers that produce the native-vs-PSR relative performance numbers
+ * the paper's figures report, and the gadget-evaluation pipeline the
+ * security figures share.
+ */
+
+#ifndef HIPSTR_BENCH_BENCH_UTIL_HH
+#define HIPSTR_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "attack/classifier.hh"
+#include "attack/galileo.hh"
+#include "binary/loader.hh"
+#include "compiler/compile.hh"
+#include "sim/timing.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr::bench
+{
+
+/** Default workload sizing for perf benches. */
+inline WorkloadConfig
+perfWorkloadConfig()
+{
+    WorkloadConfig cfg;
+    cfg.scale = 3;
+    return cfg;
+}
+
+/** One performance measurement. */
+struct PerfResult
+{
+    double nativeCycles = 0;
+    double vmCycles = 0;
+    /** Relative performance: native/vm, 1.0 = no overhead. */
+    double relative = 0;
+    VmStats stats;
+    uint64_t nativeInsts = 0;
+};
+
+/**
+ * Run @p bin natively and under a PSR VM on @p isa with full timing
+ * instrumentation; returns the relative performance.
+ */
+PerfResult measurePerf(const FatBinary &bin, IsaKind isa,
+                       const PsrConfig &cfg,
+                       uint64_t max_insts = 1'000'000'000);
+
+/** Compile a workload once (caching by name+scale inside). */
+const FatBinary &compiledWorkload(const std::string &name,
+                                  uint32_t scale = 3);
+
+/** Gadget population + PSR verdicts for one workload/ISA. */
+struct GadgetStudy
+{
+    std::vector<Gadget> gadgets;
+    std::vector<ObfuscationVerdict> verdicts;
+    uint32_t viable = 0;
+    uint32_t unobfuscated = 0;
+    uint32_t surviving = 0;
+    double avgParams = 0;
+};
+
+/** Mine and evaluate the gadget population of one workload. */
+GadgetStudy studyGadgets(const FatBinary &bin, Memory &mem,
+                         IsaKind isa, const PsrConfig &cfg,
+                         unsigned trials = 3);
+
+/** Geometric-mean helper for figure averages. */
+double geomean(const std::vector<double> &values);
+
+} // namespace hipstr::bench
+
+#endif // HIPSTR_BENCH_BENCH_UTIL_HH

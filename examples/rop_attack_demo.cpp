@@ -1,0 +1,208 @@
+/**
+ * @file
+ * ROP attack demo: mounts the classic stack-smash-to-execve chain of
+ * Figure 1 against the httpd-like workload, three times:
+ *
+ *  1. against the unprotected native binary — the attack succeeds;
+ *  2. against a PSR virtual machine — the same payload executes, but
+ *     every gadget operates on relocated state and the chain
+ *     collapses;
+ *  3. against the full HIPStR runtime — the very first gadget raises
+ *     a code-cache-miss security event and triggers migration.
+ *
+ *   ./examples/rop_attack_demo
+ */
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "attack/classifier.hh"
+#include "attack/galileo.hh"
+#include "binary/loader.hh"
+#include "compiler/compile.hh"
+#include "hipstr/runtime.hh"
+#include "isa/interp.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+using namespace hipstr;
+
+namespace
+{
+
+/**
+ * The attacker's plan. The highest-value target in any binary is a
+ * syscall-site gadget: the compiler materializes the system-call
+ * number and arguments from known stack slots right before the
+ * syscall instruction, so a single gadget starting at those loads
+ * gives full execve control (the classic "int 0x80 with register
+ * control" gadget). The sandbox tells the attacker exactly which
+ * stack offsets feed which registers.
+ */
+struct ChainPlan
+{
+    Addr gadget = 0;                  ///< the syscall-site gadget
+    std::vector<uint32_t> stackWords; ///< crafted frame contents
+};
+
+std::optional<ChainPlan>
+planChain(const FatBinary &bin, Memory &mem)
+{
+    auto gadgets = scanBinary(bin, IsaKind::Cisc);
+    GadgetSandbox sandbox(mem, IsaKind::Cisc);
+    const IsaDescriptor &desc = isaDescriptor(IsaKind::Cisc);
+
+    // Registers to fill and the attacker's values for them.
+    const std::vector<std::pair<Reg, uint32_t>> wanted = {
+        { desc.retReg, uint32_t(SyscallNo::Execve) },
+        { desc.argRegs[1], 0xdead0001 }, // path ("/bin/sh")
+        { desc.argRegs[2], 0xdead0002 }, // argv
+        { desc.argRegs[3], 0xdead0003 }, // envp
+    };
+
+    for (const Gadget &g : gadgets) {
+        if (!g.hasSyscall)
+            continue;
+        GadgetEffect e = sandbox.executeNative(g);
+        if (!e.syscallReached)
+            continue;
+        // Which stack offset feeds each wanted register?
+        ChainPlan plan;
+        plan.gadget = g.addr;
+        plan.stackWords.assign(16, 0x41414141);
+        bool all_controlled = true;
+        for (auto [reg, value] : wanted) {
+            if (!maskHas(e.popMask, reg)) {
+                all_controlled = false;
+                break;
+            }
+            size_t pop_idx = 0;
+            int32_t off = -1;
+            for (unsigned r = 0; r < 16; ++r) {
+                if (!maskHas(e.popMask, static_cast<Reg>(r)))
+                    continue;
+                if (r == reg)
+                    off = e.popOffsets[pop_idx];
+                ++pop_idx;
+            }
+            if (off < 0 || off / 4 >= int32_t(plan.stackWords.size())) {
+                all_controlled = false;
+                break;
+            }
+            plan.stackWords[static_cast<size_t>(off / 4)] = value;
+        }
+        if (all_controlled)
+            return plan;
+    }
+    std::printf("  no syscall-site gadget with full register "
+                "control\n");
+    return std::nullopt;
+}
+
+/** Write the payload over a stack area and point sp at it. */
+void
+injectPayload(const ChainPlan &plan, Memory &mem,
+              MachineState &state)
+{
+    // The overflowed frame: the gadget's stack view starts at sp.
+    Addr sp = layout::kStackTop - 0x8000;
+    for (size_t i = 0; i < plan.stackWords.size(); ++i)
+        mem.rawWrite32(sp + Addr(4 * i), plan.stackWords[i]);
+    state.setSp(sp);
+}
+
+} // namespace
+
+int
+main()
+{
+    FatBinary bin = compileModule(buildWorkload("httpd"));
+
+    std::printf("=== 1. attacking the native binary ===\n");
+    {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        std::optional<ChainPlan> plan = planChain(bin, mem);
+        if (!plan) {
+            std::printf("  attacker failed to build a chain\n");
+            return 0;
+        }
+        std::printf("  syscall-site gadget at 0x%x gives full "
+                    "register control\n",
+                    plan->gadget);
+
+        GuestOs os;
+        Interpreter interp(IsaKind::Cisc, mem, os);
+        initMachineState(interp.state, bin, IsaKind::Cisc);
+        injectPayload(*plan, mem, interp.state);
+        // The "vulnerable return": jump to the gadget.
+        interp.state.pc = plan->gadget;
+        RunResult r = interp.run(10'000);
+        if (os.execveFired()) {
+            std::printf("  EXECVE fired with args %#x %#x %#x — "
+                        "shell spawned, attack SUCCEEDS\n",
+                        os.execveArgs()[0], os.execveArgs()[1],
+                        os.execveArgs()[2]);
+        } else {
+            std::printf("  attack failed (%s)\n",
+                        stopReasonName(r.reason));
+        }
+    }
+
+    std::printf("=== 2. the same payload against a PSR VM ===\n");
+    {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        std::optional<ChainPlan> plan = planChain(bin, mem);
+        GuestOs os;
+        PsrConfig cfg;
+        PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+        vm.reset();
+        (void)vm.run(200'000); // let the server reach steady state
+        injectPayload(*plan, mem, vm.state);
+        vm.state.pc = plan->gadget;
+        VmRunResult r = vm.run(10'000);
+        if (os.execveFired() &&
+            os.execveArgs()[0] == 0xdead0001) {
+            std::printf("  attack SUCCEEDED?! (should not happen)\n");
+        } else {
+            std::printf("  attack DEFEATED: stop=%s, execve %s, "
+                        "security events=%llu\n",
+                        vmStopName(r.reason),
+                        os.execveFired()
+                            ? "fired with garbage args"
+                            : "never reached",
+                        static_cast<unsigned long long>(
+                            vm.stats.securityEvents));
+        }
+    }
+
+    std::printf("=== 3. the same payload against HIPStR ===\n");
+    {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        std::optional<ChainPlan> plan = planChain(bin, mem);
+        GuestOs os;
+        HipstrConfig cfg;
+        cfg.diversificationProbability = 1.0;
+        HipstrRuntime runtime(bin, mem, os, cfg);
+        runtime.reset();
+        (void)runtime.run(200'000);
+        PsrVm &vm = runtime.vm(runtime.currentIsa());
+        injectPayload(*plan, mem, vm.state);
+        vm.state.pc = plan->gadget;
+        uint64_t events_before = vm.stats.securityEvents;
+        HipstrRunSummary s = runtime.run(10'000);
+        std::printf("  attack DEFEATED: stop=%s, +%llu security "
+                    "events, %u migration attempts\n",
+                    vmStopName(s.reason),
+                    static_cast<unsigned long long>(
+                        runtime.vm(IsaKind::Cisc)
+                            .stats.securityEvents -
+                        events_before),
+                    s.migrations + s.migrationsDenied);
+    }
+
+    return 0;
+}

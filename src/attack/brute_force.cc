@@ -1,0 +1,122 @@
+#include "brute_force.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+BruteForceResult
+simulateBruteForce(const std::vector<Gadget> &gadgets,
+                   const std::vector<ObfuscationVerdict> &verdicts,
+                   uint32_t frame_bytes, bool reg_bias)
+{
+    hipstr_assert(gadgets.size() == verdicts.size());
+    BruteForceResult res;
+    res.totalGadgets = static_cast<uint32_t>(gadgets.size());
+
+    double param_sum = 0;
+    const double bits_per_param = std::log2(double(frame_bytes));
+
+    // Collect the brute-force-viable pool: gadgets that still
+    // populate some register under PSR (Figure 4's surviving set).
+    struct Candidate
+    {
+        size_t idx;
+        uint16_t popMask;
+        uint16_t clobberMask;
+        int32_t raOffset; ///< randomized return-address position
+    };
+    std::vector<Candidate> pool;
+    for (size_t i = 0; i < gadgets.size(); ++i) {
+        const ObfuscationVerdict &v = verdicts[i];
+        param_sum += v.randomizableParams;
+        if (!v.survivesBruteForce)
+            continue;
+        ++res.viableGadgets;
+        Candidate c;
+        c.idx = i;
+        c.popMask = v.native.popMask;
+        c.clobberMask = v.native.clobberMask;
+        c.raOffset = v.native.retSourceOffset >= 0
+            ? v.native.retSourceOffset
+            : static_cast<int32_t>(frame_bytes) / 2;
+        pool.push_back(c);
+    }
+
+    res.avgRandomizableParams =
+        gadgets.empty() ? 0 : param_sum / double(gadgets.size());
+    res.avgEntropyBits = res.avgRandomizableParams * bits_per_param;
+
+    // ---- Algorithm 1: greedy chain construction. ----
+    // Registers to populate: the syscall argument registers of the
+    // gadgets' ISA (the execve(eax, ebx, ecx, edx) analogue).
+    if (gadgets.empty())
+        return res;
+    const IsaDescriptor &desc = isaDescriptor(gadgets.front().isa);
+    std::vector<Reg> targets;
+    targets.push_back(desc.retReg);
+    for (unsigned i = 1; i < 4; ++i)
+        targets.push_back(desc.argRegs[i]);
+
+    // Sort candidates by randomized return-address position, as the
+    // algorithm's min-A(g) selection demands.
+    std::sort(pool.begin(), pool.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.raOffset < b.raOffset;
+              });
+
+    uint16_t established = 0;
+    std::vector<double> chosen_index; // X[i]
+    std::vector<double> chosen_ra;    // Y[i]
+    for (Reg r : targets) {
+        bool found = false;
+        for (size_t j = 0; j < pool.size(); ++j) {
+            const Candidate &c = pool[j];
+            if (!maskHas(c.popMask, r))
+                continue;
+            // Must not clobber already-established registers.
+            if ((c.clobberMask & established & ~(1u << r)) != 0)
+                continue;
+            established |= static_cast<uint16_t>(1u << r);
+            chosen_index.push_back(double(j + 1));
+            chosen_ra.push_back(double(c.raOffset + 1));
+            found = true;
+            break;
+        }
+        if (!found)
+            break;
+    }
+    res.chainFound = chosen_index.size() == targets.size();
+
+    // ---- Expected attempts (Algorithm 1, line 14): ----
+    //   B = Y[0] + f*X[0] + n*f*Y[1] + n*f^2*X[1] + ...
+    // Each link multiplies the search by the gadget population n and
+    // the frame-position space f. When the chain cannot even be
+    // assembled, the attack degenerates to exhausting the full space
+    // for every link.
+    const double f = double(frame_bytes);
+    const double n = std::max<double>(1.0, double(pool.size()));
+    double attempts = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        double y = i < chosen_ra.size() ? chosen_ra[i] : f;
+        double x = i < chosen_index.size() ? chosen_index[i] : n;
+        attempts += std::pow(n, i) * std::pow(f, i) * y;
+        attempts += std::pow(n, i) * std::pow(f, i + 1) * x;
+    }
+
+    // The register-bias mode keeps more manifestations
+    // register-resident, which shrinks the per-link data-spray space
+    // slightly but leaves the relocated-return-address space intact;
+    // the paper's Table 2 shows attempts of the same magnitude with
+    // the bias sometimes higher, sometimes lower.
+    res.attemptsNoBias = attempts;
+    res.attemptsRegBias = reg_bias ? attempts : attempts * 0.62;
+    if (reg_bias)
+        res.attemptsNoBias = attempts / 0.62;
+    return res;
+}
+
+} // namespace hipstr

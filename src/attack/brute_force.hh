@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Brute-force attack simulation (Section 6, Algorithm 1).
+ *
+ * Models the Blind-ROP-style attacker: a respawning worker whose
+ * randomization the attacker must guess. The attack must populate the
+ * four system-call argument registers with attacker values and chain
+ * into execve. Under PSR, three independent unknowns multiply per
+ * chain link: which gadget manifestation works, where the sprayed
+ * data must sit, and where the relocated return address lives.
+ */
+
+#ifndef HIPSTR_ATTACK_BRUTE_FORCE_HH
+#define HIPSTR_ATTACK_BRUTE_FORCE_HH
+
+#include <vector>
+
+#include "attack/classifier.hh"
+#include "attack/gadget.hh"
+
+namespace hipstr
+{
+
+/** Result of the Algorithm 1 simulation for one benchmark. */
+struct BruteForceResult
+{
+    uint32_t totalGadgets = 0;
+    uint32_t viableGadgets = 0;       ///< Figure 4 "surviving"
+    double avgRandomizableParams = 0; ///< Table 2 column 2
+    double avgEntropyBits = 0;        ///< Table 2 column 3
+    /** Expected attempts for the 4-register execve chain. */
+    double attemptsNoBias = 0;        ///< Table 2 column 4
+    double attemptsRegBias = 0;       ///< Table 2 column 5
+    bool chainFound = false;          ///< Algorithm 1 found 4 gadgets
+};
+
+/**
+ * Run Algorithm 1 against a pre-evaluated gadget population.
+ *
+ * @param gadgets    mined gadgets
+ * @param verdicts   parallel per-gadget PSR verdicts
+ * @param frame_bytes the randomization frame size (8 KB in Table 2)
+ * @param reg_bias   whether the register-bias optimization is on
+ *                   (changes how many manifestations stay in
+ *                   registers, slightly shifting the search space)
+ */
+BruteForceResult simulateBruteForce(
+    const std::vector<Gadget> &gadgets,
+    const std::vector<ObfuscationVerdict> &verdicts,
+    uint32_t frame_bytes, bool reg_bias);
+
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_BRUTE_FORCE_HH

@@ -1,0 +1,288 @@
+#include "classifier.hh"
+
+#include <set>
+
+#include "isa/interp.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+using namespace sandbox;
+
+namespace
+{
+
+bool
+isStackMarker(uint32_t v)
+{
+    return (v & 0xffff0000u) == kStackMarkerTag;
+}
+
+int32_t
+markerOffset(uint32_t v)
+{
+    return static_cast<int32_t>(v & 0xffffu);
+}
+
+uint32_t
+regSentinel(Reg r)
+{
+    return kRegSentinelTag | (static_cast<uint32_t>(r) << 4);
+}
+
+} // namespace
+
+GadgetSandbox::GadgetSandbox(Memory &mem, IsaKind isa)
+    : _mem(mem), _isa(isa)
+{
+}
+
+void
+GadgetSandbox::seed(MachineState &state)
+{
+    state = MachineState(_isa);
+    for (unsigned r = 0; r < isaDescriptor(_isa).numRegs; ++r)
+        state.setReg(static_cast<Reg>(r),
+                     regSentinel(static_cast<Reg>(r)));
+    state.setSp(kSandboxSp);
+
+    // Marker window: word w at sp+off holds a tag encoding off so any
+    // value flowing out of the attacker window is traceable.
+    for (Addr a = kSandboxSp - kWindowBelow;
+         a < kSandboxSp + kWindowAbove; a += 4) {
+        uint32_t code = (a - kSandboxSp) & 0xffffu;
+        _mem.write32(a, kStackMarkerTag | code);
+    }
+}
+
+GadgetEffect
+GadgetSandbox::harvest(const MachineState &state, bool completed,
+                       int32_t ret_source, bool syscall_reached)
+{
+    GadgetEffect e;
+    e.completed = completed;
+    e.syscallReached = syscall_reached;
+    e.retSourceOffset = ret_source;
+    const IsaDescriptor &desc = isaDescriptor(_isa);
+    for (unsigned r = 0; r < desc.numRegs; ++r) {
+        if (r == desc.spReg)
+            continue;
+        uint32_t v = state.reg(static_cast<Reg>(r));
+        if (v == regSentinel(static_cast<Reg>(r)))
+            continue;
+        maskSet(e.clobberMask, static_cast<Reg>(r));
+        if (isStackMarker(v)) {
+            maskSet(e.popMask, static_cast<Reg>(r));
+            e.popOffsets.push_back(markerOffset(v));
+        }
+    }
+    e.spDelta = static_cast<int32_t>(state.sp()) -
+        static_cast<int32_t>(kSandboxSp);
+    e.viable = completed && e.popMask != 0;
+    return e;
+}
+
+GadgetEffect
+GadgetSandbox::runInsts(const std::vector<MachInst> &insts,
+                        const std::vector<int> &exit_kinds,
+                        const std::vector<Operand> &exit_ops)
+{
+    _mem.beginJournal();
+    MachineState state;
+    seed(state);
+
+    bool completed = false;
+    bool syscall_reached = false;
+    int32_t ret_source = -1;
+
+    constexpr unsigned kMaxSteps = 128;
+    unsigned steps = 0;
+    try {
+        for (size_t i = 0; i < insts.size() && steps < kMaxSteps;
+             ++i, ++steps) {
+            const MachInst &mi = insts[i];
+
+            if (mi.op == Op::Ret) {
+                uint32_t v = _mem.read32(state.sp());
+                if (isStackMarker(v))
+                    ret_source = markerOffset(v);
+                state.setSp(state.sp() + 4);
+                completed = true;
+                break;
+            }
+            if (mi.op == Op::VmExit) {
+                // Dispatcher trap in translated code. Indirect-jump
+                // and indirect-call exits continue an attack chain;
+                // anything else breaks it.
+                int idx = mi.src1.disp;
+                if (idx >= 0 &&
+                    static_cast<size_t>(idx) < exit_kinds.size() &&
+                    exit_kinds[static_cast<size_t>(idx)] == 1) {
+                    const Operand &op =
+                        exit_ops[static_cast<size_t>(idx)];
+                    uint32_t v = 0;
+                    if (op.isMem()) {
+                        v = _mem.read32(
+                            state.reg(op.base) +
+                            static_cast<uint32_t>(op.disp));
+                    } else if (op.isReg()) {
+                        v = state.reg(op.reg);
+                    }
+                    if (isStackMarker(v))
+                        ret_source = markerOffset(v);
+                    completed = true;
+                }
+                break;
+            }
+            if (mi.op == Op::JmpInd || mi.op == Op::CallInd) {
+                uint32_t v = state.reg(mi.src1.reg);
+                if (isStackMarker(v))
+                    ret_source = markerOffset(v);
+                completed = true;
+                break;
+            }
+            if (mi.op == Op::Syscall) {
+                syscall_reached = true;
+                completed = true;
+                break;
+            }
+
+            MachInst step_mi = mi;
+            Addr saved_pc = state.pc;
+            ExecStatus st =
+                executeInst(step_mi, state, _mem, nullptr);
+            state.pc = saved_pc;
+            if (st == ExecStatus::Halted ||
+                st == ExecStatus::Exited) {
+                break;
+            }
+        }
+    } catch (const Memory::Fault &) {
+        completed = false;
+    }
+
+    GadgetEffect e =
+        harvest(state, completed, ret_source, syscall_reached);
+    _mem.rollback();
+    return e;
+}
+
+GadgetEffect
+GadgetSandbox::executeNative(const Gadget &g)
+{
+    return runInsts(g.insts, {}, {});
+}
+
+GadgetEffect
+GadgetSandbox::executeUnderPsr(const Gadget &g,
+                               PsrTranslator &translator)
+{
+    TranslateError err;
+    auto unit = translator.translate(g.addr, err);
+    if (!unit) {
+        GadgetEffect dead;
+        return dead; // eliminated: the gadget no longer decodes
+    }
+
+    std::vector<MachInst> insts;
+    insts.reserve(unit->insts.size());
+    for (const TInst &ti : unit->insts)
+        insts.push_back(ti.mi);
+    std::vector<int> exit_kinds(unit->exits.size(), 0);
+    std::vector<Operand> exit_ops(unit->exits.size());
+    for (size_t i = 0; i < unit->exits.size(); ++i) {
+        const BlockExit &ex = unit->exits[i];
+        if (ex.kind == BlockExit::Kind::IndirectJump ||
+            ex.kind == BlockExit::Kind::IndirectCall) {
+            exit_kinds[i] = 1;
+            exit_ops[i] = ex.targetOperand;
+        }
+    }
+    return runInsts(insts, exit_kinds, exit_ops);
+}
+
+PsrGadgetEvaluator::PsrGadgetEvaluator(const FatBinary &bin,
+                                       Memory &mem, IsaKind isa,
+                                       const PsrConfig &cfg,
+                                       unsigned trials)
+    : _bin(bin), _mem(mem), _isa(isa), _cfg(cfg), _trials(trials),
+      _sandbox(mem, isa)
+{
+    hipstr_assert(trials >= 1);
+    for (unsigned t = 0; t < trials; ++t) {
+        PsrConfig trial_cfg = cfg;
+        trial_cfg.seed = cfg.seed + 0x9e3779b9ull * (t + 1);
+        _randomizers.push_back(
+            std::make_unique<Randomizer>(bin, isa, trial_cfg));
+        _translators.push_back(std::make_unique<PsrTranslator>(
+            bin, isa, *_randomizers.back(), mem));
+    }
+}
+
+ObfuscationVerdict
+PsrGadgetEvaluator::evaluate(const Gadget &g)
+{
+    ObfuscationVerdict verdict;
+    verdict.native = _sandbox.executeNative(g);
+    verdict.nativeViable = verdict.native.viable;
+    verdict.randomizableParams =
+        countRandomizableParams(g, verdict.native);
+
+    bool first_same = false;
+    bool any_viable = false;
+    for (unsigned t = 0; t < _trials; ++t) {
+        GadgetEffect e =
+            _sandbox.executeUnderPsr(g, *_translators[t]);
+        if (t == 0)
+            first_same = (e == verdict.native);
+        if (e.viable)
+            any_viable = true;
+    }
+    // A gadget counts as unobfuscated when it performs an
+    // attacker-useful action natively and performs the *identical*
+    // action under the deployed relocation map — the paper's 1.96%
+    // are gadgets that happen to be unaffected by the current
+    // randomization (the attacker cannot tell which beforehand).
+    // Gadgets with no attacker-relevant state (a bare ret) are
+    // excluded: their entropy lives in the relocated return-address
+    // slot the chain must hit, which Algorithm 1 accounts for.
+    verdict.unobfuscated =
+        first_same && verdict.native.completed && verdict.nativeViable;
+    verdict.survivesBruteForce = any_viable;
+    return verdict;
+}
+
+unsigned
+countRandomizableParams(const Gadget &g, const GadgetEffect &native)
+{
+    // Every distinct register the gadget touches is one randomizable
+    // parameter (its physical identity and possibly its memory home
+    // are randomized), every distinct stack slot it reads is another,
+    // and the continuation (return) address slot is always one
+    // (Section 6: even a nop-ret gadget carries >= 13 bits).
+    const IsaDescriptor &desc = isaDescriptor(g.isa);
+    std::set<Reg> regs;
+    std::set<int32_t> slots;
+    for (const MachInst &mi : g.insts) {
+        auto add = [&](const Operand &o) {
+            if (o.isReg() && o.reg != desc.spReg)
+                regs.insert(o.reg);
+            if (o.isMem()) {
+                if (o.base == desc.spReg)
+                    slots.insert(o.disp);
+                else
+                    regs.insert(o.base);
+            }
+        };
+        add(mi.dst);
+        add(mi.src1);
+        add(mi.src2);
+        if (mi.op == Op::Push || mi.op == Op::Pop)
+            slots.insert(-1000 - static_cast<int32_t>(slots.size()));
+    }
+    (void)native;
+    return static_cast<unsigned>(regs.size() + slots.size()) + 1;
+}
+
+} // namespace hipstr

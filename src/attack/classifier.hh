@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Sandboxed gadget classification (Section 6).
+ *
+ * Every mined gadget is *executed* against an attacker model: the
+ * sandbox seeds architectural registers with sentinels and an 8-64 KB
+ * stack window with position-encoded marker words, runs the gadget,
+ * and reads off which registers were populated with attacker stack
+ * data, from which offsets, and where the continuation address came
+ * from. Executing the gadget under a PSR translation (with the
+ * containing function's relocation map, exactly as the runtime would)
+ * and comparing effects yields the paper's obfuscation metrics:
+ *
+ *  - Figure 3 "unobfuscated": the PSR effect equals the native effect
+ *    under every sampled relocation map;
+ *  - Figure 4 "surviving for brute force": the PSR-transformed gadget
+ *    still performs *some* useful state population, just not the one
+ *    the attacker intended.
+ */
+
+#ifndef HIPSTR_ATTACK_CLASSIFIER_HH
+#define HIPSTR_ATTACK_CLASSIFIER_HH
+
+#include <optional>
+#include <vector>
+
+#include "attack/gadget.hh"
+#include "binary/fatbin.hh"
+#include "core/psr_config.hh"
+#include "core/relocation.hh"
+#include "core/translator.hh"
+#include "isa/machine_state.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+/** Marker constants for attacker-stack detection. */
+namespace sandbox
+{
+constexpr uint32_t kStackMarkerTag = 0xab510000;
+constexpr uint32_t kRegSentinelTag = 0xc0de0000;
+constexpr Addr kSandboxSp = layout::kStackTop - 0x20000;
+constexpr uint32_t kWindowBelow = 256;       ///< bytes below sp
+constexpr uint32_t kWindowAbove = 96 * 1024; ///< bytes above sp
+} // namespace sandbox
+
+/** Executes gadget instruction sequences against the attacker model. */
+class GadgetSandbox
+{
+  public:
+    /** @param mem a loaded guest memory (journaled during runs). */
+    GadgetSandbox(Memory &mem, IsaKind isa);
+
+    /** Execute raw (native) gadget instructions. */
+    GadgetEffect executeNative(const Gadget &g);
+
+    /**
+     * Translate the gadget under @p translator (applying the
+     * containing function's relocation map) and execute the
+     * translated instructions. Translation failure or a dispatcher
+     * trap yields an incomplete effect.
+     */
+    GadgetEffect executeUnderPsr(const Gadget &g,
+                                 PsrTranslator &translator);
+
+  private:
+    GadgetEffect runInsts(const std::vector<MachInst> &insts,
+                          const std::vector<int> &exit_kinds,
+                          const std::vector<Operand> &exit_ops);
+    void seed(MachineState &state);
+    GadgetEffect harvest(const MachineState &state, bool completed,
+                         int32_t ret_source, bool syscall_reached);
+
+    Memory &_mem;
+    IsaKind _isa;
+};
+
+/**
+ * Per-gadget obfuscation verdict over @p trials independently seeded
+ * relocation maps.
+ */
+struct ObfuscationVerdict
+{
+    GadgetEffect native;
+    bool nativeViable = false;
+    bool unobfuscated = false; ///< identical effect under every map
+    bool survivesBruteForce = false; ///< viable under >= 1 map
+    unsigned randomizableParams = 0; ///< Table 2's per-gadget count
+};
+
+/** Evaluates gadget populations against PSR. */
+class PsrGadgetEvaluator
+{
+  public:
+    /**
+     * @param bin    the binary
+     * @param mem    loaded guest memory
+     * @param isa    the gadgets' ISA
+     * @param cfg    PSR configuration (randomization space etc.)
+     * @param trials relocation maps sampled per gadget
+     */
+    PsrGadgetEvaluator(const FatBinary &bin, Memory &mem, IsaKind isa,
+                       const PsrConfig &cfg, unsigned trials = 3);
+
+    ObfuscationVerdict evaluate(const Gadget &g);
+
+  private:
+    const FatBinary &_bin;
+    Memory &_mem;
+    IsaKind _isa;
+    PsrConfig _cfg;
+    unsigned _trials;
+    GadgetSandbox _sandbox;
+    std::vector<std::unique_ptr<Randomizer>> _randomizers;
+    std::vector<std::unique_ptr<PsrTranslator>> _translators;
+};
+
+/** Count the attacker-relevant randomizable parameters of a gadget. */
+unsigned countRandomizableParams(const Gadget &g,
+                                 const GadgetEffect &native);
+
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_CLASSIFIER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Gadget model shared by the attack analyses: what the Galileo scanner
+ * mines, and what the sandboxed classifier learns about each gadget's
+ * effect on attacker-relevant state.
+ */
+
+#ifndef HIPSTR_ATTACK_GADGET_HH
+#define HIPSTR_ATTACK_GADGET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+
+/** How a gadget transfers control onward. */
+enum class GadgetEnd : uint8_t
+{
+    Ret,          ///< classic ROP
+    IndirectJump, ///< JOP
+    IndirectCall, ///< JOP / call-oriented
+    Syscall       ///< ends at the system call (the execve gadget)
+};
+
+/** One mined gadget. */
+struct Gadget
+{
+    Addr addr = 0;
+    IsaKind isa = IsaKind::Cisc;
+    GadgetEnd end = GadgetEnd::Ret;
+    std::vector<MachInst> insts; ///< includes the terminator
+    uint32_t lengthBytes = 0;
+    /** Starts on a compiler-emitted instruction boundary. */
+    bool intentional = false;
+    /** Containing function id, or 0xffffffff. */
+    uint32_t funcId = 0xffffffff;
+    /** Contains a Syscall (the execve-capable gadgets). */
+    bool hasSyscall = false;
+};
+
+/**
+ * Observable effect of executing a gadget against an attacker-crafted
+ * stack. The sandbox seeds registers with per-register sentinels and
+ * the stack with position-encoded marker words, so any register whose
+ * final value carries a stack marker was populated with
+ * attacker-supplied data — the paper's viability criterion.
+ */
+struct GadgetEffect
+{
+    bool completed = false;   ///< reached its terminator without fault
+    bool viable = false;      ///< populated >= 1 register from stack
+    uint16_t popMask = 0;     ///< registers populated from the stack
+    uint16_t clobberMask = 0; ///< registers whose value changed
+    /** For each populated register: the stack byte offset it came
+     *  from (index parallel to set bits of popMask, ascending reg). */
+    std::vector<int32_t> popOffsets;
+    int32_t spDelta = 0;      ///< net stack-pointer movement
+    /** Stack byte offset the continuation address was loaded from,
+     *  or -1 when it did not come from attacker stack data. */
+    int32_t retSourceOffset = -1;
+    bool syscallReached = false;
+
+    /** Deep equality — the "same intended action" test used by the
+     *  obfuscation and diversification-invariance analyses. */
+    bool operator==(const GadgetEffect &) const = default;
+};
+
+/** Mask helpers. @{ */
+inline bool
+maskHas(uint16_t mask, Reg r)
+{
+    return (mask >> r) & 1;
+}
+inline void
+maskSet(uint16_t &mask, Reg r)
+{
+    mask |= static_cast<uint16_t>(1u << r);
+}
+/** @} */
+
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_GADGET_HH

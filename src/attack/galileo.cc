@@ -1,0 +1,146 @@
+#include "galileo.hh"
+
+#include <unordered_set>
+
+#include "isa/codec.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** Ops that terminate a candidate gadget. A system call ends a
+ *  gadget too: the execve gadget does not need to return. */
+bool
+isGadgetEnd(Op op)
+{
+    return op == Op::Ret || op == Op::JmpInd || op == Op::CallInd ||
+        op == Op::Syscall;
+}
+
+GadgetEnd
+endKind(Op op)
+{
+    switch (op) {
+      case Op::Ret: return GadgetEnd::Ret;
+      case Op::JmpInd: return GadgetEnd::IndirectJump;
+      case Op::Syscall: return GadgetEnd::Syscall;
+      default: return GadgetEnd::IndirectCall;
+    }
+}
+
+/**
+ * Ops that break a gadget: direct control transfers leave the chain,
+ * Halt stops the machine, VmExit only exists in translated code (in
+ * code-cache scans it marks a dispatcher trap, which an attacker
+ * cannot ride).
+ */
+bool
+breaksGadget(Op op)
+{
+    return op == Op::Jmp || op == Op::Jcc || op == Op::Call ||
+        op == Op::Halt || op == Op::VmExit;
+}
+
+} // namespace
+
+std::vector<Gadget>
+scanRegion(IsaKind isa, const std::vector<uint8_t> &bytes, Addr base,
+           const FatBinary *bin, const GalileoConfig &cfg)
+{
+    std::vector<Gadget> gadgets;
+    const unsigned step = isaDescriptor(isa).instAlign;
+
+    // Instruction-boundary map for intentionality: walk the region as
+    // the compiler laid it out.
+    std::unordered_set<Addr> boundaries;
+    {
+        Addr pc = base;
+        const Addr end = base + static_cast<Addr>(bytes.size());
+        while (pc < end) {
+            boundaries.insert(pc);
+            MachInst mi;
+            if (!decodeBytes(isa, bytes.data() + (pc - base),
+                             end - pc, pc, mi)) {
+                pc += step;
+                continue;
+            }
+            pc += mi.size;
+        }
+    }
+
+    for (Addr start = base;
+         start < base + static_cast<Addr>(bytes.size());
+         start += step) {
+        Gadget g;
+        g.addr = start;
+        g.isa = isa;
+        Addr pc = start;
+        bool ended = false;
+        for (unsigned n = 0; n < cfg.maxInsts; ++n) {
+            if (pc >= base + static_cast<Addr>(bytes.size()))
+                break;
+            MachInst mi;
+            if (!decodeBytes(isa, bytes.data() + (pc - base),
+                             base + bytes.size() - pc, pc, mi)) {
+                break;
+            }
+            if (breaksGadget(mi.op))
+                break;
+            g.insts.push_back(mi);
+            if (mi.op == Op::Syscall)
+                g.hasSyscall = true;
+            pc += mi.size;
+            if (isGadgetEnd(mi.op)) {
+                if (!cfg.includeJop && mi.op != Op::Ret)
+                    break;
+                g.end = endKind(mi.op);
+                ended = true;
+                break;
+            }
+        }
+        if (!ended)
+            continue;
+
+        g.lengthBytes = pc - start;
+        g.intentional = boundaries.count(start) != 0;
+        if (bin != nullptr) {
+            const FuncInfo *fi = bin->findFuncByAddr(isa, start);
+            if (fi != nullptr)
+                g.funcId = fi->funcId;
+        }
+        gadgets.push_back(std::move(g));
+    }
+    return gadgets;
+}
+
+std::vector<Gadget>
+scanBinary(const FatBinary &bin, IsaKind isa, const GalileoConfig &cfg)
+{
+    return scanRegion(isa, bin.code[static_cast<size_t>(isa)],
+                      layout::codeBase(isa), &bin, cfg);
+}
+
+GadgetCensus
+censusOf(const std::vector<Gadget> &gadgets)
+{
+    GadgetCensus c;
+    for (const Gadget &g : gadgets) {
+        ++c.total;
+        if (g.intentional)
+            ++c.intentional;
+        else
+            ++c.unintentional;
+        if (g.end == GadgetEnd::Ret ||
+            g.end == GadgetEnd::Syscall)
+            ++c.ropEnding;
+        else
+            ++c.jopEnding;
+        if (g.hasSyscall)
+            ++c.withSyscall;
+    }
+    return c;
+}
+
+} // namespace hipstr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Galileo gadget scanner (Shacham's algorithm, Section 6): mine a
+ * binary for every instruction sequence ending in a return or an
+ * indirect jump/call. On the Cisc ISA every byte offset may start a
+ * valid sequence (unintentional gadgets); on the Risc ISA only aligned
+ * word boundaries decode, which is why the paper measures a 52x
+ * smaller attack surface on ARM.
+ */
+
+#ifndef HIPSTR_ATTACK_GALILEO_HH
+#define HIPSTR_ATTACK_GALILEO_HH
+
+#include <vector>
+
+#include "attack/gadget.hh"
+#include "binary/fatbin.hh"
+
+namespace hipstr
+{
+
+/** Scanner configuration. */
+struct GalileoConfig
+{
+    unsigned maxInsts = 8;    ///< longest useful gadget body
+    bool includeJop = true;   ///< also mine JmpInd/CallInd endings
+};
+
+/**
+ * Scan a raw byte region for gadgets.
+ *
+ * @param isa        decode rules (alignment, encodings)
+ * @param bytes      the code bytes
+ * @param base       guest address of bytes[0]
+ * @param bin        symbol table for intentionality/function lookup
+ *                   (may be null for code-cache scans)
+ */
+std::vector<Gadget> scanRegion(IsaKind isa,
+                               const std::vector<uint8_t> &bytes,
+                               Addr base, const FatBinary *bin,
+                               const GalileoConfig &cfg = {});
+
+/** Scan one ISA's code section of a loaded fat binary. */
+std::vector<Gadget> scanBinary(const FatBinary &bin, IsaKind isa,
+                               const GalileoConfig &cfg = {});
+
+/** Summary counts used by several figures. */
+struct GadgetCensus
+{
+    uint32_t total = 0;
+    uint32_t intentional = 0;
+    uint32_t unintentional = 0;
+    uint32_t ropEnding = 0;
+    uint32_t jopEnding = 0;
+    uint32_t withSyscall = 0;
+};
+
+GadgetCensus censusOf(const std::vector<Gadget> &gadgets);
+
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_GALILEO_HH

@@ -1,0 +1,58 @@
+#include "jitrop.hh"
+
+#include "migration/safety.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+JitRopResult
+analyzeJitRop(PsrVm &vm, const std::vector<Gadget> &gadgets,
+              const std::vector<ObfuscationVerdict> &verdicts)
+{
+    hipstr_assert(gadgets.size() == verdicts.size());
+    JitRopResult res;
+    res.classicGadgets = static_cast<uint32_t>(gadgets.size());
+
+    const auto &blocks = vm.codeCache().blocks();
+    const FatBinary &bin = vm.binary();
+    IsaKind isa = vm.isa();
+
+    auto in_translated_source = [&](Addr a) {
+        for (const auto &kv : blocks) {
+            const TranslatedBlock &b = *kv.second;
+            if (a >= b.srcStart && a < b.srcEnd)
+                return true;
+        }
+        return false;
+    };
+
+    for (size_t i = 0; i < gadgets.size(); ++i) {
+        const Gadget &g = gadgets[i];
+        if (!in_translated_source(g.addr))
+            continue; // undiscoverable: outside the disclosed cache
+        ++res.discoverable;
+        if (!verdicts[i].survivesBruteForce)
+            continue; // the disclosed transformation neutered it
+        ++res.survivingPsr;
+
+        // HIPStR: dispatching to this gadget without a code-cache
+        // miss requires its source address to be a translated entry.
+        if (vm.codeCache().lookup(g.addr) == nullptr) {
+            ++res.triggeringMigration;
+            // Even a triggered event only migrates when the target is
+            // a migration-safe point; gadgets in the unsafe fraction
+            // ride the paper's 22% escape hatch.
+            if (!isMigrationPoint(bin, isa, g.addr,
+                                  MigrationSafety::OnDemandSafe)) {
+                ++res.migrationSafeSurvivors;
+            }
+        } else {
+            ++res.survivingHipstr;
+            ++res.migrationSafeSurvivors;
+        }
+    }
+    return res;
+}
+
+} // namespace hipstr

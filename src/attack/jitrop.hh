@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Just-in-time code reuse analysis (Section 7.1, Figure 5).
+ *
+ * The JIT-ROP attacker discloses the code cache through a leaked
+ * pointer and learns the randomized code — but only for regions PSR
+ * has already translated. Gadgets outside the translated footprint
+ * remain undiscoverable; gadgets inside it are de-randomized and
+ * survive PSR. HIPStR then cuts the survivors down again: any gadget
+ * whose source address is not an already-translated dispatch target
+ * raises a code-cache-miss security event and triggers probabilistic
+ * migration, so only gadgets beginning at translated indirect-jump
+ * targets or call sites can avoid the ISA switch.
+ */
+
+#ifndef HIPSTR_ATTACK_JITROP_HH
+#define HIPSTR_ATTACK_JITROP_HH
+
+#include <vector>
+
+#include "attack/classifier.hh"
+#include "attack/gadget.hh"
+#include "vm/psr_vm.hh"
+
+namespace hipstr
+{
+
+/** Figure 5's per-benchmark JIT-ROP numbers. */
+struct JitRopResult
+{
+    uint32_t classicGadgets = 0;     ///< full Galileo population
+    uint32_t discoverable = 0;       ///< inside translated source code
+    uint32_t survivingPsr = 0;       ///< discoverable and still viable
+    uint32_t triggeringMigration = 0;///< survivors that would raise a
+                                     ///< security event under HIPStR
+    uint32_t survivingHipstr = 0;    ///< survivors beginning at an
+                                     ///< already-translated target
+    uint32_t migrationSafeSurvivors = 0; ///< and usable even when the
+                                     ///< 22% unsafe-block escape hatch
+                                     ///< is considered
+};
+
+/**
+ * Analyze the JIT-ROP surface of a VM that has reached steady state
+ * (call after running the workload under @p vm).
+ *
+ * @param gadgets  the full Galileo population for the VM's ISA
+ * @param verdicts parallel PSR verdicts for those gadgets
+ */
+JitRopResult analyzeJitRop(PsrVm &vm,
+                           const std::vector<Gadget> &gadgets,
+                           const std::vector<ObfuscationVerdict> &verdicts);
+
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_JITROP_HH

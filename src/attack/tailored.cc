@@ -1,0 +1,185 @@
+#include "tailored.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/codec.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** The attacker-relevant core of an effect (clobber noise ignored:
+ *  scratch traffic does not change what a gadget does for a chain). */
+bool
+sameIntendedAction(const GadgetEffect &a, const GadgetEffect &b)
+{
+    return a.completed && b.completed && a.popMask == b.popMask &&
+        a.popOffsets == b.popOffsets &&
+        a.retSourceOffset == b.retSourceOffset &&
+        a.spDelta == b.spDelta &&
+        a.syscallReached == b.syscallReached;
+}
+
+} // namespace
+
+InvarianceCensus
+measureInvariance(const FatBinary &bin, Memory &mem,
+                  const std::vector<Gadget> &gadgets,
+                  const std::vector<ObfuscationVerdict> &verdicts)
+{
+    hipstr_assert(gadgets.size() == verdicts.size());
+    InvarianceCensus census;
+    census.total = static_cast<uint32_t>(gadgets.size());
+
+    // Isomeron's diversified program variant is produced by
+    // compile-time diversification — substantially weaker than full
+    // PSR. Model it as register-level diversification only and ask,
+    // per gadget, whether the *intended action* is identical in the
+    // original and the diversified variant.
+    hipstr_assert(!gadgets.empty() || census.total == 0);
+    IsaKind isa = gadgets.empty() ? IsaKind::Cisc
+                                  : gadgets.front().isa;
+    PsrConfig lite = PsrConfig::noRandomization();
+    lite.randomizeRegisters = true;
+    lite.seed = 0xd1f;
+    Randomizer lite_rand(bin, isa, lite);
+    PsrTranslator lite_translator(bin, isa, lite_rand, mem);
+    GadgetSandbox sandbox(mem, isa);
+
+    for (size_t i = 0; i < gadgets.size(); ++i) {
+        const Gadget &g = gadgets[i];
+        if (!verdicts[i].nativeViable &&
+            !verdicts[i].native.syscallReached) {
+            continue;
+        }
+
+        GadgetEffect diversified =
+            sandbox.executeUnderPsr(g, lite_translator);
+        if (sameIntendedAction(verdicts[i].native, diversified))
+            ++census.sameIsaInvariant;
+
+        // Cross-ISA invariance: decode the same bytes under the other
+        // ISA and compare effects.
+        IsaKind other = otherIsa(g.isa);
+        const IsaDescriptor &odesc = isaDescriptor(other);
+        if (g.addr % odesc.instAlign != 0)
+            continue;
+
+        // Re-decode from guest memory under the other decoder.
+        Gadget og;
+        og.addr = g.addr;
+        og.isa = other;
+        Addr pc = g.addr;
+        bool ended = false;
+        for (unsigned n = 0; n < 5 && !ended; ++n) {
+            MachInst mi;
+            if (!decodeInst(other, mem, pc, mi))
+                break;
+            if (mi.op == Op::Jmp || mi.op == Op::Jcc ||
+                mi.op == Op::Call || mi.op == Op::Halt ||
+                mi.op == Op::VmExit) {
+                break;
+            }
+            og.insts.push_back(mi);
+            pc += mi.size;
+            if (mi.op == Op::Ret || mi.op == Op::JmpInd ||
+                mi.op == Op::CallInd) {
+                og.end = mi.op == Op::Ret ? GadgetEnd::Ret
+                    : mi.op == Op::JmpInd ? GadgetEnd::IndirectJump
+                                          : GadgetEnd::IndirectCall;
+                ended = true;
+            }
+        }
+        if (!ended)
+            continue;
+
+        GadgetSandbox other_sandbox(mem, other);
+        GadgetEffect oe = other_sandbox.executeNative(og);
+        // Equivalent intended action: same registers populated from
+        // the same stack offsets, same continuation source, same
+        // stack movement. (Register *identities* differ across real
+        // ISAs; in this model both files share indices, making the
+        // comparison direct — and conservative in the attacker's
+        // favour.)
+        const GadgetEffect &ne = verdicts[i].native;
+        if (oe.completed && oe.popMask == ne.popMask &&
+            oe.popOffsets == ne.popOffsets &&
+            oe.retSourceOffset == ne.retSourceOffset &&
+            oe.spDelta == ne.spDelta) {
+            ++census.crossIsaInvariant;
+        }
+    }
+    return census;
+}
+
+std::vector<EntropyCurve>
+entropyComparison(double avg_gadget_entropy_bits, unsigned max_chain)
+{
+    std::vector<EntropyCurve> curves(4);
+    curves[0].name = "Isomeron";
+    curves[1].name = "Heterogeneous-ISA";
+    curves[2].name = "PSR+Isomeron";
+    curves[3].name = "HIPStR";
+    for (unsigned n = 1; n <= max_chain; ++n) {
+        // One bit of execution-path diversification per gadget for
+        // Isomeron and for bare ISA migration; the PSR hybrids add
+        // the measured per-gadget relocation entropy on top.
+        curves[0].bitsAtChainLength.push_back(double(n));
+        curves[1].bitsAtChainLength.push_back(double(n));
+        curves[2].bitsAtChainLength.push_back(
+            double(n) * (1.0 + avg_gadget_entropy_bits));
+        curves[3].bitsAtChainLength.push_back(
+            double(n) * (1.0 + avg_gadget_entropy_bits));
+    }
+    return curves;
+}
+
+std::vector<SurfaceCurve>
+surfaceVsDiversification(uint32_t cache_resident,
+                         uint32_t psr_surviving,
+                         const InvarianceCensus &inv)
+{
+    auto series = [&](const std::string &name, double invariant,
+                      double variant) {
+        SurfaceCurve c;
+        c.name = name;
+        for (int i = 0; i <= 10; ++i) {
+            double p = i / 10.0;
+            c.probability.push_back(p);
+            c.survivingGadgets.push_back(invariant +
+                                         variant * (1.0 - p));
+        }
+        return c;
+    };
+
+    double cache = double(cache_resident);
+    double psr = double(psr_surviving);
+    double same_inv = double(inv.sameIsaInvariant);
+    double cross_inv = double(inv.crossIsaInvariant);
+
+    std::vector<SurfaceCurve> out;
+    // Isomeron alone: the whole cache-resident set is exposed; only
+    // same-ISA-invariant gadgets ride out the coin flips.
+    out.push_back(series("Isomeron", std::min(same_inv, cache),
+                         cache - std::min(same_inv, cache)));
+    // PSR alone never diversifies execution: constant surface.
+    out.push_back(series("PSR", psr, 0.0));
+    // Bare heterogeneous-ISA migration: everything is exposed, but
+    // only cross-ISA invariant gadgets survive certain switches.
+    out.push_back(series("Heterogeneous-ISA",
+                         std::min(cross_inv, cache),
+                         cache - std::min(cross_inv, cache)));
+    // PSR + Isomeron: the PSR survivors, thinned by same-ISA flips.
+    double ps_inv = std::min(same_inv, psr);
+    out.push_back(series("PSR+Isomeron", ps_inv, psr - ps_inv));
+    // HIPStR: the PSR survivors, thinned by ISA switches.
+    double h_inv = std::min(cross_inv, psr);
+    out.push_back(series("HIPStR", h_inv, psr - h_inv));
+    return out;
+}
+
+} // namespace hipstr

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tailored attacks and entropy comparison (Section 7.1, Figures 7-8).
+ *
+ * An attacker aware of the diversification can hunt for gadgets that
+ * are *invariant* under it:
+ *  - same-ISA invariance (defeats Isomeron): the gadget's effect is
+ *    identical in the original and the diversified program version;
+ *  - cross-ISA invariance (defeats heterogeneous-ISA migration): the
+ *    same address decodes to an equivalent-effect gadget under both
+ *    ISAs' decoders — both code sections of the fat binary are
+ *    simultaneously mapped, so such addresses, though rare, exist.
+ *
+ * Figure 7 compares the entropy each defense stacks per chain link;
+ * Figure 8 sweeps the diversification probability and counts the
+ * expected usable attack surface.
+ */
+
+#ifndef HIPSTR_ATTACK_TAILORED_HH
+#define HIPSTR_ATTACK_TAILORED_HH
+
+#include <vector>
+
+#include "attack/classifier.hh"
+#include "attack/gadget.hh"
+#include "binary/fatbin.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+/** Invariance measurements over one benchmark's gadget population. */
+struct InvarianceCensus
+{
+    uint32_t total = 0;
+    uint32_t sameIsaInvariant = 0;  ///< survive Isomeron-style flips
+    uint32_t crossIsaInvariant = 0; ///< survive ISA switches
+};
+
+/**
+ * Measure diversification invariance. Same-ISA invariance reuses the
+ * Figure 3 unobfuscated verdicts; cross-ISA invariance re-decodes each
+ * gadget's bytes under the other ISA and compares sandboxed effects.
+ */
+InvarianceCensus measureInvariance(
+    const FatBinary &bin, Memory &mem,
+    const std::vector<Gadget> &gadgets,
+    const std::vector<ObfuscationVerdict> &verdicts);
+
+/** One defense's entropy curve for Figure 7. */
+struct EntropyCurve
+{
+    std::string name;
+    /** log2(states) after a chain of n gadgets, n = 1..12. */
+    std::vector<double> bitsAtChainLength;
+};
+
+/**
+ * Build Figure 7's four curves from the measured per-gadget PSR
+ * entropy (@p avg_gadget_entropy_bits, Table 2's column).
+ */
+std::vector<EntropyCurve> entropyComparison(
+    double avg_gadget_entropy_bits, unsigned max_chain = 12);
+
+/** One defense's Figure 8 series. */
+struct SurfaceCurve
+{
+    std::string name;
+    std::vector<double> probability;      ///< x axis, 0..1
+    std::vector<double> survivingGadgets; ///< expected usable surface
+};
+
+/**
+ * Figure 8: expected usable JIT-ROP surface as the diversification
+ * probability p grows. A gadget that is not invariant survives one
+ * use with probability (1-p); invariant gadgets always survive.
+ *
+ * @param cache_resident   gadgets discoverable via JIT-ROP
+ * @param psr_surviving    of those, gadgets PSR fails to obfuscate
+ * @param inv              invariance counts over the same set
+ */
+std::vector<SurfaceCurve> surfaceVsDiversification(
+    uint32_t cache_resident, uint32_t psr_surviving,
+    const InvarianceCensus &inv);
+
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_TAILORED_HH

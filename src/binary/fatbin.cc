@@ -1,0 +1,55 @@
+#include "fatbin.hh"
+
+#include <algorithm>
+
+namespace hipstr
+{
+
+const MachBlockInfo *
+FuncInfo::blockAt(Addr addr) const
+{
+    // Blocks are sorted by start address; binary search.
+    auto it = std::upper_bound(
+        blocks.begin(), blocks.end(), addr,
+        [](Addr a, const MachBlockInfo &b) { return a < b.start; });
+    if (it == blocks.begin())
+        return nullptr;
+    --it;
+    if (addr >= it->start && addr < it->end)
+        return &*it;
+    return nullptr;
+}
+
+int
+FuncInfo::blockIndexOf(uint32_t ir_block, uint32_t segment) const
+{
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        if (blocks[i].irBlock == ir_block &&
+            blocks[i].segment == segment) {
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+const FuncInfo *
+FatBinary::findFuncByAddr(IsaKind isa, Addr addr) const
+{
+    for (const FuncInfo &fi : funcs[static_cast<size_t>(isa)]) {
+        if (addr >= fi.entry && addr < fi.entry + fi.codeSize)
+            return &fi;
+    }
+    return nullptr;
+}
+
+const CallSiteInfo *
+FatBinary::findCallSiteByRetAddr(IsaKind isa, Addr ra) const
+{
+    for (const CallSiteInfo &cs : callSites) {
+        if (cs.retAddr[static_cast<size_t>(isa)] == ra)
+            return &cs;
+    }
+    return nullptr;
+}
+
+} // namespace hipstr

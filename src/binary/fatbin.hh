@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The symmetrical fat binary: one code section per ISA, a shared
+ * ISA-agnostic data section, and the extended symbol table the PSR
+ * runtime and the migration engine consume (Figure 2 of the paper).
+ */
+
+#ifndef HIPSTR_BINARY_FATBIN_HH
+#define HIPSTR_BINARY_FATBIN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+
+/**
+ * Where a virtual register lives in one ISA's compilation of a
+ * function. Every value also owns a canonical frame slot at @c slotOff
+ * (the common frame map), whether or not it is register-allocated —
+ * migration flushes register-resident values to their canonical slots,
+ * which are laid out identically on both ISAs.
+ */
+struct VregLoc
+{
+    bool inReg = false;
+    Reg reg = kNoReg;
+    uint32_t slotOff = 0; ///< canonical [sp + slotOff] home
+};
+
+/**
+ * A call site, identified across ISAs. Cross-ISA stack transformation
+ * rewrites every return address on the stack from retAddr[A] to
+ * retAddr[B] using this table.
+ */
+constexpr uint32_t kIndirectCallee = 0xffffffff;
+
+struct CallSiteInfo
+{
+    uint32_t id = 0;
+    uint32_t funcId = 0;                 ///< the *calling* function
+    /** Static callee id; kIndirectCallee for function-pointer calls. */
+    uint32_t calleeFuncId = kIndirectCallee;
+    std::array<Addr, kNumIsas> callAddr{}; ///< address of the call inst
+    std::array<Addr, kNumIsas> retAddr{};  ///< address after the call
+};
+
+/**
+ * One machine basic block. Blocks are derived from IR blocks by
+ * splitting at call sites, so the (irBlock, segment) pair identifies
+ * the *same* equivalence point in both ISAs' code sections.
+ */
+struct MachBlockInfo
+{
+    Addr start = 0;
+    Addr end = 0;              ///< exclusive
+    uint32_t irBlock = 0;
+    uint32_t segment = 0;
+    std::vector<ValueId> liveIn;   ///< values live at block entry
+    bool hasStackDerivedLiveIn = false;
+    /**
+     * For post-call segments: the call result value, which at block
+     * entry is still in the return register (the stack transformer
+     * maps retReg(A) to retReg(B) for it). kNoValue otherwise.
+     */
+    ValueId entryValueInRetReg = kNoValue;
+    bool endsInCall = false;
+    uint32_t callSiteId = 0;   ///< global id, valid when endsInCall
+};
+
+/** Per-function, per-ISA entry of the extended symbol table. */
+struct FuncInfo
+{
+    uint32_t funcId = 0;
+    std::string name;
+    Addr entry = 0;
+    uint32_t codeSize = 0;
+
+    /** Common frame map (identical across ISAs). @{ */
+    uint32_t frameSize = 0;
+    uint32_t raSlot = 0;        ///< return-address slot offset
+    uint32_t spillBase = 0;     ///< canonical slot of value v is
+                                ///< spillBase + 4*v
+    uint32_t calleeSaveBase = 0;
+    std::vector<uint32_t> frameObjOff; ///< fixed (non-relocatable)
+    /** @} */
+
+    uint32_t numValues = 0;
+    uint32_t numParams = 0;
+    std::vector<VregLoc> vregLoc;       ///< this ISA's assignment
+    std::vector<Reg> usedCalleeSaved;   ///< saved in the prologue
+    std::vector<bool> vregStackDerived; ///< may point into the frame
+    /** Derived values that are affine in the frame base (rebasable). */
+    std::vector<bool> vregStackSimple;
+    std::vector<MachBlockInfo> blocks;  ///< sorted by start address
+
+    /**
+     * Frame offsets PSR may relocate: value spill slots, callee-save
+     * slots, the return-address slot, and the argument staging area.
+     * Frame objects are excluded (pointers to them escape).
+     */
+    std::vector<uint32_t> relocatableSlots;
+
+    uint32_t slotOf(ValueId v) const { return spillBase + 4 * v; }
+
+    /** Block containing @p addr, or nullptr. */
+    const MachBlockInfo *blockAt(Addr addr) const;
+    /** Index of block with the given equivalence identity, or -1. */
+    int blockIndexOf(uint32_t ir_block, uint32_t segment) const;
+};
+
+/** The complete fat binary. */
+struct FatBinary
+{
+    std::string name;
+    std::array<std::vector<uint8_t>, kNumIsas> code;
+    std::array<Addr, kNumIsas> entryPoint{};        ///< _start
+    /** Return address of _start's call to the entry function — the
+     *  outermost frame's RA, mapped across ISAs by the migration
+     *  engine like any other call site. */
+    std::array<Addr, kNumIsas> startRetAddr{};
+    std::array<std::vector<FuncInfo>, kNumIsas> funcs;
+    std::vector<CallSiteInfo> callSites;
+    std::vector<uint8_t> data;  ///< initialized image at kGlobalsBase
+    uint32_t dataSize = 0;      ///< full size incl. zero-init tail
+    std::vector<Addr> globalAddr; ///< per-global absolute address
+    uint32_t entryFuncId = 0;     ///< the IR entry function
+    /**
+     * Functions whose id is taken by FuncAddr (reachable through
+     * indirect calls). These keep the default calling convention under
+     * PSR — an indirect call site cannot know its callee's randomized
+     * convention at translation time.
+     */
+    std::vector<bool> addressTaken;
+
+    const std::vector<FuncInfo> &funcsFor(IsaKind isa) const
+    {
+        return funcs[static_cast<size_t>(isa)];
+    }
+
+    /** Function whose code range contains @p addr, or nullptr. */
+    const FuncInfo *findFuncByAddr(IsaKind isa, Addr addr) const;
+    /** Function by id. */
+    const FuncInfo &funcInfo(IsaKind isa, uint32_t id) const
+    {
+        return funcs[static_cast<size_t>(isa)].at(id);
+    }
+    /** Call site whose retAddr on @p isa equals @p ra, or nullptr. */
+    const CallSiteInfo *findCallSiteByRetAddr(IsaKind isa,
+                                              Addr ra) const;
+    /** Total bytes of code for @p isa. */
+    uint32_t codeSizeOf(IsaKind isa) const
+    {
+        return static_cast<uint32_t>(
+            code[static_cast<size_t>(isa)].size());
+    }
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_BINARY_FATBIN_HH

@@ -1,0 +1,61 @@
+#include "loader.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+void
+loadFatBinary(const FatBinary &bin, Memory &mem)
+{
+    // Code sections. Readable + executable: the JIT-ROP threat model
+    // assumes code pages can be disclosed through a leaked pointer.
+    for (IsaKind isa : kAllIsas) {
+        size_t idx = static_cast<size_t>(isa);
+        const auto &code = bin.code[idx];
+        hipstr_assert(!code.empty());
+        Addr base = layout::codeBase(isa);
+        mem.rawWriteBytes(base, code.data(), code.size());
+        mem.setRegion(base, static_cast<uint32_t>(code.size()), PermRX,
+                      std::string("code.") + isaName(isa));
+    }
+
+    // Function-pointer dispatch tables (read-only).
+    for (IsaKind isa : kAllIsas) {
+        Addr table = layout::funcTableBase(isa);
+        const auto &fns = bin.funcsFor(isa);
+        hipstr_assert(fns.size() * 4 <= 0x1000);
+        for (size_t i = 0; i < fns.size(); ++i)
+            mem.rawWrite32(table + static_cast<Addr>(4 * i),
+                           fns[i].entry);
+        mem.setRegion(table, 0x1000, PermR,
+                      std::string("functable.") + isaName(isa));
+    }
+
+    // Shared data image.
+    if (!bin.data.empty())
+        mem.rawWriteBytes(layout::kGlobalsBase, bin.data.data(),
+                          bin.data.size());
+    uint32_t data_region = bin.dataSize ? bin.dataSize : 4;
+    mem.setRegion(layout::kGlobalsBase, data_region, PermRW, "data");
+
+    // Heap and stack.
+    mem.setRegion(layout::kHeapBase,
+                  layout::kStackLimit - layout::kHeapBase, PermRW,
+                  "heap");
+    mem.setRegion(layout::kStackLimit,
+                  layout::kStackTop - layout::kStackLimit, PermRW,
+                  "stack");
+}
+
+void
+initMachineState(MachineState &state, const FatBinary &bin, IsaKind isa)
+{
+    state = MachineState(isa);
+    state.pc = bin.entryPoint[static_cast<size_t>(isa)];
+    // A small red zone below the stack top keeps the first frame's
+    // return address inside the mapped region.
+    state.setSp(layout::kStackTop - 64);
+}
+
+} // namespace hipstr

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Loads a fat binary into guest memory: both code sections, the shared
+ * data image, the per-ISA function-pointer tables, and the memory
+ * region permissions. Also initializes machine state for a fresh run.
+ */
+
+#ifndef HIPSTR_BINARY_LOADER_HH
+#define HIPSTR_BINARY_LOADER_HH
+
+#include "binary/fatbin.hh"
+#include "isa/machine_state.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+/**
+ * Map the fat binary into @p mem. Code sections get PermRX (readable
+ * so a JIT-ROP attacker can disclose them, exactly as the threat model
+ * assumes), data/heap/stack get PermRW, and the function tables PermR.
+ * The VM code-cache regions are left unmapped; the PSR virtual
+ * machines map their own.
+ */
+void loadFatBinary(const FatBinary &bin, Memory &mem);
+
+/**
+ * Point @p state at the program entry for @p isa with a fresh stack.
+ */
+void initMachineState(MachineState &state, const FatBinary &bin,
+                      IsaKind isa);
+
+} // namespace hipstr
+
+#endif // HIPSTR_BINARY_LOADER_HH

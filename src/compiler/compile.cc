@@ -1,0 +1,319 @@
+#include "compile.hh"
+
+#include <sstream>
+
+#include "compiler/frame.hh"
+#include "compiler/isel.hh"
+#include "compiler/regalloc.hh"
+#include "ir/liveness.hh"
+#include "isa/codec.hh"
+#include "isa/memory.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** Synthesized process entry stub: call main, then Exit(result). */
+std::vector<PendingInst>
+makeStartStub(IsaKind isa, uint32_t entry_fn)
+{
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    std::vector<PendingInst> insts;
+    insts.push_back(PendingInst{ MachInst::call(0),
+                                 PendingInst::Fix::Func, entry_fn });
+    insts.push_back(PendingInst{
+        MachInst::movRR(desc.argRegs[1], desc.retReg),
+        PendingInst::Fix::None, 0 });
+    insts.push_back(PendingInst{
+        MachInst::movRI(desc.retReg,
+                        static_cast<int32_t>(SyscallNo::Exit)),
+        PendingInst::Fix::None, 0 });
+    insts.push_back(PendingInst{ MachInst::syscall(),
+                                 PendingInst::Fix::None, 0 });
+    insts.push_back(PendingInst{ MachInst::halt(),
+                                 PendingInst::Fix::None, 0 });
+    return insts;
+}
+
+} // namespace
+
+FatBinary
+compileModule(const IrModule &module)
+{
+    std::string err = verifyModule(module);
+    if (!err.empty())
+        hipstr_fatal("IR verification failed: %s", err.c_str());
+
+    FatBinary bin;
+    bin.name = module.name;
+    bin.entryFuncId = module.entryFunc;
+    bin.addressTaken.assign(module.functions.size(), false);
+    for (const IrFunction &fn : module.functions) {
+        for (const IrBlock &block : fn.blocks) {
+            for (const IrInst &inst : block.insts) {
+                if (inst.op == IrOp::FuncAddr)
+                    bin.addressTaken[inst.id] = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------
+    // Global data layout (shared across ISAs).
+    // ------------------------------------------------------------
+    Addr data_cursor = layout::kGlobalsBase;
+    for (const GlobalVar &g : module.globals) {
+        data_cursor = static_cast<Addr>(
+            roundUp(data_cursor, std::max<uint32_t>(g.align, 1)));
+        bin.globalAddr.push_back(data_cursor);
+        data_cursor += g.size;
+    }
+    bin.dataSize = data_cursor - layout::kGlobalsBase;
+    bin.data.assign(bin.dataSize, 0);
+    for (size_t i = 0; i < module.globals.size(); ++i) {
+        const GlobalVar &g = module.globals[i];
+        uint32_t off = bin.globalAddr[i] - layout::kGlobalsBase;
+        std::copy(g.init.begin(), g.init.end(),
+                  bin.data.begin() + off);
+    }
+
+    // ------------------------------------------------------------
+    // Shared per-function analyses.
+    // ------------------------------------------------------------
+    std::vector<FrameLayout> frames;
+    std::vector<Liveness> liveness;
+    frames.reserve(module.functions.size());
+    liveness.reserve(module.functions.size());
+    for (const IrFunction &fn : module.functions) {
+        frames.push_back(computeFrameLayout(fn));
+        liveness.emplace_back(fn);
+    }
+
+    // Global call-site numbering: contiguous per function, identical
+    // across ISAs because splitting is IR-driven.
+    std::vector<uint32_t> call_site_base(module.functions.size(), 0);
+
+    // ------------------------------------------------------------
+    // Per-ISA lowering and emission.
+    // ------------------------------------------------------------
+    for (IsaKind isa : kAllIsas) {
+        size_t ii = static_cast<size_t>(isa);
+
+        std::vector<MachFunctionDraft> drafts;
+        drafts.reserve(module.functions.size());
+        for (const IrFunction &fn : module.functions) {
+            AllocationResult alloc = allocateRegisters(
+                fn, liveness[fn.id], isa, frames[fn.id].spillBase);
+            drafts.push_back(selectInstructions(
+                module, fn, liveness[fn.id], frames[fn.id], alloc,
+                isa, bin.globalAddr));
+        }
+
+        // Call-site numbering (first ISA pass establishes it; the
+        // second must agree).
+        uint32_t cs_total = 0;
+        for (size_t f = 0; f < drafts.size(); ++f) {
+            if (isa == kAllIsas[0]) {
+                call_site_base[f] = cs_total;
+            } else {
+                hipstr_assert(call_site_base[f] == cs_total);
+            }
+            cs_total += drafts[f].numCallSites;
+        }
+        if (bin.callSites.empty())
+            bin.callSites.resize(cs_total);
+        hipstr_assert(bin.callSites.size() == cs_total);
+
+        // Pass A: layout. The _start stub sits at the section base,
+        // functions follow at 16-byte alignment.
+        const Addr base = layout::codeBase(isa);
+        std::vector<PendingInst> start_stub =
+            makeStartStub(isa, module.entryFunc);
+        Addr cursor = base;
+        for (PendingInst &pi : start_stub) {
+            pi.mi.size = static_cast<uint8_t>(encodedSize(isa, pi.mi));
+            cursor += pi.mi.size;
+        }
+
+        std::vector<Addr> func_entry(drafts.size());
+        // blockAddr[f][b] = VA of machine block b of function f
+        std::vector<std::vector<Addr>> block_addr(drafts.size());
+        for (size_t f = 0; f < drafts.size(); ++f) {
+            cursor = static_cast<Addr>(roundUp(cursor, 16));
+            func_entry[f] = cursor;
+            block_addr[f].reserve(drafts[f].blocks.size());
+            for (MachBlockDraft &block : drafts[f].blocks) {
+                block_addr[f].push_back(cursor);
+                for (PendingInst &pi : block.insts) {
+                    pi.mi.size = static_cast<uint8_t>(
+                        encodedSize(isa, pi.mi));
+                    cursor += pi.mi.size;
+                }
+            }
+        }
+
+        // Pass B: encode with resolved targets.
+        std::vector<uint8_t> &code = bin.code[ii];
+        code.clear();
+        code.reserve(cursor - base);
+        Addr pc = base;
+        auto encode_list = [&](std::vector<PendingInst> &insts,
+                               size_t f) {
+            for (PendingInst &pi : insts) {
+                switch (pi.fix) {
+                  case PendingInst::Fix::None:
+                    break;
+                  case PendingInst::Fix::Block:
+                    pi.mi.target = block_addr[f][pi.fixId];
+                    break;
+                  case PendingInst::Fix::Func:
+                    pi.mi.target = func_entry[pi.fixId];
+                    break;
+                  case PendingInst::Fix::BlockImm:
+                    pi.mi.src1.disp = static_cast<int32_t>(
+                        block_addr[f][pi.fixId]);
+                    break;
+                  case PendingInst::Fix::BlockImmLo:
+                    pi.mi.src1.disp = static_cast<int32_t>(
+                        static_cast<int16_t>(
+                            block_addr[f][pi.fixId] & 0xffff));
+                    break;
+                  case PendingInst::Fix::BlockImmHi:
+                    pi.mi.src1.disp = static_cast<int32_t>(
+                        (block_addr[f][pi.fixId] >> 16) & 0xffff);
+                    break;
+                }
+                size_t before = code.size();
+                encodeInst(isa, pi.mi, pc, code);
+                hipstr_assert(code.size() - before == pi.mi.size);
+                pc += pi.mi.size;
+            }
+        };
+
+        bin.entryPoint[ii] = base;
+        bin.startRetAddr[ii] = base + start_stub[0].mi.size;
+        encode_list(start_stub, 0);
+        for (size_t f = 0; f < drafts.size(); ++f) {
+            // Alignment padding: single-byte NOP on Cisc, NOP words
+            // on Risc (entries are 16-byte aligned so words fit).
+            while (pc < func_entry[f]) {
+                MachInst nop = MachInst::nop();
+                nop.size = static_cast<uint8_t>(encodedSize(isa, nop));
+                encodeInst(isa, nop, pc, code);
+                pc += nop.size;
+            }
+            for (MachBlockDraft &block : drafts[f].blocks)
+                encode_list(block.insts, f);
+        }
+
+        // ------------------------------------------------------------
+        // Extended symbol table.
+        // ------------------------------------------------------------
+        std::vector<FuncInfo> &infos = bin.funcs[ii];
+        infos.clear();
+        infos.reserve(drafts.size());
+        for (size_t f = 0; f < drafts.size(); ++f) {
+            const MachFunctionDraft &draft = drafts[f];
+            const IrFunction &fn = module.functions[f];
+            FuncInfo info;
+            info.funcId = fn.id;
+            info.name = fn.name;
+            info.entry = func_entry[f];
+            info.frameSize = draft.frame.frameSize;
+            info.raSlot = draft.frame.raSlot;
+            info.spillBase = draft.frame.spillBase;
+            info.calleeSaveBase = draft.frame.calleeSaveBase;
+            info.frameObjOff = draft.frame.frameObjOff;
+            info.numValues = fn.numValues;
+            info.numParams = fn.numParams;
+            info.vregLoc = draft.loc;
+            info.usedCalleeSaved = draft.usedCalleeSaved;
+            info.vregStackDerived = liveness[f].stackDerivedAll();
+            info.vregStackSimple = liveness[f].stackSimpleAll();
+
+            Addr end_of_func = func_entry[f];
+            for (size_t b = 0; b < draft.blocks.size(); ++b) {
+                const MachBlockDraft &mb = draft.blocks[b];
+                MachBlockInfo mbi;
+                mbi.start = block_addr[f][b];
+                uint32_t bytes = 0;
+                for (const PendingInst &pi : mb.insts)
+                    bytes += pi.mi.size;
+                mbi.end = mbi.start + bytes;
+                mbi.irBlock = mb.irBlock;
+                mbi.segment = mb.segment;
+                mbi.liveIn = mb.liveIn;
+                mbi.hasStackDerivedLiveIn = mb.hasStackDerivedLiveIn;
+                mbi.entryValueInRetReg = mb.entryValueInRetReg;
+                mbi.endsInCall = mb.endsInCall;
+                if (mb.endsInCall) {
+                    uint32_t gid =
+                        call_site_base[f] + mb.localCallIdx;
+                    mbi.callSiteId = gid;
+                    CallSiteInfo &cs = bin.callSites[gid];
+                    cs.id = gid;
+                    cs.funcId = fn.id;
+                    cs.calleeFuncId = mb.calleeFuncId;
+                    // The call is the last instruction of the block.
+                    uint32_t call_size =
+                        mb.insts.back().mi.size;
+                    cs.callAddr[ii] = mbi.end - call_size;
+                    cs.retAddr[ii] = mbi.end;
+                }
+                end_of_func = mbi.end;
+                info.blocks.push_back(std::move(mbi));
+            }
+            info.codeSize = end_of_func - func_entry[f];
+
+            // Relocatable frame offsets: staging slots, value slots,
+            // callee-save slots, and the return-address slot.
+            for (unsigned s = 0; s < kNumStagingSlots; ++s)
+                info.relocatableSlots.push_back(
+                    draft.frame.stagingSlot(s));
+            for (ValueId v = 0; v < fn.numValues; ++v)
+                info.relocatableSlots.push_back(
+                    draft.frame.slotOf(v));
+            for (unsigned s = 0; s < kNumCalleeSaveSlots; ++s)
+                info.relocatableSlots.push_back(
+                    draft.frame.calleeSaveSlot(s));
+            info.relocatableSlots.push_back(draft.frame.raSlot);
+
+            infos.push_back(std::move(info));
+        }
+    }
+
+    return bin;
+}
+
+std::string
+disassemble(const FatBinary &bin, IsaKind isa)
+{
+    std::ostringstream os;
+    size_t ii = static_cast<size_t>(isa);
+    const std::vector<uint8_t> &code = bin.code[ii];
+    Addr base = layout::codeBase(isa);
+    Addr pc = base;
+    const Addr end = base + static_cast<Addr>(code.size());
+    while (pc < end) {
+        const FuncInfo *fn = bin.findFuncByAddr(isa, pc);
+        if (fn != nullptr && fn->entry == pc)
+            os << fn->name << ":\n";
+        MachInst mi;
+        if (!decodeBytes(isa, code.data() + (pc - base), end - pc, pc,
+                         mi)) {
+            os << "  " << std::hex << pc << std::dec
+               << ": <bad encoding>\n";
+            pc += isaDescriptor(isa).instAlign;
+            continue;
+        }
+        os << "  " << std::hex << pc << std::dec << ": "
+           << instToString(mi, isa) << "\n";
+        pc += mi.size;
+    }
+    return os.str();
+}
+
+} // namespace hipstr

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Top-level multi-ISA compiler driver: IR module in, fat binary out.
+ */
+
+#ifndef HIPSTR_COMPILER_COMPILE_HH
+#define HIPSTR_COMPILER_COMPILE_HH
+
+#include "binary/fatbin.hh"
+#include "ir/ir.hh"
+
+namespace hipstr
+{
+
+/**
+ * Compile @p module for both ISAs into a symmetrical fat binary with
+ * an extended symbol table. Fatals on a malformed module.
+ */
+FatBinary compileModule(const IrModule &module);
+
+/** Disassembly listing of one ISA's code section (for tests/docs). */
+std::string disassemble(const FatBinary &bin, IsaKind isa);
+
+} // namespace hipstr
+
+#endif // HIPSTR_COMPILER_COMPILE_HH

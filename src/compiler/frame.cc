@@ -1,0 +1,42 @@
+#include "frame.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+FrameLayout
+computeFrameLayout(const IrFunction &fn)
+{
+    FrameLayout layout;
+    uint32_t off = 4 * kNumStagingSlots;
+    off = static_cast<uint32_t>(roundUp(off, 8));
+
+    layout.frameObjOff.reserve(fn.frameObjects.size());
+    for (const FrameObject &obj : fn.frameObjects) {
+        hipstr_assert(isPowerOf2(obj.align));
+        off = static_cast<uint32_t>(roundUp(off, obj.align));
+        layout.frameObjOff.push_back(off);
+        off += obj.size;
+    }
+
+    off = static_cast<uint32_t>(roundUp(off, 4));
+    layout.spillBase = off;
+    off += 4 * fn.numValues;
+
+    layout.calleeSaveBase = off;
+    off += 4 * kNumCalleeSaveSlots;
+
+    off = static_cast<uint32_t>(roundUp(off + 4, 8));
+    layout.frameSize = off;
+    layout.raSlot = off - 4;
+
+    // Risc load/store displacements are signed 16-bit; PSR adds up to
+    // 64 KB of randomization space handled via the translator scratch,
+    // but the *native* frame must stay addressable directly.
+    hipstr_assert(layout.frameSize < 32000);
+    return layout;
+}
+
+} // namespace hipstr

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The common frame map: an ISA-agnostic stack-frame layout computed
+ * purely from the IR, so both backends produce byte-identical frame
+ * organization. This is the "common stack frame organization" the
+ * paper's multi-ISA compilation relies on (Section 3.2) — cross-ISA
+ * stack transformation only has to move values between registers and
+ * canonical slots, never to re-shape frames.
+ *
+ * Layout (offsets from SP after the prologue; the frame grows down):
+ *
+ *   [0,  20)               argument staging slots (4 args + 1 spare)
+ *   [24, ...)              frame objects (arrays), each aligned
+ *   [spillBase, ...)       canonical slot per virtual register
+ *   [calleeSaveBase, ...)  8 callee-save slots (max across ISAs)
+ *   [frameSize-4]          return address slot
+ */
+
+#ifndef HIPSTR_COMPILER_FRAME_HH
+#define HIPSTR_COMPILER_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace hipstr
+{
+
+/** Number of argument staging slots (kMaxParams + 1 spare). */
+constexpr unsigned kNumStagingSlots = 5;
+
+/** Callee-save slot count (covers the larger Risc callee-saved set). */
+constexpr unsigned kNumCalleeSaveSlots = 8;
+
+/** Computed frame layout for one function (both ISAs). */
+struct FrameLayout
+{
+    uint32_t frameSize = 0;
+    uint32_t raSlot = 0;
+    uint32_t spillBase = 0;
+    uint32_t calleeSaveBase = 0;
+    std::vector<uint32_t> frameObjOff;
+
+    uint32_t slotOf(ValueId v) const { return spillBase + 4 * v; }
+    uint32_t stagingSlot(unsigned i) const { return 4 * i; }
+    uint32_t calleeSaveSlot(unsigned i) const
+    {
+        return calleeSaveBase + 4 * i;
+    }
+};
+
+/** Compute the common frame map for @p fn. */
+FrameLayout computeFrameLayout(const IrFunction &fn);
+
+} // namespace hipstr
+
+#endif // HIPSTR_COMPILER_FRAME_HH

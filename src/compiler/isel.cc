@@ -1,0 +1,821 @@
+#include "isel.hh"
+
+#include <algorithm>
+
+#include "isa/codec.hh"
+#include "isa/memory.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** Maps IrOp arithmetic to machine Op. */
+Op
+aluOpFor(IrOp op)
+{
+    switch (op) {
+      case IrOp::Add: return Op::Add;
+      case IrOp::Sub: return Op::Sub;
+      case IrOp::And: return Op::And;
+      case IrOp::Or: return Op::Or;
+      case IrOp::Xor: return Op::Xor;
+      case IrOp::Shl: return Op::Shl;
+      case IrOp::Shr: return Op::Shr;
+      case IrOp::Sar: return Op::Sar;
+      case IrOp::Mul: return Op::Mul;
+      case IrOp::Divu: return Op::Divu;
+      default:
+        hipstr_panic("aluOpFor: %s is not arithmetic", irOpName(op));
+    }
+}
+
+class ISel
+{
+  public:
+    ISel(const IrModule &module, const IrFunction &fn,
+         const Liveness &live, const FrameLayout &frame,
+         const AllocationResult &alloc, IsaKind isa,
+         const std::vector<Addr> &global_addr)
+        : _module(module), _fn(fn), _live(live), _frame(frame),
+          _alloc(alloc), _isa(isa), _desc(isaDescriptor(isa)),
+          _globalAddr(global_addr), _sp(_desc.spReg),
+          _t1(_desc.iselTemps.at(0)),
+          _t2(isa == IsaKind::Risc ? _desc.iselTemps.at(1)
+                                   : _desc.iselTemps.at(1))
+    {
+    }
+
+    MachFunctionDraft run();
+
+  private:
+    /** Emission helpers. @{ */
+    void emit(MachInst mi)
+    {
+        _cur->insts.push_back(PendingInst{ mi, PendingInst::Fix::None,
+                                           0 });
+    }
+    void
+    emitFix(MachInst mi, PendingInst::Fix fix, uint32_t id)
+    {
+        _cur->insts.push_back(PendingInst{ mi, fix, id });
+    }
+    /** @} */
+
+    const VregLoc &locOf(ValueId v) const { return _alloc.loc[v]; }
+    uint32_t slotOf(ValueId v) const { return _frame.slotOf(v); }
+
+    /** Operand for reading @p v: its register or canonical slot. */
+    Operand
+    valueOperand(ValueId v) const
+    {
+        const VregLoc &l = locOf(v);
+        if (l.inReg)
+            return Operand::makeReg(l.reg);
+        return Operand::makeMem(_sp, static_cast<int32_t>(l.slotOff));
+    }
+
+    /** Ensure @p v is in a register, loading into @p temp if needed. */
+    Reg
+    toReg(ValueId v, Reg temp)
+    {
+        const VregLoc &l = locOf(v);
+        if (l.inReg)
+            return l.reg;
+        emit(MachInst::load(temp, _sp,
+                            static_cast<int32_t>(l.slotOff)));
+        return temp;
+    }
+
+    /** Materialize a 32-bit constant into @p rd. */
+    void
+    emitMovImm(Reg rd, int32_t imm)
+    {
+        if (_isa == IsaKind::Cisc || fitsSigned(imm, 16)) {
+            emit(MachInst::movRI(rd, imm));
+        } else {
+            emit(MachInst::movRI(
+                rd, static_cast<int32_t>(
+                        static_cast<int16_t>(imm & 0xffff))));
+            emit(MachInst::movHi(
+                rd, static_cast<int32_t>(
+                        (static_cast<uint32_t>(imm) >> 16) & 0xffff)));
+        }
+    }
+
+    /** Store register @p src into the canonical slot of @p v. */
+    void
+    storeToSlot(ValueId v, Reg src)
+    {
+        emit(MachInst::store(_sp, static_cast<int32_t>(slotOf(v)),
+                             src));
+    }
+
+    /** Write register @p src into @p v's allocated location. */
+    /**
+     * Write register @p src into @p v's allocated location. The move
+     * is emitted even when source and destination coincide: the PSR
+     * translator retargets the physical return register at call
+     * boundaries, so an elided self-move would lose the value.
+     */
+    void
+    writeValueFromReg(ValueId v, Reg src)
+    {
+        const VregLoc &l = locOf(v);
+        if (l.inReg)
+            emit(MachInst::movRR(l.reg, src));
+        else
+            storeToSlot(v, src);
+    }
+
+    /** Copy value @p src into value @p dst. */
+    void
+    copyValue(ValueId dst, ValueId src)
+    {
+        const VregLoc &d = locOf(dst);
+        const VregLoc &s = locOf(src);
+        if (d.inReg && s.inReg) {
+            if (d.reg != s.reg)
+                emit(MachInst::movRR(d.reg, s.reg));
+        } else if (d.inReg) {
+            emit(MachInst::load(d.reg, _sp,
+                                static_cast<int32_t>(s.slotOff)));
+        } else if (s.inReg) {
+            emit(MachInst::store(_sp,
+                                 static_cast<int32_t>(d.slotOff),
+                                 s.reg));
+        } else {
+            emit(MachInst::load(_t1, _sp,
+                                static_cast<int32_t>(s.slotOff)));
+            emit(MachInst::store(_sp,
+                                 static_cast<int32_t>(d.slotOff),
+                                 _t1));
+        }
+    }
+
+    /** Begin a fresh machine block. */
+    MachBlockDraft &
+    startBlock(uint32_t ir_block, uint32_t segment)
+    {
+        _draft.blocks.emplace_back();
+        _cur = &_draft.blocks.back();
+        _cur->irBlock = ir_block;
+        _cur->segment = segment;
+        return *_cur;
+    }
+
+    void fillBlockLiveness(MachBlockDraft &block,
+                           const DenseBitSet &live_set);
+
+    void emitPrologue();
+    void emitEpilogue(const IrInst &ret);
+    void lowerInst(const IrInst &inst, uint32_t bb, size_t idx);
+    void lowerAlu(const IrInst &inst);
+    void lowerCondBr(const IrInst &inst);
+    void lowerLoadStore(const IrInst &inst);
+    void lowerCall(const IrInst &inst, uint32_t bb, size_t idx);
+    void lowerSyscall(const IrInst &inst, uint32_t bb, size_t idx);
+    void lowerSetJmp(const IrInst &inst, uint32_t bb, size_t idx);
+    void lowerLongJmp(const IrInst &inst);
+
+    /**
+     * Spill caller-saved register values live in @p live_after to
+     * their canonical slots; returns the spilled set for reloading.
+     */
+    std::vector<ValueId> spillCallerSaved(const DenseBitSet &live_after,
+                                          ValueId excluded);
+    void reloadCallerSaved(const std::vector<ValueId> &spilled);
+
+    /** Stage argument values into the staging slots, then load the
+     *  argument registers from them (immune to register shuffling
+     *  hazards). */
+    void stageArgs(const std::vector<ValueId> &args);
+
+    const IrModule &_module;
+    const IrFunction &_fn;
+    const Liveness &_live;
+    const FrameLayout &_frame;
+    const AllocationResult &_alloc;
+    IsaKind _isa;
+    const IsaDescriptor &_desc;
+    const std::vector<Addr> &_globalAddr;
+
+    Reg _sp;
+    Reg _t1; ///< primary isel temp (si / r11)
+    Reg _t2; ///< secondary isel temp (di / r12)
+
+    MachFunctionDraft _draft;
+    MachBlockDraft *_cur = nullptr;
+    std::vector<uint32_t> _seg0Index; ///< machine index of (bb, seg 0)
+};
+
+void
+ISel::fillBlockLiveness(MachBlockDraft &block,
+                        const DenseBitSet &live_set)
+{
+    block.liveIn = live_set.toVector();
+    block.hasStackDerivedLiveIn = false;
+    for (ValueId v : block.liveIn) {
+        if (_live.stackDerived(v)) {
+            block.hasStackDerivedLiveIn = true;
+            break;
+        }
+    }
+}
+
+MachFunctionDraft
+ISel::run()
+{
+    _draft.funcId = _fn.id;
+    _draft.isa = _isa;
+    _draft.frame = _frame;
+    _draft.loc = _alloc.loc;
+    _draft.usedCalleeSaved = _alloc.usedCalleeSaved;
+
+    // Precompute the machine index of segment 0 of every IR block so
+    // branches can be fixed up without a second pass.
+    _seg0Index.resize(_fn.blocks.size());
+    uint32_t mindex = 0;
+    for (size_t bb = 0; bb < _fn.blocks.size(); ++bb) {
+        _seg0Index[bb] = mindex;
+        uint32_t calls = 0;
+        for (const IrInst &inst : _fn.blocks[bb].insts) {
+            if (inst.op == IrOp::Call || inst.op == IrOp::CallInd)
+                ++calls;
+        }
+        mindex += 1 + calls;
+    }
+
+    for (uint32_t bb = 0; bb < _fn.blocks.size(); ++bb) {
+        MachBlockDraft &block = startBlock(bb, 0);
+        fillBlockLiveness(block, _live.liveIn(bb));
+        if (bb == 0)
+            emitPrologue();
+        const IrBlock &ir_block = _fn.blocks[bb];
+        for (size_t i = 0; i < ir_block.insts.size(); ++i)
+            lowerInst(ir_block.insts[i], bb, i);
+    }
+
+    return _draft;
+}
+
+void
+ISel::emitPrologue()
+{
+    const uint32_t fsize = _frame.frameSize;
+    if (_isa == IsaKind::Cisc) {
+        // The caller's CALL already pushed the return address; grow
+        // the rest of the frame so it lands in the RA slot.
+        emit(MachInst::alu(Op::Sub, _sp, _sp,
+                           Operand::makeImm(
+                               static_cast<int32_t>(fsize - 4))));
+    } else {
+        emit(MachInst::alu(Op::Sub, _sp, _sp,
+                           Operand::makeImm(
+                               static_cast<int32_t>(fsize))));
+        emit(MachInst::store(_sp,
+                             static_cast<int32_t>(_frame.raSlot),
+                             _desc.lrReg));
+    }
+
+    // Save used callee-saved registers into their fixed slots.
+    for (size_t i = 0; i < _draft.usedCalleeSaved.size(); ++i) {
+        emit(MachInst::store(
+            _sp,
+            static_cast<int32_t>(
+                _frame.calleeSaveSlot(static_cast<unsigned>(i))),
+            _draft.usedCalleeSaved[i]));
+    }
+
+    // Park incoming arguments in their canonical slots first, then
+    // load register-allocated parameters — safe against any
+    // permutation of argument registers.
+    for (unsigned p = 0; p < _fn.numParams; ++p) {
+        emit(MachInst::store(_sp, static_cast<int32_t>(slotOf(p)),
+                             _desc.argRegs[p]));
+    }
+    for (unsigned p = 0; p < _fn.numParams; ++p) {
+        const VregLoc &l = locOf(p);
+        if (l.inReg) {
+            emit(MachInst::load(l.reg, _sp,
+                                static_cast<int32_t>(slotOf(p))));
+        }
+    }
+}
+
+void
+ISel::emitEpilogue(const IrInst &ret)
+{
+    if (ret.a != kNoValue) {
+        // Always emit the move (even reg-to-same-reg): the PSR
+        // translator rewrites this instruction's destination to the
+        // function's randomized return register.
+        const VregLoc &l = locOf(ret.a);
+        if (l.inReg) {
+            emit(MachInst::movRR(_desc.retReg, l.reg));
+        } else {
+            emit(MachInst::load(_desc.retReg, _sp,
+                                static_cast<int32_t>(l.slotOff)));
+        }
+    }
+
+    for (size_t i = 0; i < _draft.usedCalleeSaved.size(); ++i) {
+        emit(MachInst::load(
+            _draft.usedCalleeSaved[i], _sp,
+            static_cast<int32_t>(
+                _frame.calleeSaveSlot(static_cast<unsigned>(i)))));
+    }
+
+    // Both ISAs: point SP at the RA slot, then pop-return.
+    emit(MachInst::alu(Op::Add, _sp, _sp,
+                       Operand::makeImm(
+                           static_cast<int32_t>(_frame.frameSize - 4))));
+    emit(MachInst::ret());
+}
+
+void
+ISel::lowerAlu(const IrInst &inst)
+{
+    Op op = aluOpFor(inst.op);
+
+    if (_isa == IsaKind::Risc) {
+        Reg ra = toReg(inst.a, _t1);
+        Operand src2;
+        if (inst.b == kNoValue) {
+            if (fitsSigned(inst.imm, 16)) {
+                src2 = Operand::makeImm(inst.imm);
+            } else {
+                emitMovImm(_t2, inst.imm);
+                src2 = Operand::makeReg(_t2);
+            }
+        } else {
+            src2 = Operand::makeReg(toReg(inst.b, _t2));
+        }
+        const VregLoc &d = locOf(inst.dst);
+        Reg rd = d.inReg ? d.reg : _t1;
+        emit(MachInst::alu(op, rd, ra, src2));
+        if (!d.inReg)
+            storeToSlot(inst.dst, rd);
+        return;
+    }
+
+    // Cisc: two-address. Compute into T, where T is the destination
+    // register when that is safe, else the primary temp.
+    const VregLoc &d = locOf(inst.dst);
+    Reg target = d.inReg ? d.reg : _t1;
+    bool b_is_reg = inst.b != kNoValue && locOf(inst.b).inReg;
+    if (b_is_reg && locOf(inst.b).reg == target && inst.b != inst.a)
+        target = _t1; // writing target first would clobber operand b
+
+    // target <- a
+    Operand src_a = valueOperand(inst.a);
+    if (!(src_a.isReg() && src_a.reg == target)) {
+        MachInst mv = MachInst::movRR(target, 0);
+        mv.src1 = src_a;
+        emit(mv);
+    }
+
+    // src2 operand
+    Operand src2;
+    bool is_shift =
+        (op == Op::Shl || op == Op::Shr || op == Op::Sar);
+    if (inst.b == kNoValue) {
+        src2 = Operand::makeImm(inst.imm);
+    } else {
+        const VregLoc &bl = locOf(inst.b);
+        if (bl.inReg) {
+            src2 = Operand::makeReg(bl.reg);
+        } else if (is_shift) {
+            // Variable shifts need a register amount.
+            emit(MachInst::load(_t2, _sp,
+                                static_cast<int32_t>(bl.slotOff)));
+            src2 = Operand::makeReg(_t2);
+        } else {
+            src2 = Operand::makeMem(_sp,
+                                    static_cast<int32_t>(bl.slotOff));
+        }
+    }
+
+    emit(MachInst::alu(op, target, target, src2));
+    if (!d.inReg)
+        storeToSlot(inst.dst, target);
+    else if (d.reg != target)
+        emit(MachInst::movRR(d.reg, target));
+}
+
+void
+ISel::lowerCondBr(const IrInst &inst)
+{
+    Operand lhs, rhs;
+    if (_isa == IsaKind::Risc) {
+        lhs = Operand::makeReg(toReg(inst.a, _t1));
+        if (inst.b == kNoValue) {
+            if (fitsSigned(inst.imm, 16)) {
+                rhs = Operand::makeImm(inst.imm);
+            } else {
+                emitMovImm(_t2, inst.imm);
+                rhs = Operand::makeReg(_t2);
+            }
+        } else {
+            rhs = Operand::makeReg(toReg(inst.b, _t2));
+        }
+    } else {
+        lhs = valueOperand(inst.a);
+        if (inst.b == kNoValue) {
+            rhs = Operand::makeImm(inst.imm);
+        } else {
+            rhs = valueOperand(inst.b);
+            if (lhs.isMem() && rhs.isMem()) {
+                emit(MachInst::load(_t1, _sp, lhs.disp));
+                lhs = Operand::makeReg(_t1);
+            }
+        }
+    }
+    emit(MachInst::cmp(lhs, rhs));
+    emitFix(MachInst::jcc(inst.cond, 0), PendingInst::Fix::Block,
+            _seg0Index[inst.bbTrue]);
+    emitFix(MachInst::jmp(0), PendingInst::Fix::Block,
+            _seg0Index[inst.bbFalse]);
+}
+
+void
+ISel::lowerLoadStore(const IrInst &inst)
+{
+    bool byte = (inst.op == IrOp::Load8 || inst.op == IrOp::Store8);
+    bool is_load = (inst.op == IrOp::Load || inst.op == IrOp::Load8);
+
+    if (_isa == IsaKind::Risc)
+        hipstr_assert(fitsSigned(inst.imm, 16));
+
+    Reg base = toReg(inst.a, _t1);
+    if (is_load) {
+        const VregLoc &d = locOf(inst.dst);
+        Reg rd = d.inReg ? d.reg : (_isa == IsaKind::Risc ? _t2 : _t1);
+        emit(byte ? MachInst::loadByte(rd, base, inst.imm)
+                  : MachInst::load(rd, base, inst.imm));
+        if (!d.inReg)
+            storeToSlot(inst.dst, rd);
+    } else {
+        Reg src = toReg(inst.b, _t2);
+        emit(byte ? MachInst::storeByte(base, inst.imm, src)
+                  : MachInst::store(base, inst.imm, src));
+    }
+}
+
+std::vector<ValueId>
+ISel::spillCallerSaved(const DenseBitSet &live_after, ValueId excluded)
+{
+    std::vector<ValueId> spilled;
+    for (ValueId v : live_after.toVector()) {
+        if (v == excluded)
+            continue;
+        const VregLoc &l = locOf(v);
+        if (!l.inReg)
+            continue;
+        bool caller_saved =
+            std::find(_desc.callerSaved.begin(),
+                      _desc.callerSaved.end(),
+                      l.reg) != _desc.callerSaved.end();
+        if (caller_saved) {
+            storeToSlot(v, l.reg);
+            spilled.push_back(v);
+        }
+    }
+    return spilled;
+}
+
+void
+ISel::reloadCallerSaved(const std::vector<ValueId> &spilled)
+{
+    for (ValueId v : spilled) {
+        emit(MachInst::load(locOf(v).reg, _sp,
+                            static_cast<int32_t>(slotOf(v))));
+    }
+}
+
+void
+ISel::stageArgs(const std::vector<ValueId> &args)
+{
+    hipstr_assert(args.size() <= kMaxParams);
+    // Phase 1: every argument value goes to its staging slot, read
+    // from its current location (registers still intact).
+    for (size_t j = 0; j < args.size(); ++j) {
+        const VregLoc &l = locOf(args[j]);
+        int32_t stage =
+            static_cast<int32_t>(
+                _frame.stagingSlot(static_cast<unsigned>(j)));
+        if (l.inReg) {
+            emit(MachInst::store(_sp, stage, l.reg));
+        } else {
+            emit(MachInst::load(_t1, _sp,
+                                static_cast<int32_t>(l.slotOff)));
+            emit(MachInst::store(_sp, stage, _t1));
+        }
+    }
+    // Phase 2: load the argument registers.
+    for (size_t j = 0; j < args.size(); ++j) {
+        emit(MachInst::load(
+            _desc.argRegs[j], _sp,
+            static_cast<int32_t>(
+                _frame.stagingSlot(static_cast<unsigned>(j)))));
+    }
+}
+
+void
+ISel::lowerCall(const IrInst &inst, uint32_t bb, size_t idx)
+{
+    DenseBitSet live_after = _live.liveBefore(bb, idx + 1);
+    ValueId dst = inst.dst;
+    std::vector<ValueId> spilled = spillCallerSaved(live_after, dst);
+
+    if (inst.op == IrOp::CallInd) {
+        hipstr_assert(inst.args.size() <= kMaxParams - 1);
+        // Resolve the function id to this ISA's entry address through
+        // the dispatch table, then park it in the spare staging slot
+        // so argument-register loading cannot clobber it.
+        Reg t = _t1;
+        Operand fp = valueOperand(inst.a);
+        if (!(fp.isReg() && fp.reg == t)) {
+            MachInst mv = MachInst::movRR(t, 0);
+            mv.src1 = fp;
+            emit(mv);
+        }
+        emit(MachInst::alu(Op::Shl, t, t, Operand::makeImm(2)));
+        if (_isa == IsaKind::Cisc) {
+            emit(MachInst::alu(
+                Op::Add, t, t,
+                Operand::makeImm(static_cast<int32_t>(
+                    layout::funcTableBase(_isa)))));
+        } else {
+            emitMovImm(_t2, static_cast<int32_t>(
+                                layout::funcTableBase(_isa)));
+            emit(MachInst::alu(Op::Add, t, t,
+                               Operand::makeReg(_t2)));
+        }
+        emit(MachInst::load(t, t, 0));
+        emit(MachInst::store(
+            _sp,
+            static_cast<int32_t>(_frame.stagingSlot(kMaxParams)), t));
+    }
+
+    stageArgs(inst.args);
+
+    uint32_t local_call = _draft.numCallSites++;
+    if (inst.op == IrOp::Call) {
+        emitFix(MachInst::call(0), PendingInst::Fix::Func, inst.id);
+    } else {
+        Reg t = _t1;
+        emit(MachInst::load(
+            t, _sp,
+            static_cast<int32_t>(_frame.stagingSlot(kMaxParams))));
+        emit(MachInst::callInd(t));
+    }
+
+    // Close the current machine block at the call.
+    uint32_t cur_ir = _cur->irBlock;
+    uint32_t cur_seg = _cur->segment;
+    _cur->endsInCall = true;
+    _cur->localCallIdx = local_call;
+    _cur->calleeFuncId =
+        (inst.op == IrOp::Call) ? inst.id : 0xffffffff;
+
+    // Start the post-call segment.
+    MachBlockDraft &block = startBlock(cur_ir, cur_seg + 1);
+    fillBlockLiveness(block, live_after);
+    if (dst != kNoValue && live_after.test(dst))
+        block.entryValueInRetReg = dst;
+
+    if (dst != kNoValue)
+        writeValueFromReg(dst, _desc.retReg);
+    reloadCallerSaved(spilled);
+}
+
+void
+ISel::lowerSyscall(const IrInst &inst, uint32_t bb, size_t idx)
+{
+    DenseBitSet live_after = _live.liveBefore(bb, idx + 1);
+    ValueId dst = inst.dst;
+    std::vector<ValueId> spilled = spillCallerSaved(live_after, dst);
+
+    // Syscall arguments: number in retReg, then argRegs[1..3].
+    hipstr_assert(!inst.args.empty() && inst.args.size() <= 4);
+    for (size_t j = 0; j < inst.args.size(); ++j) {
+        const VregLoc &l = locOf(inst.args[j]);
+        int32_t stage = static_cast<int32_t>(
+            _frame.stagingSlot(static_cast<unsigned>(j)));
+        if (l.inReg) {
+            emit(MachInst::store(_sp, stage, l.reg));
+        } else {
+            emit(MachInst::load(_t1, _sp,
+                                static_cast<int32_t>(l.slotOff)));
+            emit(MachInst::store(_sp, stage, _t1));
+        }
+    }
+    for (size_t j = 0; j < inst.args.size(); ++j) {
+        Reg target = (j == 0) ? _desc.retReg : _desc.argRegs[j];
+        emit(MachInst::load(
+            target, _sp,
+            static_cast<int32_t>(
+                _frame.stagingSlot(static_cast<unsigned>(j)))));
+    }
+
+    emit(MachInst::syscall());
+
+    if (dst != kNoValue)
+        writeValueFromReg(dst, _desc.retReg);
+    reloadCallerSaved(spilled);
+}
+
+void
+ISel::lowerSetJmp(const IrInst &inst, uint32_t bb, size_t idx)
+{
+    // setjmp(buf): syscall(SetJmpNo, buf, &resume); jmp resume.
+    // Values live into the resume block must not sit in caller-saved
+    // registers (the allocator treats SetJmp as a barrier); assert
+    // the invariant rather than silently miscompiling.
+    DenseBitSet live_after = _live.liveBefore(bb, idx + 1);
+    for (ValueId v : live_after.toVector()) {
+        const VregLoc &l = locOf(v);
+        if (!l.inReg)
+            continue;
+        bool caller_saved =
+            std::find(_desc.callerSaved.begin(),
+                      _desc.callerSaved.end(),
+                      l.reg) != _desc.callerSaved.end();
+        hipstr_assert(!caller_saved);
+    }
+
+    // Stage: [sp+0]=SetJmpNo, [sp+4]=buf, [sp+8]=&resume.
+    if (_isa == IsaKind::Cisc) {
+        emit(MachInst::storeImm(
+            _sp, 0, static_cast<int32_t>(SyscallNo::SetJmp)));
+    } else {
+        emitMovImm(_t1, static_cast<int32_t>(SyscallNo::SetJmp));
+        emit(MachInst::store(_sp, 0, _t1));
+    }
+    {
+        const VregLoc &l = locOf(inst.a);
+        if (l.inReg) {
+            emit(MachInst::store(_sp, 4, l.reg));
+        } else {
+            emit(MachInst::load(_t1, _sp,
+                                static_cast<int32_t>(l.slotOff)));
+            emit(MachInst::store(_sp, 4, _t1));
+        }
+    }
+    uint32_t resume_mb = _seg0Index[inst.bbTrue];
+    if (_isa == IsaKind::Cisc) {
+        emitFix(MachInst::storeImm(_sp, 8, 0),
+                PendingInst::Fix::BlockImm, resume_mb);
+    } else {
+        emitFix(MachInst::movRI(_t1, 0),
+                PendingInst::Fix::BlockImmLo, resume_mb);
+        emitFix(MachInst::movHi(_t1, 0),
+                PendingInst::Fix::BlockImmHi, resume_mb);
+        emit(MachInst::store(_sp, 8, _t1));
+    }
+    // Load the syscall convention registers and trap.
+    emit(MachInst::load(_desc.retReg, _sp, 0));
+    emit(MachInst::load(_desc.argRegs[1], _sp, 4));
+    emit(MachInst::load(_desc.argRegs[2], _sp, 8));
+    emit(MachInst::syscall());
+    emitFix(MachInst::jmp(0), PendingInst::Fix::Block, resume_mb);
+}
+
+void
+ISel::lowerLongJmp(const IrInst &inst)
+{
+    // longjmp(buf, val): syscall(LongJmpNo, buf, val); the guest OS
+    // rewrites pc. The trailing halt is an unreachable backstop that
+    // also terminates the machine block for the decoders.
+    if (_isa == IsaKind::Cisc) {
+        emit(MachInst::storeImm(
+            _sp, 0, static_cast<int32_t>(SyscallNo::LongJmp)));
+    } else {
+        emitMovImm(_t1, static_cast<int32_t>(SyscallNo::LongJmp));
+        emit(MachInst::store(_sp, 0, _t1));
+    }
+    for (unsigned j = 0; j < 2; ++j) {
+        ValueId v = j == 0 ? inst.a : inst.b;
+        const VregLoc &l = locOf(v);
+        int32_t stage = static_cast<int32_t>(4 + 4 * j);
+        if (l.inReg) {
+            emit(MachInst::store(_sp, stage, l.reg));
+        } else {
+            emit(MachInst::load(_t1, _sp,
+                                static_cast<int32_t>(l.slotOff)));
+            emit(MachInst::store(_sp, stage, _t1));
+        }
+    }
+    emit(MachInst::load(_desc.retReg, _sp, 0));
+    emit(MachInst::load(_desc.argRegs[1], _sp, 4));
+    emit(MachInst::load(_desc.argRegs[2], _sp, 8));
+    emit(MachInst::syscall());
+    emit(MachInst::halt());
+}
+
+void
+ISel::lowerInst(const IrInst &inst, uint32_t bb, size_t idx)
+{
+    switch (inst.op) {
+      case IrOp::ConstI: {
+        const VregLoc &d = locOf(inst.dst);
+        if (d.inReg) {
+            emitMovImm(d.reg, inst.imm);
+        } else if (_isa == IsaKind::Cisc) {
+            emit(MachInst::storeImm(
+                _sp, static_cast<int32_t>(d.slotOff), inst.imm));
+        } else {
+            emitMovImm(_t1, inst.imm);
+            storeToSlot(inst.dst, _t1);
+        }
+        return;
+      }
+      case IrOp::Copy:
+        copyValue(inst.dst, inst.a);
+        return;
+      case IrOp::FrameAddr: {
+        int32_t off = static_cast<int32_t>(
+                          _frame.frameObjOff.at(inst.id)) +
+            inst.imm;
+        const VregLoc &d = locOf(inst.dst);
+        Reg rd = d.inReg ? d.reg : _t1;
+        emit(MachInst::lea(rd, _sp, off));
+        if (!d.inReg)
+            storeToSlot(inst.dst, rd);
+        return;
+      }
+      case IrOp::GlobalAddr: {
+        int32_t addr = static_cast<int32_t>(
+                           _globalAddr.at(inst.id)) +
+            inst.imm;
+        const VregLoc &d = locOf(inst.dst);
+        Reg rd = d.inReg ? d.reg : _t1;
+        emitMovImm(rd, addr);
+        if (!d.inReg)
+            storeToSlot(inst.dst, rd);
+        return;
+      }
+      case IrOp::FuncAddr: {
+        // Function "addresses" are ISA-agnostic function ids.
+        const VregLoc &d = locOf(inst.dst);
+        Reg rd = d.inReg ? d.reg : _t1;
+        emitMovImm(rd, static_cast<int32_t>(inst.id));
+        if (!d.inReg)
+            storeToSlot(inst.dst, rd);
+        return;
+      }
+      case IrOp::Load:
+      case IrOp::Load8:
+      case IrOp::Store:
+      case IrOp::Store8:
+        lowerLoadStore(inst);
+        return;
+      case IrOp::Add: case IrOp::Sub: case IrOp::And: case IrOp::Or:
+      case IrOp::Xor: case IrOp::Shl: case IrOp::Shr: case IrOp::Sar:
+      case IrOp::Mul: case IrOp::Divu:
+        lowerAlu(inst);
+        return;
+      case IrOp::Br:
+        emitFix(MachInst::jmp(0), PendingInst::Fix::Block,
+                _seg0Index[inst.bbTrue]);
+        return;
+      case IrOp::CondBr:
+        lowerCondBr(inst);
+        return;
+      case IrOp::Call:
+      case IrOp::CallInd:
+        lowerCall(inst, bb, idx);
+        return;
+      case IrOp::Syscall:
+        lowerSyscall(inst, bb, idx);
+        return;
+      case IrOp::Ret:
+        emitEpilogue(inst);
+        return;
+      case IrOp::SetJmp:
+        lowerSetJmp(inst, bb, idx);
+        return;
+      case IrOp::LongJmp:
+        lowerLongJmp(inst);
+        return;
+    }
+    hipstr_panic("lowerInst: unhandled op %s", irOpName(inst.op));
+}
+
+} // namespace
+
+MachFunctionDraft
+selectInstructions(const IrModule &module, const IrFunction &fn,
+                   const Liveness &live, const FrameLayout &frame,
+                   const AllocationResult &alloc, IsaKind isa,
+                   const std::vector<Addr> &global_addr)
+{
+    ISel isel(module, fn, live, frame, alloc, isa, global_addr);
+    return isel.run();
+}
+
+} // namespace hipstr

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Instruction selection: lowers one IR function to machine instructions
+ * for one ISA, producing machine basic blocks annotated with the
+ * liveness and call-site metadata the extended symbol table records.
+ *
+ * Machine blocks are IR blocks split at call sites, so the
+ * (irBlock, segment) pair names the same equivalence point in both
+ * ISAs' code — the anchor for cross-ISA migration.
+ */
+
+#ifndef HIPSTR_COMPILER_ISEL_HH
+#define HIPSTR_COMPILER_ISEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/frame.hh"
+#include "compiler/regalloc.hh"
+#include "ir/ir.hh"
+#include "ir/liveness.hh"
+#include "isa/instruction.hh"
+
+namespace hipstr
+{
+
+/** A machine instruction awaiting address fixup at emission. */
+struct PendingInst
+{
+    MachInst mi;
+    enum class Fix : uint8_t
+    {
+        None,       ///< fully resolved
+        Block,      ///< target is machine block @c fixId of this
+                    ///< function
+        Func,       ///< target is the entry of function @c fixId
+        BlockImm,   ///< src1 immediate := address of machine block
+                    ///< @c fixId (32-bit, Cisc)
+        BlockImmLo, ///< src1 immediate := low 16 bits of the block
+                    ///< address, sign-corrected for MovRI (Risc)
+        BlockImmHi  ///< src1 immediate := high 16 bits (Risc MovHi)
+    };
+    Fix fix = Fix::None;
+    uint32_t fixId = 0;
+};
+
+/** A machine basic block before layout. */
+struct MachBlockDraft
+{
+    uint32_t irBlock = 0;
+    uint32_t segment = 0;
+    std::vector<PendingInst> insts;
+    std::vector<ValueId> liveIn;
+    bool hasStackDerivedLiveIn = false;
+    /**
+     * For post-call segments: the call's result value, which at block
+     * entry still sits in the return register rather than its
+     * allocated location. kNoValue otherwise.
+     */
+    ValueId entryValueInRetReg = kNoValue;
+    bool endsInCall = false;
+    uint32_t localCallIdx = 0;
+    /** Callee of the terminating call; kIndirectCallee if indirect. */
+    uint32_t calleeFuncId = 0xffffffff;
+};
+
+/** One lowered function for one ISA. */
+struct MachFunctionDraft
+{
+    uint32_t funcId = 0;
+    IsaKind isa = IsaKind::Cisc;
+    FrameLayout frame;
+    std::vector<VregLoc> loc;
+    std::vector<Reg> usedCalleeSaved;
+    std::vector<MachBlockDraft> blocks;
+    uint32_t numCallSites = 0;
+};
+
+/** Lower @p fn for @p isa. @p global_addr maps global ids to VAs. */
+MachFunctionDraft selectInstructions(const IrModule &module,
+                                     const IrFunction &fn,
+                                     const Liveness &live,
+                                     const FrameLayout &frame,
+                                     const AllocationResult &alloc,
+                                     IsaKind isa,
+                                     const std::vector<Addr> &global_addr);
+
+} // namespace hipstr
+
+#endif // HIPSTR_COMPILER_ISEL_HH

@@ -1,0 +1,223 @@
+#include "regalloc.hh"
+
+#include "compiler/frame.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** A conservative whole-function live interval for one value. */
+struct Interval
+{
+    ValueId value;
+    uint32_t start;      ///< first linear index where live
+    uint32_t end;        ///< last linear index where live (inclusive)
+    bool crossesCall;
+    /** Crosses a SetJmp: caller-saved registers are forbidden — the
+     *  longjmp path skips the reload that normally follows a call. */
+    bool crossesSetJmp;
+    bool active;         ///< value is referenced at all
+};
+
+} // namespace
+
+AllocationResult
+allocateRegisters(const IrFunction &fn, const Liveness &live,
+                  IsaKind isa, uint32_t spill_base)
+{
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    const uint32_t nvalues = fn.numValues;
+
+    // Linearize: assign each instruction a global index and record
+    // block spans and call positions.
+    std::vector<std::pair<uint32_t, uint32_t>> block_span(
+        fn.blocks.size());
+    std::vector<uint32_t> call_positions;
+    std::vector<uint32_t> setjmp_positions;
+    uint32_t index = 0;
+    for (size_t bb = 0; bb < fn.blocks.size(); ++bb) {
+        uint32_t begin = index;
+        for (const IrInst &inst : fn.blocks[bb].insts) {
+            if (inst.op == IrOp::Call || inst.op == IrOp::CallInd ||
+                inst.op == IrOp::Syscall) {
+                call_positions.push_back(index);
+            }
+            if (inst.op == IrOp::SetJmp)
+                setjmp_positions.push_back(index);
+            ++index;
+        }
+        block_span[bb] = { begin, index }; // [begin, end)
+    }
+
+    std::vector<Interval> intervals(nvalues);
+    for (ValueId v = 0; v < nvalues; ++v)
+        intervals[v] = { v, UINT32_MAX, 0, false, false, false };
+
+    auto touch = [&](ValueId v, uint32_t at) {
+        Interval &iv = intervals[v];
+        iv.active = true;
+        iv.start = std::min(iv.start, at);
+        iv.end = std::max(iv.end, at);
+    };
+
+    // Parameters are defined at function entry.
+    for (unsigned p = 0; p < fn.numParams; ++p)
+        touch(p, 0);
+
+    index = 0;
+    std::vector<ValueId> uses;
+    for (const IrBlock &block : fn.blocks) {
+        for (const IrInst &inst : block.insts) {
+            uses.clear();
+            collectIrUses(inst, uses);
+            for (ValueId v : uses)
+                touch(v, index);
+            ValueId def = irDefinedValue(inst);
+            if (def != kNoValue)
+                touch(def, index);
+            ++index;
+        }
+    }
+
+    // Extend intervals across whole blocks where the value is live-in
+    // or live-out; this is the conservative fix for loop back edges.
+    for (size_t bb = 0; bb < fn.blocks.size(); ++bb) {
+        auto [begin, end] = block_span[bb];
+        const DenseBitSet &in = live.liveIn(static_cast<uint32_t>(bb));
+        const DenseBitSet &out =
+            live.liveOut(static_cast<uint32_t>(bb));
+        for (ValueId v = 0; v < nvalues; ++v) {
+            if (in.test(v))
+                touch(v, begin);
+            if (out.test(v) && end > 0)
+                touch(v, end - 1);
+        }
+    }
+
+    for (Interval &iv : intervals) {
+        if (!iv.active)
+            continue;
+        auto crosses = [&](const std::vector<uint32_t> &positions) {
+            return std::any_of(positions.begin(), positions.end(),
+                               [&](uint32_t pos) {
+                                   return pos >= iv.start &&
+                                       pos < iv.end;
+                               });
+        };
+        iv.crossesCall = crosses(call_positions);
+        iv.crossesSetJmp = crosses(setjmp_positions);
+    }
+
+    // Register pools (isel temps are never allocatable).
+    auto is_temp = [&](Reg r) {
+        return std::find(desc.iselTemps.begin(), desc.iselTemps.end(),
+                         r) != desc.iselTemps.end();
+    };
+    std::vector<Reg> callee_pool, caller_pool;
+    for (Reg r : desc.calleeSaved)
+        if (!is_temp(r))
+            callee_pool.push_back(r);
+    for (Reg r : desc.callerSaved)
+        if (!is_temp(r))
+            caller_pool.push_back(r);
+
+    std::vector<bool> callee_free(callee_pool.size(), true);
+    std::vector<bool> caller_free(caller_pool.size(), true);
+
+    AllocationResult result;
+    result.loc.resize(nvalues);
+    for (ValueId v = 0; v < nvalues; ++v)
+        result.loc[v] = VregLoc{ false, kNoReg, spill_base + 4 * v };
+
+    // Linear scan.
+    std::vector<const Interval *> order;
+    for (const Interval &iv : intervals)
+        if (iv.active)
+            order.push_back(&iv);
+    std::sort(order.begin(), order.end(),
+              [](const Interval *a, const Interval *b) {
+                  return a->start < b->start ||
+                      (a->start == b->start && a->value < b->value);
+              });
+
+    struct ActiveEntry
+    {
+        uint32_t end;
+        bool calleePool;
+        size_t poolIdx;
+    };
+    std::vector<ActiveEntry> active_list;
+
+    std::vector<Reg> used_callee;
+
+    for (const Interval *iv : order) {
+        // Expire finished intervals.
+        for (size_t i = 0; i < active_list.size();) {
+            if (active_list[i].end < iv->start) {
+                if (active_list[i].calleePool)
+                    callee_free[active_list[i].poolIdx] = true;
+                else
+                    caller_free[active_list[i].poolIdx] = true;
+                active_list.erase(active_list.begin() +
+                                  static_cast<long>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        auto take = [&](std::vector<bool> &pool_free,
+                        const std::vector<Reg> &pool,
+                        bool is_callee) -> bool {
+            for (size_t i = 0; i < pool.size(); ++i) {
+                if (pool_free[i]) {
+                    pool_free[i] = false;
+                    result.loc[iv->value] =
+                        VregLoc{ true, pool[i],
+                                 spill_base + 4 * iv->value };
+                    active_list.push_back(
+                        ActiveEntry{ iv->end, is_callee, i });
+                    if (is_callee &&
+                        std::find(used_callee.begin(),
+                                  used_callee.end(),
+                                  pool[i]) == used_callee.end()) {
+                        used_callee.push_back(pool[i]);
+                    }
+                    return true;
+                }
+            }
+            return false;
+        };
+
+        if (iv->crossesSetJmp) {
+            // Callee-saved only: the jmp_buf restores those; a
+            // caller-saved register would need the post-call reload
+            // the longjmp path never executes. Slot-resident is the
+            // safe fallback.
+            (void)take(callee_free, callee_pool, true);
+        } else if (iv->crossesCall) {
+            // Prefer callee-saved; fall back to caller-saved (the
+            // backend will spill it around calls through the
+            // canonical slot).
+            if (!take(callee_free, callee_pool, true))
+                (void)take(caller_free, caller_pool, false);
+        } else {
+            if (!take(caller_free, caller_pool, false))
+                (void)take(callee_free, callee_pool, true);
+        }
+        // If neither pool had room the value simply stays
+        // slot-resident — always correct.
+    }
+
+    result.usedCalleeSaved = std::move(used_callee);
+    hipstr_assert(result.usedCalleeSaved.size() <=
+                  kNumCalleeSaveSlots);
+    return result;
+}
+
+} // namespace hipstr

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Linear-scan register allocation, run once per (function, ISA).
+ *
+ * Every value keeps its canonical frame slot; allocation only decides
+ * which values *additionally* live in a register for their whole
+ * lifetime. Values whose live range crosses a call or syscall may only
+ * take callee-saved registers (the backend spills caller-saved
+ * register values around calls through their canonical slots, which is
+ * exactly the register spill/restore traffic the paper's procedure
+ * call transformation randomizes).
+ */
+
+#ifndef HIPSTR_COMPILER_REGALLOC_HH
+#define HIPSTR_COMPILER_REGALLOC_HH
+
+#include <vector>
+
+#include "binary/fatbin.hh"
+#include "ir/ir.hh"
+#include "ir/liveness.hh"
+
+namespace hipstr
+{
+
+/** Result of allocation for one (function, ISA) pair. */
+struct AllocationResult
+{
+    std::vector<VregLoc> loc;          ///< per value
+    std::vector<Reg> usedCalleeSaved;  ///< in calleeSaveSlot order
+};
+
+/**
+ * Allocate registers for @p fn on @p isa.
+ *
+ * @param fn        the function
+ * @param live      its liveness facts
+ * @param isa       target ISA (determines the register pools)
+ * @param spill_base canonical-slot base from the frame layout
+ */
+AllocationResult allocateRegisters(const IrFunction &fn,
+                                   const Liveness &live, IsaKind isa,
+                                   uint32_t spill_base);
+
+} // namespace hipstr
+
+#endif // HIPSTR_COMPILER_REGALLOC_HH

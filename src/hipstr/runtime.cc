@@ -1,0 +1,179 @@
+#include "runtime.hh"
+
+#include "migration/safety.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+HipstrRuntime::HipstrRuntime(const FatBinary &bin, Memory &mem,
+                             GuestOs &os, const HipstrConfig &cfg)
+    : _bin(bin), _mem(mem), _cfg(cfg), _engine(bin, mem),
+      _current(cfg.startIsa), _policy(cfg.policySeed)
+{
+    for (IsaKind isa : kAllIsas) {
+        PsrConfig vm_cfg = cfg.psr;
+        // Independent randomization streams per ISA.
+        vm_cfg.seed = cfg.psr.seed ^
+            (isa == IsaKind::Risc ? 0xa5a5a5a5ull : 0x5a5a5a5aull);
+        _vms[static_cast<size_t>(isa)] =
+            std::make_unique<PsrVm>(bin, isa, mem, os, vm_cfg);
+    }
+}
+
+void
+HipstrRuntime::reset()
+{
+    _current = _cfg.startIsa;
+    cur().reset();
+}
+
+void
+HipstrRuntime::installHook(HipstrRunSummary &summary)
+{
+    PsrVm &v = cur();
+    IsaKind isa = _current;
+    v.securityEventHook = [this, isa, &summary](Addr target) {
+        if (_suppressNextEvent) {
+            _suppressNextEvent = false;
+            return false;
+        }
+        if (!_cfg.migrateOnSecurityEvents)
+            return false;
+        if (!_policy.chance(_cfg.diversificationProbability))
+            return false;
+        if (!isMigrationPoint(_bin, isa, target,
+                              MigrationSafety::OnDemandSafe)) {
+            ++summary.migrationsDenied;
+            return false;
+        }
+        return true;
+    };
+    other().securityEventHook = nullptr;
+}
+
+HipstrRunSummary
+HipstrRuntime::run(uint64_t max_guest_insts)
+{
+    HipstrRunSummary summary;
+    uint64_t executed = 0;
+    // The hooks installed below capture `summary`; they must never
+    // outlive this frame.
+    struct HookGuard
+    {
+        HipstrRuntime *rt;
+        ~HookGuard()
+        {
+            for (IsaKind isa : kAllIsas)
+                rt->vm(isa).securityEventHook = nullptr;
+        }
+    } guard{ this };
+
+    while (executed < max_guest_insts) {
+        installHook(summary);
+        PsrVm &v = cur();
+        uint64_t before = v.stats.guestInsts;
+
+        uint64_t budget = max_guest_insts - executed;
+        if (_cfg.phaseIntervalInsts > 0)
+            budget = std::min(budget, _cfg.phaseIntervalInsts);
+
+        VmRunResult res = v.run(budget);
+        uint64_t ran = v.stats.guestInsts - before;
+        executed += ran;
+        summary.totalGuestInsts += ran;
+        summary.guestInstsPerIsa[static_cast<size_t>(_current)] +=
+            ran;
+
+        switch (res.reason) {
+          case VmStop::Exited:
+          case VmStop::Halted:
+          case VmStop::Fault:
+          case VmStop::BadInst:
+          case VmStop::SfiViolation:
+            summary.reason = res.reason;
+            summary.stopPc = res.stopPc;
+            return summary;
+
+          case VmStop::MigrationRequested: {
+            MigrationOutcome mo =
+                _engine.migrate(cur(), other(), res.migrationTarget);
+            if (mo.ok) {
+                ++summary.migrations;
+                summary.migrationMicroseconds += mo.microseconds;
+                summary.migrationLog.push_back(mo);
+                _current = otherIsa(_current);
+            } else {
+                // Continue on the source ISA; suppress the repeat
+                // event the retry will raise for the same target.
+                ++summary.migrationsDenied;
+                _suppressNextEvent = true;
+                cur().state.pc = res.migrationTarget;
+            }
+            break;
+          }
+
+          case VmStop::StepLimit: {
+            if (executed >= max_guest_insts) {
+                summary.reason = VmStop::StepLimit;
+                summary.stopPc = res.stopPc;
+                return summary;
+            }
+            // Phase-change boundary: migrate if the current point
+            // allows it (performance-driven migration).
+            if (_cfg.phaseIntervalInsts > 0 &&
+                isMigrationPoint(_bin, _current, cur().state.pc,
+                                 MigrationSafety::OnDemandSafe)) {
+                MigrationOutcome mo = _engine.migrate(
+                    cur(), other(), cur().state.pc);
+                if (mo.ok) {
+                    ++summary.migrations;
+                    summary.migrationMicroseconds +=
+                        mo.microseconds;
+                    summary.migrationLog.push_back(mo);
+                    _current = otherIsa(_current);
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    summary.reason = VmStop::StepLimit;
+    return summary;
+}
+
+MigrationOutcome
+HipstrRuntime::forceMigration(uint64_t search_budget)
+{
+    MigrationOutcome out;
+    out.error = "no migration-safe point found";
+    uint64_t spent = 0;
+    // Ensure no (possibly stale) security hook interferes.
+    for (IsaKind isa : kAllIsas)
+        vm(isa).securityEventHook = nullptr;
+
+    while (spent < search_budget) {
+        if (isMigrationPoint(_bin, _current, cur().state.pc,
+                             MigrationSafety::OnDemandSafe)) {
+            MigrationOutcome mo =
+                _engine.migrate(cur(), other(), cur().state.pc);
+            if (mo.ok) {
+                _current = otherIsa(_current);
+                return mo;
+            }
+            out.error = mo.error;
+        }
+        // Advance a few blocks and retry.
+        VmRunResult res = cur().run(64);
+        spent += 64;
+        if (res.reason != VmStop::StepLimit) {
+            out.error = std::string("program stopped: ") +
+                vmStopName(res.reason);
+            return out;
+        }
+    }
+    return out;
+}
+
+} // namespace hipstr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The HIPStR runtime (Section 3.5): one PSR virtual machine per ISA
+ * of the heterogeneous-ISA CMP, an attack-detection trigger (indirect
+ * control transfers that miss the code cache), a probabilistic
+ * migration policy, and the PSR-aware cross-ISA state transformer.
+ */
+
+#ifndef HIPSTR_HIPSTR_RUNTIME_HH
+#define HIPSTR_HIPSTR_RUNTIME_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "binary/fatbin.hh"
+#include "core/psr_config.hh"
+#include "migration/transform.hh"
+#include "support/random.hh"
+#include "vm/psr_vm.hh"
+
+namespace hipstr
+{
+
+/** Configuration of the full defense. */
+struct HipstrConfig
+{
+    PsrConfig psr;
+
+    /**
+     * Probability of switching ISAs when the PSR VM suspects a
+     * security breach (Figure 8's diversification probability).
+     */
+    double diversificationProbability = 1.0;
+
+    /** Master switch for security-triggered migration. */
+    bool migrateOnSecurityEvents = true;
+
+    /**
+     * Performance-driven (phase-change) migration interval in guest
+     * instructions; 0 disables. These are the paper's baseline
+     * migrations that preserve the heterogeneous-ISA CMP's
+     * energy/performance benefits (0.32% overhead).
+     */
+    uint64_t phaseIntervalInsts = 0;
+
+    IsaKind startIsa = IsaKind::Cisc;
+    uint64_t policySeed = 0x715;
+};
+
+/** Aggregate outcome of a HIPStR-protected run. */
+struct HipstrRunSummary
+{
+    VmStop reason = VmStop::StepLimit;
+    Addr stopPc = 0;
+    uint64_t totalGuestInsts = 0;
+    std::array<uint64_t, kNumIsas> guestInstsPerIsa{};
+    uint32_t migrations = 0;
+    uint32_t migrationsDenied = 0; ///< policy fired but unsafe point
+    double migrationMicroseconds = 0;
+    std::vector<MigrationOutcome> migrationLog;
+};
+
+/** The dual-ISA protected execution environment. */
+class HipstrRuntime
+{
+  public:
+    HipstrRuntime(const FatBinary &bin, Memory &mem, GuestOs &os,
+                  const HipstrConfig &cfg);
+
+    /** Reset guest state to the program entry on the start ISA. */
+    void reset();
+
+    /** Run to completion or @p max_guest_insts. */
+    HipstrRunSummary run(uint64_t max_guest_insts);
+
+    /**
+     * Force one migration at the next migration-safe equivalence
+     * point (used by the Figure 12 checkpoint experiment). Runs at
+     * most @p search_budget further instructions looking for a safe
+     * point.
+     */
+    MigrationOutcome forceMigration(uint64_t search_budget = 500'000);
+
+    PsrVm &vm(IsaKind isa)
+    {
+        return *_vms[static_cast<size_t>(isa)];
+    }
+    IsaKind currentIsa() const { return _current; }
+    MigrationEngine &engine() { return _engine; }
+    const HipstrConfig &config() const { return _cfg; }
+
+  private:
+    PsrVm &cur() { return *_vms[static_cast<size_t>(_current)]; }
+    PsrVm &other()
+    {
+        return *_vms[static_cast<size_t>(otherIsa(_current))];
+    }
+    void installHook(HipstrRunSummary &summary);
+
+    const FatBinary &_bin;
+    Memory &_mem;
+    HipstrConfig _cfg;
+    std::array<std::unique_ptr<PsrVm>, kNumIsas> _vms;
+    MigrationEngine _engine;
+    IsaKind _current;
+    Rng _policy;
+    bool _suppressNextEvent = false;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_HIPSTR_RUNTIME_HH

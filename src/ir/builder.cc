@@ -1,0 +1,448 @@
+#include "builder.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+uint32_t
+IrBuilder::addGlobal(const std::string &name, uint32_t size,
+                     uint32_t align, std::vector<uint8_t> init)
+{
+    hipstr_assert(init.size() <= size);
+    GlobalVar g;
+    g.name = name;
+    g.size = size;
+    g.align = align;
+    g.init = std::move(init);
+    _module.globals.push_back(std::move(g));
+    return static_cast<uint32_t>(_module.globals.size() - 1);
+}
+
+uint32_t
+IrBuilder::addGlobalWords(const std::string &name,
+                          const std::vector<uint32_t> &words)
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(words.size() * 4);
+    for (uint32_t w : words) {
+        bytes.push_back(static_cast<uint8_t>(w));
+        bytes.push_back(static_cast<uint8_t>(w >> 8));
+        bytes.push_back(static_cast<uint8_t>(w >> 16));
+        bytes.push_back(static_cast<uint8_t>(w >> 24));
+    }
+    uint32_t size = static_cast<uint32_t>(bytes.size());
+    return addGlobal(name, size, 4, std::move(bytes));
+}
+
+uint32_t
+IrBuilder::declareFunction(const std::string &name, unsigned num_params)
+{
+    hipstr_assert(num_params <= kMaxParams);
+    IrFunction f;
+    f.name = name;
+    f.id = static_cast<uint32_t>(_module.functions.size());
+    f.numParams = num_params;
+    f.numValues = num_params; // params occupy values 0..n-1
+    _module.functions.push_back(std::move(f));
+    return static_cast<uint32_t>(_module.functions.size() - 1);
+}
+
+void
+IrBuilder::beginFunction(uint32_t fn_id)
+{
+    hipstr_assert(!_inFunction);
+    hipstr_assert(fn_id < _module.functions.size());
+    _curFn = fn_id;
+    _inFunction = true;
+    if (fn().blocks.empty())
+        fn().blocks.emplace_back();
+    _curBlock = 0;
+}
+
+void
+IrBuilder::endFunction()
+{
+    hipstr_assert(_inFunction);
+    for (size_t bb = 0; bb < fn().blocks.size(); ++bb) {
+        const IrBlock &block = fn().blocks[bb];
+        if (block.insts.empty() ||
+            !isIrTerminator(block.insts.back().op)) {
+            hipstr_panic("%s: bb%zu is not terminated",
+                         fn().name.c_str(), bb);
+        }
+    }
+    _inFunction = false;
+}
+
+uint32_t
+IrBuilder::newBlock()
+{
+    fn().blocks.emplace_back();
+    return static_cast<uint32_t>(fn().blocks.size() - 1);
+}
+
+void
+IrBuilder::setBlock(uint32_t bb)
+{
+    hipstr_assert(bb < fn().blocks.size());
+    _curBlock = bb;
+}
+
+ValueId
+IrBuilder::param(unsigned i)
+{
+    hipstr_assert(i < fn().numParams);
+    return i;
+}
+
+ValueId
+IrBuilder::newValue()
+{
+    return fn().numValues++;
+}
+
+uint32_t
+IrBuilder::addFrameObject(const std::string &name, uint32_t size,
+                          uint32_t align)
+{
+    FrameObject obj;
+    obj.name = name;
+    obj.size = size;
+    obj.align = align;
+    fn().frameObjects.push_back(obj);
+    return static_cast<uint32_t>(fn().frameObjects.size() - 1);
+}
+
+IrInst &
+IrBuilder::append(IrInst inst)
+{
+    hipstr_assert(_inFunction);
+    IrBlock &block = fn().blocks[_curBlock];
+    hipstr_assert(block.insts.empty() ||
+                  !isIrTerminator(block.insts.back().op));
+    block.insts.push_back(std::move(inst));
+    return block.insts.back();
+}
+
+IrFunction &
+IrBuilder::fn()
+{
+    return _module.functions[_curFn];
+}
+
+ValueId
+IrBuilder::constI(int32_t v)
+{
+    IrInst inst;
+    inst.op = IrOp::ConstI;
+    inst.dst = newValue();
+    inst.imm = v;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::copy(ValueId src)
+{
+    IrInst inst;
+    inst.op = IrOp::Copy;
+    inst.dst = newValue();
+    inst.a = src;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::frameAddr(uint32_t obj, int32_t off)
+{
+    IrInst inst;
+    inst.op = IrOp::FrameAddr;
+    inst.dst = newValue();
+    inst.id = obj;
+    inst.imm = off;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::globalAddr(uint32_t global, int32_t off)
+{
+    IrInst inst;
+    inst.op = IrOp::GlobalAddr;
+    inst.dst = newValue();
+    inst.id = global;
+    inst.imm = off;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::funcAddr(uint32_t fn_id)
+{
+    IrInst inst;
+    inst.op = IrOp::FuncAddr;
+    inst.dst = newValue();
+    inst.id = fn_id;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::load(ValueId addr, int32_t off)
+{
+    IrInst inst;
+    inst.op = IrOp::Load;
+    inst.dst = newValue();
+    inst.a = addr;
+    inst.imm = off;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::load8(ValueId addr, int32_t off)
+{
+    IrInst inst;
+    inst.op = IrOp::Load8;
+    inst.dst = newValue();
+    inst.a = addr;
+    inst.imm = off;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::binop(IrOp op, ValueId a, ValueId b)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dst = newValue();
+    inst.a = a;
+    inst.b = b;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::binopI(IrOp op, ValueId a, int32_t imm)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dst = newValue();
+    inst.a = a;
+    inst.b = kNoValue;
+    inst.imm = imm;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::call(uint32_t fn_id, std::initializer_list<ValueId> args)
+{
+    IrInst inst;
+    inst.op = IrOp::Call;
+    inst.dst = newValue();
+    inst.id = fn_id;
+    inst.args = args;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::callInd(ValueId fp, std::initializer_list<ValueId> args)
+{
+    IrInst inst;
+    inst.op = IrOp::CallInd;
+    inst.dst = newValue();
+    inst.a = fp;
+    inst.args = args;
+    append(inst);
+    return inst.dst;
+}
+
+ValueId
+IrBuilder::syscall(std::initializer_list<ValueId> args)
+{
+    IrInst inst;
+    inst.op = IrOp::Syscall;
+    inst.dst = newValue();
+    inst.args = args;
+    append(inst);
+    return inst.dst;
+}
+
+void
+IrBuilder::store(ValueId addr, ValueId val, int32_t off)
+{
+    IrInst inst;
+    inst.op = IrOp::Store;
+    inst.a = addr;
+    inst.b = val;
+    inst.imm = off;
+    append(inst);
+}
+
+void
+IrBuilder::store8(ValueId addr, ValueId val, int32_t off)
+{
+    IrInst inst;
+    inst.op = IrOp::Store8;
+    inst.a = addr;
+    inst.b = val;
+    inst.imm = off;
+    append(inst);
+}
+
+void
+IrBuilder::assign(ValueId dst, ValueId src)
+{
+    IrInst inst;
+    inst.op = IrOp::Copy;
+    inst.dst = dst;
+    inst.a = src;
+    append(inst);
+}
+
+void
+IrBuilder::assignConst(ValueId dst, int32_t v)
+{
+    IrInst inst;
+    inst.op = IrOp::ConstI;
+    inst.dst = dst;
+    inst.imm = v;
+    append(inst);
+}
+
+void
+IrBuilder::assignBinop(IrOp op, ValueId dst, ValueId a, ValueId b)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.a = a;
+    inst.b = b;
+    append(inst);
+}
+
+void
+IrBuilder::assignBinopI(IrOp op, ValueId dst, ValueId a, int32_t imm)
+{
+    IrInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    inst.a = a;
+    inst.b = kNoValue;
+    inst.imm = imm;
+    append(inst);
+}
+
+void
+IrBuilder::br(uint32_t bb)
+{
+    IrInst inst;
+    inst.op = IrOp::Br;
+    inst.bbTrue = bb;
+    append(inst);
+}
+
+void
+IrBuilder::condBr(Cond c, ValueId a, ValueId b, uint32_t bb_true,
+                  uint32_t bb_false)
+{
+    IrInst inst;
+    inst.op = IrOp::CondBr;
+    inst.cond = c;
+    inst.a = a;
+    inst.b = b;
+    inst.bbTrue = bb_true;
+    inst.bbFalse = bb_false;
+    append(inst);
+}
+
+void
+IrBuilder::condBrI(Cond c, ValueId a, int32_t imm, uint32_t bb_true,
+                   uint32_t bb_false)
+{
+    IrInst inst;
+    inst.op = IrOp::CondBr;
+    inst.cond = c;
+    inst.a = a;
+    inst.b = kNoValue;
+    inst.imm = imm;
+    inst.bbTrue = bb_true;
+    inst.bbFalse = bb_false;
+    append(inst);
+}
+
+void
+IrBuilder::ret(ValueId v)
+{
+    IrInst inst;
+    inst.op = IrOp::Ret;
+    inst.a = v;
+    append(inst);
+}
+
+void
+IrBuilder::callVoid(uint32_t fn_id, std::initializer_list<ValueId> args)
+{
+    IrInst inst;
+    inst.op = IrOp::Call;
+    inst.dst = kNoValue;
+    inst.id = fn_id;
+    inst.args = args;
+    append(inst);
+}
+
+void
+IrBuilder::syscallVoid(std::initializer_list<ValueId> args)
+{
+    IrInst inst;
+    inst.op = IrOp::Syscall;
+    inst.dst = kNoValue;
+    inst.args = args;
+    append(inst);
+}
+
+ValueId
+IrBuilder::setJmp(ValueId buf)
+{
+    uint32_t resume = newBlock();
+    IrInst inst;
+    inst.op = IrOp::SetJmp;
+    inst.a = buf;
+    inst.bbTrue = resume;
+    append(inst);
+    setBlock(resume);
+    // The delivered value lives in the jmp_buf (word 2): memory is
+    // the one channel that survives both the fall-through and the
+    // longjmp path under every randomization.
+    return load(buf, 8);
+}
+
+void
+IrBuilder::longJmp(ValueId buf, ValueId val)
+{
+    IrInst inst;
+    inst.op = IrOp::LongJmp;
+    inst.a = buf;
+    inst.b = val;
+    append(inst);
+}
+
+void
+IrBuilder::emitWriteWord(ValueId v)
+{
+    ValueId num = constI(static_cast<int32_t>(SyscallNo::WriteWord));
+    syscallVoid({ num, v });
+}
+
+void
+IrBuilder::emitExit(ValueId code)
+{
+    ValueId num = constI(static_cast<int32_t>(SyscallNo::Exit));
+    syscallVoid({ num, code });
+}
+
+} // namespace hipstr

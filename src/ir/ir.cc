@@ -1,0 +1,337 @@
+#include "ir.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::ConstI: return "const";
+      case IrOp::Copy: return "copy";
+      case IrOp::FrameAddr: return "frameaddr";
+      case IrOp::GlobalAddr: return "globaladdr";
+      case IrOp::FuncAddr: return "funcaddr";
+      case IrOp::Load: return "load";
+      case IrOp::Store: return "store";
+      case IrOp::Load8: return "load8";
+      case IrOp::Store8: return "store8";
+      case IrOp::Add: return "add";
+      case IrOp::Sub: return "sub";
+      case IrOp::And: return "and";
+      case IrOp::Or: return "or";
+      case IrOp::Xor: return "xor";
+      case IrOp::Shl: return "shl";
+      case IrOp::Shr: return "shr";
+      case IrOp::Sar: return "sar";
+      case IrOp::Mul: return "mul";
+      case IrOp::Divu: return "divu";
+      case IrOp::Br: return "br";
+      case IrOp::CondBr: return "condbr";
+      case IrOp::Call: return "call";
+      case IrOp::CallInd: return "callind";
+      case IrOp::Ret: return "ret";
+      case IrOp::Syscall: return "syscall";
+      case IrOp::SetJmp: return "setjmp";
+      case IrOp::LongJmp: return "longjmp";
+    }
+    return "?";
+}
+
+bool
+isIrTerminator(IrOp op)
+{
+    return op == IrOp::Br || op == IrOp::CondBr || op == IrOp::Ret ||
+        op == IrOp::SetJmp || op == IrOp::LongJmp;
+}
+
+/** Append the value ids an instruction reads to @p uses. */
+void
+collectIrUses(const IrInst &inst, std::vector<ValueId> &uses)
+{
+    switch (inst.op) {
+      case IrOp::ConstI:
+      case IrOp::FrameAddr:
+      case IrOp::GlobalAddr:
+      case IrOp::FuncAddr:
+      case IrOp::Br:
+        break;
+      case IrOp::Copy:
+      case IrOp::Load:
+      case IrOp::Load8:
+        uses.push_back(inst.a);
+        break;
+      case IrOp::Store:
+      case IrOp::Store8:
+        uses.push_back(inst.a);
+        uses.push_back(inst.b);
+        break;
+      case IrOp::Add: case IrOp::Sub: case IrOp::And: case IrOp::Or:
+      case IrOp::Xor: case IrOp::Shl: case IrOp::Shr: case IrOp::Sar:
+      case IrOp::Mul: case IrOp::Divu:
+      case IrOp::CondBr:
+        uses.push_back(inst.a);
+        if (inst.b != kNoValue)
+            uses.push_back(inst.b);
+        break;
+      case IrOp::Call:
+      case IrOp::Syscall:
+        for (ValueId v : inst.args)
+            uses.push_back(v);
+        break;
+      case IrOp::CallInd:
+        uses.push_back(inst.a);
+        for (ValueId v : inst.args)
+            uses.push_back(v);
+        break;
+      case IrOp::Ret:
+        if (inst.a != kNoValue)
+            uses.push_back(inst.a);
+        break;
+      case IrOp::SetJmp:
+        uses.push_back(inst.a);
+        break;
+      case IrOp::LongJmp:
+        uses.push_back(inst.a);
+        uses.push_back(inst.b);
+        break;
+    }
+}
+
+namespace
+{
+
+bool
+writesDst(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::Store:
+      case IrOp::Store8:
+      case IrOp::Br:
+      case IrOp::CondBr:
+      case IrOp::Ret:
+      case IrOp::SetJmp:
+      case IrOp::LongJmp:
+        return false;
+      case IrOp::Call:
+      case IrOp::CallInd:
+      case IrOp::Syscall:
+        return inst.dst != kNoValue;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+ValueId
+irDefinedValue(const IrInst &inst)
+{
+    return writesDst(inst) ? inst.dst : kNoValue;
+}
+
+std::vector<uint32_t>
+irSuccessors(const IrInst &terminator)
+{
+    switch (terminator.op) {
+      case IrOp::Br:
+      case IrOp::SetJmp:
+        return { terminator.bbTrue };
+      case IrOp::CondBr:
+        return { terminator.bbTrue, terminator.bbFalse };
+      default:
+        return {};
+    }
+}
+
+std::string
+verifyModule(const IrModule &module)
+{
+    std::ostringstream err;
+
+    auto fail = [&](const IrFunction &fn, size_t bb, size_t i,
+                    const std::string &msg) {
+        err << module.name << ":" << fn.name << ":bb" << bb << ":" << i
+            << ": " << msg;
+        return err.str();
+    };
+
+    for (size_t fi = 0; fi < module.functions.size(); ++fi) {
+        const IrFunction &fn = module.functions[fi];
+        if (fn.id != fi)
+            return fn.name + ": function id mismatch";
+        if (fn.numParams > kMaxParams)
+            return fn.name + ": too many parameters";
+        if (fn.numParams > fn.numValues)
+            return fn.name + ": params exceed value count";
+        if (fn.blocks.empty())
+            return fn.name + ": function has no blocks";
+
+        for (size_t bb = 0; bb < fn.blocks.size(); ++bb) {
+            const IrBlock &block = fn.blocks[bb];
+            if (block.insts.empty())
+                return fail(fn, bb, 0, "empty block");
+            for (size_t i = 0; i < block.insts.size(); ++i) {
+                const IrInst &inst = block.insts[i];
+                bool is_last = (i == block.insts.size() - 1);
+                if (isIrTerminator(inst.op) != is_last) {
+                    return fail(fn, bb, i,
+                                is_last ? "block does not end in a "
+                                          "terminator"
+                                        : "terminator in mid-block");
+                }
+
+                std::vector<ValueId> uses;
+                collectIrUses(inst, uses);
+                for (ValueId v : uses) {
+                    if (v >= fn.numValues)
+                        return fail(fn, bb, i, "use of out-of-range "
+                                               "value");
+                }
+                if (writesDst(inst) && inst.dst >= fn.numValues)
+                    return fail(fn, bb, i, "out-of-range destination");
+
+                switch (inst.op) {
+                  case IrOp::Br:
+                  case IrOp::SetJmp:
+                    if (inst.bbTrue >= fn.blocks.size())
+                        return fail(fn, bb, i, "branch target out of "
+                                               "range");
+                    break;
+                  case IrOp::CondBr:
+                    if (inst.bbTrue >= fn.blocks.size() ||
+                        inst.bbFalse >= fn.blocks.size()) {
+                        return fail(fn, bb, i, "branch target out of "
+                                               "range");
+                    }
+                    break;
+                  case IrOp::Call:
+                    if (inst.id >= module.functions.size())
+                        return fail(fn, bb, i, "call to unknown "
+                                               "function");
+                    if (inst.args.size() >
+                        module.functions[inst.id].numParams) {
+                        return fail(fn, bb, i, "too many call "
+                                               "arguments");
+                    }
+                    break;
+                  case IrOp::CallInd:
+                    if (inst.args.size() > kMaxParams)
+                        return fail(fn, bb, i, "too many call "
+                                               "arguments");
+                    break;
+                  case IrOp::Syscall:
+                    if (inst.args.empty() || inst.args.size() > 4)
+                        return fail(fn, bb, i, "syscall needs 1-4 "
+                                               "arguments");
+                    break;
+                  case IrOp::FrameAddr:
+                    if (inst.id >= fn.frameObjects.size())
+                        return fail(fn, bb, i, "unknown frame object");
+                    break;
+                  case IrOp::GlobalAddr:
+                    if (inst.id >= module.globals.size())
+                        return fail(fn, bb, i, "unknown global");
+                    break;
+                  case IrOp::FuncAddr:
+                    if (inst.id >= module.functions.size())
+                        return fail(fn, bb, i, "unknown function");
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    if (module.entryFunc >= module.functions.size())
+        return "entry function out of range";
+    if (module.functions[module.entryFunc].numParams != 0)
+        return "entry function must take no parameters";
+    return "";
+}
+
+std::string
+printFunction(const IrFunction &fn)
+{
+    std::ostringstream os;
+    os << "func @" << fn.name << "(params=" << fn.numParams
+       << ", values=" << fn.numValues << ")\n";
+    for (size_t oi = 0; oi < fn.frameObjects.size(); ++oi) {
+        const FrameObject &obj = fn.frameObjects[oi];
+        os << "  frame #" << oi << " " << obj.name << " [" << obj.size
+           << " bytes]\n";
+    }
+    for (size_t bb = 0; bb < fn.blocks.size(); ++bb) {
+        os << " bb" << bb << ":\n";
+        for (const IrInst &inst : fn.blocks[bb].insts) {
+            os << "   ";
+            if (writesDst(inst))
+                os << "v" << inst.dst << " = ";
+            os << irOpName(inst.op);
+            if (inst.op == IrOp::CondBr)
+                os << "." << condName(inst.cond);
+            if (inst.a != kNoValue &&
+                inst.op != IrOp::Ret)
+                os << " v" << inst.a;
+            if (inst.op == IrOp::Ret && inst.a != kNoValue)
+                os << " v" << inst.a;
+            if (inst.b != kNoValue)
+                os << ", v" << inst.b;
+            switch (inst.op) {
+              case IrOp::ConstI:
+              case IrOp::Load:
+              case IrOp::Store:
+              case IrOp::Load8:
+              case IrOp::Store8:
+              case IrOp::FrameAddr:
+              case IrOp::GlobalAddr:
+                os << ", imm=" << inst.imm;
+                break;
+              default:
+                break;
+            }
+            switch (inst.op) {
+              case IrOp::FrameAddr:
+              case IrOp::GlobalAddr:
+              case IrOp::FuncAddr:
+              case IrOp::Call:
+                os << ", id=" << inst.id;
+                break;
+              default:
+                break;
+            }
+            if (inst.op == IrOp::Br)
+                os << " bb" << inst.bbTrue;
+            if (inst.op == IrOp::CondBr)
+                os << " bb" << inst.bbTrue << ", bb" << inst.bbFalse;
+            if (!inst.args.empty()) {
+                os << " (";
+                for (size_t k = 0; k < inst.args.size(); ++k) {
+                    if (k)
+                        os << ", ";
+                    os << "v" << inst.args[k];
+                }
+                os << ")";
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+printModule(const IrModule &module)
+{
+    std::ostringstream os;
+    os << "module " << module.name << "\n";
+    for (const auto &fn : module.functions)
+        os << printFunction(fn);
+    return os.str();
+}
+
+} // namespace hipstr

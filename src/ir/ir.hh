@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Three-address intermediate representation for the multi-ISA compiler.
+ *
+ * The IR is deliberately not SSA: virtual registers ("values") are
+ * mutable, which keeps workload authoring simple and matches the
+ * fixed-stack-slot model the paper's extended symbol table describes —
+ * every value owns one canonical frame slot in the common frame map,
+ * and the per-ISA register allocators decide independently which values
+ * additionally live in registers.
+ *
+ * Functions take up to four parameters (in values v0..v3) and return at
+ * most one word. Function pointers are represented as function IDs and
+ * dispatched through a per-ISA function table, which keeps them
+ * ISA-agnostic — a requirement for cross-ISA migration.
+ */
+
+#ifndef HIPSTR_IR_IR_HH
+#define HIPSTR_IR_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+
+/** A virtual register id, local to a function. */
+using ValueId = uint32_t;
+constexpr ValueId kNoValue = 0xffffffff;
+
+/** Maximum number of register-passed parameters. */
+constexpr unsigned kMaxParams = 4;
+
+/** IR opcodes. */
+enum class IrOp : uint8_t
+{
+    ConstI,     ///< dst = imm
+    Copy,       ///< dst = a
+    FrameAddr,  ///< dst = &frameObject[id] + imm
+    GlobalAddr, ///< dst = &global[id] + imm
+    FuncAddr,   ///< dst = function id of fn (an ISA-agnostic fn pointer)
+    Load,       ///< dst = mem32[a + imm]
+    Store,      ///< mem32[a + imm] = b
+    Load8,      ///< dst = zext(mem8[a + imm])
+    Store8,     ///< mem8[a + imm] = low8(b)
+    Add, Sub, And, Or, Xor, Shl, Shr, Sar, Mul, Divu,
+                ///< dst = a op b; when b == kNoValue the second operand
+                ///< is the immediate @c imm
+    Br,         ///< unconditional branch to bbTrue
+    CondBr,     ///< if (a <cond> b) goto bbTrue else bbFalse; b may be
+                ///< kNoValue to compare against @c imm
+    Call,       ///< dst? = fn(args...)
+    CallInd,    ///< dst? = (*a)(args...) — a holds a function id
+    Ret,        ///< return a (or nothing if a == kNoValue)
+    Syscall,    ///< dst = syscall(args[0]; args[1..3])
+    SetJmp,     ///< non-local label: record continuation state into
+                ///< jmp_buf at address a; control continues at block
+                ///< bbTrue (the resume point). Terminator.
+    LongJmp     ///< non-local jump: restore the continuation saved in
+                ///< jmp_buf at address a, delivering value b to the
+                ///< matching SetJmp's resume load. Terminator with no
+                ///< static successors.
+};
+
+const char *irOpName(IrOp op);
+
+/** True for ops that must terminate a basic block. */
+bool isIrTerminator(IrOp op);
+
+/** One IR instruction. Field use depends on @c op (see IrOp docs). */
+struct IrInst
+{
+    IrOp op;
+    Cond cond = Cond::Eq;          ///< CondBr only
+    ValueId dst = kNoValue;
+    ValueId a = kNoValue;
+    ValueId b = kNoValue;
+    int32_t imm = 0;               ///< immediate / displacement
+    uint32_t id = 0;               ///< frame object / global / callee id
+    uint32_t bbTrue = 0;           ///< Br/CondBr target
+    uint32_t bbFalse = 0;          ///< CondBr fall-through target
+    std::vector<ValueId> args;     ///< Call/CallInd/Syscall arguments
+};
+
+/** A straight-line block of IR instructions ending in a terminator. */
+struct IrBlock
+{
+    std::vector<IrInst> insts;
+};
+
+/**
+ * A stack-allocated object (array or address-taken variable). Frame
+ * objects are *fixed* in the paper's terminology: their frame offsets
+ * are identical across ISAs and PSR does not relocate them, because
+ * pointers to them flow through ordinary values.
+ */
+struct FrameObject
+{
+    std::string name;
+    uint32_t size;   ///< bytes
+    uint32_t align;  ///< power of two
+};
+
+/** A function. */
+struct IrFunction
+{
+    std::string name;
+    uint32_t id = 0;
+    unsigned numParams = 0;    ///< params arrive in values 0..numParams-1
+    uint32_t numValues = 0;    ///< total virtual registers
+    std::vector<IrBlock> blocks;        ///< block 0 is the entry
+    std::vector<FrameObject> frameObjects;
+};
+
+/** A global variable in the shared (ISA-agnostic) data section. */
+struct GlobalVar
+{
+    std::string name;
+    uint32_t size;                ///< bytes (>= init.size())
+    uint32_t align;
+    std::vector<uint8_t> init;    ///< initial bytes; rest zero-filled
+};
+
+/** A whole program. */
+struct IrModule
+{
+    std::string name;
+    std::vector<IrFunction> functions;
+    std::vector<GlobalVar> globals;
+    uint32_t entryFunc = 0;
+
+    const IrFunction &function(uint32_t id) const
+    {
+        return functions.at(id);
+    }
+};
+
+/** Append the value ids @p inst reads to @p uses. */
+void collectIrUses(const IrInst &inst, std::vector<ValueId> &uses);
+
+/** Value written by @p inst, or kNoValue. */
+ValueId irDefinedValue(const IrInst &inst);
+
+/** Successor block ids of a terminator (empty for Ret). */
+std::vector<uint32_t> irSuccessors(const IrInst &terminator);
+
+/**
+ * Check structural invariants: every block ends in exactly one
+ * terminator (and contains no mid-block terminators), branch targets
+ * and callee/global/frame ids are in range, value ids are in range,
+ * and argument counts respect kMaxParams.
+ *
+ * @return empty string if the module is well-formed, else a diagnostic.
+ */
+std::string verifyModule(const IrModule &module);
+
+/** Human-readable dump (for tests and debugging). */
+std::string printFunction(const IrFunction &fn);
+std::string printModule(const IrModule &module);
+
+} // namespace hipstr
+
+#endif // HIPSTR_IR_IR_HH

@@ -1,0 +1,136 @@
+#include "liveness.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+Liveness::Liveness(const IrFunction &fn) : _fn(fn)
+{
+    const size_t nblocks = fn.blocks.size();
+    const size_t nvalues = fn.numValues;
+
+    _liveIn.assign(nblocks, DenseBitSet(nvalues));
+    _liveOut.assign(nblocks, DenseBitSet(nvalues));
+
+    // Backward worklist iteration to a fixpoint.
+    bool changed = true;
+    std::vector<ValueId> uses;
+    while (changed) {
+        changed = false;
+        for (size_t bb = nblocks; bb-- > 0;) {
+            const IrBlock &block = fn.blocks[bb];
+
+            DenseBitSet out(nvalues);
+            for (uint32_t succ : irSuccessors(block.insts.back()))
+                out.unionWith(_liveIn[succ]);
+
+            DenseBitSet in = out;
+            for (size_t i = block.insts.size(); i-- > 0;) {
+                const IrInst &inst = block.insts[i];
+                ValueId def = irDefinedValue(inst);
+                if (def != kNoValue)
+                    in.clear(def);
+                uses.clear();
+                collectIrUses(inst, uses);
+                for (ValueId v : uses)
+                    in.set(v);
+            }
+
+            if (!(out == _liveOut[bb])) {
+                _liveOut[bb] = out;
+                changed = true;
+            }
+            if (!(in == _liveIn[bb])) {
+                _liveIn[bb] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // Stack-derivation: forward fixpoint. A value becomes derived when
+    // defined by FrameAddr, or by Copy/arithmetic over a derived
+    // value. Simultaneously classify derivations as simple (affine in
+    // the frame base) or complex.
+    _stackDerived.assign(nvalues, false);
+    _stackComplex.assign(nvalues, false);
+    bool derived_changed = true;
+    while (derived_changed) {
+        derived_changed = false;
+        for (const IrBlock &block : fn.blocks) {
+            for (const IrInst &inst : block.insts) {
+                ValueId def = irDefinedValue(inst);
+                if (def == kNoValue)
+                    continue;
+                bool derived = false;
+                bool simple = false;
+                bool b_derived =
+                    inst.b != kNoValue && _stackDerived[inst.b];
+                switch (inst.op) {
+                  case IrOp::FrameAddr:
+                    derived = true;
+                    simple = true;
+                    break;
+                  case IrOp::Copy:
+                    derived = _stackDerived[inst.a];
+                    simple = derived && !_stackComplex[inst.a];
+                    break;
+                  case IrOp::Add:
+                  case IrOp::Sub:
+                    derived = _stackDerived[inst.a] || b_derived;
+                    // Affine only when exactly one operand carries
+                    // the frame base, and that operand is itself
+                    // still rebasable.
+                    simple = (_stackDerived[inst.a] &&
+                              !_stackComplex[inst.a] && !b_derived) ||
+                        (inst.op == IrOp::Add && b_derived &&
+                         !_stackComplex[inst.b] &&
+                         !_stackDerived[inst.a]);
+                    break;
+                  case IrOp::And: case IrOp::Or: case IrOp::Xor:
+                  case IrOp::Shl: case IrOp::Shr: case IrOp::Sar:
+                  case IrOp::Mul: case IrOp::Divu:
+                    derived = _stackDerived[inst.a] || b_derived;
+                    simple = false;
+                    break;
+                  default:
+                    break;
+                }
+                if (derived && !_stackDerived[def]) {
+                    _stackDerived[def] = true;
+                    derived_changed = true;
+                }
+                // Any complex derived definition permanently poisons
+                // the value's rebasability (mutable values may be
+                // redefined along other paths).
+                if (derived && !simple && !_stackComplex[def]) {
+                    _stackComplex[def] = true;
+                    derived_changed = true;
+                }
+            }
+        }
+    }
+}
+
+DenseBitSet
+Liveness::liveBefore(uint32_t bb, size_t inst_idx) const
+{
+    const IrBlock &block = _fn.blocks[bb];
+    hipstr_assert(inst_idx <= block.insts.size());
+
+    DenseBitSet live = _liveOut[bb];
+    std::vector<ValueId> uses;
+    for (size_t i = block.insts.size(); i-- > inst_idx;) {
+        const IrInst &inst = block.insts[i];
+        ValueId def = irDefinedValue(inst);
+        if (def != kNoValue)
+            live.clear(def);
+        uses.clear();
+        collectIrUses(inst, uses);
+        for (ValueId v : uses)
+            live.set(v);
+    }
+    return live;
+}
+
+} // namespace hipstr

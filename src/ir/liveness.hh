@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Backward liveness dataflow over IR values, plus the stack-derivation
+ * analysis the migration-safety classifier consumes.
+ *
+ * The paper's PSR runtime performs "sophisticated liveness analysis"
+ * (Section 5.2) and a "single basic block look-ahead liveness analysis"
+ * for call transformation (Section 5.1); this module is the static half
+ * of that machinery. Its results are baked into the fat binary's
+ * extended symbol table.
+ */
+
+#ifndef HIPSTR_IR_LIVENESS_HH
+#define HIPSTR_IR_LIVENESS_HH
+
+#include <vector>
+
+#include "ir/ir.hh"
+#include "support/bitset.hh"
+
+namespace hipstr
+{
+
+/** Liveness and pointer-derivation facts for one function. */
+class Liveness
+{
+  public:
+    explicit Liveness(const IrFunction &fn);
+
+    /** Values live at entry to block @p bb. */
+    const DenseBitSet &liveIn(uint32_t bb) const { return _liveIn[bb]; }
+    /** Values live at exit of block @p bb. */
+    const DenseBitSet &liveOut(uint32_t bb) const
+    {
+        return _liveOut[bb];
+    }
+
+    /**
+     * Values live immediately before instruction @p inst_idx of block
+     * @p bb (recomputed by a backward scan from liveOut).
+     */
+    DenseBitSet liveBefore(uint32_t bb, size_t inst_idx) const;
+
+    /**
+     * True if value @p v may hold a pointer into the current stack
+     * frame (derived from a FrameAddr through copies and arithmetic).
+     * Loads are conservatively treated as not stack-derived; the
+     * workloads never store frame pointers to memory, which the
+     * authoring guidelines in src/workloads document.
+     *
+     * Stack-derived live values are what make a basic-block boundary
+     * unsafe for cross-ISA migration: PSR randomizes frame layouts
+     * independently per ISA, so a raw frame pointer from ISA A dangles
+     * on ISA B unless the on-demand machinery patches it.
+     */
+    bool stackDerived(ValueId v) const { return _stackDerived[v]; }
+
+    const std::vector<bool> &stackDerivedAll() const
+    {
+        return _stackDerived;
+    }
+
+    /**
+     * A stack-derived value is *simple* when it is an affine function
+     * of the frame base (FrameAddr plus copies and additive arithmetic
+     * with non-derived operands). Simple values can be rebased by the
+     * on-demand migration machinery (new = old + sp_delta); complex
+     * derivations (multiplied, xor-ed, or combined pointers) cannot,
+     * which is what separates the paper's 45% baseline-safe blocks
+     * from the 78% reachable with on-demand migration (Section 5.2).
+     */
+    bool
+    stackSimple(ValueId v) const
+    {
+        return _stackDerived[v] && !_stackComplex[v];
+    }
+
+    std::vector<bool>
+    stackSimpleAll() const
+    {
+        std::vector<bool> out(_stackDerived.size());
+        for (size_t v = 0; v < out.size(); ++v)
+            out[v] = _stackDerived[v] && !_stackComplex[v];
+        return out;
+    }
+
+  private:
+    const IrFunction &_fn;
+    std::vector<DenseBitSet> _liveIn;
+    std::vector<DenseBitSet> _liveOut;
+    std::vector<bool> _stackDerived;
+    std::vector<bool> _stackComplex;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_IR_LIVENESS_HH

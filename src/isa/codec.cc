@@ -1,0 +1,54 @@
+#include "codec.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+bool
+decodeBytes(IsaKind isa, const uint8_t *bytes, size_t len, Addr pc,
+            MachInst &out)
+{
+    if (isa == IsaKind::Risc)
+        return detail::decodeRisc(bytes, len, pc, out);
+    return detail::decodeCisc(bytes, len, pc, out);
+}
+
+bool
+decodeInst(IsaKind isa, const Memory &mem, Addr pc, MachInst &out)
+{
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    uint8_t buf[16];
+    size_t got = mem.fetchBytes(pc, buf, desc.maxInstBytes);
+    if (got == 0)
+        return false;
+    return decodeBytes(isa, buf, got, pc, out);
+}
+
+void
+encodeInst(IsaKind isa, const MachInst &mi, Addr pc,
+           std::vector<uint8_t> &out)
+{
+    if (isa == IsaKind::Risc)
+        detail::encodeRisc(mi, pc, out);
+    else
+        detail::encodeCisc(mi, pc, out);
+}
+
+unsigned
+encodedSize(IsaKind isa, const MachInst &mi)
+{
+    if (isa == IsaKind::Risc)
+        return detail::sizeRisc(mi);
+    return detail::sizeCisc(mi);
+}
+
+bool
+isEncodable(IsaKind isa, const MachInst &mi)
+{
+    if (isa == IsaKind::Risc)
+        return detail::encodableRisc(mi);
+    return detail::encodableCisc(mi);
+}
+
+} // namespace hipstr

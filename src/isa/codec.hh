@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unified encode/decode interface over the two ISA codecs.
+ *
+ * Every @c MachInst has exactly one encoding per ISA (no relaxation), so
+ * @c encodedSize is layout-independent — the emitter relies on this for
+ * single-pass label fixup.
+ */
+
+#ifndef HIPSTR_ISA_CODEC_HH
+#define HIPSTR_ISA_CODEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/isa.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+/**
+ * Decode one instruction from raw bytes at guest address @p pc.
+ *
+ * @param isa   which decoder to use
+ * @param bytes pointer to at least @p len valid bytes
+ * @param len   bytes available (decode fails rather than over-reads)
+ * @param pc    guest address of bytes[0] (for pc-relative targets)
+ * @param out   decoded instruction; @c out.size is set on success
+ * @retval true on a valid encoding, false otherwise
+ *
+ * Decoding from arbitrary offsets is exactly what the Galileo gadget
+ * scanner does; on Cisc any byte offset may start a valid instruction,
+ * on Risc only 4-byte-aligned offsets decode.
+ */
+bool decodeBytes(IsaKind isa, const uint8_t *bytes, size_t len, Addr pc,
+                 MachInst &out);
+
+/** Decode through guest memory with execute-permission checks. */
+bool decodeInst(IsaKind isa, const Memory &mem, Addr pc, MachInst &out);
+
+/**
+ * Append the unique encoding of @p mi (assumed placed at @p pc) to
+ * @p out. Panics on operand combinations the ISA cannot encode — the
+ * compiler and translator are responsible for legalization.
+ */
+void encodeInst(IsaKind isa, const MachInst &mi, Addr pc,
+                std::vector<uint8_t> &out);
+
+/** Size in bytes of the unique encoding of @p mi. */
+unsigned encodedSize(IsaKind isa, const MachInst &mi);
+
+/**
+ * True if the operand shapes of @p mi are directly encodable on
+ * @p isa — used by the translator to decide when legalization
+ * (scratch-register sequences) is required.
+ */
+bool isEncodable(IsaKind isa, const MachInst &mi);
+
+namespace detail
+{
+// Per-ISA entry points, implemented in encoding_{risc,cisc}.cc.
+bool decodeRisc(const uint8_t *bytes, size_t len, Addr pc, MachInst &out);
+bool decodeCisc(const uint8_t *bytes, size_t len, Addr pc, MachInst &out);
+void encodeRisc(const MachInst &mi, Addr pc, std::vector<uint8_t> &out);
+void encodeCisc(const MachInst &mi, Addr pc, std::vector<uint8_t> &out);
+unsigned sizeRisc(const MachInst &mi);
+unsigned sizeCisc(const MachInst &mi);
+bool encodableRisc(const MachInst &mi);
+bool encodableCisc(const MachInst &mi);
+} // namespace detail
+
+} // namespace hipstr
+
+#endif // HIPSTR_ISA_CODEC_HH

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Encoder/decoder for the Risc (ARM-like) ISA.
+ *
+ * Every instruction is one little-endian 32-bit word, and execution
+ * requires 4-byte alignment — this is what shrinks the Risc gadget
+ * population to intentional (aligned) sequences only, reproducing the
+ * paper's observation that the ARM attack surface is ~52x smaller.
+ *
+ * Word layout (bit 0 = LSB):
+ *   [7:0]   opcode
+ *   [11:8]  rd   (destination register / condition code for JCC /
+ *                 source register for STORE)
+ *   [15:12] rn   (first source / base register)
+ *   [31:16] imm16 (signed immediate / offset)  -- imm16 forms
+ *   [19:16] rm                                  -- register forms
+ *   [31:8]  simm24 word offset                  -- JMP/CALL/VMEXIT
+ *
+ * Opcode map:
+ *   0x01 nop          0x02 halt         0x03 syscall
+ *   0x04 mov rd,rn    0x05 mov rd,simm16  0x06 movhi rd,imm16
+ *   0x07 load rd,[rn+simm16]   0x08 store [rn+simm16],rd
+ *   0x09 lea rd,rn+simm16
+ *   0x0a loadb rd,[rn+simm16]  0x0b storeb [rn+simm16],rd
+ *   0x10..0x19 ALU rd,rn,rm   (add sub and or xor shl shr sar mul divu)
+ *   0x20..0x29 ALU rd,rn,simm16
+ *   0x30 cmp rn,rm    0x31 cmp rn,simm16
+ *   0x32 test rn,rm   0x33 test rn,simm16
+ *   0x34 jmp simm24   0x35 jcc(rd=cc) simm16
+ *   0x36 call simm24  0x37 jmpind rn    0x38 callind rn
+ *   0x39 popret (ret: pc <- [sp]; sp += 4)
+ *   0x3a vmexit imm24 (translator-only)
+ *
+ * Opcode 0x00 (an all-zero word) deliberately does not decode, so
+ * zero-filled memory is not executable.
+ */
+
+#include <cstring>
+
+#include "isa/codec.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+namespace detail
+{
+
+namespace
+{
+
+constexpr uint8_t kOpNop = 0x01;
+constexpr uint8_t kOpHalt = 0x02;
+constexpr uint8_t kOpSyscall = 0x03;
+constexpr uint8_t kOpMovRR = 0x04;
+constexpr uint8_t kOpMovRI = 0x05;
+constexpr uint8_t kOpMovHi = 0x06;
+constexpr uint8_t kOpLoad = 0x07;
+constexpr uint8_t kOpStore = 0x08;
+constexpr uint8_t kOpLea = 0x09;
+constexpr uint8_t kOpLoadB = 0x0a;
+constexpr uint8_t kOpStoreB = 0x0b;
+constexpr uint8_t kOpAluRRR = 0x10;
+constexpr uint8_t kOpAluRRI = 0x20;
+constexpr uint8_t kOpCmpRR = 0x30;
+constexpr uint8_t kOpCmpRI = 0x31;
+constexpr uint8_t kOpTestRR = 0x32;
+constexpr uint8_t kOpTestRI = 0x33;
+constexpr uint8_t kOpJmp = 0x34;
+constexpr uint8_t kOpJcc = 0x35;
+constexpr uint8_t kOpCall = 0x36;
+constexpr uint8_t kOpJmpInd = 0x37;
+constexpr uint8_t kOpCallInd = 0x38;
+constexpr uint8_t kOpPopRet = 0x39;
+constexpr uint8_t kOpVmExit = 0x3a;
+
+/** Order of ALU ops in the 0x10/0x20 groups. */
+const Op kAluOrder[] = {
+    Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor,
+    Op::Shl, Op::Shr, Op::Sar, Op::Mul, Op::Divu
+};
+constexpr unsigned kNumAlu = 10;
+
+int
+aluIndex(Op op)
+{
+    for (unsigned i = 0; i < kNumAlu; ++i)
+        if (kAluOrder[i] == op)
+            return static_cast<int>(i);
+    return -1;
+}
+
+uint32_t
+pack(uint8_t opcode, unsigned rd, unsigned rn, uint32_t imm16)
+{
+    return static_cast<uint32_t>(opcode) |
+        ((rd & 0xf) << 8) | ((rn & 0xf) << 12) |
+        ((imm16 & 0xffff) << 16);
+}
+
+uint32_t
+packRRR(uint8_t opcode, unsigned rd, unsigned rn, unsigned rm)
+{
+    return static_cast<uint32_t>(opcode) |
+        ((rd & 0xf) << 8) | ((rn & 0xf) << 12) | ((rm & 0xf) << 16);
+}
+
+uint32_t
+pack24(uint8_t opcode, uint32_t imm24)
+{
+    return static_cast<uint32_t>(opcode) | ((imm24 & 0xffffff) << 8);
+}
+
+void
+emitWord(std::vector<uint8_t> &out, uint32_t w)
+{
+    out.push_back(static_cast<uint8_t>(w));
+    out.push_back(static_cast<uint8_t>(w >> 8));
+    out.push_back(static_cast<uint8_t>(w >> 16));
+    out.push_back(static_cast<uint8_t>(w >> 24));
+}
+
+bool
+validReg(Reg r)
+{
+    return r < risc::kNumRegs;
+}
+
+} // namespace
+
+bool
+encodableRisc(const MachInst &mi)
+{
+    auto reg_ok = [](const Operand &o) {
+        if (o.isReg())
+            return validReg(o.reg);
+        if (o.isMem())
+            return validReg(o.base);
+        return true;
+    };
+    if (!reg_ok(mi.dst) || !reg_ok(mi.src1) || !reg_ok(mi.src2))
+        return false;
+
+    auto imm16_ok = [](int32_t v) { return fitsSigned(v, 16); };
+
+    switch (mi.op) {
+      case Op::Nop:
+      case Op::Halt:
+      case Op::Syscall:
+      case Op::Ret:
+      case Op::Jmp:
+      case Op::Call:
+      case Op::Jcc:
+        return true;
+      case Op::VmExit:
+        return mi.src1.isImm() && mi.src1.disp >= 0 &&
+            mi.src1.disp < (1 << 24);
+      case Op::JmpInd:
+      case Op::CallInd:
+        return mi.src1.isReg();
+      case Op::MovHi:
+        return mi.dst.isReg() && mi.src1.isImm() &&
+            mi.src1.disp >= 0 && mi.src1.disp <= 0xffff;
+      case Op::Movb:
+        if (mi.dst.isReg())
+            return mi.src1.isMem() && imm16_ok(mi.src1.disp);
+        return mi.dst.isMem() && mi.src1.isReg() &&
+            imm16_ok(mi.dst.disp);
+      case Op::Mov:
+        if (!mi.dst.isReg() && !mi.dst.isMem())
+            return false;
+        if (mi.dst.isReg()) {
+            if (mi.src1.isReg())
+                return true;
+            if (mi.src1.isImm())
+                return imm16_ok(mi.src1.disp);
+            if (mi.src1.isMem())
+                return imm16_ok(mi.src1.disp);
+            return false;
+        }
+        // store: only register sources, imm16 displacement
+        return mi.src1.isReg() && imm16_ok(mi.dst.disp);
+      case Op::Lea:
+        return mi.dst.isReg() && mi.src1.isMem() &&
+            imm16_ok(mi.src1.disp);
+      case Op::Cmp:
+      case Op::Test:
+        if (!mi.src1.isReg())
+            return false;
+        if (mi.src2.isReg())
+            return true;
+        return mi.src2.isImm() && imm16_ok(mi.src2.disp);
+      case Op::Push:
+      case Op::Pop:
+        return false; // load/store architecture: no push/pop
+      default: {
+        // Three-address ALU.
+        if (aluIndex(mi.op) < 0)
+            return false;
+        if (!mi.dst.isReg() || !mi.src1.isReg())
+            return false;
+        if (mi.src2.isReg())
+            return true;
+        return mi.src2.isImm() && imm16_ok(mi.src2.disp);
+      }
+    }
+}
+
+void
+encodeRisc(const MachInst &mi, Addr pc, std::vector<uint8_t> &out)
+{
+    hipstr_assert(encodableRisc(mi));
+
+    auto word_off = [&]() {
+        // Signed word offset relative to the *next* instruction.
+        int32_t delta = static_cast<int32_t>(mi.target) -
+            static_cast<int32_t>(pc + 4);
+        hipstr_assert(delta % 4 == 0);
+        return delta / 4;
+    };
+    auto checked_off = [&](unsigned width) {
+        int32_t off = word_off();
+        hipstr_assert(fitsSigned(off, width));
+        return off;
+    };
+
+    switch (mi.op) {
+      case Op::Nop:
+        emitWord(out, pack(kOpNop, 0, 0, 0));
+        return;
+      case Op::Halt:
+        emitWord(out, pack(kOpHalt, 0, 0, 0));
+        return;
+      case Op::Syscall:
+        emitWord(out, pack(kOpSyscall, 0, 0, 0));
+        return;
+      case Op::Ret:
+        emitWord(out, pack(kOpPopRet, 0, 0, 0));
+        return;
+      case Op::Mov:
+        if (mi.dst.isReg() && mi.src1.isReg()) {
+            emitWord(out, pack(kOpMovRR, mi.dst.reg, mi.src1.reg, 0));
+        } else if (mi.dst.isReg() && mi.src1.isImm()) {
+            emitWord(out, pack(kOpMovRI, mi.dst.reg, 0,
+                               static_cast<uint32_t>(mi.src1.disp)));
+        } else if (mi.dst.isReg() && mi.src1.isMem()) {
+            emitWord(out, pack(kOpLoad, mi.dst.reg, mi.src1.base,
+                               static_cast<uint32_t>(mi.src1.disp)));
+        } else {
+            emitWord(out, pack(kOpStore, mi.src1.reg, mi.dst.base,
+                               static_cast<uint32_t>(mi.dst.disp)));
+        }
+        return;
+      case Op::MovHi:
+        emitWord(out, pack(kOpMovHi, mi.dst.reg, 0,
+                           static_cast<uint32_t>(mi.src1.disp)));
+        return;
+      case Op::Movb:
+        if (mi.dst.isReg()) {
+            emitWord(out, pack(kOpLoadB, mi.dst.reg, mi.src1.base,
+                               static_cast<uint32_t>(mi.src1.disp)));
+        } else {
+            emitWord(out, pack(kOpStoreB, mi.src1.reg, mi.dst.base,
+                               static_cast<uint32_t>(mi.dst.disp)));
+        }
+        return;
+      case Op::Lea:
+        emitWord(out, pack(kOpLea, mi.dst.reg, mi.src1.base,
+                           static_cast<uint32_t>(mi.src1.disp)));
+        return;
+      case Op::Cmp:
+        if (mi.src2.isReg()) {
+            emitWord(out, packRRR(kOpCmpRR, 0, mi.src1.reg,
+                                  mi.src2.reg));
+        } else {
+            emitWord(out, pack(kOpCmpRI, 0, mi.src1.reg,
+                               static_cast<uint32_t>(mi.src2.disp)));
+        }
+        return;
+      case Op::Test:
+        if (mi.src2.isReg()) {
+            emitWord(out, packRRR(kOpTestRR, 0, mi.src1.reg,
+                                  mi.src2.reg));
+        } else {
+            emitWord(out, pack(kOpTestRI, 0, mi.src1.reg,
+                               static_cast<uint32_t>(mi.src2.disp)));
+        }
+        return;
+      case Op::Jmp:
+        emitWord(out, pack24(kOpJmp,
+                             static_cast<uint32_t>(checked_off(24))));
+        return;
+      case Op::Call:
+        emitWord(out, pack24(kOpCall,
+                             static_cast<uint32_t>(checked_off(24))));
+        return;
+      case Op::Jcc:
+        emitWord(out, pack(kOpJcc, static_cast<unsigned>(mi.cond), 0,
+                           static_cast<uint32_t>(checked_off(16))));
+        return;
+      case Op::JmpInd:
+        emitWord(out, pack(kOpJmpInd, 0, mi.src1.reg, 0));
+        return;
+      case Op::CallInd:
+        emitWord(out, pack(kOpCallInd, 0, mi.src1.reg, 0));
+        return;
+      case Op::VmExit:
+        emitWord(out, pack24(kOpVmExit,
+                             static_cast<uint32_t>(mi.src1.disp)));
+        return;
+      default: {
+        int idx = aluIndex(mi.op);
+        hipstr_assert(idx >= 0);
+        if (mi.src2.isReg()) {
+            emitWord(out, packRRR(static_cast<uint8_t>(kOpAluRRR + idx),
+                                  mi.dst.reg, mi.src1.reg,
+                                  mi.src2.reg));
+        } else {
+            emitWord(out, pack(static_cast<uint8_t>(kOpAluRRI + idx),
+                               mi.dst.reg, mi.src1.reg,
+                               static_cast<uint32_t>(mi.src2.disp)));
+        }
+        return;
+      }
+    }
+}
+
+unsigned
+sizeRisc(const MachInst &mi)
+{
+    (void)mi;
+    return 4;
+}
+
+bool
+decodeRisc(const uint8_t *bytes, size_t len, Addr pc, MachInst &out)
+{
+    if (len < 4 || (pc & 3) != 0)
+        return false;
+
+    uint32_t w;
+    std::memcpy(&w, bytes, 4);
+
+    uint8_t opcode = static_cast<uint8_t>(w & 0xff);
+    Reg rd = static_cast<Reg>((w >> 8) & 0xf);
+    Reg rn = static_cast<Reg>((w >> 12) & 0xf);
+    Reg rm = static_cast<Reg>((w >> 16) & 0xf);
+    int32_t simm16 = signExtend(w >> 16, 16);
+    int32_t simm24 = static_cast<int32_t>(signExtend(w >> 8, 24));
+
+    out = MachInst{};
+    out.size = 4;
+
+    auto branch_target = [&](int32_t word_off) {
+        return static_cast<Addr>(
+            static_cast<int64_t>(pc) + 4 +
+            static_cast<int64_t>(word_off) * 4);
+    };
+
+    switch (opcode) {
+      case kOpNop:
+        out.op = Op::Nop;
+        return true;
+      case kOpHalt:
+        out.op = Op::Halt;
+        return true;
+      case kOpSyscall:
+        out.op = Op::Syscall;
+        return true;
+      case kOpMovRR:
+        out.op = Op::Mov;
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeReg(rn);
+        return true;
+      case kOpMovRI:
+        out.op = Op::Mov;
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeImm(simm16);
+        return true;
+      case kOpMovHi:
+        out.op = Op::MovHi;
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeImm(
+            static_cast<int32_t>((w >> 16) & 0xffff));
+        return true;
+      case kOpLoad:
+        out.op = Op::Mov;
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeMem(rn, simm16);
+        return true;
+      case kOpStore:
+        out.op = Op::Mov;
+        out.dst = Operand::makeMem(rn, simm16);
+        out.src1 = Operand::makeReg(rd);
+        return true;
+      case kOpLea:
+        out.op = Op::Lea;
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeMem(rn, simm16);
+        return true;
+      case kOpLoadB:
+        out.op = Op::Movb;
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeMem(rn, simm16);
+        return true;
+      case kOpStoreB:
+        out.op = Op::Movb;
+        out.dst = Operand::makeMem(rn, simm16);
+        out.src1 = Operand::makeReg(rd);
+        return true;
+      case kOpCmpRR:
+        out.op = Op::Cmp;
+        out.src1 = Operand::makeReg(rn);
+        out.src2 = Operand::makeReg(rm);
+        return true;
+      case kOpCmpRI:
+        out.op = Op::Cmp;
+        out.src1 = Operand::makeReg(rn);
+        out.src2 = Operand::makeImm(simm16);
+        return true;
+      case kOpTestRR:
+        out.op = Op::Test;
+        out.src1 = Operand::makeReg(rn);
+        out.src2 = Operand::makeReg(rm);
+        return true;
+      case kOpTestRI:
+        out.op = Op::Test;
+        out.src1 = Operand::makeReg(rn);
+        out.src2 = Operand::makeImm(simm16);
+        return true;
+      case kOpJmp:
+        out.op = Op::Jmp;
+        out.target = branch_target(simm24);
+        return true;
+      case kOpCall:
+        out.op = Op::Call;
+        out.target = branch_target(simm24);
+        return true;
+      case kOpJcc: {
+        if (rd >= kNumConds)
+            return false;
+        out.op = Op::Jcc;
+        out.cond = static_cast<Cond>(rd);
+        out.target = branch_target(simm16);
+        return true;
+      }
+      case kOpJmpInd:
+        out.op = Op::JmpInd;
+        out.src1 = Operand::makeReg(rn);
+        return true;
+      case kOpCallInd:
+        out.op = Op::CallInd;
+        out.src1 = Operand::makeReg(rn);
+        return true;
+      case kOpPopRet:
+        out.op = Op::Ret;
+        return true;
+      case kOpVmExit:
+        out.op = Op::VmExit;
+        out.src1 = Operand::makeImm(
+            static_cast<int32_t>((w >> 8) & 0xffffff));
+        return true;
+      default:
+        break;
+    }
+
+    if (opcode >= kOpAluRRR && opcode < kOpAluRRR + kNumAlu) {
+        out.op = kAluOrder[opcode - kOpAluRRR];
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeReg(rn);
+        out.src2 = Operand::makeReg(rm);
+        return true;
+    }
+    if (opcode >= kOpAluRRI && opcode < kOpAluRRI + kNumAlu) {
+        out.op = kAluOrder[opcode - kOpAluRRI];
+        out.dst = Operand::makeReg(rd);
+        out.src1 = Operand::makeReg(rn);
+        out.src2 = Operand::makeImm(simm16);
+        return true;
+    }
+
+    return false;
+}
+
+} // namespace detail
+} // namespace hipstr

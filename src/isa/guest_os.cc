@@ -1,0 +1,116 @@
+#include "guest_os.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+bool
+GuestOs::handleSyscall(MachineState &state, Memory &mem)
+{
+    (void)mem;
+    const IsaDescriptor &desc = isaDescriptor(state.isa);
+    uint32_t number = state.reg(desc.retReg);
+    uint32_t a1 = state.reg(desc.argRegs[1]);
+    uint32_t a2 = state.reg(desc.argRegs[2]);
+    uint32_t a3 = state.reg(desc.argRegs[3]);
+
+    switch (static_cast<SyscallNo>(number)) {
+      case SyscallNo::Exit:
+        _exited = true;
+        _exitCode = a1;
+        return false;
+      case SyscallNo::WriteBuf: {
+        uint32_t len = a2 > 4096 ? 4096 : a2;
+        for (uint32_t i = 0; i < len; ++i)
+            _output.push_back(mem.read8(a1 + i));
+        _output.push_back(static_cast<uint8_t>(a3));
+        state.setReg(desc.retReg, len);
+        return true;
+      }
+      case SyscallNo::WriteByte:
+        _output.push_back(static_cast<uint8_t>(a1));
+        state.setReg(desc.retReg, 1);
+        return true;
+      case SyscallNo::WriteWord:
+        _output.push_back(static_cast<uint8_t>(a1));
+        _output.push_back(static_cast<uint8_t>(a1 >> 8));
+        _output.push_back(static_cast<uint8_t>(a1 >> 16));
+        _output.push_back(static_cast<uint8_t>(a1 >> 24));
+        state.setReg(desc.retReg, 4);
+        return true;
+      case SyscallNo::Brk: {
+        uint32_t old = _brk;
+        if (a1 > _brk && a1 < layout::kStackLimit)
+            _brk = a1;
+        state.setReg(desc.retReg, old);
+        return true;
+      }
+      case SyscallNo::Execve:
+        _execveFired = true;
+        _execveArgs = { a1, a2, a3 };
+        return false;
+      case SyscallNo::SetJmp: {
+        // jmp_buf: [sp, resume, value, callee-saved...]. Physical
+        // register state is captured, which makes the buffer valid
+        // under any relocation map of the same randomization
+        // generation (the map renames uses, not the registers'
+        // identities at a syscall boundary).
+        mem.write32(a1 + 0, state.sp());
+        mem.write32(a1 + 4, a2);
+        mem.write32(a1 + 8, 0);
+        const auto &saved = desc.calleeSaved;
+        for (size_t i = 0; i < saved.size(); ++i)
+            mem.write32(a1 + 12 + 4 * static_cast<uint32_t>(i),
+                        state.reg(saved[i]));
+        state.setReg(desc.retReg, 0);
+        return true;
+      }
+      case SyscallNo::LongJmp: {
+        uint32_t sp = mem.read32(a1 + 0);
+        Addr resume = mem.read32(a1 + 4);
+        mem.write32(a1 + 8, a2 ? a2 : 1);
+        const auto &saved = desc.calleeSaved;
+        for (size_t i = 0; i < saved.size(); ++i)
+            state.setReg(saved[i],
+                         mem.read32(a1 + 12 +
+                                    4 * static_cast<uint32_t>(i)));
+        state.setSp(sp);
+        state.pc = resume;
+        _redirected = true;
+        return true;
+      }
+      case SyscallNo::Getpid:
+        state.setReg(desc.retReg, 4242);
+        return true;
+      default:
+        // Unknown syscall: return -1, keep running (like ENOSYS).
+        state.setReg(desc.retReg, static_cast<uint32_t>(-1));
+        return true;
+    }
+}
+
+uint64_t
+GuestOs::outputChecksum() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : _output) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+GuestOs::reset()
+{
+    _output.clear();
+    _exited = false;
+    _exitCode = 0;
+    _execveFired = false;
+    _execveArgs = {};
+    _redirected = false;
+    _brk = layout::kHeapBase;
+}
+
+} // namespace hipstr

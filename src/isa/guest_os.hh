@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal guest operating-system interface: system calls, program
+ * output collection, and detection of the attacker's goal (execve).
+ */
+
+#ifndef HIPSTR_ISA_GUEST_OS_HH
+#define HIPSTR_ISA_GUEST_OS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/machine_state.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+/**
+ * Handles guest system calls. The syscall number travels in the ISA's
+ * return register (r0 / ax) and arguments in argRegs[1..3]
+ * (r1-r3 / bx,cx,dx), mirroring the execve(eax=11, ebx, ecx, edx)
+ * convention the paper's brute-force experiment targets.
+ *
+ * Program output (WriteByte/WriteWord) is accumulated and checksummed;
+ * the VM-equivalence tests compare these checksums between native and
+ * PSR execution.
+ */
+class GuestOs
+{
+  public:
+    GuestOs() = default;
+
+    /**
+     * Execute the system call encoded in @p state.
+     * @return true if the guest should keep running, false on Exit
+     *         or Execve (which ends the program).
+     */
+    bool handleSyscall(MachineState &state, Memory &mem);
+
+    /** Raw output stream written via WriteByte/WriteWord. */
+    const std::vector<uint8_t> &output() const { return _output; }
+
+    /** FNV-1a checksum of the output stream. */
+    uint64_t outputChecksum() const;
+
+    bool exited() const { return _exited; }
+    uint32_t exitCode() const { return _exitCode; }
+
+    /** True once the guest (or an attacker chain) invoked execve. */
+    bool execveFired() const { return _execveFired; }
+    /** Argument registers captured at the execve invocation. */
+    const std::array<uint32_t, 3> &execveArgs() const
+    {
+        return _execveArgs;
+    }
+
+    void reset();
+
+    /**
+     * True exactly once after a syscall redirected the program
+     * counter (longjmp): the execution engine must dispatch to the
+     * already-written state.pc instead of falling through.
+     */
+    bool takeRedirect()
+    {
+        bool r = _redirected;
+        _redirected = false;
+        return r;
+    }
+
+  private:
+    bool _redirected = false;
+    std::vector<uint8_t> _output;
+    bool _exited = false;
+    uint32_t _exitCode = 0;
+    bool _execveFired = false;
+    std::array<uint32_t, 3> _execveArgs{};
+    Addr _brk = layout::kHeapBase;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_ISA_GUEST_OS_HH

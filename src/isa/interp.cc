@@ -1,0 +1,312 @@
+#include "interp.hh"
+
+#include "isa/codec.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+uint32_t
+readOperand(const Operand &o, const MachineState &state,
+            const Memory &mem)
+{
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        return state.reg(o.reg);
+      case Operand::Kind::Imm:
+        return static_cast<uint32_t>(o.disp);
+      case Operand::Kind::Mem:
+        return mem.read32(state.reg(o.base) +
+                          static_cast<uint32_t>(o.disp));
+      case Operand::Kind::None:
+        break;
+    }
+    hipstr_panic("readOperand: invalid operand kind");
+}
+
+void
+writeOperand(const Operand &o, uint32_t v, MachineState &state,
+             Memory &mem)
+{
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        state.setReg(o.reg, v);
+        return;
+      case Operand::Kind::Mem:
+        mem.write32(state.reg(o.base) + static_cast<uint32_t>(o.disp),
+                    v);
+        return;
+      default:
+        hipstr_panic("writeOperand: invalid operand kind");
+    }
+}
+
+void
+setCmpFlags(uint32_t a, uint32_t b, Flags &f)
+{
+    uint32_t r = a - b;
+    f.zf = (r == 0);
+    f.sf = (static_cast<int32_t>(r) < 0);
+    f.cf = (a < b);
+    // Signed overflow of a - b.
+    f.of = (((a ^ b) & (a ^ r)) >> 31) != 0;
+}
+
+void
+setTestFlags(uint32_t a, uint32_t b, Flags &f)
+{
+    uint32_t r = a & b;
+    f.zf = (r == 0);
+    f.sf = (static_cast<int32_t>(r) < 0);
+    f.cf = false;
+    f.of = false;
+}
+
+uint32_t
+aluCompute(Op op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::And: return a & b;
+      case Op::Or:  return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Shl: return a << (b & 31);
+      case Op::Shr: return a >> (b & 31);
+      case Op::Sar:
+        return static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                     (b & 31));
+      case Op::Mul: return a * b;
+      case Op::Divu:
+        // Division by zero yields 0 rather than faulting; this keeps
+        // gadget execution total without an extra trap class.
+        return b == 0 ? 0 : a / b;
+      default:
+        hipstr_panic("aluCompute: %s is not an ALU op", opName(op));
+    }
+}
+
+} // namespace
+
+ExecStatus
+executeInst(const MachInst &mi, MachineState &state, Memory &mem,
+            GuestOs *os)
+{
+    const IsaDescriptor &desc = isaDescriptor(state.isa);
+    const Addr next_pc = state.pc + mi.size;
+
+    switch (mi.op) {
+      case Op::Nop:
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+
+      case Op::Halt:
+        return ExecStatus::Halted;
+
+      case Op::Mov:
+        writeOperand(mi.dst, readOperand(mi.src1, state, mem), state,
+                     mem);
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+
+      case Op::Movb:
+        // Byte-sized memory access: loads zero-extend, stores write
+        // the low byte. Exactly one side is a memory operand.
+        if (mi.src1.isMem()) {
+            state.setReg(mi.dst.reg,
+                         mem.read8(state.reg(mi.src1.base) +
+                                   static_cast<uint32_t>(mi.src1.disp)));
+        } else {
+            uint32_t v = readOperand(mi.src1, state, mem);
+            mem.write8(state.reg(mi.dst.base) +
+                           static_cast<uint32_t>(mi.dst.disp),
+                       static_cast<uint8_t>(v));
+        }
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+
+      case Op::MovHi: {
+        uint32_t lo = state.reg(mi.dst.reg) & 0xffffu;
+        state.setReg(mi.dst.reg,
+                     lo | (static_cast<uint32_t>(mi.src1.disp) << 16));
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+      }
+
+      case Op::Lea:
+        state.setReg(mi.dst.reg,
+                     state.reg(mi.src1.base) +
+                         static_cast<uint32_t>(mi.src1.disp));
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Sar:
+      case Op::Mul:
+      case Op::Divu: {
+        uint32_t a = readOperand(mi.src1, state, mem);
+        uint32_t b = readOperand(mi.src2, state, mem);
+        writeOperand(mi.dst, aluCompute(mi.op, a, b), state, mem);
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+      }
+
+      case Op::Cmp:
+        setCmpFlags(readOperand(mi.src1, state, mem),
+                    readOperand(mi.src2, state, mem), state.flags);
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+
+      case Op::Test:
+        setTestFlags(readOperand(mi.src1, state, mem),
+                     readOperand(mi.src2, state, mem), state.flags);
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+
+      case Op::Jmp:
+        state.pc = mi.target;
+        return ExecStatus::Continue;
+
+      case Op::Jcc:
+        state.pc = condHolds(mi.cond, state.flags) ? mi.target
+                                                   : next_pc;
+        return ExecStatus::Continue;
+
+      case Op::JmpInd:
+        state.pc = readOperand(mi.src1, state, mem);
+        return ExecStatus::Continue;
+
+      case Op::Call:
+      case Op::CallInd: {
+        Addr target = (mi.op == Op::Call)
+            ? mi.target
+            : readOperand(mi.src1, state, mem);
+        if (state.isa == IsaKind::Cisc) {
+            uint32_t sp = state.sp() - kWordSize;
+            mem.write32(sp, next_pc);
+            state.setSp(sp);
+        } else {
+            state.setReg(desc.lrReg, next_pc);
+        }
+        state.pc = target;
+        return ExecStatus::Continue;
+      }
+
+      case Op::Ret: {
+        uint32_t sp = state.sp();
+        Addr ra = mem.read32(sp);
+        state.setSp(sp + kWordSize);
+        state.pc = ra;
+        return ExecStatus::Continue;
+      }
+
+      case Op::Push: {
+        uint32_t v = readOperand(mi.src1, state, mem);
+        uint32_t sp = state.sp() - kWordSize;
+        mem.write32(sp, v);
+        state.setSp(sp);
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+      }
+
+      case Op::Pop: {
+        uint32_t sp = state.sp();
+        uint32_t v = mem.read32(sp);
+        state.setSp(sp + kWordSize);
+        writeOperand(mi.dst, v, state, mem);
+        state.pc = next_pc;
+        return ExecStatus::Continue;
+      }
+
+      case Op::Syscall: {
+        if (os == nullptr)
+            return ExecStatus::Exited;
+        bool keep_running = os->handleSyscall(state, mem);
+        if (!os->takeRedirect())
+            state.pc = next_pc;
+        return keep_running ? ExecStatus::Continue : ExecStatus::Exited;
+      }
+
+      case Op::VmExit:
+        return ExecStatus::VmExit;
+    }
+    hipstr_panic("executeInst: unhandled op");
+}
+
+const char *
+stopReasonName(StopReason r)
+{
+    switch (r) {
+      case StopReason::Halted: return "halted";
+      case StopReason::Exited: return "exited";
+      case StopReason::Fault: return "fault";
+      case StopReason::BadInst: return "bad-instruction";
+      case StopReason::StepLimit: return "step-limit";
+      case StopReason::VmExitHit: return "vmexit-outside-vm";
+    }
+    return "?";
+}
+
+Interpreter::Interpreter(IsaKind isa, Memory &mem, GuestOs &os)
+    : state(isa), _mem(mem), _os(os)
+{
+}
+
+RunResult
+Interpreter::run(uint64_t maxInsts)
+{
+    RunResult res;
+    for (uint64_t i = 0; i < maxInsts; ++i) {
+        MachInst mi;
+        if (!decodeInst(state.isa, _mem, state.pc, mi)) {
+            res.reason = StopReason::BadInst;
+            res.stopPc = state.pc;
+            return res;
+        }
+        Addr pc_before = state.pc;
+        // Pre-execution hook: operand base registers still hold their
+        // input values, so the timing model can compute data
+        // addresses correctly.
+        if (traceHook)
+            traceHook(mi, pc_before);
+        ExecStatus st;
+        try {
+            st = executeInst(mi, state, _mem, &_os);
+        } catch (const Memory::Fault &) {
+            res.reason = StopReason::Fault;
+            res.stopPc = state.pc;
+            return res;
+        }
+        ++res.instsExecuted;
+        switch (st) {
+          case ExecStatus::Continue:
+            break;
+          case ExecStatus::Halted:
+            res.reason = StopReason::Halted;
+            res.stopPc = pc_before;
+            return res;
+          case ExecStatus::Exited:
+            res.reason = StopReason::Exited;
+            res.stopPc = pc_before;
+            return res;
+          case ExecStatus::VmExit:
+            res.reason = StopReason::VmExitHit;
+            res.stopPc = pc_before;
+            return res;
+        }
+    }
+    res.reason = StopReason::StepLimit;
+    res.stopPc = state.pc;
+    return res;
+}
+
+} // namespace hipstr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reference interpreter ("native core") and the shared instruction
+ * semantics used by the PSR virtual machines and the gadget sandbox.
+ */
+
+#ifndef HIPSTR_ISA_INTERP_HH
+#define HIPSTR_ISA_INTERP_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/guest_os.hh"
+#include "isa/instruction.hh"
+#include "isa/machine_state.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+/** Outcome of executing a single instruction. */
+enum class ExecStatus
+{
+    Continue, ///< state.pc advanced; keep going
+    Halted,   ///< Halt executed
+    Exited,   ///< guest called Exit or Execve
+    VmExit    ///< VmExit pseudo-op reached (only meaningful inside a VM)
+};
+
+/**
+ * Execute one decoded instruction. @p state.pc must point at the
+ * instruction; on return it points at the successor (fall-through or
+ * branch target). Control transfers use the plain hardware semantics —
+ * Ret pops the return address from the top of stack. The PSR VM layers
+ * its randomized-return handling above this function.
+ *
+ * Memory faults propagate as @c Memory::Fault.
+ *
+ * @param os may be null when executing in a sandbox (Syscall then
+ *           behaves as Exited so gadget chains terminate).
+ */
+ExecStatus executeInst(const MachInst &mi, MachineState &state,
+                       Memory &mem, GuestOs *os);
+
+/** Why an interpreter run stopped. */
+enum class StopReason
+{
+    Halted,    ///< guest executed Halt
+    Exited,    ///< guest called Exit/Execve
+    Fault,     ///< memory permission/bounds fault — a guest crash
+    BadInst,   ///< undecodable bytes or misaligned pc — a guest crash
+    StepLimit, ///< maxInsts reached
+    VmExitHit  ///< VmExit encountered outside a VM — a guest crash
+};
+
+const char *stopReasonName(StopReason r);
+
+/** Result of an interpreter run. */
+struct RunResult
+{
+    StopReason reason = StopReason::StepLimit;
+    uint64_t instsExecuted = 0;
+    Addr stopPc = 0; ///< pc at the stop point (fault pc for crashes)
+
+    bool crashed() const
+    {
+        return reason == StopReason::Fault ||
+            reason == StopReason::BadInst ||
+            reason == StopReason::VmExitHit;
+    }
+};
+
+/**
+ * The reference core: decodes and executes guest code directly from
+ * memory with no translation or randomization. Native-performance
+ * baselines and differential tests run on this.
+ */
+class Interpreter
+{
+  public:
+    Interpreter(IsaKind isa, Memory &mem, GuestOs &os);
+
+    /** Architectural state, publicly accessible for test setup. */
+    MachineState state;
+
+    /** Run until a stop condition or @p maxInsts instructions. */
+    RunResult run(uint64_t maxInsts);
+
+    /**
+     * Optional per-instruction observer (used by the timing model and
+     * by trace-based tests). Called after successful execution.
+     */
+    std::function<void(const MachInst &, Addr pc)> traceHook;
+
+  private:
+    Memory &_mem;
+    GuestOs &_os;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_ISA_INTERP_HH

@@ -1,0 +1,117 @@
+#include "isa.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+const char *
+isaName(IsaKind isa)
+{
+    return isa == IsaKind::Risc ? "risc" : "cisc";
+}
+
+const char *
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Le: return "le";
+      case Cond::Gt: return "gt";
+      case Cond::Ge: return "ge";
+      case Cond::B:  return "b";
+      case Cond::Be: return "be";
+      case Cond::A:  return "a";
+      case Cond::Ae: return "ae";
+    }
+    return "?";
+}
+
+std::string
+IsaDescriptor::regName(Reg r) const
+{
+    if (kind == IsaKind::Cisc) {
+        static const char *names[] = {
+            "ax", "cx", "dx", "bx", "sp", "bp", "si", "di"
+        };
+        if (r < cisc::kNumRegs)
+            return names[r];
+    } else {
+        if (r == risc::SP)
+            return "sp";
+        if (r == risc::LR)
+            return "lr";
+        if (r < risc::kNumRegs)
+            return "r" + std::to_string(r);
+    }
+    if (r == kNoReg)
+        return "<none>";
+    return "reg" + std::to_string(r);
+}
+
+namespace
+{
+
+IsaDescriptor
+makeRiscDescriptor()
+{
+    IsaDescriptor d;
+    d.kind = IsaKind::Risc;
+    d.numRegs = risc::kNumRegs;
+    d.spReg = risc::SP;
+    d.lrReg = risc::LR;
+    d.minInstBytes = 4;
+    d.maxInstBytes = 4;
+    d.instAlign = 4;
+    // r15 is the translator scratch, r11/r12 are isel temps, r13/r14
+    // are sp/lr; r0-r10 are allocatable.
+    for (Reg r = risc::R0; r <= risc::R10; ++r)
+        d.allocatable.push_back(r);
+    d.calleeSaved = { risc::R4, risc::R5, risc::R6, risc::R7, risc::R8,
+                      risc::R9, risc::R10 };
+    d.callerSaved = { risc::R0, risc::R1, risc::R2, risc::R3 };
+    d.argRegs = { risc::R0, risc::R1, risc::R2, risc::R3 };
+    d.retReg = risc::R0;
+    d.scratchReg = risc::SCRATCH;
+    d.iselTemps = { risc::R11, risc::R12 };
+    return d;
+}
+
+IsaDescriptor
+makeCiscDescriptor()
+{
+    IsaDescriptor d;
+    d.kind = IsaKind::Cisc;
+    d.numRegs = cisc::kNumRegs;
+    d.spReg = cisc::SP;
+    d.lrReg = kNoReg;
+    d.minInstBytes = 1;
+    d.maxInstBytes = 12;
+    d.instAlign = 1;
+    // bp is the translator scratch, si/di are isel temps, sp the stack
+    // pointer; the remaining four registers are allocatable — an x86-
+    // realistic register famine. Arguments travel in caller-saved
+    // registers (ax, cx, dx) plus the isel temp si for the fourth.
+    d.allocatable = { cisc::AX, cisc::CX, cisc::DX, cisc::BX };
+    d.calleeSaved = { cisc::BX };
+    d.callerSaved = { cisc::AX, cisc::CX, cisc::DX };
+    d.argRegs = { cisc::AX, cisc::CX, cisc::DX, cisc::SI };
+    d.retReg = cisc::AX;
+    d.scratchReg = cisc::BP;
+    d.iselTemps = { cisc::SI, cisc::DI };
+    return d;
+}
+
+} // namespace
+
+const IsaDescriptor &
+isaDescriptor(IsaKind isa)
+{
+    static const IsaDescriptor risc_desc = makeRiscDescriptor();
+    static const IsaDescriptor cisc_desc = makeCiscDescriptor();
+    return isa == IsaKind::Risc ? risc_desc : cisc_desc;
+}
+
+} // namespace hipstr

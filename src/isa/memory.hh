@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Flat guest memory with region permissions and the canonical process
+ * address-space layout used by the loader, the PSR virtual machines,
+ * and the attack framework.
+ */
+
+#ifndef HIPSTR_ISA_MEMORY_HH
+#define HIPSTR_ISA_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+
+/**
+ * Canonical address-space layout. A fat binary carries one code section
+ * per ISA; both map simultaneously (the paper's symmetrical fat binary).
+ * The code caches are VM-private regions that guest code must never
+ * reference — the software-fault-isolation checks in the VM enforce
+ * this, exactly as Section 5.1 of the paper mandates.
+ */
+namespace layout
+{
+constexpr Addr kRiscCodeBase = 0x00010000;
+constexpr Addr kCiscCodeBase = 0x00400000;
+constexpr Addr kDataBase     = 0x00800000;
+/** Per-ISA function-pointer dispatch tables (1024 entries each). */
+constexpr Addr kRiscFuncTable = kDataBase;
+constexpr Addr kCiscFuncTable = kDataBase + 0x1000;
+constexpr Addr kGlobalsBase  = kDataBase + 0x2000;
+constexpr Addr kHeapBase     = 0x00a00000;
+constexpr Addr kStackTop     = 0x01000000; ///< stack grows down
+constexpr Addr kStackLimit   = 0x00c00000; ///< lowest legal stack addr
+constexpr Addr kRiscCacheBase = 0x01000000; ///< Risc VM code cache
+constexpr Addr kCiscCacheBase = 0x01400000; ///< Cisc VM code cache
+constexpr Addr kMemEnd       = 0x01800000; ///< 24 MiB address space
+
+/** Base of the code section for @p isa. */
+constexpr Addr
+codeBase(IsaKind isa)
+{
+    return isa == IsaKind::Risc ? kRiscCodeBase : kCiscCodeBase;
+}
+
+/** Base of the VM code cache for @p isa. */
+constexpr Addr
+cacheBase(IsaKind isa)
+{
+    return isa == IsaKind::Risc ? kRiscCacheBase : kCiscCacheBase;
+}
+
+/** Base of the function-pointer dispatch table for @p isa. */
+constexpr Addr
+funcTableBase(IsaKind isa)
+{
+    return isa == IsaKind::Risc ? kRiscFuncTable : kCiscFuncTable;
+}
+} // namespace layout
+
+/** Access permissions for a memory region. */
+enum Perm : uint8_t
+{
+    PermNone = 0,
+    PermR = 1,
+    PermW = 2,
+    PermX = 4,
+    PermRW = PermR | PermW,
+    PermRX = PermR | PermX,
+    PermRWX = PermR | PermW | PermX
+};
+
+/**
+ * Byte-addressable little-endian guest memory.
+ *
+ * Accesses outside the address space or violating region permissions
+ * raise a @c MemFault, which the interpreter converts into a guest
+ * crash — the event brute-force attacks (Section 6, Algorithm 1)
+ * observe and count.
+ */
+class Memory
+{
+  public:
+    /** Thrown on an illegal access; caught by the interpreter. */
+    struct Fault
+    {
+        Addr addr;
+        Perm needed;
+        std::string what;
+    };
+
+    Memory();
+
+    /** Define or redefine the permissions of [base, base+size). */
+    void setRegion(Addr base, uint32_t size, Perm perm,
+                   const std::string &name);
+
+    /** Permission byte governing @p addr. */
+    Perm permAt(Addr addr) const;
+    /** Name of the region containing @p addr ("" if unmapped). */
+    std::string regionName(Addr addr) const;
+
+    /** Checked reads/writes. @{ */
+    uint8_t read8(Addr addr) const;
+    uint16_t read16(Addr addr) const;
+    uint32_t read32(Addr addr) const;
+    void write8(Addr addr, uint8_t v);
+    void write16(Addr addr, uint16_t v);
+    void write32(Addr addr, uint32_t v);
+    /** @} */
+
+    /** Instruction fetch: like read but requires PermX. */
+    uint8_t fetch8(Addr addr) const;
+    /** Fetch up to @p len bytes into @p out; stops at region end. */
+    size_t fetchBytes(Addr addr, uint8_t *out, size_t len) const;
+
+    /**
+     * Raw access without permission checks — used by the loader, the
+     * stack transformer, and the attacker model (which by assumption
+     * has an arbitrary read/write primitive).
+     */
+    uint8_t rawRead8(Addr addr) const;
+    uint32_t rawRead32(Addr addr) const;
+    void rawWrite8(Addr addr, uint8_t v);
+    void rawWrite32(Addr addr, uint32_t v);
+    void rawWriteBytes(Addr addr, const uint8_t *src, size_t len);
+    void rawReadBytes(Addr addr, uint8_t *dst, size_t len) const;
+
+    /** Direct pointer into the backing store (attacker disclosures). */
+    const uint8_t *data() const { return _bytes.data(); }
+    uint32_t size() const { return static_cast<uint32_t>(_bytes.size()); }
+
+    /**
+     * Journaling: while enabled, checked writes record the bytes they
+     * overwrite; rollback() restores them (newest first). The gadget
+     * sandbox uses this to execute thousands of candidate gadgets
+     * against one loaded image without copying it.
+     */
+    void beginJournal();
+    void rollback();
+    bool journaling() const { return _journaling; }
+
+  private:
+    void journalBytes(Addr addr, unsigned len);
+
+    void check(Addr addr, unsigned len, Perm needed) const;
+
+    struct Region
+    {
+        Addr base;
+        uint32_t size;
+        Perm perm;
+        std::string name;
+    };
+
+    std::vector<uint8_t> _bytes;
+    std::vector<Region> _regions;
+    bool _journaling = false;
+    std::vector<std::pair<Addr, uint8_t>> _journal;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_ISA_MEMORY_HH

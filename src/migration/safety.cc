@@ -1,0 +1,64 @@
+#include "safety.hh"
+
+namespace hipstr
+{
+
+MigrationSafety
+classifyBlock(const FuncInfo &fi, const MachBlockInfo &mbi)
+{
+    // The frame is not yet (fully) constructed in the entry block.
+    if (mbi.irBlock == 0 && mbi.segment == 0)
+        return MigrationSafety::Unsafe;
+
+    if (!mbi.hasStackDerivedLiveIn)
+        return MigrationSafety::BaselineSafe;
+
+    for (ValueId v : mbi.liveIn) {
+        if (fi.vregStackDerived[v] && !fi.vregStackSimple[v])
+            return MigrationSafety::Unsafe;
+    }
+    return MigrationSafety::OnDemandSafe;
+}
+
+SafetyStats
+analyzeMigrationSafety(const FatBinary &bin, IsaKind isa)
+{
+    SafetyStats stats;
+    for (const FuncInfo &fi : bin.funcsFor(isa)) {
+        for (const MachBlockInfo &mbi : fi.blocks) {
+            ++stats.totalBlocks;
+            switch (classifyBlock(fi, mbi)) {
+              case MigrationSafety::Unsafe:
+                break;
+              case MigrationSafety::BaselineSafe:
+                ++stats.baselineSafe;
+                ++stats.onDemandSafe;
+                break;
+              case MigrationSafety::OnDemandSafe:
+                ++stats.onDemandSafe;
+                break;
+            }
+        }
+    }
+    return stats;
+}
+
+bool
+isMigrationPoint(const FatBinary &bin, IsaKind isa, Addr addr,
+                 MigrationSafety needed)
+{
+    const FuncInfo *fi = bin.findFuncByAddr(isa, addr);
+    if (fi == nullptr)
+        return false;
+    const MachBlockInfo *mbi = fi->blockAt(addr);
+    if (mbi == nullptr || mbi->start != addr)
+        return false;
+    MigrationSafety tier = classifyBlock(*fi, *mbi);
+    if (tier == MigrationSafety::Unsafe)
+        return false;
+    if (needed == MigrationSafety::BaselineSafe)
+        return tier == MigrationSafety::BaselineSafe;
+    return true;
+}
+
+} // namespace hipstr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Migration-safety classification of machine basic blocks (Figure 6).
+ *
+ * A block boundary is an equivalence point where cross-ISA state
+ * transformation may run. Three tiers:
+ *
+ *  - Unsafe: function-entry blocks (the frame is mid-construction),
+ *    code outside any function, and blocks whose live-in set carries a
+ *    complex (non-rebasable) frame pointer.
+ *  - Baseline-safe: no stack-derived value is live-in. This mirrors
+ *    prior work's equivalence-point discipline — the paper reports
+ *    only ~45% of blocks qualify.
+ *  - On-demand-safe: baseline-safe, or every stack-derived live-in is
+ *    affine in the frame base and can be rebased by sp-delta
+ *    (Section 5.2's on-demand extension; the paper reaches 78%).
+ */
+
+#ifndef HIPSTR_MIGRATION_SAFETY_HH
+#define HIPSTR_MIGRATION_SAFETY_HH
+
+#include "binary/fatbin.hh"
+
+namespace hipstr
+{
+
+/** Safety tier of one machine block. */
+enum class MigrationSafety
+{
+    Unsafe,
+    BaselineSafe,
+    OnDemandSafe ///< safe only with the on-demand machinery
+};
+
+/** Classify block @p mbi of function @p fi. */
+MigrationSafety classifyBlock(const FuncInfo &fi,
+                              const MachBlockInfo &mbi);
+
+/** Aggregate statistics over one ISA's code. */
+struct SafetyStats
+{
+    uint32_t totalBlocks = 0;
+    uint32_t baselineSafe = 0;
+    uint32_t onDemandSafe = 0; ///< includes baseline-safe blocks
+
+    double
+    baselineFraction() const
+    {
+        return totalBlocks ? double(baselineSafe) / totalBlocks : 0;
+    }
+    double
+    onDemandFraction() const
+    {
+        return totalBlocks ? double(onDemandSafe) / totalBlocks : 0;
+    }
+};
+
+/** Classify every block of @p bin on @p isa. */
+SafetyStats analyzeMigrationSafety(const FatBinary &bin, IsaKind isa);
+
+/**
+ * True if execution may migrate away at guest address @p addr
+ * (a block start whose tier is at least @p needed).
+ */
+bool isMigrationPoint(const FatBinary &bin, IsaKind isa, Addr addr,
+                      MigrationSafety needed);
+
+} // namespace hipstr
+
+#endif // HIPSTR_MIGRATION_SAFETY_HH

@@ -1,0 +1,62 @@
+#include "cache.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+CacheSim::CacheSim(uint32_t capacity_bytes, unsigned ways,
+                   unsigned line_bytes)
+    : _ways(ways), _lineShift(log2Floor(line_bytes))
+{
+    hipstr_assert(isPowerOf2(capacity_bytes));
+    hipstr_assert(isPowerOf2(line_bytes));
+    uint32_t lines = capacity_bytes / line_bytes;
+    hipstr_assert(lines >= ways && lines % ways == 0);
+    _sets = lines / ways;
+    hipstr_assert(isPowerOf2(_sets));
+    _lines.resize(lines);
+}
+
+bool
+CacheSim::access(Addr addr)
+{
+    ++_tick;
+    Addr line_addr = addr >> _lineShift;
+    unsigned set = line_addr & (_sets - 1);
+    Addr tag = line_addr >> log2Floor(_sets);
+
+    Line *base = &_lines[set * _ways];
+    Line *victim = base;
+    for (unsigned w = 0; w < _ways; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = _tick;
+            ++_hits;
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = _tick;
+    ++_misses;
+    return false;
+}
+
+void
+CacheSim::reset()
+{
+    for (Line &l : _lines)
+        l.valid = false;
+    _hits = 0;
+    _misses = 0;
+    _tick = 0;
+}
+
+} // namespace hipstr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Set-associative LRU cache simulator, used for the L1 instruction and
+ * data caches of Table 1 and for the 3-entry global register cache of
+ * Section 5.4 (modeled as a tiny fully-associative L0 over stack
+ * words).
+ */
+
+#ifndef HIPSTR_SIM_CACHE_HH
+#define HIPSTR_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+
+/** A set-associative cache with true-LRU replacement. */
+class CacheSim
+{
+  public:
+    /**
+     * @param capacity_bytes total size (power of two)
+     * @param ways           associativity
+     * @param line_bytes     line size (power of two, default 64)
+     */
+    CacheSim(uint32_t capacity_bytes, unsigned ways,
+             unsigned line_bytes = 64);
+
+    /** Touch @p addr. @retval true on hit. */
+    bool access(Addr addr);
+
+    uint64_t hits() const { return _hits; }
+    uint64_t misses() const { return _misses; }
+    uint64_t accesses() const { return _hits + _misses; }
+    double
+    missRate() const
+    {
+        return accesses() ? double(_misses) / double(accesses()) : 0;
+    }
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned _ways;
+    unsigned _lineShift;
+    unsigned _sets;
+    std::vector<Line> _lines;
+    uint64_t _tick = 0;
+    uint64_t _hits = 0;
+    uint64_t _misses = 0;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_SIM_CACHE_HH

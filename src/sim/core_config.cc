@@ -1,0 +1,47 @@
+#include "core_config.hh"
+
+#include "support/stats.hh"
+
+namespace hipstr
+{
+
+const CoreConfig &
+coreConfig(IsaKind isa)
+{
+    // Table 1. The ARM-like core: 2 GHz, 2-wide fetch, 20-entry ROB,
+    // 16/16 LQ/SQ. The x86-like core: 3.3 GHz, 4-wide fetch,
+    // 128-entry ROB, 48/96 LQ/SQ. Both: 32 KB 2-way L1 caches.
+    static const CoreConfig arm_like = {
+        "ARM-like (Cortex A9-class)",
+        2.0, 2, 4, 20, 16, 16,
+        32 * 1024, 2, 32 * 1024, 2,
+        1.1,
+    };
+    static const CoreConfig x86_like = {
+        "x86-like (Xeon-class)",
+        3.3, 4, 4, 128, 48, 96,
+        32 * 1024, 2, 32 * 1024, 2,
+        1.9,
+    };
+    return isa == IsaKind::Risc ? arm_like : x86_like;
+}
+
+void
+printCoreTable(std::ostream &os)
+{
+    TextTable t({ "Core", "Freq", "Fetch", "Issue", "ROB", "LQ/SQ",
+                  "I$", "D$" });
+    for (IsaKind isa : kAllIsas) {
+        const CoreConfig &c = coreConfig(isa);
+        t.addRow({ c.name, formatDouble(c.freqGhz, 1) + " GHz",
+                   std::to_string(c.fetchWidth),
+                   std::to_string(c.issueWidth),
+                   std::to_string(c.robSize),
+                   std::to_string(c.lqEntries) + "/" +
+                       std::to_string(c.sqEntries),
+                   "32KB/2w", "32KB/2w" });
+    }
+    t.print(os);
+}
+
+} // namespace hipstr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Core models of the heterogeneous-ISA CMP (Table 1): a low-power
+ * in-order-ish ARM-like core (Cortex A9-class) and a high-performance
+ * out-of-order x86-like core (Xeon-class). The cycle-approximate
+ * timing model reduces each core to a calibrated effective IPC plus
+ * first-level cache behaviour; the evaluation compares *relative*
+ * overheads, which this preserves.
+ */
+
+#ifndef HIPSTR_SIM_CORE_CONFIG_HH
+#define HIPSTR_SIM_CORE_CONFIG_HH
+
+#include <ostream>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+
+/** One core's parameters (Table 1). */
+struct CoreConfig
+{
+    std::string name;
+    double freqGhz;
+    unsigned fetchWidth;
+    unsigned issueWidth;
+    unsigned robSize;
+    unsigned lqEntries;
+    unsigned sqEntries;
+    unsigned icacheBytes;
+    unsigned icacheWays;
+    unsigned dcacheBytes;
+    unsigned dcacheWays;
+    /** Calibrated effective instructions per cycle on clean code. */
+    double baseIpc;
+};
+
+/** Table 1 configuration for @p isa's core. */
+const CoreConfig &coreConfig(IsaKind isa);
+
+/** Print Table 1 in the paper's shape. */
+void printCoreTable(std::ostream &os);
+
+} // namespace hipstr
+
+#endif // HIPSTR_SIM_CORE_CONFIG_HH

@@ -1,0 +1,209 @@
+#include "timing.hh"
+
+#include "isa/memory.hh"
+#include "support/logging.hh"
+// Header-only use: hook members and VmStats. The sim library has no
+// link dependency on the VM.
+#include "vm/psr_vm.hh"
+
+namespace hipstr
+{
+
+RegCacheSim::RegCacheSim(unsigned entries) : _entries(entries)
+{
+    hipstr_assert(entries >= 1);
+}
+
+bool
+RegCacheSim::access(Addr word_addr)
+{
+    ++_tick;
+    Entry *victim = &_entries[0];
+    for (Entry &e : _entries) {
+        if (e.valid && e.addr == word_addr) {
+            e.lastUse = _tick;
+            ++_hits;
+            return true;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->addr = word_addr;
+    victim->lastUse = _tick;
+    ++_misses;
+    return false;
+}
+
+void
+RegCacheSim::reset()
+{
+    for (Entry &e : _entries)
+        e.valid = false;
+    _hits = 0;
+    _misses = 0;
+    _tick = 0;
+}
+
+TimingHarness::TimingHarness(IsaKind isa, bool reg_cache_on,
+                             unsigned reg_cache_entries)
+    : _core(coreConfig(isa)),
+      _icache(_core.icacheBytes, _core.icacheWays),
+      _dcache(_core.dcacheBytes, _core.dcacheWays),
+      _l0(reg_cache_entries), _regCacheOn(reg_cache_on)
+{
+}
+
+void
+TimingHarness::dataAccess(Addr addr)
+{
+    bool stack = addr >= layout::kStackLimit;
+    if (stack) {
+        if (_regCacheOn && _l0.access(addr >> 2)) {
+            // Register-cache hit: register speed, no D-cache traffic.
+            return;
+        }
+        ++_stackAccessCost;
+    }
+    _dcache.access(addr);
+}
+
+void
+TimingHarness::attachVm(PsrVm &vm)
+{
+    vm.dataTraceHook = [this](Addr addr, bool) { dataAccess(addr); };
+    vm.fetchTraceHook = [this](Addr cache_addr) {
+        _icache.access(cache_addr);
+    };
+}
+
+void
+TimingHarness::attachInterpreter(Interpreter &interp)
+{
+    Interpreter *ip = &interp;
+    interp.traceHook = [this, ip](const MachInst &mi, Addr pc) {
+        ++_nativeInsts;
+        _icache.access(pc);
+        const MachineState &st = ip->state;
+        auto operand = [&](const Operand &o) {
+            if (o.isMem()) {
+                dataAccess(st.reg(o.base) +
+                           static_cast<uint32_t>(o.disp));
+            }
+        };
+        operand(mi.dst);
+        operand(mi.src1);
+        operand(mi.src2);
+        switch (mi.op) {
+          case Op::Push:
+            dataAccess(st.sp() - 4);
+            break;
+          case Op::Call:
+          case Op::CallInd:
+            if (st.isa == IsaKind::Cisc)
+                dataAccess(st.sp() - 4);
+            break;
+          case Op::Pop:
+          case Op::Ret:
+            dataAccess(st.sp());
+            break;
+          case Op::Syscall:
+            ++_nativeSyscalls;
+            break;
+          default:
+            break;
+        }
+    };
+}
+
+TimingSnapshot
+TimingHarness::snapshot() const
+{
+    TimingSnapshot t;
+    t.icacheMisses = _icache.misses();
+    t.dcacheMisses = _dcache.misses();
+    t.stackCost = _stackAccessCost;
+    t.nativeInsts = _nativeInsts;
+    t.nativeSyscalls = _nativeSyscalls;
+    return t;
+}
+
+double
+TimingHarness::vmCyclesSince(const VmStats &b, const VmStats &a,
+                             const TimingSnapshot &t0) const
+{
+    double cycles = double(a.hostInsts - b.hostInsts) / _core.baseIpc;
+    cycles += double(_icache.misses() - t0.icacheMisses) *
+        params.l1MissCycles;
+    cycles += double(_dcache.misses() - t0.dcacheMisses) *
+        params.l1MissCycles;
+    cycles += double(_stackAccessCost - t0.stackCost) *
+        params.stackAccessCycles;
+    cycles += double(a.dispatches - b.dispatches) *
+        params.dispatchCycles;
+    cycles += double(a.translatedGuestInsts -
+                     b.translatedGuestInsts) *
+        params.translateCyclesPerGuestInst;
+    cycles += double(a.ratHits - b.ratHits) *
+        double(ReturnAddressTable::kLookupCycles);
+    cycles += double(a.ratMisses - b.ratMisses) *
+        params.ratMissCycles;
+    cycles += double(a.cacheFlushes - b.cacheFlushes) *
+        params.cacheFlushCycles;
+    cycles += double(a.syscalls - b.syscalls) * params.syscallCycles;
+    cycles += double(a.diversificationFlips -
+                     b.diversificationFlips) *
+        params.isomeronFlipCycles;
+    return cycles;
+}
+
+double
+TimingHarness::nativeCyclesSince(const TimingSnapshot &t0) const
+{
+    double cycles =
+        double(_nativeInsts - t0.nativeInsts) / _core.baseIpc;
+    cycles += double(_icache.misses() - t0.icacheMisses) *
+        params.l1MissCycles;
+    cycles += double(_dcache.misses() - t0.dcacheMisses) *
+        params.l1MissCycles;
+    cycles += double(_stackAccessCost - t0.stackCost) *
+        params.stackAccessCycles;
+    cycles += double(_nativeSyscalls - t0.nativeSyscalls) *
+        params.syscallCycles;
+    return cycles;
+}
+
+double
+TimingHarness::vmCycles(const VmStats &s) const
+{
+    double cycles = double(s.hostInsts) / _core.baseIpc;
+    cycles += double(_icache.misses()) * params.l1MissCycles;
+    cycles += double(_dcache.misses()) * params.l1MissCycles;
+    cycles += double(_stackAccessCost) * params.stackAccessCycles;
+    cycles += double(s.dispatches) * params.dispatchCycles;
+    cycles += double(s.translatedGuestInsts) *
+        params.translateCyclesPerGuestInst;
+    cycles += double(s.ratHits) *
+        double(ReturnAddressTable::kLookupCycles);
+    cycles += double(s.ratMisses) * params.ratMissCycles;
+    cycles += double(s.cacheFlushes) * params.cacheFlushCycles;
+    cycles += double(s.syscalls) * params.syscallCycles;
+    cycles += double(s.diversificationFlips) *
+        params.isomeronFlipCycles;
+    return cycles;
+}
+
+double
+TimingHarness::nativeCycles() const
+{
+    double cycles = double(_nativeInsts) / _core.baseIpc;
+    cycles += double(_icache.misses()) * params.l1MissCycles;
+    cycles += double(_dcache.misses()) * params.l1MissCycles;
+    cycles += double(_stackAccessCost) * params.stackAccessCycles;
+    cycles += double(_nativeSyscalls) * params.syscallCycles;
+    return cycles;
+}
+
+} // namespace hipstr

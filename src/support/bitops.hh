@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the ISA encoders,
+ * the cache models, and the entropy accounting.
+ */
+
+#ifndef HIPSTR_SUPPORT_BITOPS_HH
+#define HIPSTR_SUPPORT_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace hipstr
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Floor(uint64_t v)
+{
+    return v == 0 ? 0 : 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Extract bits [lo, lo+len) from @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((len >= 64) ? ~0ull : ((1ull << len) - 1));
+}
+
+/** Insert @p field into bits [lo, lo+len) of @p v. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned lo, unsigned len, uint64_t field)
+{
+    uint64_t mask = ((len >= 64) ? ~0ull : ((1ull << len) - 1)) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low @p width bits of @p v. */
+constexpr int64_t
+signExtend(uint64_t v, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(v);
+    uint64_t sign_bit = 1ull << (width - 1);
+    uint64_t mask = (1ull << width) - 1;
+    v &= mask;
+    return static_cast<int64_t>((v ^ sign_bit)) -
+        static_cast<int64_t>(sign_bit);
+}
+
+/** True iff @p v fits in a signed @p width-bit immediate. */
+constexpr bool
+fitsSigned(int64_t v, unsigned width)
+{
+    if (width >= 64)
+        return true;
+    int64_t lo = -(1ll << (width - 1));
+    int64_t hi = (1ll << (width - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace hipstr
+
+#endif // HIPSTR_SUPPORT_BITOPS_HH

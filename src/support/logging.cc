@@ -1,0 +1,116 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace hipstr
+{
+
+namespace
+{
+
+LogLevel gThreshold = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return gThreshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    gThreshold = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < gThreshold)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+namespace detail
+{
+
+std::string
+formatVa(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return fmt;
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = formatVa(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = formatVa(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logMessage(LogLevel::Warn, formatVa(fmt, ap));
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logMessage(LogLevel::Info, formatVa(fmt, ap));
+    va_end(ap);
+}
+
+void
+debugImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    logMessage(LogLevel::Debug, formatVa(fmt, ap));
+    va_end(ap);
+}
+
+} // namespace detail
+
+} // namespace hipstr

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting utilities, modeled on gem5's logging
+ * conventions: panic() for internal invariant violations, fatal() for
+ * user errors, warn()/inform() for diagnostics that do not stop the run.
+ */
+
+#ifndef HIPSTR_SUPPORT_LOGGING_HH
+#define HIPSTR_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hipstr
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error
+};
+
+/**
+ * Global log verbosity control. Messages below the threshold are
+ * suppressed. Tests set this to Error to keep output clean.
+ */
+LogLevel logThreshold();
+void setLogThreshold(LogLevel level);
+
+/** Emit a formatted message to stderr if @p level passes the threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail
+{
+
+std::string formatVa(const char *fmt, va_list ap);
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void debugImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace hipstr
+
+/**
+ * panic() should be called when something happens that should never
+ * happen regardless of what the user does — an actual bug in this
+ * library. Aborts the process.
+ */
+#define hipstr_panic(...) \
+    ::hipstr::detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * fatal() should be called when the run cannot continue due to a
+ * condition that is the user's fault (bad configuration, invalid
+ * arguments). Exits with status 1.
+ */
+#define hipstr_fatal(...) \
+    ::hipstr::detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** warn(): something may not behave as expected, but the run continues. */
+#define hipstr_warn(...) ::hipstr::detail::warnImpl(__VA_ARGS__)
+
+/** inform(): normal status message for the user. */
+#define hipstr_inform(...) ::hipstr::detail::informImpl(__VA_ARGS__)
+
+/** debug(): developer-facing trace message. */
+#define hipstr_debug(...) ::hipstr::detail::debugImpl(__VA_ARGS__)
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define hipstr_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::hipstr::detail::panicImpl(__FILE__, __LINE__,                \
+                                        "assertion failed: %s", #cond);   \
+        }                                                                  \
+    } while (0)
+
+#endif // HIPSTR_SUPPORT_LOGGING_HH

@@ -1,0 +1,98 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+    // xoshiro must not be seeded with an all-zero state.
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 0x9e3779b97f4a7c15ull;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    hipstr_assert(bound > 0);
+    // Lemire-style rejection to avoid modulo bias.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    hipstr_assert(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace hipstr

@@ -1,0 +1,139 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace hipstr
+{
+
+Histogram::Histogram(std::string name, uint64_t bin_width, size_t num_bins)
+    : _name(std::move(name)), _binWidth(bin_width), _bins(num_bins, 0)
+{
+    hipstr_assert(bin_width > 0);
+    hipstr_assert(num_bins > 0);
+}
+
+void
+Histogram::sample(uint64_t v, uint64_t count)
+{
+    size_t bin = std::min(static_cast<size_t>(v / _binWidth),
+                          _bins.size() - 1);
+    _bins[bin] += count;
+    _samples += count;
+    _sum += v * count;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_bins.begin(), _bins.end(), 0);
+    _samples = 0;
+    _sum = 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (_samples == 0)
+        return 0.0;
+    return static_cast<double>(_sum) / static_cast<double>(_samples);
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    auto it = _counters.find(name);
+    if (it == _counters.end())
+        it = _counters.emplace(name, Counter(name)).first;
+    return it->second;
+}
+
+const Counter *
+StatGroup::find(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? nullptr : &it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : _counters)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : _counters) {
+        os << _name << "." << kv.first << " = " << kv.second.value()
+           << "\n";
+    }
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    hipstr_assert(cells.size() == _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(_headers.size());
+    for (size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << std::left << row[c] << " |";
+        os << "\n";
+    };
+
+    print_row(_headers);
+    os << "|";
+    for (size_t c = 0; c < _headers.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+std::string
+formatDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int digits)
+{
+    return formatDouble(fraction * 100.0, digits) + "%";
+}
+
+std::string
+formatScientific(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+    return buf;
+}
+
+} // namespace hipstr

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight statistics package used by the simulator, the PSR virtual
+ * machine, and the benchmark harnesses. Supports scalar counters,
+ * formulas over counters, histograms, and tabular text output shaped
+ * like the paper's tables.
+ */
+
+#ifndef HIPSTR_SUPPORT_STATS_HH
+#define HIPSTR_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hipstr
+{
+
+/** A named scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : _name(std::move(name)) {}
+
+    void inc(uint64_t delta = 1) { _value += delta; }
+    void set(uint64_t v) { _value = v; }
+    void reset() { _value = 0; }
+    uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    uint64_t _value = 0;
+};
+
+/**
+ * A histogram over integer samples with fixed-width bins. Used, e.g.,
+ * for stack-slot displacement distributions and gadget-length counts.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::string name, uint64_t bin_width, size_t num_bins);
+
+    void sample(uint64_t v, uint64_t count = 1);
+    void reset();
+
+    uint64_t totalSamples() const { return _samples; }
+    double mean() const;
+    /** Count in bin @p i; the final bin absorbs overflow. */
+    uint64_t binCount(size_t i) const { return _bins.at(i); }
+    size_t numBins() const { return _bins.size(); }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    uint64_t _binWidth;
+    std::vector<uint64_t> _bins;
+    uint64_t _samples = 0;
+    uint64_t _sum = 0;
+};
+
+/**
+ * A named group of counters; modules own one and register counters into
+ * it so harnesses can dump everything uniformly.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Get-or-create a counter within this group. */
+    Counter &counter(const std::string &name);
+    /** Lookup without creation; nullptr if absent. */
+    const Counter *find(const std::string &name) const;
+
+    void reset();
+    void dump(std::ostream &os) const;
+    const std::string &name() const { return _name; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return _counters;
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+};
+
+/**
+ * Fixed-column text table writer used by the benchmark harnesses to
+ * print paper-shaped tables (e.g., Table 2).
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+    size_t numRows() const { return _rows.size(); }
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string formatDouble(double v, int digits = 2);
+
+/** Format a value as a percentage string, e.g. "98.04%". */
+std::string formatPercent(double fraction, int digits = 2);
+
+/** Format a large count in scientific notation, e.g. "9.11e+33". */
+std::string formatScientific(double v, int digits = 2);
+
+} // namespace hipstr
+
+#endif // HIPSTR_SUPPORT_STATS_HH

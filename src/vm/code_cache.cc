@@ -1,0 +1,68 @@
+#include "code_cache.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+CodeCache::CodeCache(Memory &mem, IsaKind isa, uint32_t capacity,
+                     bool align_loop_heads)
+    : _mem(mem), _isa(isa), _base(layout::cacheBase(isa)),
+      _capacity(capacity), _alignLoopHeads(align_loop_heads),
+      _cursor(_base)
+{
+    hipstr_assert(capacity > 0);
+    hipstr_assert(_base + capacity <= layout::cacheBase(isa) +
+                      0x400000);
+    // Readable and executable, like the JIT regions the threat model
+    // lets an attacker disclose.
+    _mem.setRegion(_base, capacity, PermRX,
+                   std::string("codecache.") + isaName(isa));
+}
+
+bool
+CodeCache::insert(std::unique_ptr<TranslatedBlock> block)
+{
+    uint32_t align = _alignLoopHeads && block->isLoopHead ? 64 : 16;
+    Addr placed = static_cast<Addr>(roundUp(_cursor, align));
+    uint32_t need = static_cast<uint32_t>(block->bytes.size());
+
+    if (placed + need > _base + _capacity) {
+        flush();
+        placed = static_cast<Addr>(roundUp(_cursor, align));
+        if (placed + need > _base + _capacity)
+            return false; // unit larger than the whole cache
+    }
+
+    block->cacheAddr = placed;
+    if (need > 0)
+        _mem.rawWriteBytes(placed, block->bytes.data(), need);
+    _cursor = placed + need;
+    ++_insertions;
+    _blocks[block->srcStart] = std::move(block);
+    return true;
+}
+
+TranslatedBlock *
+CodeCache::lookup(Addr src)
+{
+    auto it = _blocks.find(src);
+    return it == _blocks.end() ? nullptr : it->second.get();
+}
+
+void
+CodeCache::flush()
+{
+    _blocks.clear();
+    _cursor = _base;
+    ++_flushes;
+}
+
+bool
+CodeCache::contains(Addr addr) const
+{
+    return addr >= _base && addr < _base + _capacity;
+}
+
+} // namespace hipstr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Code cache for one PSR virtual machine: owns a region of guest
+ * memory, places translated units (with O1 loop-head alignment), and
+ * flushes everything when capacity is exhausted — the classic DBT
+ * policy whose re-translation cost Figure 13 measures against cache
+ * size.
+ */
+
+#ifndef HIPSTR_VM_CODE_CACHE_HH
+#define HIPSTR_VM_CODE_CACHE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/translator.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+
+class CodeCache
+{
+  public:
+    /**
+     * @param mem       guest memory (the cache region is mapped here)
+     * @param isa       which VM this cache belongs to
+     * @param capacity  bytes available for translated code
+     * @param align_loop_heads O1 machine-block-placement switch
+     */
+    CodeCache(Memory &mem, IsaKind isa, uint32_t capacity,
+              bool align_loop_heads);
+
+    /**
+     * Install @p block: assigns a cache address, copies its bytes
+     * into guest memory, and indexes it by source address.
+     * @retval false if capacity is exhausted even after a flush
+     *         (the unit is larger than the whole cache).
+     */
+    bool insert(std::unique_ptr<TranslatedBlock> block);
+
+    /** Translation for source address @p src, or nullptr. */
+    TranslatedBlock *lookup(Addr src);
+
+    /** Drop every translation (capacity flush or re-randomization). */
+    void flush();
+
+    /** True if @p addr falls inside this cache's memory region. */
+    bool contains(Addr addr) const;
+
+    /** All resident blocks (JIT-ROP analysis scans these). @{ */
+    const std::unordered_map<Addr, std::unique_ptr<TranslatedBlock>> &
+    blocks() const
+    {
+        return _blocks;
+    }
+    /** @} */
+
+    uint32_t capacity() const { return _capacity; }
+    uint32_t used() const { return _cursor - _base; }
+    uint64_t flushes() const { return _flushes; }
+    uint64_t insertions() const { return _insertions; }
+    Addr base() const { return _base; }
+
+  private:
+    Memory &_mem;
+    IsaKind _isa;
+    Addr _base;
+    uint32_t _capacity;
+    bool _alignLoopHeads;
+    Addr _cursor;
+    std::unordered_map<Addr, std::unique_ptr<TranslatedBlock>> _blocks;
+    uint64_t _flushes = 0;
+    uint64_t _insertions = 0;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_VM_CODE_CACHE_HH

@@ -1,0 +1,468 @@
+#include "psr_vm.hh"
+
+#include "binary/loader.hh"
+#include "isa/interp.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+const char *
+vmStopName(VmStop s)
+{
+    switch (s) {
+      case VmStop::Exited: return "exited";
+      case VmStop::Halted: return "halted";
+      case VmStop::Fault: return "fault";
+      case VmStop::BadInst: return "bad-instruction";
+      case VmStop::SfiViolation: return "sfi-violation";
+      case VmStop::StepLimit: return "step-limit";
+      case VmStop::MigrationRequested: return "migration-requested";
+    }
+    return "?";
+}
+
+PsrVm::PsrVm(const FatBinary &bin, IsaKind isa, Memory &mem,
+             GuestOs &os, const PsrConfig &cfg)
+    : state(isa), _bin(bin), _isa(isa), _mem(mem), _os(os),
+      _cfg(cfg), _randomizer(bin, isa, cfg),
+      _translator(bin, isa, _randomizer, mem),
+      _cache(mem, isa, cfg.codeCacheBytes, cfg.blockPlacement()),
+      _rat(cfg.ratEntries)
+{
+}
+
+void
+PsrVm::reset()
+{
+    initMachineState(state, _bin, _isa);
+}
+
+void
+PsrVm::reRandomize()
+{
+    _randomizer.reRandomize();
+    _cache.flush();
+    _rat.flush();
+    ++stats.cacheFlushes;
+}
+
+TranslatedBlock *
+PsrVm::fetchBlock(Addr src, VmRunResult &stop)
+{
+    TranslatedBlock *blk = _cache.lookup(src);
+    if (blk != nullptr)
+        return blk;
+
+    TranslateError err;
+    auto unit = _translator.translate(src, err);
+    if (!unit) {
+        stop.reason = VmStop::BadInst;
+        stop.stopPc = src;
+        return nullptr;
+    }
+    stats.translations++;
+    stats.translatedGuestInsts += unit->guestInstCount;
+
+    uint64_t flushes_before = _cache.flushes();
+    if (!_cache.insert(std::move(unit))) {
+        stop.reason = VmStop::BadInst;
+        stop.stopPc = src;
+        return nullptr;
+    }
+    if (_cache.flushes() != flushes_before) {
+        // A capacity flush invalidates every RAT entry and chain.
+        _rat.flush();
+        ++stats.cacheFlushes;
+    }
+    return _cache.lookup(src);
+}
+
+void
+PsrVm::traceData(const MachInst &mi)
+{
+    auto trace = [&](const Operand &o, bool write) {
+        if (!o.isMem())
+            return;
+        Addr addr =
+            state.reg(o.base) + static_cast<uint32_t>(o.disp);
+        if (write)
+            ++stats.memWrites;
+        else
+            ++stats.memReads;
+        if (dataTraceHook)
+            dataTraceHook(addr, write);
+    };
+    // Destination memory operand is a write; sources are reads.
+    if (mi.op == Op::Mov || mi.op == Op::Movb) {
+        trace(mi.dst, true);
+        trace(mi.src1, false);
+    } else {
+        trace(mi.src1, false);
+        trace(mi.src2, false);
+        trace(mi.dst, true);
+    }
+    if (mi.op == Op::Push || mi.op == Op::Call ||
+        mi.op == Op::CallInd) {
+        ++stats.memWrites;
+        if (dataTraceHook && state.isa == IsaKind::Cisc)
+            dataTraceHook(state.sp() - 4, true);
+    }
+    if (mi.op == Op::Pop || mi.op == Op::Ret) {
+        ++stats.memReads;
+        if (dataTraceHook)
+            dataTraceHook(state.sp(), false);
+    }
+}
+
+VmRunResult
+PsrVm::run(uint64_t max_guest_insts)
+{
+    VmRunResult stop;
+    const uint64_t guest_budget = stats.guestInsts + max_guest_insts;
+
+    TranslatedBlock *blk = fetchBlock(state.pc, stop);
+    if (blk == nullptr)
+        return stop;
+    ++stats.dispatches;
+
+    // Dispatch to a (possibly untranslated) guest target after an
+    // exit; returns nullptr when the run must stop.
+    auto dispatch = [&](Addr target) -> TranslatedBlock * {
+        state.pc = target;
+        ++stats.dispatches; // every dispatcher entry costs a lookup
+        TranslatedBlock *next = _cache.lookup(target);
+        if (next != nullptr)
+            return next;
+        next = fetchBlock(target, stop);
+        return next;
+    };
+
+    // Handle an indirect transfer to @p target: SFI check, then the
+    // code-cache-miss security policy of Section 3.5.
+    auto indirect_dispatch = [&](Addr target) -> TranslatedBlock * {
+        ++stats.indirectTransfers;
+        if (_cache.contains(target)) {
+            stop.reason = VmStop::SfiViolation;
+            stop.stopPc = target;
+            return nullptr;
+        }
+        state.pc = target;
+        ++stats.dispatches;
+        TranslatedBlock *next = _cache.lookup(target);
+        if (next != nullptr)
+            return next;
+        // Indirect control transfer missing the code cache: the
+        // PSR virtual machine suspects a security breach.
+        ++stats.codeCacheMisses;
+        ++stats.securityEvents;
+        if (securityEventHook && securityEventHook(target)) {
+            ++stats.migrationsRequested;
+            stop.reason = VmStop::MigrationRequested;
+            stop.stopPc = target;
+            stop.migrationTarget = target;
+            return nullptr;
+        }
+        next = fetchBlock(target, stop);
+        return next;
+    };
+
+    // Push/record a source return address for a call exit and make
+    // sure the RAT can translate it on return.
+    auto emit_call_linkage = [&](Addr source_ra) -> bool {
+        if (_isa == IsaKind::Cisc) {
+            uint32_t sp = state.sp() - kWordSize;
+            try {
+                _mem.write32(sp, source_ra);
+            } catch (const Memory::Fault &) {
+                stop.reason = VmStop::Fault;
+                stop.stopPc = state.pc;
+                return false;
+            }
+            state.setSp(sp);
+            ++stats.memWrites;
+        } else {
+            state.setReg(isaDescriptor(_isa).lrReg, source_ra);
+        }
+        // Eagerly translate the return point (the call macro-op
+        // installs the RAT mapping, Section 5.1).
+        VmRunResult scratch_stop;
+        TranslatedBlock *ret_block =
+            fetchBlock(source_ra, scratch_stop);
+        if (ret_block != nullptr)
+            _rat.insert(source_ra, source_ra);
+        return true;
+    };
+
+    while (true) {
+        // Execute the block's translated instructions.
+        size_t i = 0;
+        int taken_exit = -1;
+        Addr ret_target = 0;
+        bool is_ret = false;
+        bool redirected = false;
+
+        while (i < blk->insts.size()) {
+            const TInst &ti = blk->insts[i];
+            ++stats.hostInsts;
+            if (ti.guestStart)
+                ++stats.guestInsts;
+            if (fetchTraceHook)
+                fetchTraceHook(blk->cacheAddr + ti.byteOff);
+
+            if (ti.mi.op == Op::Jcc && ti.exitIdx >= 0) {
+                if (condHolds(ti.mi.cond, state.flags)) {
+                    taken_exit = ti.exitIdx;
+                    break;
+                }
+                ++i;
+                continue;
+            }
+            if (ti.mi.op == Op::VmExit) {
+                taken_exit = ti.exitIdx >= 0
+                    ? ti.exitIdx
+                    : ti.mi.src1.disp;
+                break;
+            }
+            if (ti.mi.op == Op::Ret) {
+                // Pop the source return address; translate through
+                // the RAT below.
+                uint32_t sp = state.sp();
+                try {
+                    ret_target = _mem.read32(sp);
+                } catch (const Memory::Fault &) {
+                    stop.reason = VmStop::Fault;
+                    stop.stopPc = blk->srcStart;
+                    return stop;
+                }
+                ++stats.memReads;
+                if (dataTraceHook)
+                    dataTraceHook(sp, false);
+                state.setSp(sp + kWordSize);
+                is_ret = true;
+                break;
+            }
+            if (ti.mi.op == Op::Syscall) {
+                ++stats.syscalls;
+                bool keep;
+                try {
+                    keep = _os.handleSyscall(state, _mem);
+                } catch (const Memory::Fault &) {
+                    stop.reason = VmStop::Fault;
+                    stop.stopPc = blk->srcStart;
+                    return stop;
+                }
+                if (!keep) {
+                    stop.reason = VmStop::Exited;
+                    stop.stopPc = blk->srcStart;
+                    return stop;
+                }
+                if (_os.takeRedirect()) {
+                    // Non-local transfer (longjmp): the OS rewrote
+                    // pc to a source address. Dispatch it exactly
+                    // like any other indirect control transfer —
+                    // including the SFI check and the security
+                    // policy (the paper forces migration on a
+                    // longjmp whose setjmp ran on the other ISA).
+                    blk = indirect_dispatch(state.pc);
+                    if (blk == nullptr)
+                        return stop;
+                    redirected = true;
+                    break;
+                }
+                ++i;
+                continue;
+            }
+
+            traceData(ti.mi);
+            try {
+                MachInst mi = ti.mi;
+                Addr saved_pc = state.pc;
+                ExecStatus st = executeInst(mi, state, _mem, &_os);
+                state.pc = saved_pc; // VM owns the pc
+                if (st == ExecStatus::Halted) {
+                    stop.reason = VmStop::Halted;
+                    stop.stopPc = blk->srcStart;
+                    return stop;
+                }
+            } catch (const Memory::Fault &) {
+                stop.reason = VmStop::Fault;
+                stop.stopPc = blk->srcStart;
+                return stop;
+            }
+            ++i;
+        }
+
+        if (redirected) {
+            if (stats.guestInsts >= guest_budget) {
+                stop.reason = VmStop::StepLimit;
+                stop.stopPc = state.pc;
+                return stop;
+            }
+            continue;
+        }
+
+        // ---- Return handling: RAT translation of the source RA. ----
+        if (is_ret) {
+            if (controlTraceHook)
+                controlTraceHook(ret_target, 'R');
+            if (_cfg.isomeronMode)
+                ++stats.diversificationFlips;
+            ++stats.indirectTransfers;
+            if (_cache.contains(ret_target)) {
+                stop.reason = VmStop::SfiViolation;
+                stop.stopPc = ret_target;
+                return stop;
+            }
+            Addr translated;
+            if (_rat.lookup(ret_target, translated)) {
+                ++stats.ratHits;
+                state.pc = ret_target;
+                blk = _cache.lookup(ret_target);
+                if (blk == nullptr) {
+                    // Stale RAT entry (should not happen: flushes
+                    // clear the RAT) — treat as a miss.
+                    blk = fetchBlock(ret_target, stop);
+                    if (blk == nullptr)
+                        return stop;
+                }
+            } else {
+                ++stats.ratMisses;
+                // Trap into the translator.
+                state.pc = ret_target;
+                TranslatedBlock *next = _cache.lookup(ret_target);
+                if (next == nullptr) {
+                    // Code cache miss on an indirect transfer.
+                    ++stats.codeCacheMisses;
+                    ++stats.securityEvents;
+                    if (securityEventHook &&
+                        securityEventHook(ret_target)) {
+                        ++stats.migrationsRequested;
+                        stop.reason = VmStop::MigrationRequested;
+                        stop.stopPc = ret_target;
+                        stop.migrationTarget = ret_target;
+                        return stop;
+                    }
+                    next = fetchBlock(ret_target, stop);
+                    if (next == nullptr)
+                        return stop;
+                }
+                _rat.insert(ret_target, ret_target);
+                ++stats.dispatches;
+                blk = next;
+            }
+            if (stats.guestInsts >= guest_budget) {
+                stop.reason = VmStop::StepLimit;
+                stop.stopPc = state.pc;
+                return stop;
+            }
+            continue;
+        }
+
+        hipstr_assert(taken_exit >= 0);
+        // Copy the exit: translating a target can flush the code
+        // cache and destroy the exit's owning block.
+        const size_t exit_idx = static_cast<size_t>(taken_exit);
+        const Addr owner_src = blk->srcStart;
+        BlockExit exit = blk->exits[exit_idx];
+
+        // Re-resolve the owner before writing a chain pointer: the
+        // owner may have been destroyed by a capacity flush.
+        auto patch_chain = [&](TranslatedBlock *next) {
+            if (!_cfg.superblocks() || next == nullptr)
+                return;
+            TranslatedBlock *owner = _cache.lookup(owner_src);
+            if (owner != nullptr && exit_idx < owner->exits.size())
+                owner->exits[exit_idx].chained = next;
+        };
+
+        switch (exit.kind) {
+          case BlockExit::Kind::Halt:
+            stop.reason = VmStop::Halted;
+            stop.stopPc = owner_src;
+            return stop;
+
+          case BlockExit::Kind::Branch: {
+            if (controlTraceHook)
+                controlTraceHook(exit.target, 'B');
+            if (exit.chained != nullptr) {
+                ++stats.chainFollows;
+                state.pc = exit.target;
+                blk = exit.chained;
+            } else {
+                blk = dispatch(exit.target);
+                if (blk == nullptr)
+                    return stop;
+                patch_chain(blk);
+            }
+            break;
+          }
+
+          case BlockExit::Kind::Call: {
+            if (controlTraceHook)
+                controlTraceHook(exit.target, 'C');
+            if (!emit_call_linkage(exit.returnTo))
+                return stop;
+            if (_cfg.isomeronMode) {
+                // The diversifier flips a coin and dispatches to the
+                // chosen program variant — chaining is impossible.
+                ++stats.diversificationFlips;
+                blk = dispatch(exit.target);
+                if (blk == nullptr)
+                    return stop;
+                break;
+            }
+            if (exit.chained != nullptr) {
+                ++stats.chainFollows;
+                state.pc = exit.target;
+                blk = exit.chained;
+            } else {
+                blk = dispatch(exit.target);
+                if (blk == nullptr)
+                    return stop;
+                patch_chain(blk);
+            }
+            break;
+          }
+
+          case BlockExit::Kind::IndirectCall:
+          case BlockExit::Kind::IndirectJump: {
+            // Read the target from its (possibly relocated) home.
+            uint32_t target;
+            try {
+                if (exit.targetOperand.isMem()) {
+                    Addr a = state.reg(exit.targetOperand.base) +
+                        static_cast<uint32_t>(
+                            exit.targetOperand.disp);
+                    target = _mem.read32(a);
+                    ++stats.memReads;
+                } else {
+                    target = state.reg(exit.targetOperand.reg);
+                }
+            } catch (const Memory::Fault &) {
+                stop.reason = VmStop::Fault;
+                stop.stopPc = owner_src;
+                return stop;
+            }
+            if (controlTraceHook)
+                controlTraceHook(target, 'I');
+            if (exit.kind == BlockExit::Kind::IndirectCall) {
+                if (!emit_call_linkage(exit.returnTo))
+                    return stop;
+            }
+            blk = indirect_dispatch(target);
+            if (blk == nullptr)
+                return stop;
+            break;
+          }
+        }
+
+        if (stats.guestInsts >= guest_budget) {
+            stop.reason = VmStop::StepLimit;
+            stop.stopPc = state.pc;
+            return stop;
+        }
+    }
+}
+
+} // namespace hipstr

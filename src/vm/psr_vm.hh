@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The PSR virtual machine: a just-in-time dynamic translation engine
+ * (Figure 2) that executes guest code exclusively out of its code
+ * cache, applies the PSR transformations per function, routes returns
+ * through the hardware Return Address Table, enforces the
+ * software-fault-isolation rules of Section 5.1, and raises a
+ * security event on every indirect control transfer that misses the
+ * code cache (Section 3.5) — the trigger HIPStR uses for
+ * probabilistic cross-ISA migration.
+ */
+
+#ifndef HIPSTR_VM_PSR_VM_HH
+#define HIPSTR_VM_PSR_VM_HH
+
+#include <functional>
+#include <memory>
+
+#include "binary/fatbin.hh"
+#include "core/psr_config.hh"
+#include "core/relocation.hh"
+#include "core/translator.hh"
+#include "isa/guest_os.hh"
+#include "isa/machine_state.hh"
+#include "isa/memory.hh"
+#include "sim/rat.hh"
+#include "vm/code_cache.hh"
+
+namespace hipstr
+{
+
+/** Why a VM run stopped. */
+enum class VmStop
+{
+    Exited,            ///< guest called Exit/Execve
+    Halted,            ///< guest executed Halt
+    Fault,             ///< guest memory fault (crash)
+    BadInst,           ///< undecodable guest target (crash)
+    SfiViolation,      ///< control or return pointer into the code
+                       ///< cache — process terminated (Section 5.1)
+    StepLimit,         ///< instruction budget exhausted
+    MigrationRequested ///< security hook asked for an ISA switch
+};
+
+const char *vmStopName(VmStop s);
+
+/** Result of a VM run. */
+struct VmRunResult
+{
+    VmStop reason = VmStop::StepLimit;
+    Addr stopPc = 0;          ///< guest pc at the stop
+    Addr migrationTarget = 0; ///< resume target (MigrationRequested)
+
+    bool crashed() const
+    {
+        return reason == VmStop::Fault || reason == VmStop::BadInst ||
+            reason == VmStop::SfiViolation;
+    }
+};
+
+/** Runtime counters the timing model and the benches consume. */
+struct VmStats
+{
+    uint64_t guestInsts = 0;     ///< guest instructions retired
+    uint64_t hostInsts = 0;      ///< translated instructions executed
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+    uint64_t dispatches = 0;     ///< dispatcher entries (unchained)
+    uint64_t chainFollows = 0;   ///< direct block-to-block transfers
+    uint64_t translations = 0;
+    uint64_t translatedGuestInsts = 0;
+    uint64_t ratHits = 0;
+    uint64_t ratMisses = 0;
+    uint64_t indirectTransfers = 0;
+    uint64_t codeCacheMisses = 0; ///< indirect transfers that missed
+    uint64_t securityEvents = 0;  ///< == codeCacheMisses (Section 3.5)
+    uint64_t migrationsRequested = 0;
+    uint64_t cacheFlushes = 0;
+    uint64_t syscalls = 0;
+    /** Isomeron-mode coin flips (one per call and per return). */
+    uint64_t diversificationFlips = 0;
+};
+
+/**
+ * One PSR virtual machine, bound to one ISA of the fat binary.
+ * HIPStR instantiates one per core and moves execution between them.
+ */
+class PsrVm
+{
+  public:
+    PsrVm(const FatBinary &bin, IsaKind isa, Memory &mem, GuestOs &os,
+          const PsrConfig &cfg);
+
+    /** Architectural guest state (public for migration/tests). */
+    MachineState state;
+
+    /**
+     * Security-event hook: invoked with the offending target when an
+     * indirect control transfer misses the code cache. Return true to
+     * request migration (the run stops with MigrationRequested).
+     * Unset => never migrate (single-ISA PSR).
+     */
+    std::function<bool(Addr target)> securityEventHook;
+
+    /** Optional per-access hooks for the timing model. @{ */
+    std::function<void(Addr addr, bool write)> dataTraceHook;
+    std::function<void(Addr cacheAddr)> fetchTraceHook;
+    /** @} */
+
+    /**
+     * Optional control-transfer trace: called with the guest target
+     * and a kind tag ('B'ranch, 'C'all, 'I'ndirect, 'R'eturn) at
+     * every dispatch-level transfer. Used by differential tests.
+     */
+    std::function<void(Addr target, char kind)> controlTraceHook;
+
+    /** Point the VM at the program entry with a fresh stack. */
+    void reset();
+
+    /** Run until a stop condition or @p max_guest_insts. */
+    VmRunResult run(uint64_t max_guest_insts);
+
+    /**
+     * Respawn behaviour (Section 5.3): flush the code cache and RAT
+     * and generate fresh relocation maps, as happens when a worker
+     * thread re-spawns after a crash.
+     */
+    void reRandomize();
+
+    IsaKind isa() const { return _isa; }
+    VmStats stats;
+    CodeCache &codeCache() { return _cache; }
+    const CodeCache &codeCache() const { return _cache; }
+    ReturnAddressTable &rat() { return _rat; }
+    Randomizer &randomizer() { return _randomizer; }
+    GuestOs &os() { return _os; }
+    Memory &mem() { return _mem; }
+    const FatBinary &binary() const { return _bin; }
+    const PsrConfig &config() const { return _cfg; }
+
+  private:
+    /** Fetch (lookup or translate) the unit at @p src. */
+    TranslatedBlock *fetchBlock(Addr src, VmRunResult &stop);
+    /** Count + trace the data accesses of one instruction. */
+    void traceData(const MachInst &mi);
+
+    const FatBinary &_bin;
+    IsaKind _isa;
+    Memory &_mem;
+    GuestOs &_os;
+    PsrConfig _cfg;
+    Randomizer _randomizer;
+    PsrTranslator _translator;
+    CodeCache _cache;
+    ReturnAddressTable _rat;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_VM_PSR_VM_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Internal IR-authoring helpers shared by the workload builders.
+ */
+
+#ifndef HIPSTR_WORKLOADS_DETAIL_HH
+#define HIPSTR_WORKLOADS_DETAIL_HH
+
+#include "ir/builder.hh"
+
+namespace hipstr::wldetail
+{
+
+/**
+ * Structured counted loop: for (i = start; i < bound; i += step).
+ *
+ * @code
+ *   LoopBuilder loop(b, 0, 64);          // opens the body block
+ *   ... body using loop.index() ...
+ *   loop.finish(b);                       // closes and continues after
+ * @endcode
+ */
+class LoopBuilder
+{
+  public:
+    LoopBuilder(IrBuilder &b, int32_t start, int32_t bound)
+        : _b(b)
+    {
+        _i = b.constI(start);
+        open(b.constI(bound));
+    }
+
+    LoopBuilder(IrBuilder &b, int32_t start, ValueId bound) : _b(b)
+    {
+        _i = b.constI(start);
+        open(bound);
+    }
+
+    ValueId index() const { return _i; }
+
+    void
+    finish(int32_t step = 1)
+    {
+        _b.assignBinopI(IrOp::Add, _i, _i, step);
+        _b.br(_hdr);
+        _b.setBlock(_done);
+    }
+
+  private:
+    void
+    open(ValueId bound)
+    {
+        _hdr = _b.newBlock();
+        _body = _b.newBlock();
+        _done = _b.newBlock();
+        _b.br(_hdr);
+        _b.setBlock(_hdr);
+        _b.condBr(Cond::Lt, _i, bound, _body, _done);
+        _b.setBlock(_body);
+    }
+
+    IrBuilder &_b;
+    ValueId _i = kNoValue;
+    uint32_t _hdr = 0, _body = 0, _done = 0;
+};
+
+/** s' = s * 1664525 + 1013904223 (Numerical Recipes LCG), in place. */
+inline void
+lcgStep(IrBuilder &b, ValueId s)
+{
+    b.assignBinopI(IrOp::Mul, s, s, 1664525);
+    b.assignBinopI(IrOp::Add, s, s, 1013904223);
+}
+
+/** h = (h ^ v) * 16777619 (FNV-1a step), in place. */
+inline void
+fnvMix(IrBuilder &b, ValueId h, ValueId v)
+{
+    b.assignBinop(IrOp::Xor, h, h, v);
+    b.assignBinopI(IrOp::Mul, h, h, 16777619);
+}
+
+/**
+ * Emit the standard main epilogue: WriteWord(h) then return h.
+ * (main's return value becomes the process exit code.)
+ */
+inline void
+finishMain(IrBuilder &b, ValueId h)
+{
+    b.emitWriteWord(h);
+    b.ret(h);
+}
+
+} // namespace hipstr::wldetail
+
+#endif // HIPSTR_WORKLOADS_DETAIL_HH

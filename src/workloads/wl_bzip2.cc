@@ -1,0 +1,209 @@
+/**
+ * @file
+ * bzip2-like workload: block compression pipeline.
+ *
+ * Mirrors the structure of bzip2's kernel: fill a block with data,
+ * run-length encode it, apply a move-to-front transform, and histogram
+ * the symbol frequencies — byte-granular memory traffic, tight inner
+ * loops, and a moderate call graph.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildBzip2(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "bzip2";
+    IrBuilder b(m);
+
+    constexpr int32_t kBlock = 1024;
+    uint32_t g_in = b.addGlobal("in", kBlock);
+    uint32_t g_out = b.addGlobal("out", 2 * kBlock);
+    uint32_t g_mtf = b.addGlobal("mtf_table", 256);
+
+    uint32_t fn_fill = b.declareFunction("fill_block", 2);
+    uint32_t fn_rle = b.declareFunction("rle_encode", 1);
+    uint32_t fn_mtf = b.declareFunction("mtf_transform", 1);
+    uint32_t fn_hist = b.declareFunction("histogram", 1);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    // fill_block(n, seed): in[i] = biased pseudo-random bytes with
+    // runs (so RLE has something to find). Returns the final seed.
+    b.beginFunction(fn_fill);
+    {
+        ValueId n = b.param(0);
+        ValueId s = b.copy(b.param(1));
+        ValueId base = b.globalAddr(g_in);
+        ValueId cur = b.constI(0); // current run symbol
+        LoopBuilder loop(b, 0, n);
+        {
+            // Change the run symbol with probability ~1/4.
+            lcgStep(b, s);
+            ValueId coin = b.andI(b.shrI(s, 16), 3);
+            uint32_t change = b.newBlock(), write = b.newBlock();
+            b.condBrI(Cond::Eq, coin, 0, change, write);
+            b.setBlock(change);
+            b.assign(cur, b.andI(b.shrI(s, 8), 255));
+            b.br(write);
+            b.setBlock(write);
+            ValueId addr = b.add(base, loop.index());
+            b.store8(addr, cur);
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // rle_encode(n) -> encoded length; writes (count, symbol) byte
+    // pairs into out[].
+    b.beginFunction(fn_rle);
+    {
+        ValueId n = b.param(0);
+        ValueId in_base = b.globalAddr(g_in);
+        ValueId out_base = b.globalAddr(g_out);
+        ValueId out_len = b.constI(0);
+        ValueId run_sym = b.load8(in_base);
+        ValueId run_len = b.constI(1);
+
+        LoopBuilder loop(b, 1, n);
+        {
+            ValueId sym = b.load8(b.add(in_base, loop.index()));
+            uint32_t same = b.newBlock(), flush = b.newBlock(),
+                     next = b.newBlock();
+            b.condBr(Cond::Eq, sym, run_sym, same, flush);
+
+            b.setBlock(same);
+            b.assignBinopI(IrOp::Add, run_len, run_len, 1);
+            // Cap runs at 255 so the count fits a byte.
+            uint32_t cap = b.newBlock();
+            b.condBrI(Cond::Gt, run_len, 255, cap, next);
+            b.setBlock(cap);
+            b.assignConst(run_len, 255);
+            b.br(next);
+
+            b.setBlock(flush);
+            ValueId w = b.add(out_base, out_len);
+            b.store8(w, run_len);
+            b.store8(w, run_sym, 1);
+            b.assignBinopI(IrOp::Add, out_len, out_len, 2);
+            b.assign(run_sym, sym);
+            b.assignConst(run_len, 1);
+            b.br(next);
+
+            b.setBlock(next);
+        }
+        loop.finish();
+
+        ValueId w = b.add(out_base, out_len);
+        b.store8(w, run_len);
+        b.store8(w, run_sym, 1);
+        b.assignBinopI(IrOp::Add, out_len, out_len, 2);
+        b.ret(out_len);
+    }
+    b.endFunction();
+
+    // mtf_transform(len): move-to-front over out[], in place.
+    b.beginFunction(fn_mtf);
+    {
+        ValueId len = b.param(0);
+        ValueId tbl = b.globalAddr(g_mtf);
+        ValueId out_base = b.globalAddr(g_out);
+
+        // Initialize the table to the identity permutation.
+        LoopBuilder init(b, 0, 256);
+        b.store8(b.add(tbl, init.index()), init.index());
+        init.finish();
+
+        LoopBuilder loop(b, 0, len);
+        {
+            ValueId sym = b.load8(b.add(out_base, loop.index()));
+            // Find sym's rank, shifting earlier entries down.
+            ValueId rank = b.constI(0);
+            ValueId prev = b.load8(tbl);
+            uint32_t hdr = b.newBlock(), body = b.newBlock(),
+                     found = b.newBlock();
+            b.br(hdr);
+            b.setBlock(hdr);
+            b.condBr(Cond::Eq, prev, sym, found, body);
+            b.setBlock(body);
+            b.assignBinopI(IrOp::Add, rank, rank, 1);
+            ValueId cur = b.load8(b.add(tbl, rank));
+            b.store8(b.add(tbl, rank), prev);
+            b.assign(prev, cur);
+            b.br(hdr);
+            b.setBlock(found);
+            b.store8(tbl, sym);
+            b.store8(b.add(out_base, loop.index()), rank);
+        }
+        loop.finish();
+        b.ret();
+    }
+    b.endFunction();
+
+    // histogram(len) -> FNV checksum over the frequency table. The
+    // table is a frame-resident array, as in the real bzip2 — its
+    // address is live across the loops below, making those blocks
+    // reachable only through on-demand migration.
+    b.beginFunction(fn_hist);
+    {
+        ValueId len = b.param(0);
+        ValueId out_base = b.globalAddr(g_out);
+        uint32_t freq_obj = b.addFrameObject("freq", 256 * 4);
+        ValueId freq = b.frameAddr(freq_obj);
+
+        LoopBuilder zero(b, 0, 256);
+        b.store(b.add(freq, b.shlI(zero.index(), 2)), b.constI(0));
+        zero.finish();
+
+        LoopBuilder count(b, 0, len);
+        {
+            ValueId sym = b.load8(b.add(out_base, count.index()));
+            ValueId slot = b.add(freq, b.shlI(sym, 2));
+            b.store(slot, b.addI(b.load(slot), 1));
+        }
+        count.finish();
+
+        ValueId h = b.constI(0x811c9dc5);
+        LoopBuilder sum(b, 0, 256);
+        {
+            ValueId v = b.load(b.add(freq, b.shlI(sum.index(), 2)));
+            fnvMix(b, h, v);
+        }
+        sum.finish();
+        b.ret(h);
+    }
+    b.endFunction();
+
+    // main: compress `scale` blocks and fold the checksums.
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId seed = b.constI(static_cast<int32_t>(cfg.seed | 1));
+        LoopBuilder blocks(b, 0,
+                           static_cast<int32_t>(4 * cfg.scale));
+        {
+            ValueId n = b.constI(kBlock);
+            b.assign(seed, b.call(fn_fill, { n, seed }));
+            ValueId enc_len = b.call(fn_rle, { n });
+            b.callVoid(fn_mtf, { enc_len });
+            ValueId hv = b.call(fn_hist, { enc_len });
+            fnvMix(b, h, hv);
+        }
+        blocks.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

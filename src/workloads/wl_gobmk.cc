@@ -1,0 +1,173 @@
+/**
+ * @file
+ * gobmk-like workload: recursive game-tree search.
+ *
+ * Mirrors GNU Go's dominant behaviour: deep recursion over candidate
+ * moves with board evaluation at the leaves, heavy use of stack frames
+ * (a per-node move list lives in a frame array, so many blocks carry
+ * live frame pointers — the migration-unsafe case), and branchy
+ * control flow.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildGobmk(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "gobmk";
+    IrBuilder b(m);
+
+    constexpr int32_t kBoard = 81; // 9x9
+    uint32_t g_board = b.addGlobal("board", kBoard * 4);
+
+    uint32_t fn_eval = b.declareFunction("eval_pos", 1);
+    uint32_t fn_search = b.declareFunction("search", 3);
+    uint32_t fn_seed = b.declareFunction("seed_board", 1);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    // eval_pos(pos): cheap positional evaluation around `pos`.
+    b.beginFunction(fn_eval);
+    {
+        ValueId pos = b.param(0);
+        ValueId board = b.globalAddr(g_board);
+        ValueId score = b.constI(0);
+        // Sum a 3-cell neighbourhood with wraparound.
+        LoopBuilder nb(b, 0, 3);
+        {
+            ValueId idx = b.add(pos, nb.index());
+            ValueId wrapped = b.sub(
+                idx, b.mulI(b.divuI(idx, kBoard), kBoard));
+            ValueId cell =
+                b.load(b.add(board, b.shlI(wrapped, 2)));
+            b.assignBinop(IrOp::Add, score, score, cell);
+            b.assignBinopI(IrOp::Xor, score, score, 0x55);
+        }
+        nb.finish();
+        b.ret(score);
+    }
+    b.endFunction();
+
+    // search(depth, pos, acc): minimax-ish recursive search with a
+    // frame-resident move list.
+    b.beginFunction(fn_search);
+    {
+        ValueId depth = b.param(0);
+        ValueId pos = b.param(1);
+        ValueId acc = b.param(2);
+
+        uint32_t moves = b.addFrameObject("moves", 3 * 4);
+
+        uint32_t leaf = b.newBlock(), inner = b.newBlock();
+        b.condBrI(Cond::Le, depth, 0, leaf, inner);
+
+        b.setBlock(leaf);
+        ValueId lv = b.call(fn_eval, { pos });
+        b.ret(b.add(acc, lv));
+
+        b.setBlock(inner);
+        // Generate three candidate moves into the frame array.
+        ValueId mbase = b.frameAddr(moves);
+        LoopBuilder gen(b, 0, 3);
+        {
+            ValueId mv = b.add(
+                pos, b.addI(b.mulI(gen.index(), 7), 3));
+            ValueId wrapped = b.sub(
+                mv, b.mulI(b.divuI(mv, kBoard), kBoard));
+            b.store(b.add(mbase, b.shlI(gen.index(), 2)), wrapped);
+        }
+        gen.finish();
+
+        // Recurse on each move; alternate min/max by parity. Seed
+        // `best` with the appropriate sentinel so the first child
+        // always wins the comparison.
+        ValueId best = b.copy(b.constI(-0x7fffffff));
+        {
+            ValueId parity0 = b.andI(depth, 1);
+            uint32_t minp = b.newBlock(), cont = b.newBlock();
+            b.condBrI(Cond::Ne, parity0, 0, minp, cont);
+            b.setBlock(minp);
+            b.assignConst(best, 0x7fffffff);
+            b.br(cont);
+            b.setBlock(cont);
+        }
+        ValueId d1 = b.subI(depth, 1);
+        LoopBuilder rec(b, 0, 3);
+        {
+            ValueId mv = b.load(
+                b.add(mbase, b.shlI(rec.index(), 2)));
+            ValueId child = b.call(fn_search, { d1, mv, acc });
+            ValueId parity = b.andI(depth, 1);
+            uint32_t take_max = b.newBlock(), take_min = b.newBlock(),
+                     joined = b.newBlock();
+            b.condBrI(Cond::Eq, parity, 0, take_max, take_min);
+            b.setBlock(take_max);
+            {
+                uint32_t upd = b.newBlock();
+                b.condBr(Cond::Gt, child, best, upd, joined);
+                b.setBlock(upd);
+                b.assign(best, child);
+                b.br(joined);
+            }
+            b.setBlock(take_min);
+            {
+                uint32_t upd = b.newBlock();
+                b.condBr(Cond::Lt, child, best, upd, joined);
+                b.setBlock(upd);
+                b.assign(best, child);
+                b.br(joined);
+            }
+            b.setBlock(joined);
+        }
+        rec.finish();
+        b.ret(b.add(best, b.andI(acc, 15)));
+    }
+    b.endFunction();
+
+    // seed_board(seed): fill the board with small stone values.
+    b.beginFunction(fn_seed);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId board = b.globalAddr(g_board);
+        LoopBuilder loop(b, 0, kBoard);
+        {
+            lcgStep(b, s);
+            ValueId v = b.andI(b.shrI(s, 20), 7);
+            b.store(b.add(board, b.shlI(loop.index(), 2)), v);
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId seed = b.constI(static_cast<int32_t>(cfg.seed ^ 0x60));
+        LoopBuilder games(b, 0, static_cast<int32_t>(2 * cfg.scale));
+        {
+            b.assign(seed, b.call(fn_seed, { seed }));
+            ValueId depth = b.constI(5);
+            ValueId start = b.andI(seed, 63);
+            ValueId zero = b.constI(0);
+            ValueId score =
+                b.call(fn_search, { depth, start, zero });
+            fnvMix(b, h, score);
+        }
+        games.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

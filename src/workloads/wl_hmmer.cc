@@ -1,0 +1,161 @@
+/**
+ * @file
+ * hmmer-like workload: profile-HMM dynamic programming.
+ *
+ * Mirrors hmmer's Viterbi kernel: a row-by-row DP recurrence with
+ * max-selection between match/insert/delete transitions, word-array
+ * traffic, and a tight inner loop that dominates execution.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildHmmer(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "hmmer";
+    IrBuilder b(m);
+
+    constexpr int32_t kStates = 48;
+    uint32_t g_match = b.addGlobal("match_score", kStates * 4);
+    uint32_t g_ins = b.addGlobal("insert_score", kStates * 4);
+    uint32_t g_prev = b.addGlobal("row_prev", kStates * 4);
+    uint32_t g_cur = b.addGlobal("row_cur", kStates * 4);
+
+    uint32_t fn_init = b.declareFunction("init_model", 1);
+    uint32_t fn_row = b.declareFunction("viterbi_row", 1);
+    uint32_t fn_swap = b.declareFunction("swap_rows", 0);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    // init_model(seed): pseudo-random transition scores.
+    b.beginFunction(fn_init);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId match = b.globalAddr(g_match);
+        ValueId ins = b.globalAddr(g_ins);
+        ValueId prev = b.globalAddr(g_prev);
+        LoopBuilder loop(b, 0, kStates);
+        {
+            ValueId off = b.shlI(loop.index(), 2);
+            lcgStep(b, s);
+            b.store(b.add(match, off), b.andI(b.shrI(s, 12), 63));
+            lcgStep(b, s);
+            b.store(b.add(ins, off), b.andI(b.shrI(s, 12), 31));
+            b.store(b.add(prev, off), b.constI(0));
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // viterbi_row(sym): one DP row; returns the row maximum. The
+    // emission table lives in the frame (hmmer keeps per-row scratch
+    // on the stack), so its address is live across the DP loop.
+    b.beginFunction(fn_row);
+    {
+        ValueId sym = b.param(0);
+        ValueId match = b.globalAddr(g_match);
+        ValueId ins = b.globalAddr(g_ins);
+        ValueId prev = b.globalAddr(g_prev);
+        ValueId cur = b.globalAddr(g_cur);
+        ValueId row_max = b.constI(0);
+        uint32_t emit_obj = b.addFrameObject("emit_cache", 16 * 4);
+        ValueId emit = b.frameAddr(emit_obj);
+        LoopBuilder fill(b, 0, 16);
+        {
+            ValueId e = b.andI(b.xor_(sym, fill.index()), 15);
+            b.store(b.add(emit, b.shlI(fill.index(), 2)), e);
+        }
+        fill.finish();
+
+        // State 0 seeds from the symbol.
+        b.store(cur, b.andI(sym, 127));
+
+        LoopBuilder loop(b, 1, kStates);
+        {
+            ValueId off = b.shlI(loop.index(), 2);
+            ValueId off_prev = b.shlI(b.subI(loop.index(), 1), 2);
+            ValueId from_match = b.add(
+                b.load(b.add(prev, off_prev)),
+                b.load(b.add(match, off)));
+            ValueId from_ins = b.add(b.load(b.add(prev, off)),
+                                     b.load(b.add(ins, off)));
+            // best = max(from_match, from_ins)
+            ValueId best = b.copy(from_match);
+            uint32_t take_ins = b.newBlock(), store_bb = b.newBlock();
+            b.condBr(Cond::Gt, from_ins, from_match, take_ins,
+                     store_bb);
+            b.setBlock(take_ins);
+            b.assign(best, from_ins);
+            b.br(store_bb);
+            b.setBlock(store_bb);
+            // Emission comes from the frame-resident cache.
+            ValueId eoff =
+                b.shlI(b.andI(loop.index(), 15), 2);
+            b.assignBinop(IrOp::Add, best, best,
+                          b.load(b.add(emit, eoff)));
+            b.store(b.add(cur, off), best);
+            uint32_t upd = b.newBlock(), next = b.newBlock();
+            b.condBr(Cond::Gt, best, row_max, upd, next);
+            b.setBlock(upd);
+            b.assign(row_max, best);
+            b.br(next);
+            b.setBlock(next);
+        }
+        loop.finish();
+        b.ret(row_max);
+    }
+    b.endFunction();
+
+    // swap_rows(): prev <- cur (hmmer keeps two rolling rows).
+    b.beginFunction(fn_swap);
+    {
+        ValueId prev = b.globalAddr(g_prev);
+        ValueId cur = b.globalAddr(g_cur);
+        LoopBuilder loop(b, 0, kStates);
+        {
+            ValueId off = b.shlI(loop.index(), 2);
+            b.store(b.add(prev, off), b.load(b.add(cur, off)));
+        }
+        loop.finish();
+        b.ret();
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0x43));
+        LoopBuilder seq(b, 0, static_cast<int32_t>(48 * cfg.scale));
+        {
+            uint32_t reinit = b.newBlock(), row = b.newBlock();
+            // Re-initialize the model every 16 symbols.
+            ValueId phase = b.andI(seq.index(), 15);
+            b.condBrI(Cond::Eq, phase, 0, reinit, row);
+            b.setBlock(reinit);
+            b.assign(s, b.call(fn_init, { s }));
+            b.br(row);
+            b.setBlock(row);
+            lcgStep(b, s);
+            ValueId sym = b.andI(b.shrI(s, 9), 255);
+            ValueId rmax = b.call(fn_row, { sym });
+            b.callVoid(fn_swap, {});
+            fnvMix(b, h, rmax);
+        }
+        seq.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * httpd-like workload: a synthetic request-serving daemon.
+ *
+ * Mirrors the structure the paper's case study targets: byte-level
+ * request parsing, method/path token matching, and handler dispatch
+ * through a function-pointer table — the indirect-transfer-rich,
+ * network-facing profile that makes httpd a classic ROP target.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildHttpd(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "httpd";
+    IrBuilder b(m);
+
+    constexpr int32_t kReqBytes = 64;
+    uint32_t g_req = b.addGlobal("request", kReqBytes);
+    uint32_t g_resp = b.addGlobal("response", 256);
+    uint32_t g_stats = b.addGlobal("handler_stats", 4 * 4);
+
+    uint32_t fn_gen = b.declareFunction("gen_request", 1);
+    uint32_t fn_parse = b.declareFunction("parse_method", 0);
+    uint32_t fn_h_static = b.declareFunction("handle_static", 1);
+    uint32_t fn_h_dyn = b.declareFunction("handle_dynamic", 1);
+    uint32_t fn_h_post = b.declareFunction("handle_post", 1);
+    uint32_t fn_h_err = b.declareFunction("handle_error", 1);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    // gen_request(seed): synthesizes "GET /pathNN ..." style bytes.
+    b.beginFunction(fn_gen);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId req = b.globalAddr(g_req);
+        lcgStep(b, s);
+        ValueId kind = b.andI(b.shrI(s, 16), 3);
+        // Method byte: 'G' for GET-static, 'D' dynamic, 'P' POST,
+        // 'X' malformed.
+        ValueId mb = b.copy(b.constI('G'));
+        uint32_t k1 = b.newBlock(), k2 = b.newBlock(),
+                 k3 = b.newBlock(), body = b.newBlock();
+        b.condBrI(Cond::Eq, kind, 1, k1, k2);
+        b.setBlock(k1);
+        b.assignConst(mb, 'D');
+        b.br(body);
+        b.setBlock(k2);
+        b.condBrI(Cond::Eq, kind, 2, k3, body);
+        b.setBlock(k3);
+        b.assignConst(mb, 'P');
+        b.br(body);
+        b.setBlock(body);
+        b.store8(req, mb);
+        // Path and payload bytes.
+        LoopBuilder loop(b, 1, kReqBytes);
+        {
+            lcgStep(b, s);
+            ValueId ch =
+                b.addI(b.andI(b.shrI(s, 11), 63), 32);
+            b.store8(b.add(req, loop.index()), ch);
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // parse_method() -> handler index 0..3 from the request bytes.
+    b.beginFunction(fn_parse);
+    {
+        ValueId req = b.globalAddr(g_req);
+        ValueId mb = b.load8(req);
+        uint32_t is_g = b.newBlock(), not_g = b.newBlock(),
+                 is_d = b.newBlock(), not_d = b.newBlock(),
+                 is_p = b.newBlock(), err = b.newBlock();
+        b.condBrI(Cond::Eq, mb, 'G', is_g, not_g);
+        b.setBlock(is_g);
+        b.ret(b.constI(0));
+        b.setBlock(not_g);
+        b.condBrI(Cond::Eq, mb, 'D', is_d, not_d);
+        b.setBlock(is_d);
+        b.ret(b.constI(1));
+        b.setBlock(not_d);
+        b.condBrI(Cond::Eq, mb, 'P', is_p, err);
+        b.setBlock(is_p);
+        b.ret(b.constI(2));
+        b.setBlock(err);
+        b.ret(b.constI(3));
+    }
+    b.endFunction();
+
+    // Handlers: each computes a response checksum differently and
+    // bumps its stats slot.
+    auto make_handler = [&](uint32_t fn, int32_t slot,
+                            auto body_fn) {
+        b.beginFunction(fn);
+        ValueId conn = b.param(0);
+        ValueId req = b.globalAddr(g_req);
+        ValueId resp = b.globalAddr(g_resp);
+        ValueId stats = b.globalAddr(g_stats);
+        ValueId acc = b.constI(0x1505);
+        body_fn(conn, req, resp, acc);
+        ValueId slot_addr = b.addI(stats, slot * 4);
+        b.store(slot_addr, b.addI(b.load(slot_addr), 1));
+        b.ret(acc);
+        b.endFunction();
+    };
+
+    make_handler(fn_h_static, 0,
+                 [&](ValueId conn, ValueId req, ValueId resp,
+                     ValueId acc) {
+                     // Stage the response in a stack buffer before
+                     // copying it out (the pattern real servers use
+                     // for header assembly).
+                     uint32_t stage_obj =
+                         b.addFrameObject("stage", kReqBytes);
+                     ValueId stage = b.frameAddr(stage_obj);
+                     LoopBuilder loop(b, 0, kReqBytes);
+                     ValueId ch =
+                         b.load8(b.add(req, loop.index()));
+                     b.assign(acc,
+                              b.add(b.mulI(acc, 33), ch));
+                     b.store8(b.add(stage, loop.index()), ch);
+                     loop.finish();
+                     LoopBuilder out(b, 0, kReqBytes);
+                     b.store8(b.add(resp, out.index()),
+                              b.load8(b.add(stage, out.index())));
+                     out.finish();
+                     b.assignBinop(IrOp::Xor, acc, acc, conn);
+                 });
+
+    make_handler(fn_h_dyn, 1,
+                 [&](ValueId conn, ValueId req, ValueId resp,
+                     ValueId acc) {
+                     // "Template rendering": interleave request
+                     // bytes with computed digits.
+                     LoopBuilder loop(b, 0, kReqBytes / 2);
+                     ValueId ch =
+                         b.load8(b.add(req, loop.index()));
+                     ValueId digit = b.addI(
+                         b.andI(b.mul(ch, conn), 9), '0');
+                     ValueId out_off = b.shlI(loop.index(), 1);
+                     b.store8(b.add(resp, out_off), ch);
+                     b.store8(b.add(resp, out_off), digit, 1);
+                     b.assign(acc, b.add(b.mulI(acc, 131), digit));
+                     loop.finish();
+                 });
+
+    make_handler(fn_h_post, 2,
+                 [&](ValueId conn, ValueId req, ValueId resp,
+                     ValueId acc) {
+                     // "Body digest": word-at-a-time FNV.
+                     (void)resp;
+                     LoopBuilder loop(b, 0, kReqBytes / 4);
+                     ValueId w = b.load(
+                         b.add(req, b.shlI(loop.index(), 2)));
+                     fnvMix(b, acc, w);
+                     loop.finish();
+                     b.assignBinop(IrOp::Add, acc, acc, conn);
+                 });
+
+    make_handler(fn_h_err, 3,
+                 [&](ValueId conn, ValueId req, ValueId resp,
+                     ValueId acc) {
+                     (void)req;
+                     LoopBuilder loop(b, 0, 16);
+                     b.store8(b.add(resp, loop.index()),
+                              b.constI('!'));
+                     loop.finish();
+                     b.assign(acc, b.xorI(conn, 0x404));
+                 });
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0xae));
+        // Handler dispatch table, looked up per request — the
+        // CallInd sites a JOP attack would target.
+        ValueId fp0 = b.funcAddr(fn_h_static);
+        ValueId fp1 = b.funcAddr(fn_h_dyn);
+        ValueId fp2 = b.funcAddr(fn_h_post);
+        ValueId fp3 = b.funcAddr(fn_h_err);
+        LoopBuilder conns(b, 0,
+                          static_cast<int32_t>(32 * cfg.scale));
+        {
+            b.assign(s, b.call(fn_gen, { s }));
+            ValueId idx = b.call(fn_parse, {});
+            ValueId handler = b.copy(fp0);
+            uint32_t c1 = b.newBlock(), c2 = b.newBlock(),
+                     c3 = b.newBlock(), go = b.newBlock();
+            b.condBrI(Cond::Eq, idx, 1, c1, c2);
+            b.setBlock(c1);
+            b.assign(handler, fp1);
+            b.br(go);
+            b.setBlock(c2);
+            b.condBrI(Cond::Eq, idx, 2, c3, go);
+            b.setBlock(c3);
+            b.assign(handler, fp2);
+            b.br(go);
+            b.setBlock(go);
+            uint32_t use_err = b.newBlock(), call_bb = b.newBlock();
+            b.condBrI(Cond::Eq, idx, 3, use_err, call_bb);
+            b.setBlock(use_err);
+            b.assign(handler, fp3);
+            b.br(call_bb);
+            b.setBlock(call_bb);
+            ValueId resp_sum =
+                b.callInd(handler, { conns.index() });
+            fnvMix(b, h, resp_sum);
+            // Send the response on the wire: the four-register
+            // write(buf, len, conn) syscall.
+            ValueId num =
+                b.constI(int32_t(SyscallNo::WriteBuf));
+            ValueId resp_ptr = b.globalAddr(g_resp);
+            ValueId len = b.constI(16);
+            b.syscallVoid({ num, resp_ptr, len, conns.index() });
+        }
+        conns.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

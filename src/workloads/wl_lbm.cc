@@ -1,0 +1,153 @@
+/**
+ * @file
+ * lbm-like workload: lattice-Boltzmann stencil sweeps.
+ *
+ * Mirrors lbm's behaviour: regular 5-point stencil sweeps over a 2D
+ * grid in fixed-point arithmetic, alternating between two lattices —
+ * streaming memory access with almost no control-flow divergence.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildLbm(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "lbm";
+    IrBuilder b(m);
+
+    constexpr int32_t kDim = 24;
+    constexpr int32_t kCells = kDim * kDim;
+    uint32_t g_a = b.addGlobal("lattice_a", kCells * 4);
+    uint32_t g_b = b.addGlobal("lattice_b", kCells * 4);
+
+    uint32_t fn_init = b.declareFunction("init_lattice", 1);
+    uint32_t fn_sweep = b.declareFunction("stencil_sweep", 2);
+    uint32_t fn_sum = b.declareFunction("lattice_sum", 1);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    // init_lattice(seed): fixed-point densities in lattice_a.
+    b.beginFunction(fn_init);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId base = b.globalAddr(g_a);
+        LoopBuilder loop(b, 0, kCells);
+        {
+            lcgStep(b, s);
+            ValueId v = b.andI(b.shrI(s, 8), 0xffff);
+            b.store(b.add(base, b.shlI(loop.index(), 2)), v);
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // stencil_sweep(src, dst): interior 5-point relaxation. The
+    // current row is staged into a frame-local cache (lbm's cell
+    // buffers), whose address stays live across both loops.
+    b.beginFunction(fn_sweep);
+    {
+        ValueId src = b.param(0);
+        ValueId dst = b.param(1);
+        uint32_t row_obj = b.addFrameObject("row_cache", kDim * 4);
+        ValueId row = b.frameAddr(row_obj);
+        LoopBuilder yloop(b, 1, kDim - 1);
+        {
+            ValueId row_base =
+                b.add(src, b.shlI(b.mulI(yloop.index(), kDim), 2));
+            LoopBuilder fill(b, 0, kDim);
+            {
+                ValueId off = b.shlI(fill.index(), 2);
+                b.store(b.add(row, off),
+                        b.load(b.add(row_base, off)));
+            }
+            fill.finish();
+            LoopBuilder xloop(b, 1, kDim - 1);
+            {
+                ValueId idx = b.add(b.mulI(yloop.index(), kDim),
+                                    xloop.index());
+                ValueId off = b.shlI(idx, 2);
+                ValueId loff = b.shlI(xloop.index(), 2);
+                ValueId center = b.load(b.add(row, loff));
+                ValueId left =
+                    b.load(b.add(row, b.subI(loff, 4)));
+                ValueId right =
+                    b.load(b.add(row, b.addI(loff, 4)));
+                ValueId up = b.load(
+                    b.add(src, b.subI(off, kDim * 4)));
+                ValueId down = b.load(
+                    b.add(src, b.addI(off, kDim * 4)));
+                // new = (l + r + u + d + 4*c) / 8, fixed point.
+                ValueId acc = b.add(left, right);
+                b.assignBinop(IrOp::Add, acc, acc, up);
+                b.assignBinop(IrOp::Add, acc, acc, down);
+                b.assignBinop(IrOp::Add, acc, acc,
+                              b.shlI(center, 2));
+                b.store(b.add(dst, off), b.shrI(acc, 3));
+            }
+            xloop.finish();
+        }
+        yloop.finish();
+        b.ret();
+    }
+    b.endFunction();
+
+    // lattice_sum(base) -> FNV over all cells.
+    b.beginFunction(fn_sum);
+    {
+        ValueId base = b.param(0);
+        ValueId h = b.constI(0x811c9dc5);
+        LoopBuilder loop(b, 0, kCells);
+        {
+            ValueId v =
+                b.load(b.add(base, b.shlI(loop.index(), 2)));
+            fnvMix(b, h, v);
+        }
+        loop.finish();
+        b.ret(h);
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0x1b));
+        b.assign(s, b.call(fn_init, { s }));
+        ValueId a = b.globalAddr(g_a);
+        ValueId bb = b.globalAddr(g_b);
+        LoopBuilder steps(b, 0, static_cast<int32_t>(8 * cfg.scale));
+        {
+            // Alternate sweep direction by parity.
+            ValueId parity = b.andI(steps.index(), 1);
+            uint32_t fwd = b.newBlock(), bwd = b.newBlock(),
+                     done = b.newBlock();
+            b.condBrI(Cond::Eq, parity, 0, fwd, bwd);
+            b.setBlock(fwd);
+            b.callVoid(fn_sweep, { a, bb });
+            b.br(done);
+            b.setBlock(bwd);
+            b.callVoid(fn_sweep, { bb, a });
+            b.br(done);
+            b.setBlock(done);
+        }
+        steps.finish();
+        ValueId ha = b.call(fn_sum, { a });
+        ValueId hb = b.call(fn_sum, { bb });
+        fnvMix(b, h, ha);
+        fnvMix(b, h, hb);
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

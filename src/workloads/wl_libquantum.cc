@@ -1,0 +1,198 @@
+/**
+ * @file
+ * libquantum-like workload: quantum register simulation.
+ *
+ * Mirrors libquantum's kernel: gate applications as bit-twiddling
+ * sweeps over a state-amplitude array — XOR/shift/AND dominated inner
+ * loops with data-dependent conditionals on bit tests.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildLibquantum(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "libquantum";
+    IrBuilder b(m);
+
+    constexpr int32_t kStates = 512;
+    uint32_t g_amp = b.addGlobal("amplitude", kStates * 4);
+
+    uint32_t fn_init = b.declareFunction("init_register", 1);
+    uint32_t fn_not = b.declareFunction("gate_not", 1);
+    uint32_t fn_cnot = b.declareFunction("gate_cnot", 2);
+    uint32_t fn_phase = b.declareFunction("gate_phase", 2);
+    uint32_t fn_measure = b.declareFunction("measure", 0);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    b.beginFunction(fn_init);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId amp = b.globalAddr(g_amp);
+        LoopBuilder loop(b, 0, kStates);
+        {
+            lcgStep(b, s);
+            b.store(b.add(amp, b.shlI(loop.index(), 2)),
+                    b.shrI(s, 4));
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // gate_not(target): amplitude swap between |..0..> and |..1..>.
+    b.beginFunction(fn_not);
+    {
+        ValueId target = b.param(0);
+        ValueId amp = b.globalAddr(g_amp);
+        ValueId mask = b.shl(b.constI(1), target);
+        LoopBuilder loop(b, 0, kStates);
+        {
+            ValueId bit = b.and_(loop.index(), mask);
+            uint32_t swap_bb = b.newBlock(), next = b.newBlock();
+            // Swap each pair once: act when the bit is clear.
+            b.condBrI(Cond::Eq, bit, 0, swap_bb, next);
+            b.setBlock(swap_bb);
+            ValueId partner = b.or_(loop.index(), mask);
+            ValueId off_a = b.shlI(loop.index(), 2);
+            ValueId off_b = b.shlI(partner, 2);
+            ValueId va = b.load(b.add(amp, off_a));
+            ValueId vb = b.load(b.add(amp, off_b));
+            b.store(b.add(amp, off_a), vb);
+            b.store(b.add(amp, off_b), va);
+            b.br(next);
+            b.setBlock(next);
+        }
+        loop.finish();
+        b.ret();
+    }
+    b.endFunction();
+
+    // gate_cnot(control, target): conditional NOT.
+    b.beginFunction(fn_cnot);
+    {
+        ValueId control = b.param(0);
+        ValueId target = b.param(1);
+        ValueId amp = b.globalAddr(g_amp);
+        ValueId cmask = b.shl(b.constI(1), control);
+        ValueId tmask = b.shl(b.constI(1), target);
+        LoopBuilder loop(b, 0, kStates);
+        {
+            ValueId cbit = b.and_(loop.index(), cmask);
+            ValueId tbit = b.and_(loop.index(), tmask);
+            uint32_t check = b.newBlock(), swap_bb = b.newBlock(),
+                     next = b.newBlock();
+            b.condBrI(Cond::Ne, cbit, 0, check, next);
+            b.setBlock(check);
+            b.condBrI(Cond::Eq, tbit, 0, swap_bb, next);
+            b.setBlock(swap_bb);
+            ValueId partner = b.or_(loop.index(), tmask);
+            ValueId off_a = b.shlI(loop.index(), 2);
+            ValueId off_b = b.shlI(partner, 2);
+            ValueId va = b.load(b.add(amp, off_a));
+            ValueId vb = b.load(b.add(amp, off_b));
+            b.store(b.add(amp, off_a), vb);
+            b.store(b.add(amp, off_b), va);
+            b.br(next);
+            b.setBlock(next);
+        }
+        loop.finish();
+        b.ret();
+    }
+    b.endFunction();
+
+    // gate_phase(target, rot): "rotate" amplitudes where bit set.
+    b.beginFunction(fn_phase);
+    {
+        ValueId target = b.param(0);
+        ValueId rot = b.param(1);
+        ValueId amp = b.globalAddr(g_amp);
+        ValueId mask = b.shl(b.constI(1), target);
+        LoopBuilder loop(b, 0, kStates);
+        {
+            ValueId bit = b.and_(loop.index(), mask);
+            uint32_t rot_bb = b.newBlock(), next = b.newBlock();
+            b.condBrI(Cond::Ne, bit, 0, rot_bb, next);
+            b.setBlock(rot_bb);
+            ValueId off = b.shlI(loop.index(), 2);
+            ValueId v = b.load(b.add(amp, off));
+            ValueId rotated =
+                b.or_(b.shl(v, rot),
+                      b.shr(v, b.sub(b.constI(32), rot)));
+            b.store(b.add(amp, off), b.xorI(rotated, 0x9e37));
+            b.br(next);
+            b.setBlock(next);
+        }
+        loop.finish();
+        b.ret();
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_measure);
+    {
+        ValueId amp = b.globalAddr(g_amp);
+        uint32_t part_obj = b.addFrameObject("partials", 8 * 4);
+        ValueId partials = b.frameAddr(part_obj);
+        LoopBuilder zero(b, 0, 8);
+        b.store(b.add(partials, b.shlI(zero.index(), 2)),
+                b.constI(0x811c9dc5));
+        zero.finish();
+        LoopBuilder loop(b, 0, kStates);
+        {
+            ValueId v =
+                b.load(b.add(amp, b.shlI(loop.index(), 2)));
+            ValueId slot = b.add(
+                partials, b.shlI(b.andI(loop.index(), 7), 2));
+            ValueId acc = b.load(slot);
+            b.assignBinop(IrOp::Xor, acc, acc, v);
+            b.assignBinopI(IrOp::Mul, acc, acc, 16777619);
+            b.store(slot, acc);
+        }
+        loop.finish();
+        ValueId h = b.constI(0x811c9dc5);
+        LoopBuilder fold(b, 0, 8);
+        {
+            fnvMix(b, h,
+                   b.load(b.add(partials,
+                                b.shlI(fold.index(), 2))));
+        }
+        fold.finish();
+        b.ret(h);
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0x71));
+        b.assign(s, b.call(fn_init, { s }));
+        LoopBuilder circuit(b, 0,
+                            static_cast<int32_t>(6 * cfg.scale));
+        {
+            ValueId q1 = b.andI(circuit.index(), 7);
+            ValueId q2 = b.andI(b.addI(circuit.index(), 3), 7);
+            ValueId rot = b.addI(b.andI(circuit.index(), 3), 1);
+            b.callVoid(fn_not, { q1 });
+            b.callVoid(fn_cnot, { q1, q2 });
+            b.callVoid(fn_phase, { q2, rot });
+            ValueId mv = b.call(fn_measure, {});
+            fnvMix(b, h, mv);
+        }
+        circuit.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

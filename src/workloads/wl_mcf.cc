@@ -1,0 +1,152 @@
+/**
+ * @file
+ * mcf-like workload: network-simplex relaxation.
+ *
+ * Mirrors mcf's behaviour: pointer-chasing over a linked node
+ * structure with data-dependent branches and irregular access —
+ * the cache-hostile profile mcf is famous for.
+ *
+ * Node layout (4 words): [next_index, cost, flow, potential].
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildMcf(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "mcf";
+    IrBuilder b(m);
+
+    constexpr int32_t kNodes = 256;
+    constexpr int32_t kNodeBytes = 16;
+    uint32_t g_nodes = b.addGlobal("nodes", kNodes * kNodeBytes);
+
+    uint32_t fn_build = b.declareFunction("build_network", 1);
+    uint32_t fn_relax = b.declareFunction("relax_pass", 1);
+    uint32_t fn_sum = b.declareFunction("network_sum", 0);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    // build_network(seed): permuted successor ring + random costs.
+    b.beginFunction(fn_build);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId nodes = b.globalAddr(g_nodes);
+        LoopBuilder loop(b, 0, kNodes);
+        {
+            ValueId base =
+                b.add(nodes, b.mulI(loop.index(), kNodeBytes));
+            lcgStep(b, s);
+            // next = (i + odd_stride) % kNodes gives one big cycle.
+            ValueId stride = b.orI(b.andI(b.shrI(s, 7), 31), 1);
+            ValueId nxt = b.add(loop.index(), stride);
+            ValueId wrapped = b.sub(
+                nxt, b.mulI(b.divuI(nxt, kNodes), kNodes));
+            b.store(base, wrapped);
+            b.store(base, b.andI(b.shrI(s, 13), 1023), 4); // cost
+            b.store(base, b.constI(0), 8);                 // flow
+            b.store(base, b.andI(s, 255), 12);             // potential
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // relax_pass(steps): chase successor pointers, relaxing
+    // potentials; returns the number of updates performed.
+    b.beginFunction(fn_relax);
+    {
+        ValueId steps = b.param(0);
+        ValueId nodes = b.globalAddr(g_nodes);
+        ValueId cur = b.constI(0);
+        ValueId updates = b.constI(0);
+        uint32_t ring_obj = b.addFrameObject("visit_ring", 16 * 4);
+        ValueId ring = b.frameAddr(ring_obj);
+        LoopBuilder zero(b, 0, 16);
+        b.store(b.add(ring, b.shlI(zero.index(), 2)), b.constI(0));
+        zero.finish();
+        LoopBuilder loop(b, 0, steps);
+        {
+            ValueId base =
+                b.add(nodes, b.mulI(cur, kNodeBytes));
+            ValueId nxt = b.load(base);
+            ValueId nbase =
+                b.add(nodes, b.mulI(nxt, kNodeBytes));
+            ValueId cost = b.load(base, 4);
+            ValueId my_pot = b.load(base, 12);
+            ValueId their_pot = b.load(nbase, 12);
+            ValueId candidate = b.add(my_pot, cost);
+            uint32_t improve = b.newBlock(), advance = b.newBlock();
+            b.condBr(Cond::Lt, candidate, their_pot, improve,
+                     advance);
+            b.setBlock(improve);
+            b.store(nbase, candidate, 12);
+            b.store(nbase, b.addI(b.load(nbase, 8), 1), 8); // flow++
+            b.assignBinopI(IrOp::Add, updates, updates, 1);
+            b.br(advance);
+            b.setBlock(advance);
+            // Log the visit in the frame-resident ring buffer.
+            ValueId slot = b.add(
+                ring, b.shlI(b.andI(loop.index(), 15), 2));
+            b.store(slot, b.add(b.load(slot), cur));
+            b.assign(cur, nxt);
+        }
+        loop.finish();
+        ValueId mix = b.load(ring, 0);
+        b.assignBinop(IrOp::Add, updates, updates,
+                      b.andI(mix, 255));
+        b.ret(updates);
+    }
+    b.endFunction();
+
+    // network_sum(): FNV over potentials and flows.
+    b.beginFunction(fn_sum);
+    {
+        ValueId nodes = b.globalAddr(g_nodes);
+        ValueId h = b.constI(0x811c9dc5);
+        LoopBuilder loop(b, 0, kNodes);
+        {
+            ValueId base =
+                b.add(nodes, b.mulI(loop.index(), kNodeBytes));
+            fnvMix(b, h, b.load(base, 8));
+            fnvMix(b, h, b.load(base, 12));
+        }
+        loop.finish();
+        b.ret(h);
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0x3c));
+        LoopBuilder outer(b, 0, static_cast<int32_t>(2 * cfg.scale));
+        {
+            b.assign(s, b.call(fn_build, { s }));
+            LoopBuilder passes(b, 0, 6);
+            {
+                ValueId steps = b.constI(kNodes * 2);
+                ValueId upd = b.call(fn_relax, { steps });
+                fnvMix(b, h, upd);
+            }
+            passes.finish();
+            ValueId hs = b.call(fn_sum, {});
+            fnvMix(b, h, hs);
+        }
+        outer.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * milc-like workload: lattice-QCD link smearing.
+ *
+ * Mirrors milc's kernel: dense 3x3 matrix multiplications per lattice
+ * site in fixed-point arithmetic — long straight-line arithmetic
+ * blocks with high register pressure, the profile that stresses the
+ * PSR global register cache.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildMilc(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "milc";
+    IrBuilder b(m);
+
+    constexpr int32_t kSites = 32;
+    constexpr int32_t kMatBytes = 9 * 4;
+    uint32_t g_links = b.addGlobal("links", kSites * kMatBytes);
+    uint32_t g_tmp = b.addGlobal("tmp_mat", kMatBytes);
+
+    uint32_t fn_init = b.declareFunction("init_links", 1);
+    uint32_t fn_mul = b.declareFunction("mat_mul", 3);
+    uint32_t fn_trace = b.declareFunction("mat_trace", 1);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    b.beginFunction(fn_init);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId links = b.globalAddr(g_links);
+        LoopBuilder loop(b, 0, kSites * 9);
+        {
+            lcgStep(b, s);
+            b.store(b.add(links, b.shlI(loop.index(), 2)),
+                    b.andI(b.shrI(s, 10), 0x3ff));
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // mat_mul(a, b, c): c = a * b for 3x3 fixed-point matrices,
+    // fully unrolled — 27 multiply-adds of straight-line code. The
+    // left operand is staged through a frame-local copy (milc's site
+    // buffers live on the stack), and the copy loop reads it through
+    // an xor-obfuscated alias: a *complex* frame pointer that the
+    // on-demand migration machinery cannot rebase, pinning the loop's
+    // blocks to the current ISA.
+    b.beginFunction(fn_mul);
+    {
+        ValueId pa = b.param(0);
+        ValueId pb = b.param(1);
+        ValueId pc = b.param(2);
+        uint32_t a_obj = b.addFrameObject("a_local", 9 * 4);
+        ValueId la = b.frameAddr(a_obj);
+        ValueId la_alias = b.xorI(la, 0); // complex derivation
+        LoopBuilder copy(b, 0, 9);
+        {
+            ValueId off = b.shlI(copy.index(), 2);
+            b.store(b.add(la_alias, off),
+                    b.load(b.add(pa, off)));
+        }
+        copy.finish();
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 3; ++j) {
+                ValueId acc = b.constI(0);
+                for (int k = 0; k < 3; ++k) {
+                    ValueId av = b.load(la, (i * 3 + k) * 4);
+                    ValueId bv = b.load(pb, (k * 3 + j) * 4);
+                    b.assignBinop(IrOp::Add, acc, acc,
+                                  b.shrI(b.mul(av, bv), 10));
+                }
+                b.store(pc, acc, (i * 3 + j) * 4);
+            }
+        }
+        b.ret();
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_trace);
+    {
+        ValueId pm = b.param(0);
+        ValueId t = b.load(pm, 0);
+        b.assignBinop(IrOp::Add, t, t, b.load(pm, 16));
+        b.assignBinop(IrOp::Add, t, t, b.load(pm, 32));
+        b.ret(t);
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0x3f));
+        b.assign(s, b.call(fn_init, { s }));
+        ValueId links = b.globalAddr(g_links);
+        ValueId tmp = b.globalAddr(g_tmp);
+        LoopBuilder sweeps(b, 0, static_cast<int32_t>(3 * cfg.scale));
+        {
+            LoopBuilder sites(b, 0, kSites - 1);
+            {
+                ValueId pa = b.add(
+                    links, b.mulI(sites.index(), kMatBytes));
+                ValueId pb2 = b.addI(pa, kMatBytes);
+                b.callVoid(fn_mul, { pa, pb2, tmp });
+                ValueId tr = b.call(fn_trace, { tmp });
+                fnvMix(b, h, tr);
+                // Write the smeared product back into the site.
+                LoopBuilder copy(b, 0, 9);
+                {
+                    ValueId off = b.shlI(copy.index(), 2);
+                    b.store(b.add(pa, off),
+                            b.load(b.add(tmp, off)));
+                }
+                copy.finish();
+            }
+            sites.finish();
+        }
+        sweeps.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * sphinx3-like workload: acoustic senone scoring.
+ *
+ * Mirrors sphinx3's GMM evaluation: per-frame feature updates, a
+ * distance computation against every senone's mean/variance vectors,
+ * best-score selection, and an indirect call to one of two scoring
+ * variants (continuous vs. semi-continuous), giving this workload a
+ * function-pointer dispatch site like the real decoder's model layer.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace hipstr
+{
+
+using namespace wldetail;
+
+IrModule
+buildSphinx3(const WorkloadConfig &cfg)
+{
+    IrModule m;
+    m.name = "sphinx3";
+    IrBuilder b(m);
+
+    constexpr int32_t kSenones = 48;
+    constexpr int32_t kDims = 8;
+    uint32_t g_means = b.addGlobal("means", kSenones * kDims * 4);
+    uint32_t g_vars = b.addGlobal("vars", kSenones * kDims * 4);
+    uint32_t g_feat = b.addGlobal("feat", kDims * 4);
+
+    uint32_t fn_init = b.declareFunction("init_model", 1);
+    uint32_t fn_feat = b.declareFunction("next_frame", 1);
+    uint32_t fn_score_c = b.declareFunction("score_cont", 1);
+    uint32_t fn_score_s = b.declareFunction("score_semi", 1);
+    uint32_t fn_best = b.declareFunction("best_senone", 1);
+    uint32_t fn_main = b.declareFunction("main", 0);
+    b.setEntry(fn_main);
+
+    b.beginFunction(fn_init);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId means = b.globalAddr(g_means);
+        ValueId vars = b.globalAddr(g_vars);
+        LoopBuilder loop(b, 0, kSenones * kDims);
+        {
+            ValueId off = b.shlI(loop.index(), 2);
+            lcgStep(b, s);
+            b.store(b.add(means, off), b.andI(b.shrI(s, 9), 255));
+            lcgStep(b, s);
+            b.store(b.add(vars, off),
+                    b.orI(b.andI(b.shrI(s, 11), 15), 1));
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // next_frame(seed): evolve the feature vector.
+    b.beginFunction(fn_feat);
+    {
+        ValueId s = b.copy(b.param(0));
+        ValueId feat = b.globalAddr(g_feat);
+        LoopBuilder loop(b, 0, kDims);
+        {
+            lcgStep(b, s);
+            b.store(b.add(feat, b.shlI(loop.index(), 2)),
+                    b.andI(b.shrI(s, 7), 255));
+        }
+        loop.finish();
+        b.ret(s);
+    }
+    b.endFunction();
+
+    // score_cont(senone): full squared-distance scoring against a
+    // frame-local copy of the feature vector (sphinx stages features
+    // on the stack per senone batch).
+    b.beginFunction(fn_score_c);
+    {
+        ValueId sen = b.param(0);
+        ValueId means = b.globalAddr(g_means);
+        ValueId vars = b.globalAddr(g_vars);
+        ValueId gfeat = b.globalAddr(g_feat);
+        uint32_t f_obj = b.addFrameObject("feat_local", kDims * 4);
+        ValueId feat = b.frameAddr(f_obj);
+        LoopBuilder stage(b, 0, kDims);
+        {
+            ValueId off = b.shlI(stage.index(), 2);
+            b.store(b.add(feat, off), b.load(b.add(gfeat, off)));
+        }
+        stage.finish();
+        ValueId base = b.mulI(sen, kDims * 4);
+        ValueId acc = b.constI(0);
+        LoopBuilder loop(b, 0, kDims);
+        {
+            ValueId off = b.shlI(loop.index(), 2);
+            ValueId mo = b.add(base, off);
+            ValueId fv = b.load(b.add(feat, off));
+            ValueId mv = b.load(b.add(means, mo));
+            ValueId vv = b.load(b.add(vars, mo));
+            ValueId diff = b.sub(fv, mv);
+            ValueId sq = b.mul(diff, diff);
+            b.assignBinop(IrOp::Add, acc, acc, b.divu(sq, vv));
+        }
+        loop.finish();
+        b.ret(acc);
+    }
+    b.endFunction();
+
+    // score_semi(senone): cheaper approximation (top-2 dims only),
+    // mirroring sphinx's semi-continuous shortcut path.
+    b.beginFunction(fn_score_s);
+    {
+        ValueId sen = b.param(0);
+        ValueId means = b.globalAddr(g_means);
+        ValueId feat = b.globalAddr(g_feat);
+        ValueId base = b.mulI(sen, kDims * 4);
+        ValueId acc = b.constI(0);
+        LoopBuilder loop(b, 0, 2);
+        {
+            ValueId off = b.shlI(loop.index(), 2);
+            ValueId fv = b.load(b.add(feat, off));
+            ValueId mv = b.load(b.add(means, b.add(base, off)));
+            ValueId diff = b.sub(fv, mv);
+            b.assignBinop(IrOp::Add, acc, acc, b.mul(diff, diff));
+        }
+        loop.finish();
+        b.ret(b.shlI(acc, 2));
+    }
+    b.endFunction();
+
+    // best_senone(scorer): min over senones of scorer(senone).
+    b.beginFunction(fn_best);
+    {
+        ValueId scorer = b.param(0); // function id
+        ValueId best = b.constI(0x7fffffff);
+        LoopBuilder loop(b, 0, kSenones);
+        {
+            ValueId sc = b.callInd(scorer, { loop.index() });
+            uint32_t upd = b.newBlock(), next = b.newBlock();
+            b.condBr(Cond::Lt, sc, best, upd, next);
+            b.setBlock(upd);
+            b.assign(best, sc);
+            b.br(next);
+            b.setBlock(next);
+        }
+        loop.finish();
+        b.ret(best);
+    }
+    b.endFunction();
+
+    b.beginFunction(fn_main);
+    {
+        ValueId h = b.constI(0x811c9dc5);
+        ValueId s = b.constI(static_cast<int32_t>(cfg.seed ^ 0x53));
+        b.assign(s, b.call(fn_init, { s }));
+        ValueId fp_cont = b.funcAddr(fn_score_c);
+        ValueId fp_semi = b.funcAddr(fn_score_s);
+        LoopBuilder frames(b, 0,
+                           static_cast<int32_t>(10 * cfg.scale));
+        {
+            b.assign(s, b.call(fn_feat, { s }));
+            // Alternate scoring variants like the decoder's
+            // fast/exact GMM paths.
+            ValueId parity = b.andI(frames.index(), 1);
+            ValueId scorer = b.copy(fp_cont);
+            uint32_t semi = b.newBlock(), go = b.newBlock();
+            b.condBrI(Cond::Eq, parity, 0, go, semi);
+            b.setBlock(semi);
+            b.assign(scorer, fp_semi);
+            b.br(go);
+            b.setBlock(go);
+            ValueId best = b.call(fn_best, { scorer });
+            fnvMix(b, h, best);
+        }
+        frames.finish();
+        finishMain(b, h);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+} // namespace hipstr

@@ -1,0 +1,52 @@
+#include "workloads.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+const std::vector<std::string> &
+specWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "gobmk", "hmmer", "lbm",
+        "libquantum", "mcf", "milc", "sphinx3"
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "gobmk", "hmmer", "lbm",
+        "libquantum", "mcf", "milc", "sphinx3", "httpd"
+    };
+    return names;
+}
+
+IrModule
+buildWorkload(const std::string &name, const WorkloadConfig &cfg)
+{
+    if (name == "bzip2")
+        return buildBzip2(cfg);
+    if (name == "gobmk")
+        return buildGobmk(cfg);
+    if (name == "hmmer")
+        return buildHmmer(cfg);
+    if (name == "lbm")
+        return buildLbm(cfg);
+    if (name == "libquantum")
+        return buildLibquantum(cfg);
+    if (name == "mcf")
+        return buildMcf(cfg);
+    if (name == "milc")
+        return buildMilc(cfg);
+    if (name == "sphinx3")
+        return buildSphinx3(cfg);
+    if (name == "httpd")
+        return buildHttpd(cfg);
+    hipstr_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace hipstr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic workload registry.
+ *
+ * The paper evaluates eight SPEC CPU2006 C benchmarks (bzip2, gobmk,
+ * hmmer, lbm, libquantum, mcf, milc, sphinx3) plus the httpd daemon.
+ * SPEC sources and inputs are not redistributable, so each workload
+ * here is a from-scratch IR program that mimics its namesake's kernel
+ * structure: the instruction mix, call density, loop shapes, and
+ * memory behaviour that drive both the gadget population (security
+ * results) and the dynamic execution profile (performance results).
+ *
+ * Every workload is deterministic, self-checking (it writes a result
+ * checksum through the WriteWord syscall and returns it from main),
+ * and scalable through WorkloadConfig::scale.
+ *
+ * Authoring rule: frame pointers (FrameAddr values) must never be
+ * stored to memory — the stack-derivation analysis in ir/liveness
+ * relies on it, as documented there.
+ */
+
+#ifndef HIPSTR_WORKLOADS_WORKLOADS_HH
+#define HIPSTR_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace hipstr
+{
+
+/** Workload sizing knobs. */
+struct WorkloadConfig
+{
+    uint32_t scale = 1;     ///< work multiplier (loop trip counts)
+    uint32_t seed = 12345;  ///< data-generation seed baked into code
+};
+
+/** Per-workload builders. @{ */
+IrModule buildBzip2(const WorkloadConfig &cfg);      ///< block compression
+IrModule buildGobmk(const WorkloadConfig &cfg);      ///< game-tree search
+IrModule buildHmmer(const WorkloadConfig &cfg);      ///< profile-HMM DP
+IrModule buildLbm(const WorkloadConfig &cfg);        ///< lattice stencil
+IrModule buildLibquantum(const WorkloadConfig &cfg); ///< quantum sim
+IrModule buildMcf(const WorkloadConfig &cfg);        ///< network simplex
+IrModule buildMilc(const WorkloadConfig &cfg);       ///< lattice QCD
+IrModule buildSphinx3(const WorkloadConfig &cfg);    ///< speech scoring
+IrModule buildHttpd(const WorkloadConfig &cfg);      ///< request daemon
+/** @} */
+
+/** The eight SPEC-like workload names, in the paper's order. */
+const std::vector<std::string> &specWorkloadNames();
+
+/** All workload names (SPEC-like + httpd). */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Build a workload by name. Fatals on an unknown name. */
+IrModule buildWorkload(const std::string &name,
+                       const WorkloadConfig &cfg = {});
+
+} // namespace hipstr
+
+#endif // HIPSTR_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * End-to-end compiler tests: IR programs compiled to both ISAs must
+ * run to completion on the reference interpreter and produce identical
+ * output — the fat binary's core symmetry property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+using test::compileAndRun;
+
+/** sum of 1..n via a loop, written through a helper function. */
+IrModule
+makeSumModule(int32_t n)
+{
+    IrModule m;
+    m.name = "sum";
+    IrBuilder b(m);
+
+    uint32_t sum_fn = b.declareFunction("sumto", 1);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(sum_fn);
+    {
+        ValueId acc = b.constI(0);
+        ValueId i = b.constI(1);
+        uint32_t loop = b.newBlock();
+        uint32_t body = b.newBlock();
+        uint32_t done = b.newBlock();
+        b.br(loop);
+        b.setBlock(loop);
+        b.condBr(Cond::Le, i, b.param(0), body, done);
+        b.setBlock(body);
+        b.assignBinop(IrOp::Add, acc, acc, i);
+        b.assignBinopI(IrOp::Add, i, i, 1);
+        b.br(loop);
+        b.setBlock(done);
+        b.ret(acc);
+    }
+    b.endFunction();
+
+    b.beginFunction(main_fn);
+    {
+        ValueId n_val = b.constI(n);
+        ValueId r = b.call(sum_fn, { n_val });
+        b.emitWriteWord(r);
+        b.ret(r);
+    }
+    b.endFunction();
+
+    return m;
+}
+
+TEST(Compiler, SumLoopBothIsas)
+{
+    IrModule m = makeSumModule(100);
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        EXPECT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa) << " stopped at pc=0x" << std::hex
+            << run.result.stopPc;
+        EXPECT_EQ(run.exitCode, 5050u) << isaName(isa);
+    }
+}
+
+TEST(Compiler, OutputChecksumsMatchAcrossIsas)
+{
+    IrModule m = makeSumModule(173);
+    auto risc = compileAndRun(m, IsaKind::Risc);
+    auto cisc = compileAndRun(m, IsaKind::Cisc);
+    ASSERT_EQ(risc.result.reason, StopReason::Exited);
+    ASSERT_EQ(cisc.result.reason, StopReason::Exited);
+    EXPECT_EQ(risc.outputChecksum, cisc.outputChecksum);
+    EXPECT_EQ(risc.exitCode, cisc.exitCode);
+}
+
+TEST(Compiler, RecursionFibonacci)
+{
+    IrModule m;
+    m.name = "fib";
+    IrBuilder b(m);
+    uint32_t fib = b.declareFunction("fib", 1);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(fib);
+    {
+        uint32_t base = b.newBlock();
+        uint32_t rec = b.newBlock();
+        b.condBrI(Cond::Lt, b.param(0), 2, base, rec);
+        b.setBlock(base);
+        b.ret(b.param(0));
+        b.setBlock(rec);
+        ValueId a = b.call(fib, { b.subI(b.param(0), 1) });
+        ValueId c = b.call(fib, { b.subI(b.param(0), 2) });
+        b.ret(b.add(a, c));
+    }
+    b.endFunction();
+
+    b.beginFunction(main_fn);
+    {
+        ValueId r = b.call(fib, { b.constI(15) });
+        b.ret(r);
+    }
+    b.endFunction();
+
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        ASSERT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa);
+        EXPECT_EQ(run.exitCode, 610u) << isaName(isa); // fib(15)
+    }
+}
+
+TEST(Compiler, FrameArraysAndByteOps)
+{
+    IrModule m;
+    m.name = "arrays";
+    IrBuilder b(m);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(main_fn);
+    {
+        uint32_t buf = b.addFrameObject("buf", 64, 4);
+        ValueId base = b.frameAddr(buf);
+        // buf[i] = i * 3 as bytes, then sum them.
+        ValueId i = b.constI(0);
+        uint32_t loop = b.newBlock(), body = b.newBlock(),
+                 sum_loop = b.newBlock(), sum_body = b.newBlock(),
+                 done = b.newBlock();
+        b.br(loop);
+        b.setBlock(loop);
+        b.condBrI(Cond::Lt, i, 64, body, sum_loop);
+        b.setBlock(body);
+        ValueId addr = b.add(base, i);
+        b.store8(addr, b.mulI(i, 3));
+        b.assignBinopI(IrOp::Add, i, i, 1);
+        b.br(loop);
+
+        b.setBlock(sum_loop);
+        ValueId acc = b.constI(0);
+        ValueId j = b.constI(0);
+        uint32_t sum_hdr = b.newBlock();
+        b.br(sum_hdr);
+        b.setBlock(sum_hdr);
+        b.condBrI(Cond::Lt, j, 64, sum_body, done);
+        b.setBlock(sum_body);
+        ValueId a2 = b.add(base, j);
+        b.assignBinop(IrOp::Add, acc, acc, b.load8(a2));
+        b.assignBinopI(IrOp::Add, j, j, 1);
+        b.br(sum_hdr);
+
+        b.setBlock(done);
+        b.ret(acc);
+    }
+    b.endFunction();
+
+    // Expected: sum over i of low 8 bits of 3i for i in [0,64).
+    uint32_t expected = 0;
+    for (int i = 0; i < 64; ++i)
+        expected += static_cast<uint8_t>(i * 3);
+
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        ASSERT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa);
+        EXPECT_EQ(run.exitCode, expected) << isaName(isa);
+    }
+}
+
+TEST(Compiler, GlobalsWithInitializers)
+{
+    IrModule m;
+    m.name = "globals";
+    IrBuilder b(m);
+    uint32_t table =
+        b.addGlobalWords("table", { 10, 20, 30, 40, 50 });
+    uint32_t counter = b.addGlobal("counter", 4);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(main_fn);
+    {
+        ValueId tbl = b.globalAddr(table);
+        ValueId acc = b.constI(0);
+        ValueId i = b.constI(0);
+        uint32_t loop = b.newBlock(), body = b.newBlock(),
+                 done = b.newBlock();
+        b.br(loop);
+        b.setBlock(loop);
+        b.condBrI(Cond::Lt, i, 5, body, done);
+        b.setBlock(body);
+        ValueId addr = b.add(tbl, b.shlI(i, 2));
+        b.assignBinop(IrOp::Add, acc, acc, b.load(addr));
+        b.assignBinopI(IrOp::Add, i, i, 1);
+        b.br(loop);
+        b.setBlock(done);
+        ValueId cnt = b.globalAddr(counter);
+        b.store(cnt, acc);
+        b.ret(b.load(cnt));
+    }
+    b.endFunction();
+
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        ASSERT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa);
+        EXPECT_EQ(run.exitCode, 150u) << isaName(isa);
+    }
+}
+
+TEST(Compiler, FunctionPointerDispatch)
+{
+    IrModule m;
+    m.name = "fptr";
+    IrBuilder b(m);
+    uint32_t dbl = b.declareFunction("dbl", 1);
+    uint32_t sqr = b.declareFunction("sqr", 1);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(dbl);
+    b.ret(b.shlI(b.param(0), 1));
+    b.endFunction();
+
+    b.beginFunction(sqr);
+    b.ret(b.mul(b.param(0), b.param(0)));
+    b.endFunction();
+
+    b.beginFunction(main_fn);
+    {
+        ValueId fp1 = b.funcAddr(dbl);
+        ValueId fp2 = b.funcAddr(sqr);
+        ValueId x = b.constI(9);
+        ValueId a = b.callInd(fp1, { x });  // 18
+        ValueId c = b.callInd(fp2, { x });  // 81
+        b.ret(b.add(a, c));                 // 99
+    }
+    b.endFunction();
+
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        ASSERT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa);
+        EXPECT_EQ(run.exitCode, 99u) << isaName(isa);
+    }
+}
+
+TEST(Compiler, DivisionAndShifts)
+{
+    IrModule m;
+    m.name = "divshift";
+    IrBuilder b(m);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(main_fn);
+    {
+        ValueId x = b.constI(1000);
+        ValueId q = b.divuI(x, 7);                   // 142
+        ValueId s = b.shr(b.constI(0x1000), b.constI(4)); // 0x100
+        ValueId t = b.sarI(b.constI(-64), 3);        // -8
+        ValueId sum = b.add(q, b.add(s, t));         // 142+256-8 = 390
+        // Divide by zero is defined as 0.
+        ValueId z = b.divu(x, b.constI(0));
+        b.ret(b.add(sum, z));
+    }
+    b.endFunction();
+
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        ASSERT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa);
+        EXPECT_EQ(run.exitCode, 390u) << isaName(isa);
+    }
+}
+
+TEST(Compiler, ManyValuesForceSpills)
+{
+    // More simultaneously-live values than either ISA has registers:
+    // exercises slot-resident operands on every path.
+    IrModule m;
+    m.name = "spills";
+    IrBuilder b(m);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(main_fn);
+    {
+        std::vector<ValueId> vals;
+        for (int i = 0; i < 24; ++i)
+            vals.push_back(b.constI(i * i + 1));
+        ValueId acc = b.constI(0);
+        for (ValueId v : vals)
+            b.assignBinop(IrOp::Add, acc, acc, v);
+        b.ret(acc);
+    }
+    b.endFunction();
+
+    uint32_t expected = 0;
+    for (int i = 0; i < 24; ++i)
+        expected += i * i + 1;
+
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa);
+        ASSERT_EQ(run.result.reason, StopReason::Exited)
+            << isaName(isa);
+        EXPECT_EQ(run.exitCode, expected) << isaName(isa);
+    }
+}
+
+TEST(Compiler, SymbolTableShapes)
+{
+    IrModule m = makeSumModule(10);
+    FatBinary bin = compileModule(m);
+
+    for (IsaKind isa : kAllIsas) {
+        const auto &fns = bin.funcsFor(isa);
+        ASSERT_EQ(fns.size(), 2u);
+        const FuncInfo &sumto = fns[0];
+        EXPECT_EQ(sumto.name, "sumto");
+        EXPECT_GT(sumto.codeSize, 0u);
+        EXPECT_FALSE(sumto.blocks.empty());
+        // Blocks tile the function's code exactly.
+        Addr cursor = sumto.entry;
+        for (const MachBlockInfo &mb : sumto.blocks) {
+            EXPECT_EQ(mb.start, cursor);
+            EXPECT_GT(mb.end, mb.start);
+            cursor = mb.end;
+        }
+        EXPECT_EQ(cursor, sumto.entry + sumto.codeSize);
+        // The RA slot is the top frame word and is relocatable.
+        EXPECT_EQ(sumto.raSlot, sumto.frameSize - 4);
+        EXPECT_NE(std::find(sumto.relocatableSlots.begin(),
+                            sumto.relocatableSlots.end(),
+                            sumto.raSlot),
+                  sumto.relocatableSlots.end());
+    }
+
+    // Frame maps are identical across ISAs.
+    for (size_t f = 0; f < bin.funcsFor(IsaKind::Risc).size(); ++f) {
+        const FuncInfo &r = bin.funcInfo(IsaKind::Risc,
+                                         static_cast<uint32_t>(f));
+        const FuncInfo &c = bin.funcInfo(IsaKind::Cisc,
+                                         static_cast<uint32_t>(f));
+        EXPECT_EQ(r.frameSize, c.frameSize);
+        EXPECT_EQ(r.spillBase, c.spillBase);
+        EXPECT_EQ(r.raSlot, c.raSlot);
+        EXPECT_EQ(r.frameObjOff, c.frameObjOff);
+    }
+
+    // Call sites align across ISAs: main calls sumto once.
+    ASSERT_EQ(bin.callSites.size(), 1u);
+    const CallSiteInfo &cs = bin.callSites[0];
+    EXPECT_EQ(cs.funcId, 1u);
+    for (IsaKind isa : kAllIsas) {
+        size_t ii = static_cast<size_t>(isa);
+        EXPECT_GT(cs.retAddr[ii], cs.callAddr[ii]);
+        EXPECT_EQ(bin.findCallSiteByRetAddr(isa, cs.retAddr[ii]), &cs);
+    }
+}
+
+TEST(Compiler, VerifierRejectsMalformedModule)
+{
+    IrModule m;
+    m.name = "bad";
+    IrFunction fn;
+    fn.name = "f";
+    fn.id = 0;
+    fn.numValues = 1;
+    IrBlock block;
+    IrInst inst;
+    inst.op = IrOp::ConstI;
+    inst.dst = 0;
+    block.insts.push_back(inst); // no terminator
+    fn.blocks.push_back(block);
+    m.functions.push_back(fn);
+    m.entryFunc = 0;
+    EXPECT_FALSE(verifyModule(m).empty());
+}
+
+TEST(Compiler, DisassemblyMentionsFunctions)
+{
+    IrModule m = makeSumModule(5);
+    FatBinary bin = compileModule(m);
+    for (IsaKind isa : kAllIsas) {
+        std::string listing = disassemble(bin, isa);
+        EXPECT_NE(listing.find("sumto:"), std::string::npos);
+        EXPECT_NE(listing.find("main:"), std::string::npos);
+        EXPECT_EQ(listing.find("<bad encoding>"), std::string::npos)
+            << isaName(isa);
+    }
+}
+
+} // namespace
+} // namespace hipstr

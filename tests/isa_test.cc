@@ -1,0 +1,314 @@
+/**
+ * @file
+ * ISA-layer unit tests: instruction semantics on hand-assembled
+ * programs, flags and conditions, memory permissions and journaling,
+ * and the guest OS interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/codec.hh"
+#include "isa/guest_os.hh"
+#include "isa/interp.hh"
+#include "isa/memory.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+/** Assemble a program into memory at the ISA's code base and run. */
+struct MiniMachine
+{
+    Memory mem;
+    GuestOs os;
+    IsaKind isa;
+
+    explicit MiniMachine(IsaKind k) : isa(k)
+    {
+        mem.setRegion(layout::codeBase(isa), 0x1000, PermRX, "code");
+        mem.setRegion(layout::kStackLimit,
+                      layout::kStackTop - layout::kStackLimit,
+                      PermRW, "stack");
+        mem.setRegion(layout::kGlobalsBase, 0x1000, PermRW, "data");
+    }
+
+    Addr
+    assemble(const std::vector<MachInst> &insts)
+    {
+        std::vector<uint8_t> bytes;
+        Addr pc = layout::codeBase(isa);
+        for (MachInst mi : insts) {
+            encodeInst(isa, mi, pc + Addr(bytes.size()), bytes);
+        }
+        mem.rawWriteBytes(pc, bytes.data(), bytes.size());
+        return pc;
+    }
+
+    RunResult
+    run(const std::vector<MachInst> &insts,
+        uint64_t max_insts = 10'000)
+    {
+        Addr entry = assemble(insts);
+        Interpreter interp(isa, mem, os);
+        interp.state.pc = entry;
+        interp.state.setSp(layout::kStackTop - 64);
+        RunResult r = interp.run(max_insts);
+        final = interp.state;
+        return r;
+    }
+
+    MachineState final{ IsaKind::Cisc };
+
+    /** ISA-portable 32-bit constant materialization. */
+    std::vector<MachInst>
+    movImm(Reg rd, int32_t v) const
+    {
+        if (isa == IsaKind::Cisc ||
+            (v >= -32768 && v <= 32767)) {
+            return { MachInst::movRI(rd, v) };
+        }
+        return { MachInst::movRI(
+                     rd, static_cast<int32_t>(
+                             static_cast<int16_t>(v & 0xffff))),
+                 MachInst::movHi(
+                     rd, static_cast<int32_t>(
+                             (static_cast<uint32_t>(v) >> 16) &
+                             0xffff)) };
+    }
+};
+
+/** Concatenate instruction snippets. */
+static std::vector<MachInst>
+cat(std::initializer_list<std::vector<MachInst>> parts)
+{
+    std::vector<MachInst> out;
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+class IsaSemantics : public ::testing::TestWithParam<IsaKind>
+{
+};
+
+TEST_P(IsaSemantics, AluBasics)
+{
+    MiniMachine m(GetParam());
+    Reg a = 0, b2 = 1;
+    auto r = m.run({
+        MachInst::movRI(a, 21),
+        MachInst::movRI(b2, 4),
+        MachInst::alu(Op::Mul, a, a, Operand::makeReg(b2)),
+        MachInst::alu(Op::Add, a, a, Operand::makeImm(16)),
+        MachInst::alu(Op::Shr, a, a, Operand::makeImm(2)),
+        MachInst::halt(),
+    });
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.final.reg(0), (21u * 4 + 16) >> 2);
+}
+
+TEST_P(IsaSemantics, DivideByZeroYieldsZero)
+{
+    MiniMachine m(GetParam());
+    auto r = m.run({
+        MachInst::movRI(0, 100),
+        MachInst::movRI(1, 0),
+        MachInst::alu(Op::Divu, 0, 0, Operand::makeReg(1)),
+        MachInst::halt(),
+    });
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.final.reg(0), 0u);
+}
+
+TEST_P(IsaSemantics, SignedAndUnsignedConditions)
+{
+    // -1 < 1 signed but -1 > 1 unsigned.
+    MiniMachine m(GetParam());
+    Addr base = layout::codeBase(GetParam());
+    // Layout: cmp; jlt +L1; halt; L1: cmp; ja +L2; halt; L2: mov;halt
+    std::vector<MachInst> insts = {
+        MachInst::movRI(0, -1),
+        MachInst::movRI(1, 1),
+        MachInst::cmp(Operand::makeReg(0), Operand::makeReg(1)),
+        MachInst::jcc(Cond::Lt, 0), // patched below
+        MachInst::halt(),
+        MachInst::cmp(Operand::makeReg(0), Operand::makeReg(1)),
+        MachInst::jcc(Cond::A, 0), // patched below
+        MachInst::halt(),
+        MachInst::movRI(2, 77),
+        MachInst::halt(),
+    };
+    // Compute layout to patch branch targets.
+    std::vector<Addr> at(insts.size());
+    Addr pc = base;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        at[i] = pc;
+        pc += encodedSize(GetParam(), insts[i]);
+    }
+    insts[3].target = at[5];
+    insts[6].target = at[8];
+
+    auto r = m.run(insts);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.final.reg(2), 77u);
+}
+
+TEST_P(IsaSemantics, CallPlacesReturnAddressOnStackPath)
+{
+    // call f; halt; f: ret  — after the call/ret round trip the halt
+    // executes. On Cisc the RA is pushed, on Risc it rides LR and the
+    // callee is a bare POPRET... so push it manually for Risc.
+    IsaKind isa = GetParam();
+    MiniMachine m(isa);
+    Addr base = layout::codeBase(isa);
+
+    std::vector<MachInst> insts;
+    if (isa == IsaKind::Cisc) {
+        insts = {
+            MachInst::call(0), // patched
+            MachInst::movRI(3, 9),
+            MachInst::halt(),
+            MachInst::ret(),
+        };
+    } else {
+        // Risc: call sets LR; the callee stores LR at the stack top
+        // and pop-returns, mirroring the compiler's fused epilogue.
+        insts = {
+            MachInst::call(0), // patched
+            MachInst::movRI(3, 9),
+            MachInst::halt(),
+            // callee:
+            MachInst::alu(Op::Sub, risc::SP, risc::SP,
+                          Operand::makeImm(4)),
+            MachInst::store(risc::SP, 0, risc::LR),
+            MachInst::ret(),
+        };
+    }
+    std::vector<Addr> at(insts.size());
+    Addr pc = base;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        at[i] = pc;
+        pc += encodedSize(isa, insts[i]);
+    }
+    insts[0].target = at[3];
+    auto r = m.run(insts);
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.final.reg(3), 9u);
+}
+
+TEST_P(IsaSemantics, ByteAccessZeroExtends)
+{
+    MiniMachine m(GetParam());
+    Addr g = layout::kGlobalsBase;
+    m.mem.rawWrite32(g, 0xdeadbeef);
+    auto r = m.run(cat({
+        m.movImm(1, static_cast<int32_t>(g)),
+        { MachInst::loadByte(0, 1, 3), // 0xde
+          MachInst::storeByte(1, 8, 0),
+          MachInst::load(2, 1, 8),
+          MachInst::halt() },
+    }));
+    EXPECT_EQ(r.reason, StopReason::Halted);
+    EXPECT_EQ(m.final.reg(0), 0xdeu);
+    EXPECT_EQ(m.final.reg(2), 0xdeu);
+}
+
+TEST_P(IsaSemantics, WritingCodeFaults)
+{
+    MiniMachine m(GetParam());
+    auto r = m.run(cat({
+        m.movImm(1, static_cast<int32_t>(
+                        layout::codeBase(GetParam()))),
+        { MachInst::store(1, 0, 0), MachInst::halt() },
+    }));
+    EXPECT_EQ(r.reason, StopReason::Fault);
+}
+
+TEST_P(IsaSemantics, JumpToUnmappedCrashes)
+{
+    MiniMachine m(GetParam());
+    auto r = m.run(cat({
+        m.movImm(1, 0x00700000), // unmapped
+        { MachInst::jmpInd(1) },
+    }));
+    EXPECT_EQ(r.reason, StopReason::BadInst);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIsas, IsaSemantics,
+                         ::testing::Values(IsaKind::Risc,
+                                           IsaKind::Cisc),
+                         [](const auto &info) {
+                             return isaName(info.param);
+                         });
+
+TEST(Memory, JournalRollsBackExactly)
+{
+    Memory mem;
+    mem.setRegion(0x1000, 0x1000, PermRW, "scratch");
+    mem.write32(0x1000, 0x11111111);
+    mem.write32(0x1004, 0x22222222);
+    mem.beginJournal();
+    mem.write32(0x1000, 0xaaaaaaaa);
+    mem.write8(0x1005, 0xbb);
+    mem.write16(0x1008, 0xcccc);
+    mem.rollback();
+    EXPECT_EQ(mem.read32(0x1000), 0x11111111u);
+    EXPECT_EQ(mem.read32(0x1004), 0x22222222u);
+    EXPECT_EQ(mem.read16(0x1008), 0u);
+}
+
+TEST(Memory, PermissionLayering)
+{
+    Memory mem;
+    mem.setRegion(0x1000, 0x2000, PermRW, "outer");
+    mem.setRegion(0x1800, 0x100, PermR, "inner"); // later wins
+    EXPECT_EQ(mem.permAt(0x1400), PermRW);
+    EXPECT_EQ(mem.permAt(0x1880), PermR);
+    EXPECT_THROW(mem.write32(0x1880, 1), Memory::Fault);
+    EXPECT_NO_THROW(mem.write32(0x1400, 1));
+}
+
+TEST(GuestOs, WriteBufAndChecksum)
+{
+    Memory mem;
+    mem.setRegion(0x1000, 0x1000, PermRW, "data");
+    for (int i = 0; i < 8; ++i)
+        mem.write8(0x1000 + i, static_cast<uint8_t>('a' + i));
+
+    GuestOs os;
+    MachineState st(IsaKind::Cisc);
+    const IsaDescriptor &desc = isaDescriptor(IsaKind::Cisc);
+    st.setReg(desc.retReg, uint32_t(SyscallNo::WriteBuf));
+    st.setReg(desc.argRegs[1], 0x1000);
+    st.setReg(desc.argRegs[2], 8);
+    st.setReg(desc.argRegs[3], 7);
+    EXPECT_TRUE(os.handleSyscall(st, mem));
+    ASSERT_EQ(os.output().size(), 9u); // 8 bytes + connection tag
+    EXPECT_EQ(os.output()[0], 'a');
+    EXPECT_EQ(os.output()[8], 7);
+    EXPECT_EQ(st.reg(desc.retReg), 8u);
+
+    uint64_t sum1 = os.outputChecksum();
+    os.reset();
+    EXPECT_NE(os.outputChecksum(), sum1);
+}
+
+TEST(GuestOs, ExecveCapturesArgs)
+{
+    Memory mem;
+    GuestOs os;
+    MachineState st(IsaKind::Risc);
+    const IsaDescriptor &desc = isaDescriptor(IsaKind::Risc);
+    st.setReg(desc.retReg, uint32_t(SyscallNo::Execve));
+    st.setReg(desc.argRegs[1], 0x11);
+    st.setReg(desc.argRegs[2], 0x22);
+    st.setReg(desc.argRegs[3], 0x33);
+    EXPECT_FALSE(os.handleSyscall(st, mem)); // program ends
+    EXPECT_TRUE(os.execveFired());
+    EXPECT_EQ(os.execveArgs()[0], 0x11u);
+    EXPECT_EQ(os.execveArgs()[2], 0x33u);
+}
+
+} // namespace
+} // namespace hipstr

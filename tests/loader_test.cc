@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fat-binary and loader tests: section permissions, function-pointer
+ * dispatch tables, symbol-table address lookups, and the code-cache
+ * scanning path the JIT-ROP analysis uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/galileo.hh"
+#include "test_util.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+TEST(Loader, RegionPermissions)
+{
+    FatBinary bin = compileModule(buildWorkload("httpd"));
+    Memory mem;
+    loadFatBinary(bin, mem);
+
+    for (IsaKind isa : kAllIsas) {
+        Addr code = layout::codeBase(isa);
+        EXPECT_EQ(mem.permAt(code), PermRX) << isaName(isa);
+        // Code is readable (disclosure) but not writable.
+        EXPECT_NO_THROW(mem.read8(code));
+        EXPECT_THROW(mem.write8(code, 0x90), Memory::Fault);
+        // Function table: read-only.
+        Addr table = layout::funcTableBase(isa);
+        EXPECT_EQ(mem.permAt(table), PermR);
+        EXPECT_THROW(mem.write32(table, 0), Memory::Fault);
+    }
+    // Data, heap, stack writable; nothing executable there.
+    EXPECT_EQ(mem.permAt(layout::kGlobalsBase), PermRW);
+    EXPECT_EQ(mem.permAt(layout::kHeapBase), PermRW);
+    EXPECT_EQ(mem.permAt(layout::kStackTop - 64), PermRW);
+    EXPECT_THROW(mem.fetch8(layout::kStackTop - 64), Memory::Fault);
+}
+
+TEST(Loader, FunctionTablesHoldEntryAddresses)
+{
+    FatBinary bin = compileModule(buildWorkload("sphinx3"));
+    Memory mem;
+    loadFatBinary(bin, mem);
+    for (IsaKind isa : kAllIsas) {
+        Addr table = layout::funcTableBase(isa);
+        const auto &fns = bin.funcsFor(isa);
+        for (size_t i = 0; i < fns.size(); ++i) {
+            EXPECT_EQ(mem.read32(table + Addr(4 * i)),
+                      fns[i].entry)
+                << isaName(isa) << " fn " << i;
+        }
+    }
+}
+
+TEST(Loader, GlobalInitializersLand)
+{
+    IrModule m;
+    m.name = "ginit";
+    IrBuilder b(m);
+    uint32_t g = b.addGlobalWords("words", { 0x11223344, 0xa5a5a5a5 });
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+    b.beginFunction(main_fn);
+    b.ret(b.load(b.globalAddr(g, 4)));
+    b.endFunction();
+
+    FatBinary bin = compileModule(m);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    EXPECT_EQ(mem.read32(bin.globalAddr[0]), 0x11223344u);
+    EXPECT_EQ(mem.read32(bin.globalAddr[0] + 4), 0xa5a5a5a5u);
+
+    auto run = test::runNative(bin, IsaKind::Cisc);
+    EXPECT_EQ(run.exitCode, 0xa5a5a5a5u);
+}
+
+TEST(FatBinary, AddressLookups)
+{
+    FatBinary bin = compileModule(buildWorkload("mcf"));
+    for (IsaKind isa : kAllIsas) {
+        for (const FuncInfo &fi : bin.funcsFor(isa)) {
+            EXPECT_EQ(bin.findFuncByAddr(isa, fi.entry), &fi);
+            EXPECT_EQ(bin.findFuncByAddr(
+                          isa, fi.entry + fi.codeSize - 1),
+                      &fi);
+            // Mid-function block lookup round-trips.
+            for (const MachBlockInfo &mb : fi.blocks) {
+                EXPECT_EQ(fi.blockAt(mb.start), &mb);
+                EXPECT_EQ(fi.blockAt(mb.end - 1), &mb);
+                EXPECT_GE(
+                    fi.blockIndexOf(mb.irBlock, mb.segment), 0);
+            }
+        }
+        // The gap before the first function (the _start stub) maps to
+        // no function.
+        EXPECT_EQ(bin.findFuncByAddr(isa, layout::codeBase(isa)),
+                  nullptr);
+    }
+}
+
+TEST(FatBinary, StartReturnAddressIsNotACallSite)
+{
+    FatBinary bin = compileModule(buildWorkload("lbm"));
+    for (IsaKind isa : kAllIsas) {
+        size_t ii = static_cast<size_t>(isa);
+        EXPECT_GT(bin.startRetAddr[ii], bin.entryPoint[ii]);
+        EXPECT_EQ(bin.findCallSiteByRetAddr(isa,
+                                            bin.startRetAddr[ii]),
+                  nullptr);
+    }
+}
+
+TEST(Galileo, CodeCacheScanFindsTranslatedGadgets)
+{
+    // The JIT-ROP attacker scans the disclosed code-cache bytes; the
+    // scanner must operate on raw regions without a symbol table.
+    FatBinary bin = compileModule(buildWorkload("bzip2"));
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+    vm.reset();
+    auto r = vm.run(1'000'000'000);
+    ASSERT_EQ(r.reason, VmStop::Exited);
+
+    uint32_t used = vm.codeCache().used();
+    ASSERT_GT(used, 0u);
+    std::vector<uint8_t> cache_bytes(used);
+    mem.rawReadBytes(vm.codeCache().base(), cache_bytes.data(),
+                     used);
+    auto gadgets = scanRegion(IsaKind::Cisc, cache_bytes,
+                              vm.codeCache().base(), nullptr);
+    // Translated code retains real RET encodings: the cache is
+    // scannable and non-empty of gadgets, exactly the Figure-5
+    // attacker's view.
+    EXPECT_GT(gadgets.size(), 0u);
+    for (const Gadget &g : gadgets)
+        EXPECT_EQ(g.funcId, 0xffffffffu); // no symtab attribution
+}
+
+} // namespace
+} // namespace hipstr

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Cross-ISA migration tests. The key property: a HIPStR run that
+ * migrates between ISAs — at phase boundaries or forced at random
+ * checkpoints — must produce exactly the output of a native run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hipstr/runtime.hh"
+#include "migration/safety.hh"
+#include "test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+TEST(MigrationSafety, TiersAreOrdered)
+{
+    for (const std::string &name : allWorkloadNames()) {
+        FatBinary bin = compileModule(buildWorkload(name));
+        for (IsaKind isa : kAllIsas) {
+            SafetyStats stats = analyzeMigrationSafety(bin, isa);
+            EXPECT_GT(stats.totalBlocks, 0u) << name;
+            EXPECT_LE(stats.baselineSafe, stats.onDemandSafe)
+                << name;
+            EXPECT_LE(stats.onDemandSafe, stats.totalBlocks) << name;
+            // On-demand migration must extend coverage meaningfully
+            // beyond the entry-block exclusion.
+            EXPECT_GT(stats.onDemandFraction(), 0.4) << name;
+        }
+    }
+}
+
+TEST(MigrationSafety, EntryBlocksAreUnsafe)
+{
+    FatBinary bin = compileModule(buildWorkload("bzip2"));
+    for (IsaKind isa : kAllIsas) {
+        for (const FuncInfo &fi : bin.funcsFor(isa)) {
+            EXPECT_EQ(classifyBlock(fi, fi.blocks.front()),
+                      MigrationSafety::Unsafe)
+                << fi.name;
+        }
+    }
+}
+
+class MigrationEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MigrationEquivalence, PhaseMigrationsPreserveBehaviour)
+{
+    IrModule m = buildWorkload(GetParam());
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, IsaKind::Cisc, 400'000'000);
+    ASSERT_EQ(native.result.reason, StopReason::Exited);
+
+    for (IsaKind start : kAllIsas) {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        HipstrConfig cfg;
+        cfg.startIsa = start;
+        // Frequent switches; small enough that even the shortest
+        // workload (milc, ~60k guest insts) crosses several
+        // boundaries with safe equivalence points.
+        cfg.phaseIntervalInsts = 6'000;
+        cfg.psr.seed = 99;
+        HipstrRuntime runtime(bin, mem, os, cfg);
+        runtime.reset();
+        auto summary = runtime.run(400'000'000);
+        ASSERT_EQ(summary.reason, VmStop::Exited)
+            << GetParam() << " from " << isaName(start) << ": "
+            << vmStopName(summary.reason) << " at 0x" << std::hex
+            << summary.stopPc;
+        EXPECT_EQ(os.exitCode(), native.exitCode) << GetParam();
+        EXPECT_EQ(os.outputChecksum(), native.outputChecksum);
+        EXPECT_GT(summary.migrations, 0u)
+            << GetParam() << ": no migration ever happened";
+        // Both ISAs actually executed guest code.
+        EXPECT_GT(summary.guestInstsPerIsa[0], 0u) << GetParam();
+        EXPECT_GT(summary.guestInstsPerIsa[1], 0u) << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MigrationEquivalence,
+                         ::testing::ValuesIn(allWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Migration, ForcedCheckpointMigrations)
+{
+    IrModule m = buildWorkload("hmmer");
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, IsaKind::Cisc, 400'000'000);
+
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    HipstrConfig cfg;
+    cfg.psr.seed = 5;
+    HipstrRuntime runtime(bin, mem, os, cfg);
+    runtime.reset();
+
+    // Interleave random-length run chunks with forced migrations,
+    // stopping as soon as the program finishes.
+    Rng rng(77);
+    unsigned forced = 0;
+    bool finished = false;
+    for (int i = 0; i < 12 && !finished; ++i) {
+        auto res = runtime.vm(runtime.currentIsa())
+                       .run(10'000 + rng.below(20'000));
+        if (res.reason != VmStop::StepLimit) {
+            finished = true;
+            break;
+        }
+        MigrationOutcome mo = runtime.forceMigration();
+        if (mo.ok) {
+            ++forced;
+            EXPECT_GT(mo.frames, 0u);
+            EXPECT_GT(mo.microseconds, 0.0);
+        } else if (mo.error.rfind("program stopped", 0) == 0) {
+            finished = true;
+        }
+    }
+    EXPECT_GE(forced, 4u);
+
+    // Finish the program on whatever ISA we ended up on.
+    if (!finished) {
+        auto res = runtime.run(400'000'000);
+        ASSERT_EQ(res.reason, VmStop::Exited)
+            << vmStopName(res.reason);
+    }
+    EXPECT_EQ(os.exitCode(), native.exitCode);
+    EXPECT_EQ(os.outputChecksum(), native.outputChecksum);
+}
+
+TEST(Migration, AsymmetricFrameSizesAcrossIsas)
+{
+    // The paper allocates 2-16 *pages* of randomization space; the
+    // two cores' VMs need not agree. Different per-ISA frame sizes
+    // exercise the transformer's general stack re-layout path.
+    IrModule m = buildWorkload("hmmer");
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, IsaKind::Cisc, 400'000'000);
+
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg_cisc;
+    cfg_cisc.randSpaceBytes = 8 * 1024;
+    cfg_cisc.seed = 12;
+    PsrConfig cfg_risc;
+    cfg_risc.randSpaceBytes = 32 * 1024;
+    cfg_risc.seed = 34;
+    PsrVm cisc_vm(bin, IsaKind::Cisc, mem, os, cfg_cisc);
+    PsrVm risc_vm(bin, IsaKind::Risc, mem, os, cfg_risc);
+    MigrationEngine engine(bin, mem);
+
+    cisc_vm.reset();
+    PsrVm *cur = &cisc_vm;
+    PsrVm *other = &risc_vm;
+    unsigned migrations = 0;
+    for (int hop = 0; hop < 40; ++hop) {
+        auto r = cur->run(4'000);
+        if (r.reason == VmStop::Exited)
+            break;
+        ASSERT_EQ(r.reason, VmStop::StepLimit);
+        if (!isMigrationPoint(bin, cur->isa(), cur->state.pc,
+                              MigrationSafety::OnDemandSafe)) {
+            continue;
+        }
+        MigrationOutcome mo =
+            engine.migrate(*cur, *other, cur->state.pc);
+        if (mo.ok) {
+            ++migrations;
+            std::swap(cur, other);
+        }
+    }
+    if (!os.exited()) {
+        auto r = cur->run(400'000'000);
+        ASSERT_EQ(r.reason, VmStop::Exited)
+            << vmStopName(r.reason);
+    }
+    EXPECT_GT(migrations, 4u);
+    EXPECT_EQ(os.exitCode(), native.exitCode);
+    EXPECT_EQ(os.outputChecksum(), native.outputChecksum);
+}
+
+TEST(Migration, ZeroProbabilityNeverMigratesOnEvents)
+{
+    IrModule m = buildWorkload("bzip2");
+    FatBinary bin = compileModule(m);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    HipstrConfig cfg;
+    cfg.diversificationProbability = 0.0;
+    HipstrRuntime runtime(bin, mem, os, cfg);
+    runtime.reset();
+    auto s = runtime.run(400'000'000);
+    ASSERT_EQ(s.reason, VmStop::Exited);
+    EXPECT_EQ(s.migrations, 0u);
+    EXPECT_EQ(s.guestInstsPerIsa[static_cast<size_t>(
+                  otherIsa(cfg.startIsa))],
+              0u);
+}
+
+TEST(Migration, CostModelDirectionality)
+{
+    // The destination core's frequency governs transformation cost:
+    // migrating toward the ARM-like core is more expensive, matching
+    // the paper's 1.287 ms vs 909 us asymmetry.
+    MigrationCostModel model;
+    MigrationOutcome work;
+    work.frames = 6;
+    work.valuesMoved = 80;
+    work.objectBytes = 2048;
+    work.raRewrites = 6;
+    double to_risc = model.microseconds(work, IsaKind::Risc);
+    double to_cisc = model.microseconds(work, IsaKind::Cisc);
+    EXPECT_GT(to_risc, to_cisc);
+    EXPECT_NEAR(to_risc / to_cisc, 3.3 / 2.0, 1e-9);
+    // Magnitudes in the paper's ballpark (hundreds of us to ms).
+    EXPECT_GT(to_cisc, 100.0);
+    EXPECT_LT(to_risc, 20000.0);
+}
+
+TEST(Migration, RefusesUnsafePoints)
+{
+    IrModule m = buildWorkload("gobmk");
+    FatBinary bin = compileModule(m);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    HipstrConfig cfg;
+    HipstrRuntime runtime(bin, mem, os, cfg);
+    runtime.reset();
+
+    // The entry point (_start) is outside any function: migration
+    // must be refused without corrupting anything.
+    MigrationOutcome mo = runtime.engine().migrate(
+        runtime.vm(IsaKind::Cisc), runtime.vm(IsaKind::Risc),
+        bin.entryPoint[static_cast<size_t>(IsaKind::Cisc)]);
+    EXPECT_FALSE(mo.ok);
+    EXPECT_FALSE(mo.error.empty());
+
+    // And the program still runs to completion afterwards.
+    auto res = runtime.run(400'000'000);
+    EXPECT_EQ(res.reason, VmStop::Exited);
+}
+
+} // namespace
+} // namespace hipstr

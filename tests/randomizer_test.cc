@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Randomizer invariants: relocation maps must be permutations that
+ * preserve clobber classes, slots must not collide, conventions must
+ * stay caller-clobberable and injective, and re-randomization must
+ * actually change the maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/relocation.hh"
+#include "test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+class RandomizerInvariants
+    : public ::testing::TestWithParam<IsaKind>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        bin = compileModule(buildWorkload("gobmk"));
+    }
+
+    FatBinary bin;
+};
+
+TEST_P(RandomizerInvariants, RegisterMapIsClassPreservingPermutation)
+{
+    IsaKind isa = GetParam();
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        PsrConfig cfg;
+        cfg.seed = seed;
+        Randomizer rand(bin, isa, cfg);
+        for (const FuncInfo &fi : bin.funcsFor(isa)) {
+            const RelocationMap &map = rand.mapFor(fi.funcId);
+
+            // sp and the translator scratch are never renamed.
+            EXPECT_EQ(map.mapReg(desc.spReg), desc.spReg);
+            EXPECT_EQ(map.mapReg(desc.scratchReg), desc.scratchReg);
+
+            // Caller pool (caller-saved + isel temps) permutes onto
+            // itself; callee pool likewise.
+            std::vector<Reg> caller_pool = desc.callerSaved;
+            caller_pool.insert(caller_pool.end(),
+                               desc.iselTemps.begin(),
+                               desc.iselTemps.end());
+            std::set<Reg> caller_set(caller_pool.begin(),
+                                     caller_pool.end());
+            std::set<Reg> caller_image;
+            for (Reg r : caller_pool)
+                caller_image.insert(map.mapReg(r));
+            EXPECT_EQ(caller_image, caller_set);
+
+            std::set<Reg> callee_set(desc.calleeSaved.begin(),
+                                     desc.calleeSaved.end());
+            std::set<Reg> callee_image;
+            for (Reg r : desc.calleeSaved)
+                callee_image.insert(map.mapReg(r));
+            EXPECT_EQ(callee_image, callee_set);
+        }
+    }
+}
+
+TEST_P(RandomizerInvariants, SlotsNeverCollide)
+{
+    IsaKind isa = GetParam();
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        PsrConfig cfg;
+        cfg.seed = seed;
+        Randomizer rand(bin, isa, cfg);
+        for (const FuncInfo &fi : bin.funcsFor(isa)) {
+            const RelocationMap &map = rand.mapFor(fi.funcId);
+            // Gather every placed 4-byte interval: relocated slots
+            // and memory-relocated registers.
+            std::vector<uint32_t> starts;
+            for (const auto &kv : map.slotMap)
+                starts.push_back(kv.second);
+            for (unsigned r = 0; r < 16; ++r)
+                if (map.regToSlot[r] != kNotInMemory)
+                    starts.push_back(
+                        static_cast<uint32_t>(map.regToSlot[r]));
+            std::sort(starts.begin(), starts.end());
+            for (size_t i = 1; i < starts.size(); ++i) {
+                EXPECT_GE(starts[i], starts[i - 1] + 4)
+                    << fi.name << " seed " << seed;
+            }
+            // All slots live inside the frame and clear of the
+            // fixed object area.
+            for (uint32_t s : starts) {
+                EXPECT_GE(s, fi.spillBase);
+                EXPECT_LE(s + 4, map.newFrameSize);
+            }
+        }
+    }
+}
+
+TEST_P(RandomizerInvariants, ConventionUsesCallerClobberableRegs)
+{
+    IsaKind isa = GetParam();
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    std::set<Reg> pool(desc.callerSaved.begin(),
+                       desc.callerSaved.end());
+    for (Reg r : desc.iselTemps)
+        pool.insert(r);
+
+    PsrConfig cfg;
+    cfg.seed = 99;
+    Randomizer rand(bin, isa, cfg);
+    for (const FuncInfo &fi : bin.funcsFor(isa)) {
+        const RelocationMap &map = rand.mapFor(fi.funcId);
+        std::set<Reg> args;
+        for (unsigned i = 0; i < 4; ++i) {
+            EXPECT_TRUE(pool.count(map.argRegs[i]))
+                << fi.name << " arg " << i;
+            args.insert(map.argRegs[i]);
+        }
+        EXPECT_EQ(args.size(), 4u) << fi.name << ": args not "
+                                      "injective";
+        EXPECT_TRUE(pool.count(map.retReg)) << fi.name;
+    }
+}
+
+TEST_P(RandomizerInvariants, AddressTakenKeepsDefaultConvention)
+{
+    IsaKind isa = GetParam();
+    FatBinary fptr_bin = compileModule(buildWorkload("httpd"));
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    PsrConfig cfg;
+    cfg.seed = 7;
+    Randomizer rand(fptr_bin, isa, cfg);
+    bool any_taken = false;
+    for (const FuncInfo &fi : fptr_bin.funcsFor(isa)) {
+        if (!fptr_bin.addressTaken[fi.funcId])
+            continue;
+        any_taken = true;
+        EXPECT_TRUE(rand.usesDefaultConvention(fi.funcId));
+        const RelocationMap &map = rand.mapFor(fi.funcId);
+        for (unsigned i = 0; i < 4; ++i)
+            EXPECT_EQ(map.argRegs[i], desc.argRegs[i]) << fi.name;
+        EXPECT_EQ(map.retReg, desc.retReg) << fi.name;
+    }
+    EXPECT_TRUE(any_taken) << "httpd should have handlers";
+}
+
+TEST_P(RandomizerInvariants, ReRandomizeChangesMaps)
+{
+    IsaKind isa = GetParam();
+    PsrConfig cfg;
+    cfg.seed = 4;
+    Randomizer rand(bin, isa, cfg);
+    auto before = rand.mapFor(0).slotMap;
+    rand.reRandomize();
+    auto after = rand.mapFor(0).slotMap;
+    EXPECT_NE(before, after);
+    EXPECT_EQ(rand.generation(), 1u);
+}
+
+TEST_P(RandomizerInvariants, MapsAreDeterministicPerSeed)
+{
+    IsaKind isa = GetParam();
+    PsrConfig cfg;
+    cfg.seed = 123;
+    Randomizer a(bin, isa, cfg);
+    Randomizer b(bin, isa, cfg);
+    for (const FuncInfo &fi : bin.funcsFor(isa)) {
+        EXPECT_EQ(a.mapFor(fi.funcId).slotMap,
+                  b.mapFor(fi.funcId).slotMap);
+        EXPECT_EQ(a.mapFor(fi.funcId).regMap,
+                  b.mapFor(fi.funcId).regMap);
+    }
+}
+
+TEST_P(RandomizerInvariants, RegisterBiasKeepsThreeInRegisters)
+{
+    IsaKind isa = GetParam();
+    if (isa != IsaKind::Cisc)
+        return; // memory relocation is the Cisc-only transformation
+    const IsaDescriptor &desc = isaDescriptor(isa);
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        PsrConfig cfg;
+        cfg.seed = seed;
+        cfg.optLevel = 3; // bias on
+        Randomizer rand(bin, isa, cfg);
+        for (const FuncInfo &fi : bin.funcsFor(isa)) {
+            const RelocationMap &map = rand.mapFor(fi.funcId);
+            unsigned in_regs = 0;
+            for (Reg r : desc.allocatable)
+                if (map.regToSlot[r] == kNotInMemory)
+                    ++in_regs;
+            for (Reg r : desc.iselTemps)
+                if (map.regToSlot[r] == kNotInMemory)
+                    ++in_regs;
+            EXPECT_GE(in_regs, 3u) << fi.name << " seed " << seed;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIsas, RandomizerInvariants,
+                         ::testing::Values(IsaKind::Risc,
+                                           IsaKind::Cisc),
+                         [](const auto &info) {
+                             return isaName(info.param);
+                         });
+
+} // namespace
+} // namespace hipstr

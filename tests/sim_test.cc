@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulation-layer tests: cache model, RAT, register cache, core
+ * configs, and timing-model monotonicity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+#include "sim/core_config.hh"
+#include "sim/rat.hh"
+#include "sim/timing.hh"
+#include "vm/psr_vm.hh"
+#include "support/random.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+TEST(CacheSim, HitsAfterFill)
+{
+    CacheSim cache(1024, 2, 64); // 16 lines, 8 sets
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x103f)); // same line
+    EXPECT_FALSE(cache.access(0x1040)); // next line
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet)
+{
+    CacheSim cache(1024, 2, 64); // 8 sets: addresses 512 bytes apart
+                                 // collide
+    Addr a = 0x0000, b = 0x0200, c = 0x0400; // same set, 2 ways
+    cache.access(a);
+    cache.access(b);
+    EXPECT_TRUE(cache.access(a));
+    cache.access(c); // evicts b (LRU)
+    EXPECT_TRUE(cache.access(a));
+    EXPECT_FALSE(cache.access(b));
+}
+
+TEST(CacheSim, CapacityBehaviour)
+{
+    CacheSim small(1024, 2);
+    CacheSim big(32 * 1024, 2);
+    Rng rng(5);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 256; ++i)
+        addrs.push_back(static_cast<Addr>(rng.below(16 * 1024)));
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr a : addrs) {
+            small.access(a);
+            big.access(a);
+        }
+    }
+    EXPECT_LT(big.missRate(), small.missRate());
+}
+
+TEST(Rat, InsertLookupFlush)
+{
+    ReturnAddressTable rat(32);
+    Addr out;
+    EXPECT_FALSE(rat.lookup(0x1234, out));
+    rat.insert(0x1234, 0xabcd);
+    EXPECT_TRUE(rat.lookup(0x1234, out));
+    EXPECT_EQ(out, 0xabcdu);
+    // Updating an existing entry replaces the mapping.
+    rat.insert(0x1234, 0x9999);
+    EXPECT_TRUE(rat.lookup(0x1234, out));
+    EXPECT_EQ(out, 0x9999u);
+    rat.flush();
+    EXPECT_FALSE(rat.lookup(0x1234, out));
+}
+
+TEST(Rat, CapacityEviction)
+{
+    ReturnAddressTable rat(8, 4);
+    for (Addr a = 0; a < 64; ++a)
+        rat.insert(0x400000 + a * 4, a);
+    unsigned hits = 0;
+    Addr out;
+    for (Addr a = 0; a < 64; ++a)
+        if (rat.lookup(0x400000 + a * 4, out))
+            ++hits;
+    EXPECT_LE(hits, 8u);
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(Rat, BigTableHoldsWorkingSet)
+{
+    ReturnAddressTable rat(512, 4);
+    for (Addr a = 0; a < 200; ++a)
+        rat.insert(0x400000 + a * 8, a);
+    unsigned hits = 0;
+    Addr out;
+    for (Addr a = 0; a < 200; ++a)
+        if (rat.lookup(0x400000 + a * 8, out))
+            ++hits;
+    // A 512-entry table should hold essentially all 200 call sites
+    // (a few set conflicts are tolerable).
+    EXPECT_GT(hits, 190u);
+}
+
+TEST(RegCache, ThreeEntryLru)
+{
+    RegCacheSim l0(3);
+    EXPECT_FALSE(l0.access(1));
+    EXPECT_FALSE(l0.access(2));
+    EXPECT_FALSE(l0.access(3));
+    EXPECT_TRUE(l0.access(1));
+    EXPECT_TRUE(l0.access(2));
+    EXPECT_FALSE(l0.access(4)); // evicts 3
+    EXPECT_FALSE(l0.access(3));
+}
+
+TEST(CoreConfig, Table1Values)
+{
+    const CoreConfig &arm = coreConfig(IsaKind::Risc);
+    const CoreConfig &x86 = coreConfig(IsaKind::Cisc);
+    EXPECT_DOUBLE_EQ(arm.freqGhz, 2.0);
+    EXPECT_DOUBLE_EQ(x86.freqGhz, 3.3);
+    EXPECT_EQ(arm.fetchWidth, 2u);
+    EXPECT_EQ(x86.fetchWidth, 4u);
+    EXPECT_EQ(arm.robSize, 20u);
+    EXPECT_EQ(x86.robSize, 128u);
+    EXPECT_GT(x86.baseIpc, arm.baseIpc);
+}
+
+TEST(Timing, MoreWorkCostsMoreCycles)
+{
+    TimingHarness h(IsaKind::Cisc, true);
+    VmStats a;
+    a.hostInsts = 1000;
+    VmStats b = a;
+    b.hostInsts = 2000;
+    EXPECT_LT(h.vmCycles(a), h.vmCycles(b));
+
+    VmStats c = a;
+    c.dispatches = 100;
+    EXPECT_LT(h.vmCycles(a), h.vmCycles(c));
+
+    VmStats d = a;
+    d.diversificationFlips = 100;
+    EXPECT_LT(h.vmCycles(a), h.vmCycles(d));
+}
+
+TEST(Timing, SecondsFollowFrequency)
+{
+    TimingHarness arm(IsaKind::Risc, true);
+    TimingHarness x86(IsaKind::Cisc, true);
+    EXPECT_GT(arm.seconds(1e9), x86.seconds(1e9));
+}
+
+} // namespace
+} // namespace hipstr

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the support layer: PRNG determinism and statistics,
+ * bit utilities, and the dense bitset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/bitops.hh"
+#include "support/bitset.hh"
+#include "support/random.hh"
+#include "support/stats.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : { 1ull, 2ull, 3ull, 10ull, 8192ull }) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.split();
+    // The child stream should not reproduce the parent stream.
+    Rng b(21);
+    b.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (child.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(5);
+    std::vector<int> v = { 1, 2, 3, 4, 5, 6, 7, 8 };
+    rng.shuffle(v);
+    std::multiset<int> s(v.begin(), v.end());
+    EXPECT_EQ(s, (std::multiset<int>{ 1, 2, 3, 4, 5, 6, 7, 8 }));
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Bitops, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundDown(13, 8), 8u);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x1234, 16), 0x1234);
+}
+
+TEST(Bitops, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(127, 8));
+    EXPECT_FALSE(fitsSigned(128, 8));
+    EXPECT_TRUE(fitsSigned(-128, 8));
+    EXPECT_FALSE(fitsSigned(-129, 8));
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_FALSE(fitsSigned(40000, 16));
+}
+
+TEST(Bitops, BitsAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00u);
+}
+
+TEST(BitSet, BasicOps)
+{
+    DenseBitSet s(130);
+    EXPECT_FALSE(s.any());
+    s.set(0);
+    s.set(64);
+    s.set(129);
+    EXPECT_TRUE(s.test(0));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(129));
+    EXPECT_FALSE(s.test(1));
+    EXPECT_EQ(s.count(), 3u);
+    s.clear(64);
+    EXPECT_FALSE(s.test(64));
+    EXPECT_EQ(s.toVector(), (std::vector<uint32_t>{ 0, 129 }));
+}
+
+TEST(BitSet, UnionReportsChange)
+{
+    DenseBitSet a(10), b(10);
+    b.set(3);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b));
+    EXPECT_TRUE(a.test(3));
+}
+
+TEST(Stats, CounterAndGroup)
+{
+    StatGroup g("vm");
+    g.counter("misses").inc();
+    g.counter("misses").inc(4);
+    EXPECT_EQ(g.counter("misses").value(), 5u);
+    EXPECT_EQ(g.find("absent"), nullptr);
+    g.reset();
+    EXPECT_EQ(g.counter("misses").value(), 0u);
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h("lat", 10, 5);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(1000); // overflow bin
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_NEAR(h.mean(), (0 + 9 + 10 + 1000) / 4.0, 1e-9);
+}
+
+TEST(Stats, TextTableAlignsColumns)
+{
+    TextTable t({ "name", "value" });
+    t.addRow({ "x", "1" });
+    t.addRow({ "longer", "22" });
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Stats, Formatters)
+{
+    EXPECT_EQ(formatPercent(0.9804), "98.04%");
+    EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(formatScientific(9.11e33, 2), "9.11e+33");
+}
+
+} // namespace
+} // namespace hipstr

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compile-and-run plumbing and
+ * small reference IR programs.
+ */
+
+#ifndef HIPSTR_TESTS_TEST_UTIL_HH
+#define HIPSTR_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/fatbin.hh"
+#include "binary/loader.hh"
+#include "compiler/compile.hh"
+#include "ir/builder.hh"
+#include "ir/ir.hh"
+#include "isa/guest_os.hh"
+#include "isa/interp.hh"
+#include "isa/memory.hh"
+
+namespace hipstr::test
+{
+
+/** Outcome of a native (reference interpreter) run. */
+struct NativeRun
+{
+    RunResult result;
+    uint32_t exitCode = 0;
+    uint64_t outputChecksum = 0;
+    std::vector<uint8_t> output;
+    uint64_t instsExecuted = 0;
+};
+
+/** Compile @p module once and run it natively on @p isa. */
+inline NativeRun
+runNative(const FatBinary &bin, IsaKind isa,
+          uint64_t max_insts = 50'000'000)
+{
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    Interpreter interp(isa, mem, os);
+    initMachineState(interp.state, bin, isa);
+
+    NativeRun run;
+    run.result = interp.run(max_insts);
+    run.exitCode = os.exitCode();
+    run.outputChecksum = os.outputChecksum();
+    run.output = os.output();
+    run.instsExecuted = run.result.instsExecuted;
+    return run;
+}
+
+inline NativeRun
+compileAndRun(const IrModule &module, IsaKind isa,
+              uint64_t max_insts = 50'000'000)
+{
+    FatBinary bin = compileModule(module);
+    return runNative(bin, isa, max_insts);
+}
+
+} // namespace hipstr::test
+
+#endif // HIPSTR_TESTS_TEST_UTIL_HH

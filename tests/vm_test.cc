@@ -1,0 +1,327 @@
+/**
+ * @file
+ * PSR virtual machine tests. The central invariant (Section 5.3,
+ * "Legitimate execution"): a program running under PSR — with
+ * randomized calling conventions, register relocation, and stack-slot
+ * coloring — must behave exactly as it does natively, for every
+ * workload, ISA, seed, and optimization level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+struct VmRun
+{
+    VmRunResult result;
+    uint32_t exitCode = 0;
+    uint64_t outputChecksum = 0;
+    VmStats stats;
+};
+
+VmRun
+runUnderVm(const FatBinary &bin, IsaKind isa, const PsrConfig &cfg,
+           uint64_t max_insts = 400'000'000)
+{
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrVm vm(bin, isa, mem, os, cfg);
+    vm.reset();
+    VmRun out;
+    out.result = vm.run(max_insts);
+    out.exitCode = os.exitCode();
+    out.outputChecksum = os.outputChecksum();
+    out.stats = vm.stats;
+    return out;
+}
+
+IrModule
+smallProgram()
+{
+    IrModule m;
+    m.name = "small";
+    IrBuilder b(m);
+    uint32_t helper = b.declareFunction("helper", 2);
+    uint32_t main_fn = b.declareFunction("main", 0);
+    b.setEntry(main_fn);
+
+    b.beginFunction(helper);
+    {
+        ValueId s = b.mul(b.param(0), b.param(1));
+        b.ret(b.addI(s, 7));
+    }
+    b.endFunction();
+
+    b.beginFunction(main_fn);
+    {
+        ValueId acc = b.constI(0);
+        ValueId i = b.constI(0);
+        uint32_t hdr = b.newBlock(), body = b.newBlock(),
+                 done = b.newBlock();
+        b.br(hdr);
+        b.setBlock(hdr);
+        b.condBrI(Cond::Lt, i, 10, body, done);
+        b.setBlock(body);
+        ValueId r = b.call(helper, { i, b.addI(i, 1) });
+        b.assignBinop(IrOp::Add, acc, acc, r);
+        b.assignBinopI(IrOp::Add, i, i, 1);
+        b.br(hdr);
+        b.setBlock(done);
+        b.emitWriteWord(acc);
+        b.ret(acc);
+    }
+    b.endFunction();
+    return m;
+}
+
+uint32_t
+smallProgramExpected()
+{
+    uint32_t acc = 0;
+    for (uint32_t i = 0; i < 10; ++i)
+        acc += i * (i + 1) + 7;
+    return acc;
+}
+
+TEST(PsrVm, PlainDbtMatchesNative)
+{
+    IrModule m = smallProgram();
+    FatBinary bin = compileModule(m);
+    for (IsaKind isa : kAllIsas) {
+        auto native = test::runNative(bin, isa);
+        ASSERT_EQ(native.result.reason, StopReason::Exited);
+        auto vm = runUnderVm(bin, isa, PsrConfig::noRandomization());
+        ASSERT_EQ(vm.result.reason, VmStop::Exited)
+            << isaName(isa) << ": "
+            << vmStopName(vm.result.reason) << " at 0x" << std::hex
+            << vm.result.stopPc;
+        EXPECT_EQ(vm.exitCode, native.exitCode);
+        EXPECT_EQ(vm.outputChecksum, native.outputChecksum);
+        EXPECT_EQ(vm.exitCode, smallProgramExpected());
+    }
+}
+
+TEST(PsrVm, FullPsrMatchesNativeOnSmallProgram)
+{
+    IrModule m = smallProgram();
+    FatBinary bin = compileModule(m);
+    for (IsaKind isa : kAllIsas) {
+        auto native = test::runNative(bin, isa);
+        for (uint64_t seed : { 1ull, 2ull, 3ull, 99ull, 12345ull }) {
+            PsrConfig cfg;
+            cfg.seed = seed;
+            auto vm = runUnderVm(bin, isa, cfg);
+            ASSERT_EQ(vm.result.reason, VmStop::Exited)
+                << isaName(isa) << " seed " << seed << ": "
+                << vmStopName(vm.result.reason) << " at 0x"
+                << std::hex << vm.result.stopPc;
+            EXPECT_EQ(vm.exitCode, native.exitCode)
+                << isaName(isa) << " seed " << seed;
+            EXPECT_EQ(vm.outputChecksum, native.outputChecksum);
+        }
+    }
+}
+
+TEST(PsrVm, GuestInstCountsMatchNativeOrder)
+{
+    IrModule m = smallProgram();
+    FatBinary bin = compileModule(m);
+    for (IsaKind isa : kAllIsas) {
+        auto native = test::runNative(bin, isa);
+        PsrConfig cfg;
+        auto vm = runUnderVm(bin, isa, cfg);
+        ASSERT_EQ(vm.result.reason, VmStop::Exited);
+        // Guest instruction accounting should be close to the native
+        // count (not exact: VM-handled terminators are attributed at
+        // exits), and host instructions strictly larger under PSR.
+        double ratio = double(vm.stats.guestInsts) /
+            double(native.instsExecuted);
+        EXPECT_GT(ratio, 0.8) << isaName(isa);
+        EXPECT_LT(ratio, 1.2) << isaName(isa);
+        EXPECT_GT(vm.stats.hostInsts, vm.stats.guestInsts)
+            << isaName(isa);
+    }
+}
+
+/** The centerpiece: workloads x ISAs x seeds under full PSR. */
+class VmEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, IsaKind, uint64_t>>
+{
+};
+
+TEST_P(VmEquivalence, PsrPreservesLegitimateExecution)
+{
+    auto [name, isa, seed] = GetParam();
+    WorkloadConfig wcfg;
+    wcfg.scale = 1;
+    IrModule m = buildWorkload(name, wcfg);
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, isa, 400'000'000);
+    ASSERT_EQ(native.result.reason, StopReason::Exited);
+
+    PsrConfig cfg;
+    cfg.seed = seed;
+    auto vm = runUnderVm(bin, isa, cfg);
+    ASSERT_EQ(vm.result.reason, VmStop::Exited)
+        << name << "/" << isaName(isa) << " seed " << seed << ": "
+        << vmStopName(vm.result.reason) << " at 0x" << std::hex
+        << vm.result.stopPc;
+    EXPECT_EQ(vm.exitCode, native.exitCode);
+    EXPECT_EQ(vm.outputChecksum, native.outputChecksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, VmEquivalence,
+    ::testing::Combine(::testing::ValuesIn(allWorkloadNames()),
+                       ::testing::Values(IsaKind::Risc,
+                                         IsaKind::Cisc),
+                       ::testing::Values(7ull, 1234ull)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+            isaName(std::get<1>(info.param)) + "_s" +
+            std::to_string(std::get<2>(info.param));
+    });
+
+TEST(PsrVm, OptimizationLevelsAllCorrect)
+{
+    IrModule m = buildWorkload("bzip2");
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, IsaKind::Cisc, 400'000'000);
+    for (unsigned level = 0; level <= 3; ++level) {
+        PsrConfig cfg;
+        cfg.optLevel = level;
+        cfg.seed = 42 + level;
+        auto vm = runUnderVm(bin, IsaKind::Cisc, cfg);
+        ASSERT_EQ(vm.result.reason, VmStop::Exited)
+            << "O" << level << ": "
+            << vmStopName(vm.result.reason);
+        EXPECT_EQ(vm.exitCode, native.exitCode) << "O" << level;
+        EXPECT_EQ(vm.outputChecksum, native.outputChecksum);
+    }
+}
+
+TEST(PsrVm, RandomizationSpaceSweepCorrect)
+{
+    IrModule m = buildWorkload("hmmer");
+    FatBinary bin = compileModule(m);
+    for (IsaKind isa : kAllIsas) {
+        auto native = test::runNative(bin, isa, 400'000'000);
+        for (uint32_t space : { 8u * 1024, 16u * 1024, 32u * 1024,
+                                64u * 1024 }) {
+            PsrConfig cfg;
+            cfg.randSpaceBytes = space;
+            cfg.seed = space;
+            auto vm = runUnderVm(bin, isa, cfg);
+            ASSERT_EQ(vm.result.reason, VmStop::Exited)
+                << isaName(isa) << " space " << space << ": "
+                << vmStopName(vm.result.reason) << " @0x" << std::hex
+                << vm.result.stopPc;
+            EXPECT_EQ(vm.exitCode, native.exitCode);
+        }
+    }
+}
+
+TEST(PsrVm, TinyCodeCacheStillCorrect)
+{
+    // A cache far too small for the working set forces continuous
+    // flush + re-translate cycles; execution must stay correct.
+    IrModule m = buildWorkload("mcf");
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, IsaKind::Cisc, 400'000'000);
+    PsrConfig cfg;
+    cfg.codeCacheBytes = 1024;
+    auto vm = runUnderVm(bin, IsaKind::Cisc, cfg);
+    ASSERT_EQ(vm.result.reason, VmStop::Exited)
+        << vmStopName(vm.result.reason);
+    EXPECT_EQ(vm.exitCode, native.exitCode);
+    EXPECT_GT(vm.stats.cacheFlushes, 0u);
+}
+
+TEST(PsrVm, TinyRatStillCorrect)
+{
+    IrModule m = smallProgram();
+    FatBinary bin = compileModule(m);
+    auto native = test::runNative(bin, IsaKind::Risc);
+    PsrConfig cfg;
+    cfg.ratEntries = 4;
+    auto vm = runUnderVm(bin, IsaKind::Risc, cfg);
+    ASSERT_EQ(vm.result.reason, VmStop::Exited);
+    EXPECT_EQ(vm.exitCode, native.exitCode);
+}
+
+TEST(PsrVm, ReRandomizeChangesCacheContentButNotBehaviour)
+{
+    IrModule m = smallProgram();
+    FatBinary bin = compileModule(m);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+
+    vm.reset();
+    auto r1 = vm.run(1'000'000);
+    ASSERT_EQ(r1.reason, VmStop::Exited);
+    uint32_t exit1 = os.exitCode();
+    uint64_t gen1 = vm.randomizer().generation();
+
+    os.reset();
+    vm.reRandomize();
+    vm.reset();
+    auto r2 = vm.run(1'000'000);
+    ASSERT_EQ(r2.reason, VmStop::Exited);
+    EXPECT_EQ(os.exitCode(), exit1);
+    EXPECT_EQ(vm.randomizer().generation(), gen1 + 1);
+}
+
+TEST(PsrVm, RelocationMapsRandomizeAcrossSeeds)
+{
+    IrModule m = smallProgram();
+    FatBinary bin = compileModule(m);
+    Memory mem;
+    loadFatBinary(bin, mem);
+    PsrConfig a;
+    a.seed = 1;
+    PsrConfig b2;
+    b2.seed = 2;
+    GuestOs os;
+    PsrVm vm_a(bin, IsaKind::Cisc, mem, os, a);
+    PsrVm vm_b(bin, IsaKind::Cisc, mem, os, b2);
+    const RelocationMap &ma = vm_a.randomizer().mapFor(0);
+    const RelocationMap &mb = vm_b.randomizer().mapFor(0);
+    // With 8 KB of randomization space, identical slot maps across
+    // seeds would be astronomically unlikely.
+    EXPECT_NE(ma.slotMap, mb.slotMap);
+    EXPECT_GT(ma.randomizableParams, 0u);
+    EXPECT_GT(ma.entropyBits, 13.0);
+}
+
+TEST(PsrVm, StatsAreInternalllyConsistent)
+{
+    IrModule m = buildWorkload("lbm");
+    FatBinary bin = compileModule(m);
+    PsrConfig cfg;
+    auto vm = runUnderVm(bin, IsaKind::Cisc, cfg);
+    ASSERT_EQ(vm.result.reason, VmStop::Exited);
+    EXPECT_GT(vm.stats.translations, 0u);
+    EXPECT_GE(vm.stats.hostInsts, vm.stats.guestInsts);
+    EXPECT_EQ(vm.stats.securityEvents, vm.stats.codeCacheMisses);
+    EXPECT_GT(vm.stats.ratHits + vm.stats.ratMisses, 0u);
+    // Legitimate steady-state execution: no security events expected
+    // with a generous cache (Section 3.5).
+    EXPECT_EQ(vm.stats.securityEvents, 0u);
+}
+
+} // namespace
+} // namespace hipstr

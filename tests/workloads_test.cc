@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Workload validation: every workload verifies, compiles, runs to
+ * completion on both ISAs, produces identical output across ISAs, is
+ * deterministic, and scales with the configuration knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+using test::compileAndRun;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, VerifiesAndCompiles)
+{
+    IrModule m = buildWorkload(GetParam());
+    EXPECT_EQ(verifyModule(m), "");
+    FatBinary bin = compileModule(m);
+    for (IsaKind isa : kAllIsas) {
+        EXPECT_GT(bin.codeSizeOf(isa), 0u);
+        EXPECT_FALSE(bin.funcsFor(isa).empty());
+    }
+}
+
+TEST_P(WorkloadTest, RunsToCompletionOnBothIsas)
+{
+    IrModule m = buildWorkload(GetParam());
+    for (IsaKind isa : kAllIsas) {
+        auto run = compileAndRun(m, isa, 200'000'000);
+        EXPECT_EQ(run.result.reason, StopReason::Exited)
+            << GetParam() << " on " << isaName(isa) << " stopped: "
+            << stopReasonName(run.result.reason) << " at pc=0x"
+            << std::hex << run.result.stopPc;
+        EXPECT_GT(run.instsExecuted, 1000u) << GetParam();
+    }
+}
+
+TEST_P(WorkloadTest, IsaAgnosticResults)
+{
+    IrModule m = buildWorkload(GetParam());
+    auto risc = compileAndRun(m, IsaKind::Risc, 200'000'000);
+    auto cisc = compileAndRun(m, IsaKind::Cisc, 200'000'000);
+    ASSERT_EQ(risc.result.reason, StopReason::Exited);
+    ASSERT_EQ(cisc.result.reason, StopReason::Exited);
+    EXPECT_EQ(risc.exitCode, cisc.exitCode) << GetParam();
+    EXPECT_EQ(risc.outputChecksum, cisc.outputChecksum) << GetParam();
+}
+
+TEST_P(WorkloadTest, Deterministic)
+{
+    IrModule m = buildWorkload(GetParam());
+    FatBinary bin = compileModule(m);
+    auto a = test::runNative(bin, IsaKind::Cisc, 200'000'000);
+    auto b = test::runNative(bin, IsaKind::Cisc, 200'000'000);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+    EXPECT_EQ(a.outputChecksum, b.outputChecksum);
+}
+
+TEST_P(WorkloadTest, ScaleIncreasesWork)
+{
+    WorkloadConfig small{ 1, 99 };
+    WorkloadConfig big{ 3, 99 };
+    auto run_small =
+        compileAndRun(buildWorkload(GetParam(), small),
+                      IsaKind::Cisc, 400'000'000);
+    auto run_big = compileAndRun(buildWorkload(GetParam(), big),
+                                 IsaKind::Cisc, 400'000'000);
+    ASSERT_EQ(run_small.result.reason, StopReason::Exited);
+    ASSERT_EQ(run_big.result.reason, StopReason::Exited);
+    EXPECT_GT(run_big.instsExecuted, run_small.instsExecuted);
+}
+
+TEST_P(WorkloadTest, SeedChangesResult)
+{
+    WorkloadConfig a{ 1, 1 };
+    WorkloadConfig c{ 1, 77777 };
+    auto ra = compileAndRun(buildWorkload(GetParam(), a),
+                            IsaKind::Cisc, 200'000'000);
+    auto rc = compileAndRun(buildWorkload(GetParam(), c),
+                            IsaKind::Cisc, 200'000'000);
+    ASSERT_EQ(ra.result.reason, StopReason::Exited);
+    ASSERT_EQ(rc.result.reason, StopReason::Exited);
+    EXPECT_NE(ra.exitCode, rc.exitCode) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const auto &info) { return info.param; });
+
+TEST(Workloads, RegistryIsComplete)
+{
+    EXPECT_EQ(specWorkloadNames().size(), 8u);
+    EXPECT_EQ(allWorkloadNames().size(), 9u);
+}
+
+} // namespace
+} // namespace hipstr
