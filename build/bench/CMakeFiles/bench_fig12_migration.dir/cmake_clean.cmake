@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_migration.dir/bench_fig12_migration.cc.o"
+  "CMakeFiles/bench_fig12_migration.dir/bench_fig12_migration.cc.o.d"
+  "bench_fig12_migration"
+  "bench_fig12_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_isomeron.dir/bench_fig14_isomeron.cc.o"
+  "CMakeFiles/bench_fig14_isomeron.dir/bench_fig14_isomeron.cc.o.d"
+  "bench_fig14_isomeron"
+  "bench_fig14_isomeron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_isomeron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_classic_rop.dir/bench_fig3_classic_rop.cc.o"
+  "CMakeFiles/bench_fig3_classic_rop.dir/bench_fig3_classic_rop.cc.o.d"
+  "bench_fig3_classic_rop"
+  "bench_fig3_classic_rop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_classic_rop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_jitrop.dir/bench_fig5_jitrop.cc.o"
+  "CMakeFiles/bench_fig5_jitrop.dir/bench_fig5_jitrop.cc.o.d"
+  "bench_fig5_jitrop"
+  "bench_fig5_jitrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_jitrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_migration_safe.dir/bench_fig6_migration_safe.cc.o"
+  "CMakeFiles/bench_fig6_migration_safe.dir/bench_fig6_migration_safe.cc.o.d"
+  "bench_fig6_migration_safe"
+  "bench_fig6_migration_safe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_migration_safe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

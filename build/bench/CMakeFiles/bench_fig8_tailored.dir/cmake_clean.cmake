@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tailored.dir/bench_fig8_tailored.cc.o"
+  "CMakeFiles/bench_fig8_tailored.dir/bench_fig8_tailored.cc.o.d"
+  "bench_fig8_tailored"
+  "bench_fig8_tailored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tailored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_brute_force.dir/bench_table2_brute_force.cc.o"
+  "CMakeFiles/bench_table2_brute_force.dir/bench_table2_brute_force.cc.o.d"
+  "bench_table2_brute_force"
+  "bench_table2_brute_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_brute_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hipstr_bench_util.dir/bench_util.cc.o.d"
+  "libhipstr_bench_util.a"
+  "libhipstr_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entropy_explorer.dir/entropy_explorer.cpp.o"
+  "CMakeFiles/entropy_explorer.dir/entropy_explorer.cpp.o.d"
+  "entropy_explorer"
+  "entropy_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entropy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_server.dir/protected_server.cpp.o"
+  "CMakeFiles/protected_server.dir/protected_server.cpp.o.d"
+  "protected_server"
+  "protected_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_attack_demo.dir/rop_attack_demo.cpp.o"
+  "CMakeFiles/rop_attack_demo.dir/rop_attack_demo.cpp.o.d"
+  "rop_attack_demo"
+  "rop_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

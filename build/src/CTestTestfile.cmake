@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("ir")
+subdirs("compiler")
+subdirs("binary")
+subdirs("sim")
+subdirs("vm")
+subdirs("core")
+subdirs("migration")
+subdirs("hipstr")
+subdirs("attack")
+subdirs("workloads")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/brute_force.cc" "src/attack/CMakeFiles/hipstr_attack.dir/brute_force.cc.o" "gcc" "src/attack/CMakeFiles/hipstr_attack.dir/brute_force.cc.o.d"
+  "/root/repo/src/attack/classifier.cc" "src/attack/CMakeFiles/hipstr_attack.dir/classifier.cc.o" "gcc" "src/attack/CMakeFiles/hipstr_attack.dir/classifier.cc.o.d"
+  "/root/repo/src/attack/galileo.cc" "src/attack/CMakeFiles/hipstr_attack.dir/galileo.cc.o" "gcc" "src/attack/CMakeFiles/hipstr_attack.dir/galileo.cc.o.d"
+  "/root/repo/src/attack/jitrop.cc" "src/attack/CMakeFiles/hipstr_attack.dir/jitrop.cc.o" "gcc" "src/attack/CMakeFiles/hipstr_attack.dir/jitrop.cc.o.d"
+  "/root/repo/src/attack/tailored.cc" "src/attack/CMakeFiles/hipstr_attack.dir/tailored.cc.o" "gcc" "src/attack/CMakeFiles/hipstr_attack.dir/tailored.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hipstr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hipstr_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/hipstr_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipstr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/hipstr_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hipstr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hipstr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hipstr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

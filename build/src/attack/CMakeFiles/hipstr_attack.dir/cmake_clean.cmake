@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_attack.dir/brute_force.cc.o"
+  "CMakeFiles/hipstr_attack.dir/brute_force.cc.o.d"
+  "CMakeFiles/hipstr_attack.dir/classifier.cc.o"
+  "CMakeFiles/hipstr_attack.dir/classifier.cc.o.d"
+  "CMakeFiles/hipstr_attack.dir/galileo.cc.o"
+  "CMakeFiles/hipstr_attack.dir/galileo.cc.o.d"
+  "CMakeFiles/hipstr_attack.dir/jitrop.cc.o"
+  "CMakeFiles/hipstr_attack.dir/jitrop.cc.o.d"
+  "CMakeFiles/hipstr_attack.dir/tailored.cc.o"
+  "CMakeFiles/hipstr_attack.dir/tailored.cc.o.d"
+  "libhipstr_attack.a"
+  "libhipstr_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_binary.dir/fatbin.cc.o"
+  "CMakeFiles/hipstr_binary.dir/fatbin.cc.o.d"
+  "CMakeFiles/hipstr_binary.dir/loader.cc.o"
+  "CMakeFiles/hipstr_binary.dir/loader.cc.o.d"
+  "libhipstr_binary.a"
+  "libhipstr_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_compiler.dir/compile.cc.o"
+  "CMakeFiles/hipstr_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/hipstr_compiler.dir/frame.cc.o"
+  "CMakeFiles/hipstr_compiler.dir/frame.cc.o.d"
+  "CMakeFiles/hipstr_compiler.dir/isel.cc.o"
+  "CMakeFiles/hipstr_compiler.dir/isel.cc.o.d"
+  "CMakeFiles/hipstr_compiler.dir/regalloc.cc.o"
+  "CMakeFiles/hipstr_compiler.dir/regalloc.cc.o.d"
+  "libhipstr_compiler.a"
+  "libhipstr_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_core.dir/relocation.cc.o"
+  "CMakeFiles/hipstr_core.dir/relocation.cc.o.d"
+  "CMakeFiles/hipstr_core.dir/translator.cc.o"
+  "CMakeFiles/hipstr_core.dir/translator.cc.o.d"
+  "libhipstr_core.a"
+  "libhipstr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

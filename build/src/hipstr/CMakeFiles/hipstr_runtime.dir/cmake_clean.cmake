@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_runtime.dir/runtime.cc.o"
+  "CMakeFiles/hipstr_runtime.dir/runtime.cc.o.d"
+  "libhipstr_runtime.a"
+  "libhipstr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

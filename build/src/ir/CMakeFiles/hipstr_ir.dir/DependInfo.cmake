@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/hipstr_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/hipstr_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/hipstr_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/hipstr_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/ir/CMakeFiles/hipstr_ir.dir/liveness.cc.o" "gcc" "src/ir/CMakeFiles/hipstr_ir.dir/liveness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hipstr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hipstr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

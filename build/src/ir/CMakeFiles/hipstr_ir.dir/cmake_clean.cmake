@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_ir.dir/builder.cc.o"
+  "CMakeFiles/hipstr_ir.dir/builder.cc.o.d"
+  "CMakeFiles/hipstr_ir.dir/ir.cc.o"
+  "CMakeFiles/hipstr_ir.dir/ir.cc.o.d"
+  "CMakeFiles/hipstr_ir.dir/liveness.cc.o"
+  "CMakeFiles/hipstr_ir.dir/liveness.cc.o.d"
+  "libhipstr_ir.a"
+  "libhipstr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

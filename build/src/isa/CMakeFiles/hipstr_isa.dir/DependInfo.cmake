@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/codec.cc" "src/isa/CMakeFiles/hipstr_isa.dir/codec.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/codec.cc.o.d"
+  "/root/repo/src/isa/encoding_cisc.cc" "src/isa/CMakeFiles/hipstr_isa.dir/encoding_cisc.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/encoding_cisc.cc.o.d"
+  "/root/repo/src/isa/encoding_risc.cc" "src/isa/CMakeFiles/hipstr_isa.dir/encoding_risc.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/encoding_risc.cc.o.d"
+  "/root/repo/src/isa/guest_os.cc" "src/isa/CMakeFiles/hipstr_isa.dir/guest_os.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/guest_os.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/isa/CMakeFiles/hipstr_isa.dir/instruction.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/instruction.cc.o.d"
+  "/root/repo/src/isa/interp.cc" "src/isa/CMakeFiles/hipstr_isa.dir/interp.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/interp.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/isa/CMakeFiles/hipstr_isa.dir/isa.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/isa.cc.o.d"
+  "/root/repo/src/isa/memory.cc" "src/isa/CMakeFiles/hipstr_isa.dir/memory.cc.o" "gcc" "src/isa/CMakeFiles/hipstr_isa.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hipstr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_isa.dir/codec.cc.o"
+  "CMakeFiles/hipstr_isa.dir/codec.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/encoding_cisc.cc.o"
+  "CMakeFiles/hipstr_isa.dir/encoding_cisc.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/encoding_risc.cc.o"
+  "CMakeFiles/hipstr_isa.dir/encoding_risc.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/guest_os.cc.o"
+  "CMakeFiles/hipstr_isa.dir/guest_os.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/instruction.cc.o"
+  "CMakeFiles/hipstr_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/interp.cc.o"
+  "CMakeFiles/hipstr_isa.dir/interp.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/isa.cc.o"
+  "CMakeFiles/hipstr_isa.dir/isa.cc.o.d"
+  "CMakeFiles/hipstr_isa.dir/memory.cc.o"
+  "CMakeFiles/hipstr_isa.dir/memory.cc.o.d"
+  "libhipstr_isa.a"
+  "libhipstr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

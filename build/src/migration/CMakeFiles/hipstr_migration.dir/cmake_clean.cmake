@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_migration.dir/safety.cc.o"
+  "CMakeFiles/hipstr_migration.dir/safety.cc.o.d"
+  "CMakeFiles/hipstr_migration.dir/transform.cc.o"
+  "CMakeFiles/hipstr_migration.dir/transform.cc.o.d"
+  "libhipstr_migration.a"
+  "libhipstr_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

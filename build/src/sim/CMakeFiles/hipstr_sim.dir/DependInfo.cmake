@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/hipstr_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/hipstr_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core_config.cc" "src/sim/CMakeFiles/hipstr_sim.dir/core_config.cc.o" "gcc" "src/sim/CMakeFiles/hipstr_sim.dir/core_config.cc.o.d"
+  "/root/repo/src/sim/rat.cc" "src/sim/CMakeFiles/hipstr_sim.dir/rat.cc.o" "gcc" "src/sim/CMakeFiles/hipstr_sim.dir/rat.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/hipstr_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/hipstr_sim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/hipstr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hipstr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

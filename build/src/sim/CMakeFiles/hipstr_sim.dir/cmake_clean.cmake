@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_sim.dir/cache.cc.o"
+  "CMakeFiles/hipstr_sim.dir/cache.cc.o.d"
+  "CMakeFiles/hipstr_sim.dir/core_config.cc.o"
+  "CMakeFiles/hipstr_sim.dir/core_config.cc.o.d"
+  "CMakeFiles/hipstr_sim.dir/rat.cc.o"
+  "CMakeFiles/hipstr_sim.dir/rat.cc.o.d"
+  "CMakeFiles/hipstr_sim.dir/timing.cc.o"
+  "CMakeFiles/hipstr_sim.dir/timing.cc.o.d"
+  "libhipstr_sim.a"
+  "libhipstr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhipstr_sim.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/hipstr_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/hipstr_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/support/CMakeFiles/hipstr_support.dir/random.cc.o" "gcc" "src/support/CMakeFiles/hipstr_support.dir/random.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/hipstr_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/hipstr_support.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

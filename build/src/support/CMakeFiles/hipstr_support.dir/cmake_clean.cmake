@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_support.dir/logging.cc.o"
+  "CMakeFiles/hipstr_support.dir/logging.cc.o.d"
+  "CMakeFiles/hipstr_support.dir/random.cc.o"
+  "CMakeFiles/hipstr_support.dir/random.cc.o.d"
+  "CMakeFiles/hipstr_support.dir/stats.cc.o"
+  "CMakeFiles/hipstr_support.dir/stats.cc.o.d"
+  "libhipstr_support.a"
+  "libhipstr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/code_cache.cc" "src/vm/CMakeFiles/hipstr_vm.dir/code_cache.cc.o" "gcc" "src/vm/CMakeFiles/hipstr_vm.dir/code_cache.cc.o.d"
+  "/root/repo/src/vm/psr_vm.cc" "src/vm/CMakeFiles/hipstr_vm.dir/psr_vm.cc.o" "gcc" "src/vm/CMakeFiles/hipstr_vm.dir/psr_vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hipstr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipstr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/hipstr_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hipstr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hipstr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hipstr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

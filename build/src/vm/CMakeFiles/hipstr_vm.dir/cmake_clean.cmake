@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_vm.dir/code_cache.cc.o"
+  "CMakeFiles/hipstr_vm.dir/code_cache.cc.o.d"
+  "CMakeFiles/hipstr_vm.dir/psr_vm.cc.o"
+  "CMakeFiles/hipstr_vm.dir/psr_vm.cc.o.d"
+  "libhipstr_vm.a"
+  "libhipstr_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/wl_bzip2.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_bzip2.cc.o.d"
+  "/root/repo/src/workloads/wl_gobmk.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_gobmk.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_gobmk.cc.o.d"
+  "/root/repo/src/workloads/wl_hmmer.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_hmmer.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_hmmer.cc.o.d"
+  "/root/repo/src/workloads/wl_httpd.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_httpd.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_httpd.cc.o.d"
+  "/root/repo/src/workloads/wl_lbm.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_lbm.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_lbm.cc.o.d"
+  "/root/repo/src/workloads/wl_libquantum.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_libquantum.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_libquantum.cc.o.d"
+  "/root/repo/src/workloads/wl_mcf.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_mcf.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_mcf.cc.o.d"
+  "/root/repo/src/workloads/wl_milc.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_milc.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_milc.cc.o.d"
+  "/root/repo/src/workloads/wl_sphinx3.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_sphinx3.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/wl_sphinx3.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/hipstr_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/hipstr_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hipstr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/hipstr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hipstr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipstr_workloads.dir/wl_bzip2.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_bzip2.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_gobmk.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_gobmk.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_hmmer.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_hmmer.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_httpd.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_httpd.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_lbm.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_lbm.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_libquantum.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_libquantum.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_mcf.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_mcf.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_milc.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_milc.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/wl_sphinx3.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/wl_sphinx3.cc.o.d"
+  "CMakeFiles/hipstr_workloads.dir/workloads.cc.o"
+  "CMakeFiles/hipstr_workloads.dir/workloads.cc.o.d"
+  "libhipstr_workloads.a"
+  "libhipstr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipstr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

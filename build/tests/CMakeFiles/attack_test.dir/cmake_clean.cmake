@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_test.dir/attack_test.cc.o"
+  "CMakeFiles/attack_test.dir/attack_test.cc.o.d"
+  "attack_test"
+  "attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_internals_test.dir/compiler_internals_test.cc.o"
+  "CMakeFiles/compiler_internals_test.dir/compiler_internals_test.cc.o.d"
+  "compiler_internals_test"
+  "compiler_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomizer_test.dir/randomizer_test.cc.o"
+  "CMakeFiles/randomizer_test.dir/randomizer_test.cc.o.d"
+  "randomizer_test"
+  "randomizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

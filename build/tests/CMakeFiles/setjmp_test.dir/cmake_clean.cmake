@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setjmp_test.dir/setjmp_test.cc.o"
+  "CMakeFiles/setjmp_test.dir/setjmp_test.cc.o.d"
+  "setjmp_test"
+  "setjmp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setjmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

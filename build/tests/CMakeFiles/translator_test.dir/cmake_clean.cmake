@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_test.dir/translator_test.cc.o"
+  "CMakeFiles/translator_test.dir/translator_test.cc.o.d"
+  "translator_test"
+  "translator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
