@@ -31,16 +31,21 @@ runFigure10()
     std::vector<std::vector<double>> columns(4);
     const uint32_t spaces[] = { 8u << 10, 16u << 10, 32u << 10,
                                 64u << 10 };
-    for (const std::string &name : specWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(specWorkloadNames());
+    const uint32_t scale = benchScale(perfWorkloadConfig().scale);
+    auto rels = parallelMap(names.size() * 4, [&](size_t i) {
         const FatBinary &bin =
-            compiledWorkload(name, perfWorkloadConfig().scale);
-        std::vector<std::string> row = { name };
+            compiledWorkload(names[i / 4], scale);
+        PsrConfig cfg;
+        cfg.randSpaceBytes = spaces[i % 4];
+        cfg.seed = 11;
+        return measurePerf(bin, IsaKind::Cisc, cfg).relative;
+    });
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = { names[w] };
         for (unsigned i = 0; i < 4; ++i) {
-            PsrConfig cfg;
-            cfg.randSpaceBytes = spaces[i];
-            cfg.seed = 11;
-            double rel =
-                measurePerf(bin, IsaKind::Cisc, cfg).relative;
+            double rel = rels[w * 4 + i];
             columns[i].push_back(rel);
             row.push_back(formatPercent(rel));
         }
@@ -82,8 +87,5 @@ BENCHMARK(BM_RelocationMapGeneration);
 int
 main(int argc, char **argv)
 {
-    runFigure10();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig10_stack_entropy", runFigure10);
 }

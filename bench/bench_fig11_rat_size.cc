@@ -30,23 +30,24 @@ runFigure11()
     TextTable table({ "Benchmark", "32", "64", "128", "256", "512",
                       "1024", "2048" });
     std::vector<std::vector<double>> overhead(7);
-    for (const std::string &name : specWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(specWorkloadNames());
+    const uint32_t scale = benchScale(perfWorkloadConfig().scale);
+    // 8 cells per workload: the 2048-entry baseline plus the 7 sweep
+    // points, all independent measurements.
+    auto rels = parallelMap(names.size() * 8, [&](size_t i) {
         const FatBinary &bin =
-            compiledWorkload(name, perfWorkloadConfig().scale);
-        // Baseline: the largest RAT.
-        PsrConfig big;
-        big.ratEntries = 2048;
-        big.seed = 11;
-        double best =
-            measurePerf(bin, IsaKind::Cisc, big).relative;
-
-        std::vector<std::string> row = { name };
+            compiledWorkload(names[i / 8], scale);
+        PsrConfig cfg;
+        cfg.ratEntries = (i % 8) == 0 ? 2048 : sizes[i % 8 - 1];
+        cfg.seed = 11;
+        return measurePerf(bin, IsaKind::Cisc, cfg).relative;
+    });
+    for (size_t w = 0; w < names.size(); ++w) {
+        double best = rels[w * 8];
+        std::vector<std::string> row = { names[w] };
         for (unsigned i = 0; i < 7; ++i) {
-            PsrConfig cfg;
-            cfg.ratEntries = sizes[i];
-            cfg.seed = 11;
-            double rel =
-                measurePerf(bin, IsaKind::Cisc, cfg).relative;
+            double rel = rels[w * 8 + 1 + i];
             double pct = (best - rel) / best;
             overhead[i].push_back(pct);
             row.push_back(formatPercent(pct));
@@ -89,8 +90,5 @@ BENCHMARK(BM_RatLookup);
 int
 main(int argc, char **argv)
 {
-    runFigure11();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig11_rat_size", runFigure11);
 }

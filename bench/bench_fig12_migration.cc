@@ -61,22 +61,30 @@ runFigure12()
                  "checkpoints ===\n";
     TextTable table({ "Benchmark", "ARM->x86 (us)",
                       "x86->ARM (us)" });
+    const std::vector<std::string> names =
+        benchWorkloads(specWorkloadNames());
+    const unsigned checkpoints = benchCheckpoints(10);
+    // (workload x direction) cells.
+    auto costs = parallelMap(names.size() * 2, [&](size_t i) {
+        const FatBinary &bin =
+            compiledWorkload(names[i / 2], benchScale(2));
+        IsaKind start =
+            (i % 2) == 0 ? IsaKind::Risc : IsaKind::Cisc;
+        return measureMigrationUs(bin, start, checkpoints);
+    });
     double to_x86_sum = 0, to_arm_sum = 0;
-    unsigned n = 0;
-    for (const std::string &name : specWorkloadNames()) {
-        const FatBinary &bin = compiledWorkload(name, 2);
-        double to_x86 =
-            measureMigrationUs(bin, IsaKind::Risc, 10);
-        double to_arm =
-            measureMigrationUs(bin, IsaKind::Cisc, 10);
+    for (size_t w = 0; w < names.size(); ++w) {
+        double to_x86 = costs[w * 2 + 0];
+        double to_arm = costs[w * 2 + 1];
         to_x86_sum += to_x86;
         to_arm_sum += to_arm;
-        ++n;
-        table.addRow({ name, formatDouble(to_x86, 1),
+        table.addRow({ names[w], formatDouble(to_x86, 1),
                        formatDouble(to_arm, 1) });
     }
-    table.addRow({ "average", formatDouble(to_x86_sum / n, 1),
-                   formatDouble(to_arm_sum / n, 1) });
+    table.addRow(
+        { "average",
+          formatDouble(to_x86_sum / double(names.size()), 1),
+          formatDouble(to_arm_sum / double(names.size()), 1) });
     table.print(std::cout);
     std::cout << "(paper: 909 us ARM->x86, 1287 us x86->ARM; the "
                  "asymmetry follows the destination core's "
@@ -107,8 +115,5 @@ BENCHMARK(BM_ForcedMigration);
 int
 main(int argc, char **argv)
 {
-    runFigure12();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig12_migration", runFigure12);
 }

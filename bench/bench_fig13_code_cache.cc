@@ -34,36 +34,53 @@ runFigure13()
     TextTable table({ "Benchmark", "1KB", "2KB", "3KB", "4KB", "6KB",
                       "8KB", "16KB", "32KB" });
     std::vector<uint32_t> knee;
-    for (const std::string &name : allWorkloadNames()) {
-        const FatBinary &bin = compiledWorkload(name, 2);
-        std::vector<std::string> row = { name };
-        uint32_t first_clean = 0;
-        for (uint32_t size : sizes) {
-            Memory mem;
-            loadFatBinary(bin, mem);
-            GuestOs os;
-            PsrConfig cfg;
-            cfg.codeCacheBytes = size;
-            cfg.seed = 11;
-            PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
-            vm.reset();
+    const std::vector<std::string> names =
+        benchWorkloads(allWorkloadNames());
+    struct Cell
+    {
+        bool ok = false;
+        uint64_t misses = 0;
+    };
+    // (workload x cache size) cells.
+    auto cells = parallelMap(names.size() * 8, [&](size_t i) {
+        const FatBinary &bin =
+            compiledWorkload(names[i / 8], benchScale(2));
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        PsrConfig cfg;
+        cfg.codeCacheBytes = sizes[i % 8];
+        cfg.seed = 11;
+        PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+        vm.reset();
 
-            // Warm up, then count steady-state misses. A cache too
-            // small to hold even one translated unit cannot run the
-            // program at all: report "n/a".
-            auto w = vm.run(60'000);
-            if (w.reason != VmStop::StepLimit &&
-                w.reason != VmStop::Exited) {
+        // Warm up, then count steady-state misses. A cache too
+        // small to hold even one translated unit cannot run the
+        // program at all: report "n/a".
+        Cell c;
+        auto w = vm.run(60'000);
+        if (w.reason != VmStop::StepLimit &&
+            w.reason != VmStop::Exited)
+            return c;
+        uint64_t before = vm.stats.codeCacheMisses;
+        if (w.reason == VmStop::StepLimit)
+            (void)vm.run(1'000'000'000);
+        c.ok = true;
+        c.misses = vm.stats.codeCacheMisses - before;
+        return c;
+    });
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = { names[w] };
+        uint32_t first_clean = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            const Cell &c = cells[w * 8 + i];
+            if (!c.ok) {
                 row.push_back("n/a");
                 continue;
             }
-            uint64_t before = vm.stats.codeCacheMisses;
-            if (w.reason == VmStop::StepLimit)
-                (void)vm.run(1'000'000'000);
-            uint64_t misses = vm.stats.codeCacheMisses - before;
-            if (misses == 0 && first_clean == 0)
-                first_clean = size;
-            row.push_back(std::to_string(misses));
+            if (c.misses == 0 && first_clean == 0)
+                first_clean = sizes[i];
+            row.push_back(std::to_string(c.misses));
         }
         knee.push_back(first_clean);
         table.addRow(row);
@@ -78,36 +95,50 @@ runFigure13()
     // program scale a per-run percentage saturates, so report the
     // miss *rate*, which is the quantity that drives it.
     std::cout << "\n--- Steady-state miss rate (gobmk) ---\n";
-    const FatBinary &bin = compiledWorkload("gobmk", 2);
     TextTable ov({ "Cache", "Misses", "Per 1M guest insts" });
-    for (uint32_t size : sizes) {
+    struct RateCell
+    {
+        bool ok = false;
+        uint64_t misses = 0;
+        double rate = 0;
+    };
+    auto rate_cells = parallelMap(8, [&](size_t i) {
+        const FatBinary &bin =
+            compiledWorkload("gobmk", benchScale(2));
         Memory mem;
         loadFatBinary(bin, mem);
         GuestOs os;
         PsrConfig cfg;
-        cfg.codeCacheBytes = size;
+        cfg.codeCacheBytes = sizes[i];
         cfg.seed = 11;
         PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
         vm.reset();
+        RateCell c;
         auto w = vm.run(60'000);
         if (w.reason != VmStop::StepLimit &&
-            w.reason != VmStop::Exited) {
-            ov.addRow({ std::to_string(size / 1024) + "KB", "n/a",
-                        "n/a" });
-            continue;
-        }
+            w.reason != VmStop::Exited)
+            return c;
         uint64_t before = vm.stats.codeCacheMisses;
         uint64_t insts_before = vm.stats.guestInsts;
         if (w.reason == VmStop::StepLimit)
             (void)vm.run(1'000'000'000);
-        uint64_t misses = vm.stats.codeCacheMisses - before;
+        c.ok = true;
+        c.misses = vm.stats.codeCacheMisses - before;
         uint64_t insts = vm.stats.guestInsts - insts_before;
-        double rate = insts > 0
-            ? double(misses) * 1e6 / double(insts)
+        c.rate = insts > 0
+            ? double(c.misses) * 1e6 / double(insts)
             : 0;
-        ov.addRow({ std::to_string(size / 1024) + "KB",
-                    std::to_string(misses),
-                    formatDouble(rate, 1) });
+        return c;
+    });
+    for (unsigned i = 0; i < 8; ++i) {
+        std::string label = std::to_string(sizes[i] / 1024) + "KB";
+        const RateCell &c = rate_cells[i];
+        if (!c.ok) {
+            ov.addRow({ label, "n/a", "n/a" });
+            continue;
+        }
+        ov.addRow({ label, std::to_string(c.misses),
+                    formatDouble(c.rate, 1) });
     }
     ov.print(std::cout);
 }
@@ -136,8 +167,5 @@ BENCHMARK(BM_CodeCacheInsertLookup);
 int
 main(int argc, char **argv)
 {
-    runFigure13();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig13_code_cache", runFigure13);
 }

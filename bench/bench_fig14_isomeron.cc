@@ -34,17 +34,6 @@ runFigure14()
     std::cout << "\n=== Figure 14: Isomeron comparison (Cisc core, "
                  "geomean over 6 apps) ===\n";
 
-    auto sweep_config = [](const PsrConfig &base) {
-        std::vector<double> rels;
-        for (const std::string &name : kCommonApps) {
-            const FatBinary &bin =
-                compiledWorkload(name, perfWorkloadConfig().scale);
-            rels.push_back(
-                measurePerf(bin, IsaKind::Cisc, base).relative);
-        }
-        return geomean(rels);
-    };
-
     // HIPStR's p-dependence: security migrations only trigger on
     // code-cache misses, which vanish in steady state with an
     // adequate cache — so the p-sweep is flat and the cache size is
@@ -56,10 +45,31 @@ runFigure14()
     PsrConfig hipstr_big;
     hipstr_big.codeCacheBytes = 2 * 1024 * 1024;
 
-    double iso_rel = sweep_config(iso);
-    double psr_iso_rel = sweep_config(psr_iso);
-    double small_rel = sweep_config(hipstr_small);
-    double big_rel = sweep_config(hipstr_big);
+    const std::vector<PsrConfig> configs = { iso, psr_iso,
+                                             hipstr_small,
+                                             hipstr_big };
+    const std::vector<std::string> apps =
+        benchWorkloads(kCommonApps);
+    const uint32_t scale = benchScale(perfWorkloadConfig().scale);
+    // (config x app) cells, geomeans taken per config in cell order.
+    auto rels =
+        parallelMap(configs.size() * apps.size(), [&](size_t i) {
+            const FatBinary &bin =
+                compiledWorkload(apps[i % apps.size()], scale);
+            return measurePerf(bin, IsaKind::Cisc,
+                               configs[i / apps.size()])
+                .relative;
+        });
+    auto config_geomean = [&](size_t c) {
+        std::vector<double> col(
+            rels.begin() + long(c * apps.size()),
+            rels.begin() + long((c + 1) * apps.size()));
+        return geomean(col);
+    };
+    double iso_rel = config_geomean(0);
+    double psr_iso_rel = config_geomean(1);
+    double small_rel = config_geomean(2);
+    double big_rel = config_geomean(3);
 
     TextTable table({ "p", "Isomeron", "PSR+Isomeron",
                       "HIPStR (small cache)", "HIPStR (2MB cache)" });
@@ -111,8 +121,5 @@ BENCHMARK(BM_IsomeronExecution);
 int
 main(int argc, char **argv)
 {
-    runFigure14();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig14_isomeron", runFigure14);
 }

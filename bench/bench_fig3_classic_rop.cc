@@ -28,28 +28,35 @@ runFigure3()
                  "===\n";
     TextTable table({ "Benchmark", "Gadgets", "Obfuscated",
                       "Unobfuscated", "Obfuscated %" });
-    double sum_frac = 0;
-    unsigned n = 0;
-    for (const std::string &name : allWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(allWorkloadNames());
+    struct Cell
+    {
+        uint32_t total = 0;
+        uint32_t unobfuscated = 0;
+    };
+    auto cells = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
-        Memory mem;
-        loadFatBinary(bin, mem);
         PsrConfig cfg;
         GadgetStudy study =
-            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
-        uint32_t total = uint32_t(study.gadgets.size());
-        uint32_t obf = total - study.unobfuscated;
-        double frac = total ? double(obf) / total : 0;
+            studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
+        return Cell{ uint32_t(study.gadgets.size()),
+                     study.unobfuscated };
+    });
+    double sum_frac = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        uint32_t obf = cells[i].total - cells[i].unobfuscated;
+        double frac =
+            cells[i].total ? double(obf) / cells[i].total : 0;
         sum_frac += frac;
-        ++n;
-        table.addRow({ name, std::to_string(total),
+        table.addRow({ names[i], std::to_string(cells[i].total),
                        std::to_string(obf),
-                       std::to_string(study.unobfuscated),
+                       std::to_string(cells[i].unobfuscated),
                        formatPercent(frac) });
     }
     table.print(std::cout);
     std::cout << "Average obfuscated: "
-              << formatPercent(sum_frac / n)
+              << formatPercent(sum_frac / double(names.size()))
               << "   (paper: 98.04%)\n";
 }
 
@@ -78,8 +85,5 @@ BENCHMARK(BM_GadgetEvaluation);
 int
 main(int argc, char **argv)
 {
-    runFigure3();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig3_classic_rop", runFigure3);
 }

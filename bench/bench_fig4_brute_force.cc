@@ -27,27 +27,34 @@ runFigure4()
                  "===\n";
     TextTable table({ "Benchmark", "Gadgets", "Eliminated",
                       "Surviving", "Surviving %" });
-    double sum_frac = 0;
-    unsigned n = 0;
-    for (const std::string &name : allWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(allWorkloadNames());
+    struct Cell
+    {
+        uint32_t total = 0;
+        uint32_t surviving = 0;
+    };
+    auto cells = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
-        Memory mem;
-        loadFatBinary(bin, mem);
         PsrConfig cfg;
         GadgetStudy study =
-            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
-        uint32_t total = uint32_t(study.gadgets.size());
-        double frac = total ? double(study.surviving) / total : 0;
+            studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
+        return Cell{ uint32_t(study.gadgets.size()),
+                     study.surviving };
+    });
+    double sum_frac = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        uint32_t total = cells[i].total;
+        double frac = total ? double(cells[i].surviving) / total : 0;
         sum_frac += frac;
-        ++n;
-        table.addRow({ name, std::to_string(total),
-                       std::to_string(total - study.surviving),
-                       std::to_string(study.surviving),
+        table.addRow({ names[i], std::to_string(total),
+                       std::to_string(total - cells[i].surviving),
+                       std::to_string(cells[i].surviving),
                        formatPercent(frac) });
     }
     table.print(std::cout);
     std::cout << "Average surviving: "
-              << formatPercent(sum_frac / n)
+              << formatPercent(sum_frac / double(names.size()))
               << "   (paper: 15.83%)\n";
 }
 
@@ -67,8 +74,5 @@ BENCHMARK(BM_GalileoScan);
 int
 main(int argc, char **argv)
 {
-    runFigure4();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig4_brute_force", runFigure4);
 }

@@ -34,16 +34,16 @@ runFigure5()
     TextTable table({ "Benchmark", "Classic", "Discoverable",
                       "Survive PSR", "Trigger migration",
                       "Survive HIPStR" });
-    uint64_t psr_total = 0, hipstr_total = 0;
-    unsigned n = 0;
-    for (const std::string &name : allWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(allWorkloadNames());
+    auto cells = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
-        Memory mem;
-        loadFatBinary(bin, mem);
         PsrConfig cfg;
         GadgetStudy study =
-            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+            studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
 
+        Memory mem;
+        loadFatBinary(bin, mem);
         GuestOs os;
         PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
         vm.reset();
@@ -52,20 +52,23 @@ runFigure5()
             hipstr_fatal("steady-state run failed for %s",
                          name.c_str());
 
-        JitRopResult res =
-            analyzeJitRop(vm, study.gadgets, study.verdicts);
+        return analyzeJitRop(vm, study.gadgets, study.verdicts);
+    });
+    uint64_t psr_total = 0, hipstr_total = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const JitRopResult &res = cells[i];
         psr_total += res.survivingPsr;
         hipstr_total += res.survivingHipstr;
-        ++n;
-        table.addRow({ name, std::to_string(res.classicGadgets),
+        table.addRow({ names[i], std::to_string(res.classicGadgets),
                        std::to_string(res.discoverable),
                        std::to_string(res.survivingPsr),
                        std::to_string(res.triggeringMigration),
                        std::to_string(res.survivingHipstr) });
     }
     table.print(std::cout);
-    std::cout << "Averages: PSR survivors " << (psr_total / n)
-              << ", HIPStR survivors " << (hipstr_total / n)
+    std::cout << "Averages: PSR survivors "
+              << (psr_total / names.size()) << ", HIPStR survivors "
+              << (hipstr_total / names.size())
               << "   (paper: 294 -> 27 on SPEC-scale binaries)\n";
 }
 
@@ -76,7 +79,7 @@ BM_JitRopAnalysis(benchmark::State &state)
     Memory mem;
     loadFatBinary(bin, mem);
     PsrConfig cfg;
-    GadgetStudy study = studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+    GadgetStudy study = studyGadgets(bin, IsaKind::Cisc, cfg);
     GuestOs os;
     PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
     vm.reset();
@@ -95,8 +98,5 @@ BENCHMARK(BM_JitRopAnalysis);
 int
 main(int argc, char **argv)
 {
-    runFigure5();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig5_jitrop", runFigure5);
 }

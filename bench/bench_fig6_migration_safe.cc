@@ -28,9 +28,9 @@ runFigure6()
     std::cout << "\n=== Figure 6: Migration-safe basic blocks ===\n";
     TextTable table({ "Benchmark", "Blocks", "Baseline-safe",
                       "On-demand-safe", "Baseline %", "On-demand %" });
-    double base_sum = 0, od_sum = 0;
-    unsigned n = 0;
-    for (const std::string &name : allWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(allWorkloadNames());
+    auto cells = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
         // The classification is ISA-symmetric by construction (it
         // reads IR-level facts); report the Cisc side and verify the
@@ -40,10 +40,14 @@ runFigure6()
         if (cisc.totalBlocks != risc.totalBlocks)
             hipstr_warn("block counts differ across ISAs for %s",
                         name.c_str());
+        return cisc;
+    });
+    double base_sum = 0, od_sum = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const SafetyStats &cisc = cells[i];
         base_sum += cisc.baselineFraction();
         od_sum += cisc.onDemandFraction();
-        ++n;
-        table.addRow({ name, std::to_string(cisc.totalBlocks),
+        table.addRow({ names[i], std::to_string(cisc.totalBlocks),
                        std::to_string(cisc.baselineSafe),
                        std::to_string(cisc.onDemandSafe),
                        formatPercent(cisc.baselineFraction()),
@@ -51,8 +55,9 @@ runFigure6()
     }
     table.print(std::cout);
     std::cout << "Averages: baseline "
-              << formatPercent(base_sum / n) << ", on-demand "
-              << formatPercent(od_sum / n)
+              << formatPercent(base_sum / double(names.size()))
+              << ", on-demand "
+              << formatPercent(od_sum / double(names.size()))
               << "   (paper: 45% -> 78%)\n";
 }
 
@@ -74,8 +79,5 @@ BENCHMARK(BM_SafetyAnalysis);
 int
 main(int argc, char **argv)
 {
-    runFigure6();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig6_migration_safe", runFigure6);
 }

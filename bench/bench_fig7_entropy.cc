@@ -30,20 +30,20 @@ runFigure7()
 {
     // Measure the average per-gadget PSR entropy across the SPEC-like
     // set (Table 2's column feeds this figure).
-    double entropy_sum = 0;
-    unsigned n = 0;
-    for (const std::string &name : specWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(specWorkloadNames());
+    auto bits = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
-        Memory mem;
-        loadFatBinary(bin, mem);
         PsrConfig cfg;
         GadgetStudy study =
-            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
-        entropy_sum +=
-            study.avgParams * std::log2(double(cfg.randSpaceBytes));
-        ++n;
-    }
-    double avg_bits = entropy_sum / n;
+            studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
+        return study.avgParams *
+            std::log2(double(cfg.randSpaceBytes));
+    });
+    double entropy_sum = 0;
+    for (double b : bits)
+        entropy_sum += b;
+    double avg_bits = entropy_sum / double(names.size());
 
     std::cout << "\n=== Figure 7: Entropy vs gadget-chain length "
                  "===\n";
@@ -86,8 +86,5 @@ BENCHMARK(BM_EntropyModel);
 int
 main(int argc, char **argv)
 {
-    runFigure7();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig7_entropy", runFigure7);
 }

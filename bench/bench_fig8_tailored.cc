@@ -32,32 +32,41 @@ runFigure8()
 {
     // Aggregate the cache-resident surface and invariance counts over
     // the benchmark set.
-    uint32_t cache_resident = 0, psr_surviving = 0;
-    InvarianceCensus inv_total;
-    unsigned zero_surface = 0;
-    for (const std::string &name : allWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(allWorkloadNames());
+    struct Cell
+    {
+        JitRopResult jr;
+        InvarianceCensus inv;
+    };
+    auto cells = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
-        Memory mem;
-        loadFatBinary(bin, mem);
         PsrConfig cfg;
         GadgetStudy study =
-            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+            studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
 
+        Memory mem;
+        loadFatBinary(bin, mem);
         GuestOs os;
         PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
         vm.reset();
         (void)vm.run(1'000'000'000);
-        JitRopResult jr =
-            analyzeJitRop(vm, study.gadgets, study.verdicts);
-        cache_resident += jr.discoverable;
-        psr_surviving += jr.survivingPsr;
-
-        InvarianceCensus inv = measureInvariance(
-            bin, mem, study.gadgets, study.verdicts);
-        inv_total.total += inv.total;
-        inv_total.sameIsaInvariant += inv.sameIsaInvariant;
-        inv_total.crossIsaInvariant += inv.crossIsaInvariant;
-        if (inv.crossIsaInvariant == 0)
+        Cell c;
+        c.jr = analyzeJitRop(vm, study.gadgets, study.verdicts);
+        c.inv = measureInvariance(bin, mem, study.gadgets,
+                                  study.verdicts);
+        return c;
+    });
+    uint32_t cache_resident = 0, psr_surviving = 0;
+    InvarianceCensus inv_total;
+    unsigned zero_surface = 0;
+    for (const Cell &c : cells) {
+        cache_resident += c.jr.discoverable;
+        psr_surviving += c.jr.survivingPsr;
+        inv_total.total += c.inv.total;
+        inv_total.sameIsaInvariant += c.inv.sameIsaInvariant;
+        inv_total.crossIsaInvariant += c.inv.crossIsaInvariant;
+        if (c.inv.crossIsaInvariant == 0)
             ++zero_surface;
     }
 
@@ -68,7 +77,7 @@ runFigure8()
               << " same-ISA invariant, "
               << inv_total.crossIsaInvariant
               << " cross-ISA invariant\n";
-    std::cout << zero_surface << "/" << allWorkloadNames().size()
+    std::cout << zero_surface << "/" << names.size()
               << " applications have zero cross-ISA-invariant "
                  "gadgets (paper: 5/8)\n";
 
@@ -95,7 +104,7 @@ BM_InvarianceMeasurement(benchmark::State &state)
     Memory mem;
     loadFatBinary(bin, mem);
     PsrConfig cfg;
-    GadgetStudy study = studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+    GadgetStudy study = studyGadgets(bin, IsaKind::Cisc, cfg);
     for (auto _ : state) {
         benchmark::DoNotOptimize(measureInvariance(
             bin, mem, study.gadgets, study.verdicts));
@@ -110,8 +119,5 @@ BENCHMARK(BM_InvarianceMeasurement);
 int
 main(int argc, char **argv)
 {
-    runFigure8();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig8_tailored", runFigure8);
 }

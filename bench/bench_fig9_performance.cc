@@ -41,24 +41,28 @@ runFigure9()
                  "optimization level (Cisc core) ===\n";
     TextTable table({ "Benchmark", "PSR-O1", "PSR-O2", "PSR-O3",
                       "Native" });
-    std::vector<double> o1s, o2s, o3s;
-    for (const std::string &name : specWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(specWorkloadNames());
+    const uint32_t scale = benchScale(perfWorkloadConfig().scale);
+
+    // (workload x level) cells, one measurement each; merged in cell
+    // order below so the table is identical for any HIPSTR_JOBS.
+    auto rels = parallelMap(names.size() * 3, [&](size_t i) {
         const FatBinary &bin =
-            compiledWorkload(name, perfWorkloadConfig().scale);
-        std::vector<double> rel;
-        for (unsigned level = 1; level <= 3; ++level) {
-            PsrConfig cfg;
-            cfg.optLevel = level;
-            cfg.seed = 11;
-            rel.push_back(
-                measurePerf(bin, IsaKind::Cisc, cfg).relative);
-        }
-        o1s.push_back(rel[0]);
-        o2s.push_back(rel[1]);
-        o3s.push_back(rel[2]);
-        table.addRow({ name, formatPercent(rel[0]),
-                       formatPercent(rel[1]), formatPercent(rel[2]),
-                       "100%" });
+            compiledWorkload(names[i / 3], scale);
+        PsrConfig cfg;
+        cfg.optLevel = unsigned(i % 3) + 1;
+        cfg.seed = 11;
+        return measurePerf(bin, IsaKind::Cisc, cfg).relative;
+    });
+    std::vector<double> o1s, o2s, o3s;
+    for (size_t w = 0; w < names.size(); ++w) {
+        o1s.push_back(rels[w * 3 + 0]);
+        o2s.push_back(rels[w * 3 + 1]);
+        o3s.push_back(rels[w * 3 + 2]);
+        table.addRow({ names[w], formatPercent(rels[w * 3 + 0]),
+                       formatPercent(rels[w * 3 + 1]),
+                       formatPercent(rels[w * 3 + 2]), "100%" });
     }
     table.addRow({ "geomean", formatPercent(geomean(o1s)),
                    formatPercent(geomean(o2s)),
@@ -71,20 +75,24 @@ runFigure9()
     std::cout << "\n--- Ablation: global register cache size (O2, "
                  "geomean) ---\n";
     TextTable sweep({ "Entries", "Relative performance" });
-    for (unsigned entries : { 1u, 2u, 3u, 6u, 12u }) {
-        std::vector<double> rels;
-        for (const std::string &name : specWorkloadNames()) {
+    const std::vector<unsigned> entry_counts = { 1u, 2u, 3u, 6u,
+                                                 12u };
+    auto srels =
+        parallelMap(entry_counts.size() * names.size(), [&](size_t i) {
             const FatBinary &bin =
-                compiledWorkload(name, perfWorkloadConfig().scale);
+                compiledWorkload(names[i % names.size()], scale);
             PsrConfig cfg;
             cfg.optLevel = 2;
-            cfg.regCacheEntries = entries;
+            cfg.regCacheEntries = entry_counts[i / names.size()];
             cfg.seed = 11;
-            rels.push_back(
-                measurePerf(bin, IsaKind::Cisc, cfg).relative);
-        }
-        sweep.addRow({ std::to_string(entries),
-                       formatPercent(geomean(rels)) });
+            return measurePerf(bin, IsaKind::Cisc, cfg).relative;
+        });
+    for (size_t e = 0; e < entry_counts.size(); ++e) {
+        std::vector<double> col(
+            srels.begin() + long(e * names.size()),
+            srels.begin() + long((e + 1) * names.size()));
+        sweep.addRow({ std::to_string(entry_counts[e]),
+                       formatPercent(geomean(col)) });
     }
     sweep.print(std::cout);
     std::cout << "(the paper fixes the cache at 3 entries — enough "
@@ -123,8 +131,5 @@ BENCHMARK(BM_SteadyStatePsrExecution);
 int
 main(int argc, char **argv)
 {
-    runFigure9();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "fig9_performance", runFigure9);
 }

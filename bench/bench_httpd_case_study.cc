@@ -27,16 +27,19 @@ void
 runCaseStudy()
 {
     std::cout << "\n=== httpd case study ===\n";
-    const FatBinary &bin = compiledWorkload("httpd", 2);
-    Memory mem;
-    loadFatBinary(bin, mem);
+    const FatBinary &bin = compiledWorkload("httpd", benchScale(2));
+    // Single-workload study: the parallelism here comes from
+    // studyGadgets' internal shards.
     PsrConfig cfg;
-    GadgetStudy study = studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+    GadgetStudy study =
+        studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
     uint32_t total = uint32_t(study.gadgets.size());
 
     BruteForceResult bf = simulateBruteForce(
         study.gadgets, study.verdicts, cfg.randSpaceBytes, false);
 
+    Memory mem;
+    loadFatBinary(bin, mem);
     GuestOs os;
     PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
     vm.reset();
@@ -105,8 +108,5 @@ BENCHMARK(BM_HttpdUnderPsr);
 int
 main(int argc, char **argv)
 {
-    runCaseStudy();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "httpd_case_study", runCaseStudy);
 }

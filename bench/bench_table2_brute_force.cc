@@ -33,17 +33,20 @@ runTable2()
     TextTable table({ "Benchmark", "Rand. params (avg)",
                       "Entropy (bits)", "Attempts (no bias)",
                       "Attempts (reg bias)", "Chain found" });
-    for (const std::string &name : specWorkloadNames()) {
+    const std::vector<std::string> names =
+        benchWorkloads(specWorkloadNames());
+    auto cells = parallelMapItems(names, [](const std::string &name) {
         const FatBinary &bin = compiledWorkload(name, 1);
-        Memory mem;
-        loadFatBinary(bin, mem);
         PsrConfig cfg;
         GadgetStudy study =
-            studyGadgets(bin, mem, IsaKind::Cisc, cfg);
-        BruteForceResult res = simulateBruteForce(
-            study.gadgets, study.verdicts, cfg.randSpaceBytes,
-            false);
-        table.addRow({ name, formatDouble(res.avgRandomizableParams),
+            studyGadgets(bin, IsaKind::Cisc, cfg, benchTrials(3));
+        return simulateBruteForce(study.gadgets, study.verdicts,
+                                  cfg.randSpaceBytes, false);
+    });
+    for (size_t i = 0; i < names.size(); ++i) {
+        const BruteForceResult &res = cells[i];
+        table.addRow({ names[i],
+                       formatDouble(res.avgRandomizableParams),
                        formatDouble(res.avgEntropyBits, 1),
                        formatScientific(res.attemptsNoBias),
                        formatScientific(res.attemptsRegBias),
@@ -58,10 +61,8 @@ void
 BM_BruteForceSimulation(benchmark::State &state)
 {
     const FatBinary &bin = compiledWorkload("bzip2", 1);
-    Memory mem;
-    loadFatBinary(bin, mem);
     PsrConfig cfg;
-    GadgetStudy study = studyGadgets(bin, mem, IsaKind::Cisc, cfg);
+    GadgetStudy study = studyGadgets(bin, IsaKind::Cisc, cfg);
     for (auto _ : state) {
         benchmark::DoNotOptimize(simulateBruteForce(
             study.gadgets, study.verdicts, cfg.randSpaceBytes,
@@ -77,8 +78,5 @@ BENCHMARK(BM_BruteForceSimulation);
 int
 main(int argc, char **argv)
 {
-    runTable2();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchMain(argc, argv, "table2_brute_force", runTable2);
 }

@@ -1,12 +1,85 @@
 #include "bench_util.hh"
 
+#include <benchmark/benchmark.h>
+
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "support/logging.hh"
 
 namespace hipstr::bench
 {
+
+const BenchRunOptions &
+benchOptions()
+{
+    static const BenchRunOptions opts = [] {
+        BenchRunOptions o;
+        const char *env = std::getenv("HIPSTR_BENCH_SMOKE");
+        o.smoke = env != nullptr && env[0] == '1';
+        o.jobs = hipstrJobs();
+        return o;
+    }();
+    return opts;
+}
+
+uint32_t
+benchScale(uint32_t full)
+{
+    return benchOptions().smoke ? 1 : full;
+}
+
+unsigned
+benchTrials(unsigned full)
+{
+    return benchOptions().smoke ? 1 : full;
+}
+
+unsigned
+benchCheckpoints(unsigned full)
+{
+    return benchOptions().smoke ? std::min(full, 2u) : full;
+}
+
+std::vector<std::string>
+benchWorkloads(std::vector<std::string> full)
+{
+    if (benchOptions().smoke && full.size() > 2)
+        full.resize(2);
+    return full;
+}
+
+int
+benchMain(int argc, char **argv, const std::string &name,
+          const std::function<void()> &figure)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    figure();
+    double wall = std::chrono::duration<double>(clock::now() - t0)
+                      .count();
+
+    std::ofstream json("BENCH_" + name + ".json");
+    json << "{\n"
+         << "  \"bench\": \"" << name << "\",\n"
+         << "  \"smoke\": "
+         << (benchOptions().smoke ? "true" : "false") << ",\n"
+         << "  \"jobs\": " << benchOptions().jobs << ",\n"
+         << "  \"figure_wall_seconds\": " << wall << "\n"
+         << "}\n";
+
+    if (benchOptions().smoke)
+        return 0; // figure sweep only; skip the micro section
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}
 
 PerfResult
 measurePerf(const FatBinary &bin, IsaKind isa, const PsrConfig &cfg,
@@ -89,30 +162,84 @@ measurePerf(const FatBinary &bin, IsaKind isa, const PsrConfig &cfg,
 const FatBinary &
 compiledWorkload(const std::string &name, uint32_t scale)
 {
-    static std::map<std::pair<std::string, uint32_t>, FatBinary>
+    // Compile-once under concurrency: a shared lock covers the common
+    // hit path; slot creation takes the exclusive lock but the
+    // (expensive) compile itself runs under the slot's once_flag, so
+    // two threads racing on different keys compile concurrently.
+    // std::map gives the entry pointers the stability the returned
+    // references require.
+    struct Entry
+    {
+        std::once_flag once;
+        FatBinary bin;
+    };
+    static std::shared_mutex mutex;
+    static std::map<std::pair<std::string, uint32_t>,
+                    std::unique_ptr<Entry>>
         cache;
+
     auto key = std::make_pair(name, scale);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
+    Entry *entry = nullptr;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            entry = it->second.get();
+    }
+    if (entry == nullptr) {
+        std::unique_lock<std::shared_mutex> lock(mutex);
+        auto &slot = cache[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
         WorkloadConfig cfg;
         cfg.scale = scale;
-        it = cache.emplace(key,
-                           compileModule(buildWorkload(name, cfg)))
-                 .first;
-    }
-    return it->second;
+        entry->bin = compileModule(buildWorkload(name, cfg));
+    });
+    return entry->bin;
 }
 
 GadgetStudy
-studyGadgets(const FatBinary &bin, Memory &mem, IsaKind isa,
-             const PsrConfig &cfg, unsigned trials)
+studyGadgets(const FatBinary &bin, IsaKind isa, const PsrConfig &cfg,
+             unsigned trials)
 {
     GadgetStudy study;
     study.gadgets = scanBinary(bin, isa);
-    PsrGadgetEvaluator eval(bin, mem, isa, cfg, trials);
+    const size_t n = study.gadgets.size();
+    study.verdicts.resize(n);
+    if (n == 0)
+        return study;
+
+    // Fixed shard geometry: the split depends only on the population
+    // size, and each shard's evaluator is seeded from its shard index
+    // — never from a thread id — so the verdict vector is identical
+    // for every HIPSTR_JOBS value.
+    constexpr size_t kShardTarget = 64;
+    const size_t shards = (n + kShardTarget - 1) / kShardTarget;
+    const size_t per_shard = (n + shards - 1) / shards;
+
+    parallelFor(shards, [&](size_t s) {
+        const size_t begin = s * per_shard;
+        const size_t end = std::min(n, begin + per_shard);
+        // Private loaded image: the sandbox journals writes into
+        // guest memory during every gadget execution, so shards
+        // cannot share one Memory.
+        Memory mem;
+        loadFatBinary(bin, mem);
+        PsrConfig shard_cfg = cfg;
+        shard_cfg.seed =
+            cfg.seed + 0x9e3779b97f4a7c15ull * (uint64_t(s) + 1);
+        PsrGadgetEvaluator eval(bin, mem, isa, shard_cfg, trials);
+        for (size_t i = begin; i < end; ++i)
+            study.verdicts[i] = eval.evaluate(study.gadgets[i]);
+    });
+
+    // Merge in index order (counters must not depend on completion
+    // interleaving).
     double params = 0;
-    for (const Gadget &g : study.gadgets) {
-        ObfuscationVerdict v = eval.evaluate(g);
+    for (const ObfuscationVerdict &v : study.verdicts) {
         params += v.randomizableParams;
         if (v.nativeViable)
             ++study.viable;
@@ -120,11 +247,8 @@ studyGadgets(const FatBinary &bin, Memory &mem, IsaKind isa,
             ++study.unobfuscated;
         if (v.survivesBruteForce)
             ++study.surviving;
-        study.verdicts.push_back(std::move(v));
     }
-    study.avgParams = study.gadgets.empty()
-        ? 0
-        : params / double(study.gadgets.size());
+    study.avgParams = params / double(n);
     return study;
 }
 

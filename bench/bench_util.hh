@@ -9,6 +9,7 @@
 #ifndef HIPSTR_BENCH_BENCH_UTIL_HH
 #define HIPSTR_BENCH_BENCH_UTIL_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -17,11 +18,50 @@
 #include "binary/loader.hh"
 #include "compiler/compile.hh"
 #include "sim/timing.hh"
+#include "support/parallel.hh"
 #include "vm/psr_vm.hh"
 #include "workloads/workloads.hh"
 
 namespace hipstr::bench
 {
+
+/**
+ * Process-wide run options every harness honours.
+ *
+ *  - HIPSTR_BENCH_SMOKE=1 shrinks workload scale/trial counts to a
+ *    size where every harness finishes in seconds (the bench_smoke
+ *    CTest tier), and skips the google-benchmark micro section.
+ *  - HIPSTR_JOBS caps the experiment engine's thread count (see
+ *    support/parallel.hh); the resolved value is recorded in the
+ *    per-bench JSON summary.
+ */
+struct BenchRunOptions
+{
+    bool smoke = false;
+    unsigned jobs = 1;
+};
+
+const BenchRunOptions &benchOptions();
+
+/**
+ * Smoke-aware sizing: return @p full normally, a tiny value when
+ * HIPSTR_BENCH_SMOKE=1. @{
+ */
+uint32_t benchScale(uint32_t full);
+unsigned benchTrials(unsigned full);
+unsigned benchCheckpoints(unsigned full);
+/** Smoke mode keeps only the first two workloads of @p full. */
+std::vector<std::string> benchWorkloads(std::vector<std::string> full);
+/** @} */
+
+/**
+ * Common harness entry point: time @p figure (the figure sweep), write
+ * a machine-readable BENCH_<name>.json summary next to the binary,
+ * then hand the remaining arguments to google-benchmark for the micro
+ * section (skipped in smoke mode). Returns the process exit code.
+ */
+int benchMain(int argc, char **argv, const std::string &name,
+              const std::function<void()> &figure);
 
 /** Default workload sizing for perf benches. */
 inline WorkloadConfig
@@ -51,7 +91,11 @@ PerfResult measurePerf(const FatBinary &bin, IsaKind isa,
                        const PsrConfig &cfg,
                        uint64_t max_insts = 1'000'000'000);
 
-/** Compile a workload once (caching by name+scale inside). */
+/**
+ * Compile a workload once (caching by name+scale inside). Thread-safe:
+ * concurrent callers for the same key block until the single compile
+ * finishes; returned references stay valid for the process lifetime.
+ */
 const FatBinary &compiledWorkload(const std::string &name,
                                   uint32_t scale = 3);
 
@@ -66,10 +110,16 @@ struct GadgetStudy
     double avgParams = 0;
 };
 
-/** Mine and evaluate the gadget population of one workload. */
-GadgetStudy studyGadgets(const FatBinary &bin, Memory &mem,
-                         IsaKind isa, const PsrConfig &cfg,
-                         unsigned trials = 3);
+/**
+ * Mine and evaluate the gadget population of one workload. The
+ * population is split into fixed-size shards that classify in
+ * parallel on the experiment engine; each shard owns a private loaded
+ * Memory (the sandbox journals during runs) and an evaluator seeded
+ * purely from the shard index, so results are identical for every
+ * HIPSTR_JOBS value.
+ */
+GadgetStudy studyGadgets(const FatBinary &bin, IsaKind isa,
+                         const PsrConfig &cfg, unsigned trials = 3);
 
 /** Geometric-mean helper for figure averages. */
 double geomean(const std::vector<double> &values);

@@ -153,6 +153,12 @@ GadgetSandbox::runInsts(const std::vector<MachInst> &insts,
             ExecStatus st =
                 executeInst(step_mi, state, _mem, nullptr);
             state.pc = saved_pc;
+            if (st == ExecStatus::Faulted) {
+                // Gadget crashed mid-chain: same verdict the old
+                // throwing memory API produced.
+                completed = false;
+                break;
+            }
             if (st == ExecStatus::Halted ||
                 st == ExecStatus::Exited) {
                 break;

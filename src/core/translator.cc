@@ -1,9 +1,11 @@
 #include "translator.hh"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 
 #include "isa/codec.hh"
+#include "isa/mem_traffic.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -13,15 +15,16 @@ namespace hipstr
 namespace
 {
 
-/** Identity map used for code outside any known function (_start). */
+/** Identity map used for code outside any known function (_start).
+ *  Magic-static init: translators run concurrently under the
+ *  parallel experiment engine. */
 const RelocationMap &
 identityMap(IsaKind isa)
 {
-    static RelocationMap maps[kNumIsas];
-    static bool init = false;
-    if (!init) {
+    static const auto maps = [] {
+        std::array<RelocationMap, kNumIsas> out;
         for (IsaKind k : kAllIsas) {
-            RelocationMap &m = maps[static_cast<size_t>(k)];
+            RelocationMap &m = out[static_cast<size_t>(k)];
             m.isa = k;
             for (unsigned r = 0; r < 16; ++r) {
                 m.regMap[r] = static_cast<Reg>(r);
@@ -32,8 +35,8 @@ identityMap(IsaKind isa)
                 m.argRegs[i] = desc.argRegs[i];
             m.retReg = desc.retReg;
         }
-        init = true;
-    }
+        return out;
+    }();
     return maps[static_cast<size_t>(isa)];
 }
 
@@ -1116,6 +1119,9 @@ TranslationContext::run(TranslateError &err)
         offsets[i] = cursor;
         ti.byteOff = static_cast<uint16_t>(cursor);
         cursor += ti.mi.size;
+        MemCounts mc = instMemCounts(ti.mi, _isa);
+        ti.memReads = mc.reads;
+        ti.memWrites = mc.writes;
     }
     offsets[_unit->insts.size()] = cursor;
 

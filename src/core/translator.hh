@@ -62,6 +62,11 @@ struct TInst
     /** First translated instruction of a guest instruction (used for
      *  dynamic guest-instruction accounting). */
     bool guestStart = false;
+    /** Data-memory accesses of mi, precomputed at translate time so
+     *  the VM's untraced fast path never scans operands. @{ */
+    uint8_t memReads = 0;
+    uint8_t memWrites = 0;
+    /** @} */
     /** Byte offset within the unit's encoding (I-fetch modelling). */
     uint16_t byteOff = 0;
 };

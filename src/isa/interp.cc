@@ -9,18 +9,29 @@ namespace hipstr
 namespace
 {
 
+/**
+ * Operand access with fault signalling: on an illegal memory access
+ * @p fault is set (and reads return 0). Callers check the flag before
+ * committing dependent state so the fault ordering matches what the
+ * old throwing variants produced.
+ */
 uint32_t
 readOperand(const Operand &o, const MachineState &state,
-            const Memory &mem)
+            const Memory &mem, bool &fault)
 {
     switch (o.kind) {
       case Operand::Kind::Reg:
         return state.reg(o.reg);
       case Operand::Kind::Imm:
         return static_cast<uint32_t>(o.disp);
-      case Operand::Kind::Mem:
-        return mem.read32(state.reg(o.base) +
-                          static_cast<uint32_t>(o.disp));
+      case Operand::Kind::Mem: {
+        uint32_t v = 0;
+        if (!mem.tryRead32(state.reg(o.base) +
+                               static_cast<uint32_t>(o.disp),
+                           v))
+            fault = true;
+        return v;
+      }
       case Operand::Kind::None:
         break;
     }
@@ -29,15 +40,17 @@ readOperand(const Operand &o, const MachineState &state,
 
 void
 writeOperand(const Operand &o, uint32_t v, MachineState &state,
-             Memory &mem)
+             Memory &mem, bool &fault)
 {
     switch (o.kind) {
       case Operand::Kind::Reg:
         state.setReg(o.reg, v);
         return;
       case Operand::Kind::Mem:
-        mem.write32(state.reg(o.base) + static_cast<uint32_t>(o.disp),
-                    v);
+        if (!mem.tryWrite32(state.reg(o.base) +
+                                static_cast<uint32_t>(o.disp),
+                            v))
+            fault = true;
         return;
       default:
         hipstr_panic("writeOperand: invalid operand kind");
@@ -97,6 +110,7 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
 {
     const IsaDescriptor &desc = isaDescriptor(state.isa);
     const Addr next_pc = state.pc + mi.size;
+    bool fault = false;
 
     switch (mi.op) {
       case Op::Nop:
@@ -106,24 +120,35 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
       case Op::Halt:
         return ExecStatus::Halted;
 
-      case Op::Mov:
-        writeOperand(mi.dst, readOperand(mi.src1, state, mem), state,
-                     mem);
+      case Op::Mov: {
+        uint32_t v = readOperand(mi.src1, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
+        writeOperand(mi.dst, v, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
         state.pc = next_pc;
         return ExecStatus::Continue;
+      }
 
       case Op::Movb:
         // Byte-sized memory access: loads zero-extend, stores write
         // the low byte. Exactly one side is a memory operand.
         if (mi.src1.isMem()) {
-            state.setReg(mi.dst.reg,
-                         mem.read8(state.reg(mi.src1.base) +
-                                   static_cast<uint32_t>(mi.src1.disp)));
+            uint8_t b = 0;
+            if (!mem.tryRead8(state.reg(mi.src1.base) +
+                                  static_cast<uint32_t>(mi.src1.disp),
+                              b))
+                return ExecStatus::Faulted;
+            state.setReg(mi.dst.reg, b);
         } else {
-            uint32_t v = readOperand(mi.src1, state, mem);
-            mem.write8(state.reg(mi.dst.base) +
-                           static_cast<uint32_t>(mi.dst.disp),
-                       static_cast<uint8_t>(v));
+            uint32_t v = readOperand(mi.src1, state, mem, fault);
+            if (fault)
+                return ExecStatus::Faulted;
+            if (!mem.tryWrite8(state.reg(mi.dst.base) +
+                                   static_cast<uint32_t>(mi.dst.disp),
+                               static_cast<uint8_t>(v)))
+                return ExecStatus::Faulted;
         }
         state.pc = next_pc;
         return ExecStatus::Continue;
@@ -153,24 +178,37 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
       case Op::Sar:
       case Op::Mul:
       case Op::Divu: {
-        uint32_t a = readOperand(mi.src1, state, mem);
-        uint32_t b = readOperand(mi.src2, state, mem);
-        writeOperand(mi.dst, aluCompute(mi.op, a, b), state, mem);
+        uint32_t a = readOperand(mi.src1, state, mem, fault);
+        uint32_t b = readOperand(mi.src2, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
+        writeOperand(mi.dst, aluCompute(mi.op, a, b), state, mem,
+                     fault);
+        if (fault)
+            return ExecStatus::Faulted;
         state.pc = next_pc;
         return ExecStatus::Continue;
       }
 
-      case Op::Cmp:
-        setCmpFlags(readOperand(mi.src1, state, mem),
-                    readOperand(mi.src2, state, mem), state.flags);
+      case Op::Cmp: {
+        uint32_t a = readOperand(mi.src1, state, mem, fault);
+        uint32_t b = readOperand(mi.src2, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
+        setCmpFlags(a, b, state.flags);
         state.pc = next_pc;
         return ExecStatus::Continue;
+      }
 
-      case Op::Test:
-        setTestFlags(readOperand(mi.src1, state, mem),
-                     readOperand(mi.src2, state, mem), state.flags);
+      case Op::Test: {
+        uint32_t a = readOperand(mi.src1, state, mem, fault);
+        uint32_t b = readOperand(mi.src2, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
+        setTestFlags(a, b, state.flags);
         state.pc = next_pc;
         return ExecStatus::Continue;
+      }
 
       case Op::Jmp:
         state.pc = mi.target;
@@ -181,18 +219,25 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
                                                    : next_pc;
         return ExecStatus::Continue;
 
-      case Op::JmpInd:
-        state.pc = readOperand(mi.src1, state, mem);
+      case Op::JmpInd: {
+        Addr target = readOperand(mi.src1, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
+        state.pc = target;
         return ExecStatus::Continue;
+      }
 
       case Op::Call:
       case Op::CallInd: {
         Addr target = (mi.op == Op::Call)
             ? mi.target
-            : readOperand(mi.src1, state, mem);
+            : readOperand(mi.src1, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
         if (state.isa == IsaKind::Cisc) {
             uint32_t sp = state.sp() - kWordSize;
-            mem.write32(sp, next_pc);
+            if (!mem.tryWrite32(sp, next_pc))
+                return ExecStatus::Faulted;
             state.setSp(sp);
         } else {
             state.setReg(desc.lrReg, next_pc);
@@ -203,16 +248,21 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
 
       case Op::Ret: {
         uint32_t sp = state.sp();
-        Addr ra = mem.read32(sp);
+        uint32_t ra = 0;
+        if (!mem.tryRead32(sp, ra))
+            return ExecStatus::Faulted;
         state.setSp(sp + kWordSize);
         state.pc = ra;
         return ExecStatus::Continue;
       }
 
       case Op::Push: {
-        uint32_t v = readOperand(mi.src1, state, mem);
+        uint32_t v = readOperand(mi.src1, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
         uint32_t sp = state.sp() - kWordSize;
-        mem.write32(sp, v);
+        if (!mem.tryWrite32(sp, v))
+            return ExecStatus::Faulted;
         state.setSp(sp);
         state.pc = next_pc;
         return ExecStatus::Continue;
@@ -220,9 +270,13 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
 
       case Op::Pop: {
         uint32_t sp = state.sp();
-        uint32_t v = mem.read32(sp);
+        uint32_t v = 0;
+        if (!mem.tryRead32(sp, v))
+            return ExecStatus::Faulted;
         state.setSp(sp + kWordSize);
-        writeOperand(mi.dst, v, state, mem);
+        writeOperand(mi.dst, v, state, mem, fault);
+        if (fault)
+            return ExecStatus::Faulted;
         state.pc = next_pc;
         return ExecStatus::Continue;
       }
@@ -230,7 +284,15 @@ executeInst(const MachInst &mi, MachineState &state, Memory &mem,
       case Op::Syscall: {
         if (os == nullptr)
             return ExecStatus::Exited;
-        bool keep_running = os->handleSyscall(state, mem);
+        // Syscall emulation still uses the throwing memory API
+        // internally (string copies, buffer walks); contain it here so
+        // executeInst as a whole never throws.
+        bool keep_running;
+        try {
+            keep_running = os->handleSyscall(state, mem);
+        } catch (const Memory::Fault &) {
+            return ExecStatus::Faulted;
+        }
         if (!os->takeRedirect())
             state.pc = next_pc;
         return keep_running ? ExecStatus::Continue : ExecStatus::Exited;
@@ -278,10 +340,8 @@ Interpreter::run(uint64_t maxInsts)
         // addresses correctly.
         if (traceHook)
             traceHook(mi, pc_before);
-        ExecStatus st;
-        try {
-            st = executeInst(mi, state, _mem, &_os);
-        } catch (const Memory::Fault &) {
+        ExecStatus st = executeInst(mi, state, _mem, &_os);
+        if (st == ExecStatus::Faulted) {
             res.reason = StopReason::Fault;
             res.stopPc = state.pc;
             return res;
@@ -302,6 +362,8 @@ Interpreter::run(uint64_t maxInsts)
             res.reason = StopReason::VmExitHit;
             res.stopPc = pc_before;
             return res;
+          case ExecStatus::Faulted:
+            break; // handled above
         }
     }
     res.reason = StopReason::StepLimit;

@@ -24,7 +24,8 @@ enum class ExecStatus
     Continue, ///< state.pc advanced; keep going
     Halted,   ///< Halt executed
     Exited,   ///< guest called Exit or Execve
-    VmExit    ///< VmExit pseudo-op reached (only meaningful inside a VM)
+    VmExit,   ///< VmExit pseudo-op reached (only meaningful inside a VM)
+    Faulted   ///< memory fault; state.pc still points at the instruction
 };
 
 /**
@@ -34,7 +35,12 @@ enum class ExecStatus
  * Ret pops the return address from the top of stack. The PSR VM layers
  * its randomized-return handling above this function.
  *
- * Memory faults propagate as @c Memory::Fault.
+ * Memory faults surface as ExecStatus::Faulted — a status return,
+ * not an exception, so the per-instruction hot path of both the
+ * interpreter and the PSR VM carries no try/catch setup. On a fault
+ * no architectural state has been modified beyond what the hardware
+ * would have committed before the faulting access (see the per-op
+ * ordering in the implementation).
  *
  * @param os may be null when executing in a sandbox (Syscall then
  *           behaves as Exited so gadget chains terminate).

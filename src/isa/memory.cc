@@ -50,6 +50,14 @@ Memory::regionName(Addr addr) const
     return name;
 }
 
+bool
+Memory::checkOk(Addr addr, unsigned len, Perm needed) const noexcept
+{
+    if (static_cast<uint64_t>(addr) + len > _bytes.size())
+        return false;
+    return (permAt(addr) & needed) == needed;
+}
+
 void
 Memory::check(Addr addr, unsigned len, Perm needed) const
 {
@@ -62,6 +70,44 @@ Memory::check(Addr addr, unsigned len, Perm needed) const
                     std::string("permission violation in region '") +
                         regionName(addr) + "'"};
     }
+}
+
+bool
+Memory::tryRead8(Addr addr, uint8_t &v) const noexcept
+{
+    if (!checkOk(addr, 1, PermR))
+        return false;
+    v = _bytes[addr];
+    return true;
+}
+
+bool
+Memory::tryRead32(Addr addr, uint32_t &v) const noexcept
+{
+    if (!checkOk(addr, 4, PermR))
+        return false;
+    std::memcpy(&v, &_bytes[addr], 4);
+    return true;
+}
+
+bool
+Memory::tryWrite8(Addr addr, uint8_t v) noexcept
+{
+    if (!checkOk(addr, 1, PermW))
+        return false;
+    journalBytes(addr, 1);
+    _bytes[addr] = v;
+    return true;
+}
+
+bool
+Memory::tryWrite32(Addr addr, uint32_t v) noexcept
+{
+    if (!checkOk(addr, 4, PermW))
+        return false;
+    journalBytes(addr, 4);
+    std::memcpy(&_bytes[addr], &v, 4);
+    return true;
 }
 
 uint8_t

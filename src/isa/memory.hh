@@ -113,6 +113,20 @@ class Memory
     void write32(Addr addr, uint32_t v);
     /** @} */
 
+    /**
+     * Non-throwing checked accesses: return false instead of raising a
+     * Fault. These back the per-instruction hot path of the interpreter
+     * and the PSR VMs, where a status return avoids the try/catch setup
+     * cost of the throwing variants; the throwing variants remain for
+     * cold paths that want the diagnostic message. Try-writes honor
+     * journaling exactly like their throwing counterparts. @{
+     */
+    bool tryRead8(Addr addr, uint8_t &v) const noexcept;
+    bool tryRead32(Addr addr, uint32_t &v) const noexcept;
+    bool tryWrite8(Addr addr, uint8_t v) noexcept;
+    bool tryWrite32(Addr addr, uint32_t v) noexcept;
+    /** @} */
+
     /** Instruction fetch: like read but requires PermX. */
     uint8_t fetch8(Addr addr) const;
     /** Fetch up to @p len bytes into @p out; stops at region end. */
@@ -148,6 +162,7 @@ class Memory
     void journalBytes(Addr addr, unsigned len);
 
     void check(Addr addr, unsigned len, Perm needed) const;
+    bool checkOk(Addr addr, unsigned len, Perm needed) const noexcept;
 
     struct Region
     {

@@ -1,5 +1,6 @@
 #include "timing.hh"
 
+#include "isa/mem_traffic.hh"
 #include "isa/memory.hh"
 #include "support/logging.hh"
 // Header-only use: hook members and VmStats. The sim library has no
@@ -82,39 +83,17 @@ TimingHarness::attachVm(PsrVm &vm)
 void
 TimingHarness::attachInterpreter(Interpreter &interp)
 {
+    // Memory-traffic enumeration is shared with the VM's trace path
+    // (forEachMemAccess), so native and VM timing count the same
+    // accesses for the same instruction stream.
     Interpreter *ip = &interp;
     interp.traceHook = [this, ip](const MachInst &mi, Addr pc) {
         ++_nativeInsts;
         _icache.access(pc);
-        const MachineState &st = ip->state;
-        auto operand = [&](const Operand &o) {
-            if (o.isMem()) {
-                dataAccess(st.reg(o.base) +
-                           static_cast<uint32_t>(o.disp));
-            }
-        };
-        operand(mi.dst);
-        operand(mi.src1);
-        operand(mi.src2);
-        switch (mi.op) {
-          case Op::Push:
-            dataAccess(st.sp() - 4);
-            break;
-          case Op::Call:
-          case Op::CallInd:
-            if (st.isa == IsaKind::Cisc)
-                dataAccess(st.sp() - 4);
-            break;
-          case Op::Pop:
-          case Op::Ret:
-            dataAccess(st.sp());
-            break;
-          case Op::Syscall:
+        forEachMemAccess(mi, ip->state,
+                         [this](Addr addr, bool) { dataAccess(addr); });
+        if (mi.op == Op::Syscall)
             ++_nativeSyscalls;
-            break;
-          default:
-            break;
-        }
     };
 }
 

@@ -1,0 +1,175 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+unsigned
+hipstrJobs()
+{
+    if (const char *env = std::getenv("HIPSTR_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return unsigned(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    _workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _cv.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (_workers.empty()) {
+        // Serial pool: run inline. Keeps HIPSTR_JOBS=1 free of any
+        // thread machinery on the measurement path.
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+    }
+    _cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _cv.wait(lock,
+                     [this] { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+    }
+}
+
+namespace
+{
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_poolMutex;
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (!g_pool) {
+        // The caller of parallelFor works too, so a J-job budget
+        // wants J-1 pool workers.
+        unsigned jobs = hipstrJobs();
+        g_pool = std::make_unique<ThreadPool>(jobs - 1);
+    }
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(unsigned threads)
+{
+    std::unique_ptr<ThreadPool> fresh =
+        std::make_unique<ThreadPool>(threads);
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    g_pool = std::move(fresh);
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            ThreadPool *pool)
+{
+    if (n == 0)
+        return;
+    if (pool == nullptr)
+        pool = &ThreadPool::global();
+
+    struct Shared
+    {
+        std::atomic<size_t> next{ 0 };
+        std::atomic<size_t> done{ 0 };
+        size_t total;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::exception_ptr error;
+        size_t errorIndex;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->total = n;
+
+    auto drain = [shared, &fn] {
+        while (true) {
+            size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= shared->total)
+                break;
+            try {
+                fn(i);
+            } catch (...) {
+                // Keep the lowest-index exception so the rethrow is
+                // deterministic under any interleaving.
+                std::lock_guard<std::mutex> lock(shared->mutex);
+                if (!shared->error || i < shared->errorIndex) {
+                    shared->error = std::current_exception();
+                    shared->errorIndex = i;
+                }
+            }
+            if (shared->done.fetch_add(1,
+                                       std::memory_order_acq_rel) +
+                    1 ==
+                shared->total) {
+                std::lock_guard<std::mutex> lock(shared->mutex);
+                shared->cv.notify_all();
+            }
+        }
+    };
+
+    // One helper per worker, capped by the cell count; the calling
+    // thread claims cells too (and is the only executor when the
+    // pool is serial).
+    unsigned helpers = pool->threadCount();
+    if (size_t(helpers) > n - 1)
+        helpers = unsigned(n - 1);
+    for (unsigned h = 0; h < helpers; ++h)
+        pool->submit(drain);
+    drain();
+
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->cv.wait(lock, [&] {
+        return shared->done.load(std::memory_order_acquire) ==
+            shared->total;
+    });
+    if (shared->error)
+        std::rethrow_exception(shared->error);
+}
+
+} // namespace hipstr

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cap-aware thread-pool experiment engine.
+ *
+ * The evaluation sweeps (workload x ISA x PSR config x seed) cells
+ * that are embarrassingly parallel: every cell builds its own Memory,
+ * GuestOs and VM, so cells share nothing but immutable FatBinary
+ * images. This engine runs such cells on a fixed pool of worker
+ * threads whose size is capped by the HIPSTR_JOBS environment
+ * variable (unset or 0 means "one thread per hardware core").
+ *
+ * Determinism contract: parallelFor/parallelMap assign work by index,
+ * never by thread identity, and parallelMap stores results by index —
+ * so a sweep that derives all randomness from its cell index produces
+ * byte-identical output for every HIPSTR_JOBS value.
+ *
+ * There is no work stealing: a task claims the next unclaimed index
+ * from a shared atomic cursor. The *calling* thread participates in
+ * the loop, which makes nested parallelFor calls (a parallel cell
+ * that itself fans out) deadlock-free even when every worker is busy.
+ */
+
+#ifndef HIPSTR_SUPPORT_PARALLEL_HH
+#define HIPSTR_SUPPORT_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hipstr
+{
+
+/**
+ * Number of jobs the experiment engine may use: the HIPSTR_JOBS
+ * environment variable when set to a positive integer, otherwise the
+ * hardware concurrency (never less than 1).
+ */
+unsigned hipstrJobs();
+
+/**
+ * Fixed-size worker pool. Tasks are run in submission order by
+ * whichever worker frees up first; completion order is unspecified.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads exact worker count; 0 builds a serial pool whose
+     *                submit() runs the task inline on the caller.
+     */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; it runs on some worker thread. */
+    void submit(std::function<void()> task);
+
+    /** Worker threads owned by the pool (0 for a serial pool). */
+    unsigned threadCount() const { return unsigned(_workers.size()); }
+
+    /**
+     * The process-wide pool the bench layer uses, sized from
+     * HIPSTR_JOBS at first use. One worker fewer than the job count:
+     * the thread calling parallelFor is the remaining job.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Resize the global pool to exactly @p threads workers (tests
+     * compare HIPSTR_JOBS=1 vs =8 in one process: pass jobs - 1).
+     * Must not be called while work is in flight.
+     */
+    static void setGlobalThreads(unsigned threads);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _queue;
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    bool _stopping = false;
+};
+
+/**
+ * Run fn(i) for every i in [0, n). Blocks until all iterations have
+ * finished. The caller participates, so jobs = pool workers + 1.
+ * If any iteration throws, the exception from the lowest-numbered
+ * throwing iteration is rethrown here (the remaining iterations still
+ * run — cells are independent measurements).
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 ThreadPool *pool = nullptr);
+
+/**
+ * Map [0, n) through @p fn on the pool; results are returned indexed
+ * by cell, independent of execution interleaving.
+ */
+template <typename Fn>
+auto
+parallelMap(size_t n, Fn &&fn, ThreadPool *pool = nullptr)
+    -> std::vector<decltype(fn(size_t(0)))>
+{
+    using R = decltype(fn(size_t(0)));
+    std::vector<R> out(n);
+    parallelFor(
+        n, [&](size_t i) { out[i] = fn(i); }, pool);
+    return out;
+}
+
+/** Map a vector of inputs through @p fn, preserving input order. */
+template <typename T, typename Fn>
+auto
+parallelMapItems(const std::vector<T> &items, Fn &&fn,
+                 ThreadPool *pool = nullptr)
+    -> std::vector<decltype(fn(items[0]))>
+{
+    return parallelMap(
+        items.size(), [&](size_t i) { return fn(items[i]); }, pool);
+}
+
+} // namespace hipstr
+
+#endif // HIPSTR_SUPPORT_PARALLEL_HH

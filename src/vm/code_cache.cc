@@ -21,7 +21,7 @@ CodeCache::CodeCache(Memory &mem, IsaKind isa, uint32_t capacity,
                    std::string("codecache.") + isaName(isa));
 }
 
-bool
+TranslatedBlock *
 CodeCache::insert(std::unique_ptr<TranslatedBlock> block)
 {
     uint32_t align = _alignLoopHeads && block->isLoopHead ? 64 : 16;
@@ -32,7 +32,7 @@ CodeCache::insert(std::unique_ptr<TranslatedBlock> block)
         flush();
         placed = static_cast<Addr>(roundUp(_cursor, align));
         if (placed + need > _base + _capacity)
-            return false; // unit larger than the whole cache
+            return nullptr; // unit larger than the whole cache
     }
 
     block->cacheAddr = placed;
@@ -40,8 +40,9 @@ CodeCache::insert(std::unique_ptr<TranslatedBlock> block)
         _mem.rawWriteBytes(placed, block->bytes.data(), need);
     _cursor = placed + need;
     ++_insertions;
+    TranslatedBlock *raw = block.get();
     _blocks[block->srcStart] = std::move(block);
-    return true;
+    return raw;
 }
 
 TranslatedBlock *

@@ -35,10 +35,12 @@ class CodeCache
     /**
      * Install @p block: assigns a cache address, copies its bytes
      * into guest memory, and indexes it by source address.
-     * @retval false if capacity is exhausted even after a flush
-     *         (the unit is larger than the whole cache).
+     * @returns the placed block (owned by the cache), so callers need
+     *          no follow-up lookup() on the dispatch path;
+     *          nullptr if capacity is exhausted even after a flush
+     *          (the unit is larger than the whole cache).
      */
-    bool insert(std::unique_ptr<TranslatedBlock> block);
+    TranslatedBlock *insert(std::unique_ptr<TranslatedBlock> block);
 
     /** Translation for source address @p src, or nullptr. */
     TranslatedBlock *lookup(Addr src);

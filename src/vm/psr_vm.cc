@@ -2,6 +2,7 @@
 
 #include "binary/loader.hh"
 #include "isa/interp.hh"
+#include "isa/mem_traffic.hh"
 #include "support/logging.hh"
 
 namespace hipstr
@@ -65,7 +66,8 @@ PsrVm::fetchBlock(Addr src, VmRunResult &stop)
     stats.translatedGuestInsts += unit->guestInstCount;
 
     uint64_t flushes_before = _cache.flushes();
-    if (!_cache.insert(std::move(unit))) {
+    TranslatedBlock *placed = _cache.insert(std::move(unit));
+    if (placed == nullptr) {
         stop.reason = VmStop::BadInst;
         stop.stopPc = src;
         return nullptr;
@@ -75,48 +77,33 @@ PsrVm::fetchBlock(Addr src, VmRunResult &stop)
         _rat.flush();
         ++stats.cacheFlushes;
     }
-    return _cache.lookup(src);
+    return placed;
 }
 
 void
 PsrVm::traceData(const MachInst &mi)
 {
-    auto trace = [&](const Operand &o, bool write) {
-        if (!o.isMem())
-            return;
-        Addr addr =
-            state.reg(o.base) + static_cast<uint32_t>(o.disp);
+    forEachMemAccess(mi, state, [&](Addr addr, bool write) {
         if (write)
             ++stats.memWrites;
         else
             ++stats.memReads;
         if (dataTraceHook)
             dataTraceHook(addr, write);
-    };
-    // Destination memory operand is a write; sources are reads.
-    if (mi.op == Op::Mov || mi.op == Op::Movb) {
-        trace(mi.dst, true);
-        trace(mi.src1, false);
-    } else {
-        trace(mi.src1, false);
-        trace(mi.src2, false);
-        trace(mi.dst, true);
-    }
-    if (mi.op == Op::Push || mi.op == Op::Call ||
-        mi.op == Op::CallInd) {
-        ++stats.memWrites;
-        if (dataTraceHook && state.isa == IsaKind::Cisc)
-            dataTraceHook(state.sp() - 4, true);
-    }
-    if (mi.op == Op::Pop || mi.op == Op::Ret) {
-        ++stats.memReads;
-        if (dataTraceHook)
-            dataTraceHook(state.sp(), false);
-    }
+    });
 }
 
 VmRunResult
 PsrVm::run(uint64_t max_guest_insts)
+{
+    if (fetchTraceHook || dataTraceHook)
+        return runLoop<true>(max_guest_insts);
+    return runLoop<false>(max_guest_insts);
+}
+
+template <bool Traced>
+VmRunResult
+PsrVm::runLoop(uint64_t max_guest_insts)
 {
     VmRunResult stop;
     const uint64_t guest_budget = stats.guestInsts + max_guest_insts;
@@ -172,9 +159,7 @@ PsrVm::run(uint64_t max_guest_insts)
     auto emit_call_linkage = [&](Addr source_ra) -> bool {
         if (_isa == IsaKind::Cisc) {
             uint32_t sp = state.sp() - kWordSize;
-            try {
-                _mem.write32(sp, source_ra);
-            } catch (const Memory::Fault &) {
+            if (!_mem.tryWrite32(sp, source_ra)) {
                 stop.reason = VmStop::Fault;
                 stop.stopPc = state.pc;
                 return false;
@@ -207,8 +192,10 @@ PsrVm::run(uint64_t max_guest_insts)
             ++stats.hostInsts;
             if (ti.guestStart)
                 ++stats.guestInsts;
-            if (fetchTraceHook)
-                fetchTraceHook(blk->cacheAddr + ti.byteOff);
+            if constexpr (Traced) {
+                if (fetchTraceHook)
+                    fetchTraceHook(blk->cacheAddr + ti.byteOff);
+            }
 
             if (ti.mi.op == Op::Jcc && ti.exitIdx >= 0) {
                 if (condHolds(ti.mi.cond, state.flags)) {
@@ -228,16 +215,16 @@ PsrVm::run(uint64_t max_guest_insts)
                 // Pop the source return address; translate through
                 // the RAT below.
                 uint32_t sp = state.sp();
-                try {
-                    ret_target = _mem.read32(sp);
-                } catch (const Memory::Fault &) {
+                if (!_mem.tryRead32(sp, ret_target)) {
                     stop.reason = VmStop::Fault;
                     stop.stopPc = blk->srcStart;
                     return stop;
                 }
                 ++stats.memReads;
-                if (dataTraceHook)
-                    dataTraceHook(sp, false);
+                if constexpr (Traced) {
+                    if (dataTraceHook)
+                        dataTraceHook(sp, false);
+                }
                 state.setSp(sp + kWordSize);
                 is_ret = true;
                 break;
@@ -274,21 +261,28 @@ PsrVm::run(uint64_t max_guest_insts)
                 continue;
             }
 
-            traceData(ti.mi);
-            try {
-                MachInst mi = ti.mi;
-                Addr saved_pc = state.pc;
-                ExecStatus st = executeInst(mi, state, _mem, &_os);
-                state.pc = saved_pc; // VM owns the pc
+            if constexpr (Traced) {
+                traceData(ti.mi);
+            } else {
+                // Translate-time counts: no operand scanning, no
+                // address formation on the untraced fast path.
+                stats.memReads += ti.memReads;
+                stats.memWrites += ti.memWrites;
+            }
+            Addr saved_pc = state.pc;
+            ExecStatus st = executeInst(ti.mi, state, _mem, &_os);
+            state.pc = saved_pc; // VM owns the pc
+            if (st != ExecStatus::Continue) {
+                if (st == ExecStatus::Faulted) {
+                    stop.reason = VmStop::Fault;
+                    stop.stopPc = blk->srcStart;
+                    return stop;
+                }
                 if (st == ExecStatus::Halted) {
                     stop.reason = VmStop::Halted;
                     stop.stopPc = blk->srcStart;
                     return stop;
                 }
-            } catch (const Memory::Fault &) {
-                stop.reason = VmStop::Fault;
-                stop.stopPc = blk->srcStart;
-                return stop;
             }
             ++i;
         }
@@ -429,20 +423,17 @@ PsrVm::run(uint64_t max_guest_insts)
           case BlockExit::Kind::IndirectJump: {
             // Read the target from its (possibly relocated) home.
             uint32_t target;
-            try {
-                if (exit.targetOperand.isMem()) {
-                    Addr a = state.reg(exit.targetOperand.base) +
-                        static_cast<uint32_t>(
-                            exit.targetOperand.disp);
-                    target = _mem.read32(a);
-                    ++stats.memReads;
-                } else {
-                    target = state.reg(exit.targetOperand.reg);
+            if (exit.targetOperand.isMem()) {
+                Addr a = state.reg(exit.targetOperand.base) +
+                    static_cast<uint32_t>(exit.targetOperand.disp);
+                if (!_mem.tryRead32(a, target)) {
+                    stop.reason = VmStop::Fault;
+                    stop.stopPc = owner_src;
+                    return stop;
                 }
-            } catch (const Memory::Fault &) {
-                stop.reason = VmStop::Fault;
-                stop.stopPc = owner_src;
-                return stop;
+                ++stats.memReads;
+            } else {
+                target = state.reg(exit.targetOperand.reg);
             }
             if (controlTraceHook)
                 controlTraceHook(target, 'I');

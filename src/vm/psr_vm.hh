@@ -117,7 +117,15 @@ class PsrVm
     /** Point the VM at the program entry with a fresh stack. */
     void reset();
 
-    /** Run until a stop condition or @p max_guest_insts. */
+    /**
+     * Run until a stop condition or @p max_guest_insts.
+     *
+     * The run dispatches once, up front, onto a traced or an
+     * untraced loop: when no fetch/data hook is installed the inner
+     * instruction loop performs no hook checks and no per-operand
+     * scanning — data-access counts are taken from the translate-time
+     * totals baked into each translated instruction.
+     */
     VmRunResult run(uint64_t max_guest_insts);
 
     /**
@@ -143,6 +151,9 @@ class PsrVm
     TranslatedBlock *fetchBlock(Addr src, VmRunResult &stop);
     /** Count + trace the data accesses of one instruction. */
     void traceData(const MachInst &mi);
+    /** The run loop, specialized on whether trace hooks are live. */
+    template <bool Traced>
+    VmRunResult runLoop(uint64_t max_guest_insts);
 
     const FatBinary &_bin;
     IsaKind _isa;

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the experiment engine: HIPSTR_JOBS parsing, the serial
+ * fast path, index coverage, result ordering, deterministic exception
+ * selection, and deadlock-freedom of nested parallel loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "support/parallel.hh"
+
+using namespace hipstr;
+
+namespace
+{
+
+/** Scoped HIPSTR_JOBS override that restores the old value. */
+class ScopedJobsEnv
+{
+  public:
+    explicit ScopedJobsEnv(const char *value)
+    {
+        if (const char *old = std::getenv("HIPSTR_JOBS"))
+            _old = old;
+        if (value)
+            setenv("HIPSTR_JOBS", value, 1);
+        else
+            unsetenv("HIPSTR_JOBS");
+    }
+    ~ScopedJobsEnv()
+    {
+        if (_old.empty())
+            unsetenv("HIPSTR_JOBS");
+        else
+            setenv("HIPSTR_JOBS", _old.c_str(), 1);
+    }
+
+  private:
+    std::string _old;
+};
+
+TEST(HipstrJobs, ParsesPositiveInteger)
+{
+    ScopedJobsEnv env("5");
+    EXPECT_EQ(hipstrJobs(), 5u);
+}
+
+TEST(HipstrJobs, IgnoresInvalidValues)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned fallback = hw > 0 ? hw : 1;
+    {
+        ScopedJobsEnv env("0");
+        EXPECT_EQ(hipstrJobs(), fallback);
+    }
+    {
+        ScopedJobsEnv env("-3");
+        EXPECT_EQ(hipstrJobs(), fallback);
+    }
+    {
+        ScopedJobsEnv env("fast");
+        EXPECT_EQ(hipstrJobs(), fallback);
+    }
+    {
+        ScopedJobsEnv env(nullptr);
+        EXPECT_EQ(hipstrJobs(), fallback);
+    }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    std::thread::id ran_on;
+    pool.submit([&] { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, WorkerCountMatchesRequest)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    std::atomic<unsigned> calls{ 0 };
+    parallelFor(
+        0, [&](size_t) { ++calls; }, &pool);
+    EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<unsigned>> hits(n);
+    parallelFor(
+        n, [&](size_t i) { ++hits[i]; }, &pool);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ParallelFor, SerialPoolStaysOnCaller)
+{
+    ThreadPool pool(0);
+    std::thread::id caller = std::this_thread::get_id();
+    parallelFor(
+        64, [&](size_t) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+        },
+        &pool);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    // Several iterations throw; whatever the interleaving, the
+    // caller must see the lowest-numbered one.
+    std::atomic<unsigned> completed{ 0 };
+    try {
+        parallelFor(
+            100, [&](size_t i) {
+                if (i == 10 || i == 50 || i == 90)
+                    throw std::runtime_error(std::to_string(i));
+                ++completed;
+            },
+            &pool);
+        FAIL() << "expected a runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "10");
+    }
+    // Cells are independent measurements: the non-throwing ones all
+    // still ran.
+    EXPECT_EQ(completed.load(), 97u);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock)
+{
+    // Caller participation means every level makes progress even when
+    // all pool workers are stuck inside the outer loop.
+    ThreadPool pool(2);
+    std::atomic<unsigned> inner_total{ 0 };
+    parallelFor(
+        8, [&](size_t) {
+            parallelFor(
+                8, [&](size_t) { ++inner_total; }, &pool);
+        },
+        &pool);
+    EXPECT_EQ(inner_total.load(), 64u);
+}
+
+TEST(ParallelMap, ResultsIndexedByCell)
+{
+    ThreadPool pool(3);
+    auto out = parallelMap(
+        200, [](size_t i) { return i * i; }, &pool);
+    ASSERT_EQ(out.size(), 200u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, ItemsPreserveInputOrder)
+{
+    ThreadPool pool(2);
+    std::vector<std::string> items = { "alpha", "beta", "gamma",
+                                       "delta" };
+    auto out = parallelMapItems(
+        items, [](const std::string &s) { return s + "!"; }, &pool);
+    ASSERT_EQ(out.size(), items.size());
+    for (size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(out[i], items[i] + "!");
+}
+
+TEST(ParallelMap, SameResultsForAnyWorkerCount)
+{
+    // The determinism contract at engine level: work assigned by
+    // index, results stored by index.
+    auto cell = [](size_t i) { return i * 31 + (i % 7); };
+    ThreadPool serial(0);
+    ThreadPool wide(7);
+    auto a = parallelMap(500, cell, &serial);
+    auto b = parallelMap(500, cell, &wide);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
