@@ -14,6 +14,7 @@
 #include "attack/brute_force.hh"
 #include "attack/jitrop.hh"
 #include "bench_util.hh"
+#include "server/guest_process.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 
@@ -80,23 +81,21 @@ runCaseStudy()
 void
 BM_HttpdUnderPsr(benchmark::State &state)
 {
+    // The server-shaped variant of the old raw-VM loop: one worker
+    // process under the full dual-ISA runtime, timesliced the way the
+    // CMP scheduler timeslices it, restarting transparently whenever
+    // the daemon finishes a program run.
     const FatBinary &bin = compiledWorkload("httpd", 1);
-    Memory mem;
-    loadFatBinary(bin, mem);
-    GuestOs os;
-    PsrConfig cfg;
-    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
-    vm.reset();
-    (void)vm.run(30'000);
+    GuestProcessConfig cfg;
+    GuestProcess proc(bin, cfg);
     uint64_t executed = 0;
     for (auto _ : state) {
-        uint64_t before = vm.stats.guestInsts;
-        auto r = vm.run(10'000);
-        executed += vm.stats.guestInsts - before;
-        if (r.reason != VmStop::StepLimit) {
-            os.reset();
-            vm.reset();
-        }
+        if (proc.state() == ProcState::Blocked)
+            proc.beginService(uint64_t(1) << 32);
+        QuantumResult q = proc.runQuantum(10'000);
+        executed += q.ran;
+        if (proc.state() == ProcState::Crashed)
+            proc.respawn();
     }
     state.SetItemsProcessed(int64_t(executed));
 }

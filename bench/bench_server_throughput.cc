@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Multi-tenant protected-server throughput on the heterogeneous-ISA
+ * CMP: a worker pool serves a synthetic request stream under the
+ * quantum scheduler, once with a clean mix and once with an
+ * attack/malformed mix. The clean run shows the defense is silent on
+ * benign traffic (zero security events, zero migrations); the attack
+ * run shows the full Section 3.5/5.3 machinery — security events,
+ * cross-ISA migrations, crash respawns with fresh randomization —
+ * while the stream is still served to completion.
+ *
+ * Writes BENCH_server_throughput.json containing only
+ * configuration-derived, deterministic fields: it must be
+ * byte-identical for every HIPSTR_JOBS value. (benchMain's host-side
+ * wall-clock summary goes to the separate _host file.)
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "server/protected_server.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+using namespace hipstr;
+using namespace hipstr::bench;
+
+namespace
+{
+
+ServerConfig
+baseConfig()
+{
+    ServerConfig cfg;
+    cfg.workers = benchOptions().smoke ? 8 : 32;
+    cfg.requestCount = benchOptions().smoke ? 200 : 10'000;
+    cfg.seed = 0x5eed;
+    cfg.hipstr.diversificationProbability = 1.0;
+    return cfg;
+}
+
+void
+emitMix(std::ostream &os, const char *key, const ServerConfig &cfg,
+        const ServerReport &r, bool last)
+{
+    os << "  \"" << key << "\": {\n"
+       << "    \"requests\": " << cfg.requestCount << ",\n"
+       << "    \"served\": " << r.requestsServed << ",\n"
+       << "    \"abandoned\": " << r.requestsAbandoned << ",\n"
+       << "    \"rounds\": " << r.rounds << ",\n"
+       << "    \"guest_insts\": " << r.totalGuestInsts << ",\n"
+       << "    \"security_events\": " << r.securityEvents << ",\n"
+       << "    \"migrations\": " << r.migrations << ",\n"
+       << "    \"migrations_routed\": " << r.migrationsRouted << ",\n"
+       << "    \"migrations_denied\": " << r.migrationsDenied << ",\n"
+       << "    \"crashes\": " << r.crashes << ",\n"
+       << "    \"respawns\": " << r.respawns << ",\n"
+       << "    \"checksum_mismatches\": " << r.checksumMismatches
+       << ",\n"
+       << "    \"latency_p50_rounds\": " << r.latency.p50Rounds
+       << ",\n"
+       << "    \"latency_p95_rounds\": " << r.latency.p95Rounds
+       << ",\n"
+       << "    \"req_per_modeled_second\": " << std::fixed
+       << std::setprecision(3) << r.requestsPerModeledSecond
+       << std::defaultfloat << ",\n"
+       << "    \"signature\": \"0x" << std::hex << r.signature
+       << std::dec << "\"\n"
+       << "  }" << (last ? "\n" : ",\n");
+}
+
+void
+runThroughput()
+{
+    std::cout << "\n=== protected-server throughput ===\n";
+    const ServerConfig base = baseConfig();
+    const FatBinary &bin = compiledWorkload("httpd", benchScale(2));
+    std::cout << base.workers << " workers on "
+              << CmpModel(base.cmp).describe() << ", "
+              << base.requestCount << " requests, quantum "
+              << base.sched.quantumInsts << " insts\n";
+
+    // Clean mix: benign traffic only. The defense must be silent.
+    ServerConfig clean = base;
+    ProtectedServer cleanServer(bin, clean);
+    ServerReport cr = cleanServer.run();
+    if (cr.requestsServed != clean.requestCount)
+        hipstr_fatal("clean mix dropped requests: %llu/%llu",
+                     (unsigned long long)cr.requestsServed,
+                     (unsigned long long)clean.requestCount);
+    // Cold first-time returns raise a few security events per worker
+    // (indirect transfers into not-yet-translated blocks), but none
+    // of those benign targets is a migration-safe point, so clean
+    // traffic must never actually migrate — and never crash.
+    if (cr.migrations != 0 || cr.crashes != 0) {
+        hipstr_fatal("clean mix tripped the defense: %llu events, "
+                     "%u migrations, %u crashes",
+                     (unsigned long long)cr.securityEvents,
+                     cr.migrations, cr.crashes);
+    }
+
+    // Attack mix: exploits and worker-killing garbage in the stream.
+    ServerConfig attack = base;
+    attack.mix.attackFrac = 0.05;
+    attack.mix.malformedFrac = 0.05;
+    ProtectedServer attackServer(bin, attack);
+    ServerReport ar = attackServer.run();
+    if (ar.requestsServed != attack.requestCount)
+        hipstr_fatal("attack mix dropped requests: %llu/%llu",
+                     (unsigned long long)ar.requestsServed,
+                     (unsigned long long)attack.requestCount);
+    if (ar.migrations == 0)
+        hipstr_fatal("attack mix produced no cross-ISA migrations");
+    if (ar.crashes == 0 || ar.respawns != ar.crashes)
+        hipstr_fatal("attack mix crash/respawn mismatch: %u/%u",
+                     ar.crashes, ar.respawns);
+    if (ar.checksumMismatches != 0)
+        hipstr_fatal("attack mix corrupted benign output: %u",
+                     ar.checksumMismatches);
+
+    TextTable table({ "Metric", "Clean mix", "Attack mix" });
+    auto u64 = [](uint64_t v) { return std::to_string(v); };
+    table.addRow({ "Requests served", u64(cr.requestsServed),
+                   u64(ar.requestsServed) });
+    table.addRow({ "Scheduler rounds", u64(cr.rounds),
+                   u64(ar.rounds) });
+    table.addRow({ "Security events", u64(cr.securityEvents),
+                   u64(ar.securityEvents) });
+    table.addRow({ "Cross-ISA migrations", u64(cr.migrations),
+                   u64(ar.migrations) });
+    table.addRow({ "Crashes / respawns",
+                   u64(cr.crashes) + "/" + u64(cr.respawns),
+                   u64(ar.crashes) + "/" + u64(ar.respawns) });
+    table.addRow({ "Latency p50/p95 (rounds)",
+                   u64(cr.latency.p50Rounds) + "/" +
+                       u64(cr.latency.p95Rounds),
+                   u64(ar.latency.p50Rounds) + "/" +
+                       u64(ar.latency.p95Rounds) });
+    table.addRow({ "Checksum mismatches",
+                   u64(cr.checksumMismatches),
+                   u64(ar.checksumMismatches) });
+    table.print(std::cout);
+    std::cout << "(attack traffic costs "
+              << formatPercent(
+                     cr.rounds
+                         ? double(ar.rounds) / double(cr.rounds) - 1.0
+                         : 0)
+              << " extra rounds; every crash respawned with fresh "
+                 "randomization and the stream was fully served)\n";
+
+    // Deterministic summary: everything here is a pure function of
+    // the configuration, so the file must not change with
+    // HIPSTR_JOBS. Host wall time lives in the _host JSON instead.
+    std::ofstream json("BENCH_server_throughput.json");
+    json << "{\n"
+         << "  \"bench\": \"server_throughput\",\n"
+         << "  \"smoke\": "
+         << (benchOptions().smoke ? "true" : "false") << ",\n"
+         << "  \"workers\": " << base.workers << ",\n"
+         << "  \"risc_cores\": " << base.cmp.riscCores << ",\n"
+         << "  \"cisc_cores\": " << base.cmp.ciscCores << ",\n"
+         << "  \"quantum_insts\": " << base.sched.quantumInsts
+         << ",\n"
+         << "  \"seed\": " << base.seed << ",\n";
+    emitMix(json, "clean", clean, cr, false);
+    emitMix(json, "attack", attack, ar, true);
+    json << "}\n";
+}
+
+void
+BM_ServerRound(benchmark::State &state)
+{
+    const FatBinary &bin = compiledWorkload("httpd", 1);
+    ServerConfig cfg;
+    cfg.workers = 8;
+    cfg.requestCount = 1; // stream unused; we drive workers directly
+    cfg.verifyOutput = false;
+    ProtectedServer server(bin, cfg);
+
+    // Steady state: every worker permanently busy.
+    CmpScheduler sched(server.cmp(), cfg.sched);
+    for (const auto &w : server.workers()) {
+        w->beginService(uint64_t(1) << 62);
+        sched.notifyReady(w.get());
+    }
+    // The scheduler requeues Ready processes and respawns crashes
+    // itself; with an effectively infinite budget the pool never
+    // drains, so each iteration is one fully loaded round.
+    uint64_t quanta = 0;
+    for (auto _ : state)
+        quanta += sched.round();
+    state.SetItemsProcessed(
+        int64_t(quanta * cfg.sched.quantumInsts));
+}
+
+BENCHMARK(BM_ServerRound);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, "server_throughput_host",
+                     runThroughput);
+}

@@ -1,23 +1,25 @@
 /**
  * @file
- * Protected-server scenario: the httpd-like daemon running under the
- * full HIPStR runtime with the respawn-on-crash behaviour real
- * servers exhibit (Section 5.3). Demonstrates:
+ * Protected-server scenario on the heterogeneous-CMP subsystem: a
+ * pool of httpd-style worker processes served by the quantum
+ * scheduler on a 2 Risc + 2 Cisc machine (Section 3.5 / 5.3).
+ * Demonstrates:
  *
- *  - steady-state service under PSR with migration enabled,
- *  - a crash (as a brute-force attacker would induce) followed by a
- *    respawn with fresh randomization on both ISAs,
- *  - the defense's bookkeeping: relocation-map generations, security
- *    events, migration counts and modeled migration cost.
+ *  - multi-tenant service under PSR with per-process randomization,
+ *  - attack requests raising security events that migrate the worker
+ *    to a core of the other ISA mid-request,
+ *  - malformed requests crashing workers, which the scheduler
+ *    respawns with fresh relocation maps on both ISAs,
+ *  - the defense's bookkeeping: latency, throughput in modeled time,
+ *    migrations, crashes, respawn generations.
  *
  *   ./examples/protected_server
  */
 
 #include <cstdio>
 
-#include "binary/loader.hh"
 #include "compiler/compile.hh"
-#include "hipstr/runtime.hh"
+#include "server/protected_server.hh"
 #include "workloads/workloads.hh"
 
 using namespace hipstr;
@@ -29,61 +31,64 @@ main()
     wcfg.scale = 2;
     FatBinary bin = compileModule(buildWorkload("httpd", wcfg));
 
-    Memory mem;
-    loadFatBinary(bin, mem);
-    GuestOs os;
+    ServerConfig cfg;
+    cfg.workers = 8;
+    cfg.requestCount = 400;
+    cfg.mix.attackFrac = 0.05;    // ~5% exploit attempts
+    cfg.mix.malformedFrac = 0.05; // ~5% worker-killing garbage
+    cfg.hipstr.diversificationProbability = 1.0;
 
-    HipstrConfig cfg;
-    cfg.diversificationProbability = 1.0;
-    cfg.phaseIntervalInsts = 50'000; // energy/perf-driven switches
-    HipstrRuntime server(bin, mem, os, cfg);
+    std::printf("protected server: %u workers on %s, %llu requests "
+                "(5%% attacks, 5%% malformed)\n",
+                cfg.workers, CmpModel(cfg.cmp).describe().c_str(),
+                static_cast<unsigned long long>(cfg.requestCount));
 
-    std::printf("serving requests under HIPStR "
-                "(phase migrations every %llu insts)...\n",
-                static_cast<unsigned long long>(
-                    cfg.phaseIntervalInsts));
+    ProtectedServer server(bin, cfg);
+    ServerReport r = server.run();
 
-    for (unsigned respawn = 0; respawn < 3; ++respawn) {
-        os.reset();
-        server.reset();
-        HipstrRunSummary s = server.run(100'000'000);
+    std::printf(
+        "served %llu/%llu requests in %llu rounds "
+        "(%.1f req/modeled-second)\n",
+        static_cast<unsigned long long>(r.requestsServed),
+        static_cast<unsigned long long>(cfg.requestCount),
+        static_cast<unsigned long long>(r.rounds),
+        r.requestsPerModeledSecond);
+    std::printf("  latency: mean %.1f rounds, p50 %llu, p95 %llu, "
+                "max %llu\n",
+                r.latency.meanRounds,
+                static_cast<unsigned long long>(r.latency.p50Rounds),
+                static_cast<unsigned long long>(r.latency.p95Rounds),
+                static_cast<unsigned long long>(r.latency.maxRounds));
+    std::printf(
+        "  defense: %llu security events -> %u migrations "
+        "(%u routed to other-ISA cores), %u denied\n",
+        static_cast<unsigned long long>(r.securityEvents),
+        r.migrations, r.migrationsRouted, r.migrationsDenied);
+    std::printf("  crashes: %u, respawns with fresh randomization: "
+                "%u (Section 5.3)\n",
+                r.crashes, r.respawns);
+    std::printf("  integrity: %u program completions verified, %u "
+                "checksum mismatches\n",
+                r.programsCompleted, r.checksumMismatches);
 
+    std::printf("per-worker generations after the run:\n");
+    for (const auto &w : server.workers()) {
         std::printf(
-            "worker %u: %s after %llu insts, exit=%u\n", respawn,
-            vmStopName(s.reason),
-            static_cast<unsigned long long>(s.totalGuestInsts),
-            os.exitCode());
-        std::printf(
-            "  migrations: %u (modeled cost %.1f us total), "
-            "risc/cisc split %llu/%llu\n",
-            s.migrations, s.migrationMicroseconds,
-            static_cast<unsigned long long>(s.guestInstsPerIsa[0]),
-            static_cast<unsigned long long>(s.guestInstsPerIsa[1]));
-        for (IsaKind isa : kAllIsas) {
-            const VmStats &st = server.vm(isa).stats;
-            std::printf(
-                "  %-4s vm: gen %llu, %llu translations, %llu "
-                "security events, RAT %llu/%llu hit/miss\n",
-                isaName(isa),
-                static_cast<unsigned long long>(
-                    server.vm(isa).randomizer().generation()),
-                static_cast<unsigned long long>(st.translations),
-                static_cast<unsigned long long>(st.securityEvents),
-                static_cast<unsigned long long>(st.ratHits),
-                static_cast<unsigned long long>(st.ratMisses));
-        }
-
-        // Simulate the crash a brute-force probe causes; the parent
-        // respawns the worker, and the PSR VMs re-randomize — every
-        // attempt faces fresh relocation maps on both ISAs.
-        std::printf("  [attacker probe crashes the worker; parent "
-                    "respawns it with fresh randomization]\n");
-        for (IsaKind isa : kAllIsas)
-            server.vm(isa).reRandomize();
+            "  pid %-2u %-8s isa=%-4s respawns=%u gen(risc/cisc)="
+            "%llu/%llu insts=%llu\n",
+            w->pid(), procStateName(w->state()), isaName(w->isa()),
+            w->respawnCount(),
+            static_cast<unsigned long long>(
+                w->runtime().vm(IsaKind::Risc).randomizer()
+                    .generation()),
+            static_cast<unsigned long long>(
+                w->runtime().vm(IsaKind::Cisc).randomizer()
+                    .generation()),
+            static_cast<unsigned long long>(w->stats().guestInsts));
     }
 
-    std::printf("done: three generations served; each respawn "
-                "presented the attacker with a re-randomized code "
-                "cache on both ISAs (Section 5.3)\n");
+    std::printf("done: every crash handed the attacker a "
+                "re-randomized worker; every security event moved "
+                "the victim across the ISA boundary\n");
     return 0;
 }

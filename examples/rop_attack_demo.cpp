@@ -192,6 +192,7 @@ main()
         PsrVm &vm = runtime.vm(runtime.currentIsa());
         injectPayload(*plan, mem, vm.state);
         vm.state.pc = plan->gadget;
+        runtime.rearm(); // the hijacked guest is resumed on purpose
         uint64_t events_before = vm.stats.securityEvents;
         HipstrRunSummary s = runtime.run(10'000);
         std::printf("  attack DEFEATED: stop=%s, +%llu security "

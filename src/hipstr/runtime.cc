@@ -1,5 +1,7 @@
 #include "runtime.hh"
 
+#include <algorithm>
+
 #include "migration/safety.hh"
 #include "support/logging.hh"
 
@@ -26,14 +28,18 @@ HipstrRuntime::reset()
 {
     _current = _cfg.startIsa;
     cur().reset();
+    _acc = HipstrRunSummary{};
+    _terminal = false;
+    _logNext = 0;
+    _suppressNextEvent = false;
 }
 
 void
-HipstrRuntime::installHook(HipstrRunSummary &summary)
+HipstrRuntime::installHook()
 {
     PsrVm &v = cur();
     IsaKind isa = _current;
-    v.securityEventHook = [this, isa, &summary](Addr target) {
+    v.securityEventHook = [this, isa](Addr target) {
         if (_suppressNextEvent) {
             _suppressNextEvent = false;
             return false;
@@ -44,7 +50,7 @@ HipstrRuntime::installHook(HipstrRunSummary &summary)
             return false;
         if (!isMigrationPoint(_bin, isa, target,
                               MigrationSafety::OnDemandSafe)) {
-            ++summary.migrationsDenied;
+            ++_acc.migrationsDenied;
             return false;
         }
         return true;
@@ -52,13 +58,35 @@ HipstrRuntime::installHook(HipstrRunSummary &summary)
     other().securityEventHook = nullptr;
 }
 
-HipstrRunSummary
-HipstrRuntime::run(uint64_t max_guest_insts)
+void
+HipstrRuntime::recordMigration(const MigrationOutcome &mo)
 {
-    HipstrRunSummary summary;
-    uint64_t executed = 0;
-    // The hooks installed below capture `summary`; they must never
-    // outlive this frame.
+    ++_acc.migrations;
+    _acc.migrationMicroseconds += mo.microseconds;
+    const uint32_t cap = _cfg.migrationLogCap;
+    if (cap == 0) {
+        ++_acc.migrationLogDropped;
+        return;
+    }
+    if (_acc.migrationLog.size() < cap) {
+        _acc.migrationLog.push_back(mo);
+    } else {
+        _acc.migrationLog[_logNext] = mo;
+        _logNext = (_logNext + 1) % cap;
+        ++_acc.migrationLogDropped;
+    }
+}
+
+QuantumResult
+HipstrRuntime::runQuantum(uint64_t budget, bool stop_after_migration)
+{
+    hipstr_assert(!_terminal &&
+                  "HipstrRuntime: run after terminal stop without "
+                  "reset()");
+    QuantumResult q;
+    // The hooks installed below reference this runtime; clear them on
+    // every exit path so a later direct PsrVm::run() by the caller
+    // never sees a stale policy hook.
     struct HookGuard
     {
         HipstrRuntime *rt;
@@ -69,21 +97,20 @@ HipstrRuntime::run(uint64_t max_guest_insts)
         }
     } guard{ this };
 
-    while (executed < max_guest_insts) {
-        installHook(summary);
+    while (q.ran < budget) {
+        installHook();
         PsrVm &v = cur();
         uint64_t before = v.stats.guestInsts;
 
-        uint64_t budget = max_guest_insts - executed;
+        uint64_t slice = budget - q.ran;
         if (_cfg.phaseIntervalInsts > 0)
-            budget = std::min(budget, _cfg.phaseIntervalInsts);
+            slice = std::min(slice, _cfg.phaseIntervalInsts);
 
-        VmRunResult res = v.run(budget);
+        VmRunResult res = v.run(slice);
         uint64_t ran = v.stats.guestInsts - before;
-        executed += ran;
-        summary.totalGuestInsts += ran;
-        summary.guestInstsPerIsa[static_cast<size_t>(_current)] +=
-            ran;
+        q.ran += ran;
+        _acc.totalGuestInsts += ran;
+        _acc.guestInstsPerIsa[static_cast<size_t>(_current)] += ran;
 
         switch (res.reason) {
           case VmStop::Exited:
@@ -91,22 +118,31 @@ HipstrRuntime::run(uint64_t max_guest_insts)
           case VmStop::Fault:
           case VmStop::BadInst:
           case VmStop::SfiViolation:
-            summary.reason = res.reason;
-            summary.stopPc = res.stopPc;
-            return summary;
+            _terminal = true;
+            q.reason = res.reason;
+            q.stopPc = res.stopPc;
+            _acc.reason = res.reason;
+            _acc.stopPc = res.stopPc;
+            return q;
 
           case VmStop::MigrationRequested: {
             MigrationOutcome mo =
                 _engine.migrate(cur(), other(), res.migrationTarget);
             if (mo.ok) {
-                ++summary.migrations;
-                summary.migrationMicroseconds += mo.microseconds;
-                summary.migrationLog.push_back(mo);
+                recordMigration(mo);
                 _current = otherIsa(_current);
+                q.migrated = true;
+                if (stop_after_migration) {
+                    q.reason = VmStop::MigrationRequested;
+                    q.stopPc = cur().state.pc;
+                    _acc.reason = q.reason;
+                    _acc.stopPc = q.stopPc;
+                    return q;
+                }
             } else {
                 // Continue on the source ISA; suppress the repeat
                 // event the retry will raise for the same target.
-                ++summary.migrationsDenied;
+                ++_acc.migrationsDenied;
                 _suppressNextEvent = true;
                 cur().state.pc = res.migrationTarget;
             }
@@ -114,11 +150,8 @@ HipstrRuntime::run(uint64_t max_guest_insts)
           }
 
           case VmStop::StepLimit: {
-            if (executed >= max_guest_insts) {
-                summary.reason = VmStop::StepLimit;
-                summary.stopPc = res.stopPc;
-                return summary;
-            }
+            if (q.ran >= budget)
+                break; // quantum exhausted; fall out of the loop
             // Phase-change boundary: migrate if the current point
             // allows it (performance-driven migration).
             if (_cfg.phaseIntervalInsts > 0 &&
@@ -127,11 +160,16 @@ HipstrRuntime::run(uint64_t max_guest_insts)
                 MigrationOutcome mo = _engine.migrate(
                     cur(), other(), cur().state.pc);
                 if (mo.ok) {
-                    ++summary.migrations;
-                    summary.migrationMicroseconds +=
-                        mo.microseconds;
-                    summary.migrationLog.push_back(mo);
+                    recordMigration(mo);
                     _current = otherIsa(_current);
+                    q.migrated = true;
+                    if (stop_after_migration) {
+                        q.reason = VmStop::MigrationRequested;
+                        q.stopPc = cur().state.pc;
+                        _acc.reason = q.reason;
+                        _acc.stopPc = q.stopPc;
+                        return q;
+                    }
                 }
             }
             break;
@@ -139,8 +177,36 @@ HipstrRuntime::run(uint64_t max_guest_insts)
         }
     }
 
-    summary.reason = VmStop::StepLimit;
-    return summary;
+    q.reason = VmStop::StepLimit;
+    q.stopPc = cur().state.pc;
+    _acc.reason = q.reason;
+    _acc.stopPc = q.stopPc;
+    return q;
+}
+
+HipstrRunSummary
+HipstrRuntime::run(uint64_t max_guest_insts)
+{
+    const HipstrRunSummary before = _acc;
+    QuantumResult q =
+        runQuantum(max_guest_insts, /*stop_after_migration=*/false);
+
+    HipstrRunSummary delta;
+    delta.reason = q.reason;
+    delta.stopPc = q.stopPc;
+    delta.totalGuestInsts =
+        _acc.totalGuestInsts - before.totalGuestInsts;
+    for (size_t i = 0; i < kNumIsas; ++i)
+        delta.guestInstsPerIsa[i] =
+            _acc.guestInstsPerIsa[i] - before.guestInstsPerIsa[i];
+    delta.migrations = _acc.migrations - before.migrations;
+    delta.migrationsDenied =
+        _acc.migrationsDenied - before.migrationsDenied;
+    delta.migrationMicroseconds =
+        _acc.migrationMicroseconds - before.migrationMicroseconds;
+    delta.migrationLogDropped =
+        _acc.migrationLogDropped - before.migrationLogDropped;
+    return delta;
 }
 
 MigrationOutcome

@@ -44,6 +44,17 @@ struct HipstrConfig
      */
     uint64_t phaseIntervalInsts = 0;
 
+    /**
+     * Retain at most this many MigrationOutcome records in
+     * HipstrRunSummary::migrationLog, as a ring of the most recent
+     * migrations. 0 (the default) disables the log entirely: a
+     * long-lived server worker migrates an unbounded number of times
+     * and must not grow memory per migration. Migrations evicted from
+     * (or never admitted to) the ring are counted in
+     * migrationLogDropped.
+     */
+    uint32_t migrationLogCap = 0;
+
     IsaKind startIsa = IsaKind::Cisc;
     uint64_t policySeed = 0x715;
 };
@@ -58,31 +69,109 @@ struct HipstrRunSummary
     uint32_t migrations = 0;
     uint32_t migrationsDenied = 0; ///< policy fired but unsafe point
     double migrationMicroseconds = 0;
+    /**
+     * Most recent migrations, bounded by HipstrConfig::migrationLogCap
+     * (empty unless the cap is set). The cumulative summary() carries
+     * the ring; the per-call deltas returned by run() leave it empty.
+     */
     std::vector<MigrationOutcome> migrationLog;
+    /** Migrations not retained in migrationLog (cap 0 or evicted). */
+    uint64_t migrationLogDropped = 0;
 };
 
-/** The dual-ISA protected execution environment. */
+/**
+ * Outcome of one scheduling quantum (runQuantum). `reason` is the
+ * event that ended the slice: StepLimit (budget exhausted — the
+ * process stays Ready), MigrationRequested (a cross-ISA migration
+ * succeeded and the caller should reschedule onto the other ISA), or
+ * a terminal stop (Exited / Halted / Fault / BadInst / SfiViolation).
+ */
+struct QuantumResult
+{
+    VmStop reason = VmStop::StepLimit;
+    Addr stopPc = 0;
+    uint64_t ran = 0;      ///< guest instructions executed this slice
+    bool migrated = false; ///< at least one ISA switch this slice
+};
+
+/**
+ * The dual-ISA protected execution environment.
+ *
+ * Accounting model: the runtime owns one cumulative HipstrRunSummary
+ * (summary()) that accrues across any mix of run() and runQuantum()
+ * calls until reset(). run() additionally returns the *delta* summary
+ * of just that call, which is what one-shot experiments historically
+ * consumed. After a terminal stop (anything but StepLimit /
+ * MigrationRequested) the program is finished(); calling run() or
+ * runQuantum() again without reset() is a programming error and
+ * asserts.
+ */
 class HipstrRuntime
 {
   public:
     HipstrRuntime(const FatBinary &bin, Memory &mem, GuestOs &os,
                   const HipstrConfig &cfg);
 
-    /** Reset guest state to the program entry on the start ISA. */
+    /**
+     * Reset guest state to the program entry on the start ISA and
+     * clear the cumulative summary. Code caches, RATs, and relocation
+     * maps are untouched (a warm restart, as for an httpd worker
+     * serving its next request); use PsrVm::reRandomize() on the VMs
+     * first for a Section 5.3 respawn.
+     */
     void reset();
 
-    /** Run to completion or @p max_guest_insts. */
+    /**
+     * Run to completion or @p max_guest_insts more instructions,
+     * resuming from wherever the previous run()/runQuantum() left
+     * off. Returns the delta summary for this call only (its
+     * migrationLog is always empty — see summary() for the cumulative
+     * ring). Asserts if the program already finished().
+     */
     HipstrRunSummary run(uint64_t max_guest_insts);
+
+    /**
+     * Run one scheduling quantum of at most @p budget guest
+     * instructions, preserving cumulative accounting in summary().
+     * With @p stop_after_migration (the default, what a CMP scheduler
+     * wants) the slice also ends as soon as a cross-ISA migration
+     * succeeds, so the caller can requeue the process onto a core of
+     * the other ISA; otherwise migrations are transparent and only
+     * the budget or a terminal stop ends the slice.
+     * Asserts if the program already finished().
+     */
+    QuantumResult runQuantum(uint64_t budget,
+                             bool stop_after_migration = true);
+
+    /** Cumulative accounting since the last reset(). */
+    const HipstrRunSummary &summary() const { return _acc; }
+
+    /** True after a terminal stop; reset() clears it. */
+    bool finished() const { return _terminal; }
+
+    /**
+     * Clear the finished() latch without touching guest state or
+     * accounting. Attack experiments hijack a stopped guest — write
+     * a payload, point state.pc at a gadget — and resume it; that
+     * deliberate resurrection must be explicit so an accidental
+     * run-after-exit still asserts.
+     */
+    void rearm() { _terminal = false; }
 
     /**
      * Force one migration at the next migration-safe equivalence
      * point (used by the Figure 12 checkpoint experiment). Runs at
      * most @p search_budget further instructions looking for a safe
-     * point.
+     * point. Not reflected in summary() — callers consume the
+     * returned MigrationOutcome directly.
      */
     MigrationOutcome forceMigration(uint64_t search_budget = 500'000);
 
     PsrVm &vm(IsaKind isa)
+    {
+        return *_vms[static_cast<size_t>(isa)];
+    }
+    const PsrVm &vm(IsaKind isa) const
     {
         return *_vms[static_cast<size_t>(isa)];
     }
@@ -96,7 +185,8 @@ class HipstrRuntime
     {
         return *_vms[static_cast<size_t>(otherIsa(_current))];
     }
-    void installHook(HipstrRunSummary &summary);
+    void installHook();
+    void recordMigration(const MigrationOutcome &mo);
 
     const FatBinary &_bin;
     Memory &_mem;
@@ -106,6 +196,10 @@ class HipstrRuntime
     IsaKind _current;
     Rng _policy;
     bool _suppressNextEvent = false;
+
+    HipstrRunSummary _acc; ///< cumulative since reset()
+    bool _terminal = false;
+    size_t _logNext = 0; ///< ring cursor into _acc.migrationLog
 };
 
 } // namespace hipstr

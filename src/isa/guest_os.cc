@@ -5,6 +5,32 @@
 namespace hipstr
 {
 
+void
+GuestOs::emit(uint8_t b)
+{
+    _outputHash ^= b;
+    _outputHash *= 0x100000001b3ull;
+    ++_totalOutputBytes;
+    _output.push_back(b);
+    // Amortized trim: let the buffer run to twice the cap, then drop
+    // the oldest bytes in one erase. The retained window is a pure
+    // function of (stream, cap) — never of when callers observed it.
+    if (_outputCap != 0 && _output.size() > 2 * _outputCap) {
+        _output.erase(_output.begin(),
+                      _output.begin() +
+                          static_cast<std::ptrdiff_t>(_output.size() -
+                                                      _outputCap));
+    }
+}
+
+std::vector<uint8_t>
+GuestOs::drainOutput()
+{
+    std::vector<uint8_t> drained = std::move(_output);
+    _output.clear();
+    return drained;
+}
+
 bool
 GuestOs::handleSyscall(MachineState &state, Memory &mem)
 {
@@ -23,20 +49,20 @@ GuestOs::handleSyscall(MachineState &state, Memory &mem)
       case SyscallNo::WriteBuf: {
         uint32_t len = a2 > 4096 ? 4096 : a2;
         for (uint32_t i = 0; i < len; ++i)
-            _output.push_back(mem.read8(a1 + i));
-        _output.push_back(static_cast<uint8_t>(a3));
+            emit(mem.read8(a1 + i));
+        emit(static_cast<uint8_t>(a3));
         state.setReg(desc.retReg, len);
         return true;
       }
       case SyscallNo::WriteByte:
-        _output.push_back(static_cast<uint8_t>(a1));
+        emit(static_cast<uint8_t>(a1));
         state.setReg(desc.retReg, 1);
         return true;
       case SyscallNo::WriteWord:
-        _output.push_back(static_cast<uint8_t>(a1));
-        _output.push_back(static_cast<uint8_t>(a1 >> 8));
-        _output.push_back(static_cast<uint8_t>(a1 >> 16));
-        _output.push_back(static_cast<uint8_t>(a1 >> 24));
+        emit(static_cast<uint8_t>(a1));
+        emit(static_cast<uint8_t>(a1 >> 8));
+        emit(static_cast<uint8_t>(a1 >> 16));
+        emit(static_cast<uint8_t>(a1 >> 24));
         state.setReg(desc.retReg, 4);
         return true;
       case SyscallNo::Brk: {
@@ -90,21 +116,12 @@ GuestOs::handleSyscall(MachineState &state, Memory &mem)
     }
 }
 
-uint64_t
-GuestOs::outputChecksum() const
-{
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (uint8_t b : _output) {
-        h ^= b;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
 void
 GuestOs::reset()
 {
     _output.clear();
+    _outputHash = 0xcbf29ce484222325ull;
+    _totalOutputBytes = 0;
     _exited = false;
     _exitCode = 0;
     _execveFired = false;

@@ -26,6 +26,13 @@ namespace hipstr
  * Program output (WriteByte/WriteWord) is accumulated and checksummed;
  * the VM-equivalence tests compare these checksums between native and
  * PSR execution.
+ *
+ * Long-lived guests (the server subsystem's worker processes) would
+ * grow the retained output without bound, so the checksum is folded
+ * incrementally on every emitted byte: outputChecksum() covers the
+ * full stream ever written, while the retained buffer can be bounded
+ * with setOutputCap() and emptied with drainOutput() without
+ * disturbing the checksum.
  */
 class GuestOs
 {
@@ -39,11 +46,36 @@ class GuestOs
      */
     bool handleSyscall(MachineState &state, Memory &mem);
 
-    /** Raw output stream written via WriteByte/WriteWord. */
+    /**
+     * Retained output written via WriteByte/WriteWord/WriteBuf. With a
+     * cap set this is a bounded tail of the stream (oldest bytes are
+     * dropped once the retained size would exceed the cap).
+     */
     const std::vector<uint8_t> &output() const { return _output; }
 
-    /** FNV-1a checksum of the output stream. */
-    uint64_t outputChecksum() const;
+    /**
+     * FNV-1a checksum of the complete output stream since the last
+     * reset() — independent of the retention cap and of drains.
+     */
+    uint64_t outputChecksum() const { return _outputHash; }
+
+    /** Bytes written since the last reset(), capped or not. */
+    uint64_t totalOutputBytes() const { return _totalOutputBytes; }
+
+    /**
+     * Bound the retained output buffer to @p cap bytes (0 = unlimited,
+     * the default). The checksum and total-byte accounting are
+     * unaffected; only retention is.
+     */
+    void setOutputCap(size_t cap) { _outputCap = cap; }
+    size_t outputCap() const { return _outputCap; }
+
+    /**
+     * Move the retained output out, leaving it empty. Checksum and
+     * totals are preserved — a server can drain each worker's output
+     * after every request and still verify the whole-run checksum.
+     */
+    std::vector<uint8_t> drainOutput();
 
     bool exited() const { return _exited; }
     uint32_t exitCode() const { return _exitCode; }
@@ -71,8 +103,14 @@ class GuestOs
     }
 
   private:
+    /** Append one output byte: fold the checksum, honor the cap. */
+    void emit(uint8_t b);
+
     bool _redirected = false;
     std::vector<uint8_t> _output;
+    size_t _outputCap = 0; ///< retained-bytes cap; 0 = unlimited
+    uint64_t _outputHash = 0xcbf29ce484222325ull; ///< FNV-1a running
+    uint64_t _totalOutputBytes = 0;
     bool _exited = false;
     uint32_t _exitCode = 0;
     bool _execveFired = false;

@@ -249,4 +249,11 @@ Memory::rawReadBytes(Addr addr, uint8_t *dst, size_t len) const
     std::memcpy(dst, &_bytes[addr], len);
 }
 
+void
+Memory::zeroRange(Addr base, uint32_t len)
+{
+    hipstr_assert(static_cast<uint64_t>(base) + len <= _bytes.size());
+    std::memset(&_bytes[base], 0, len);
+}
+
 } // namespace hipstr

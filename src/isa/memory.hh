@@ -144,6 +144,14 @@ class Memory
     void rawWriteBytes(Addr addr, const uint8_t *src, size_t len);
     void rawReadBytes(Addr addr, uint8_t *dst, size_t len) const;
 
+    /**
+     * Zero [base, base+len) without permission checks. Used when a
+     * crashed worker process respawns: its data/heap/stack image is
+     * wiped before the fat binary is reloaded, so the new generation
+     * starts from a pristine address space.
+     */
+    void zeroRange(Addr base, uint32_t len);
+
     /** Direct pointer into the backing store (attacker disclosures). */
     const uint8_t *data() const { return _bytes.data(); }
     uint32_t size() const { return static_cast<uint32_t>(_bytes.size()); }

@@ -1,0 +1,43 @@
+#include "cmp_model.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+CmpModel::CmpModel(const CmpConfig &cfg) : _cfg(cfg)
+{
+    hipstr_assert(cfg.riscCores + cfg.ciscCores > 0);
+    unsigned id = 0;
+    for (unsigned i = 0; i < cfg.riscCores; ++i)
+        _cores.push_back(CmpCore{ id++, IsaKind::Risc });
+    for (unsigned i = 0; i < cfg.ciscCores; ++i)
+        _cores.push_back(CmpCore{ id++, IsaKind::Cisc });
+    _count[static_cast<size_t>(IsaKind::Risc)] = cfg.riscCores;
+    _count[static_cast<size_t>(IsaKind::Cisc)] = cfg.ciscCores;
+}
+
+double
+CmpModel::instsPerSecond(IsaKind isa) const
+{
+    const CoreConfig &cc = coreConfig(isa);
+    return cc.baseIpc * cc.freqGhz * 1e9;
+}
+
+double
+CmpModel::aggregateInstsPerSecond() const
+{
+    double total = 0;
+    for (const CmpCore &core : _cores)
+        total += instsPerSecond(core.isa);
+    return total;
+}
+
+std::string
+CmpModel::describe() const
+{
+    return std::to_string(_cfg.riscCores) + "xRisc + " +
+        std::to_string(_cfg.ciscCores) + "xCisc";
+}
+
+} // namespace hipstr

@@ -1,0 +1,322 @@
+#include "guest_process.hh"
+
+#include <algorithm>
+
+#include "binary/loader.hh"
+#include "isa/codec.hh"
+#include "migration/safety.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** Scratch area for staged hijacks, inside the guest stack region. */
+constexpr Addr kHijackSp = layout::kStackTop - 0x8000;
+
+} // namespace
+
+const char *
+procStateName(ProcState s)
+{
+    switch (s) {
+      case ProcState::Ready: return "Ready";
+      case ProcState::Running: return "Running";
+      case ProcState::Blocked: return "Blocked";
+      case ProcState::Crashed: return "Crashed";
+      case ProcState::Exited: return "Exited";
+    }
+    return "?";
+}
+
+GuestProcess::GuestProcess(const FatBinary &bin,
+                           const GuestProcessConfig &cfg)
+    : _bin(bin), _cfg(cfg)
+{
+    loadFatBinary(bin, _mem);
+    _os.setOutputCap(cfg.outputCap);
+
+    HipstrConfig hcfg = cfg.hipstr;
+    // Independent, reproducible randomness per process: the PSR and
+    // policy streams are SplitMix64 folds of (seed, pid). Respawns
+    // advance the randomizer generation on top of this base seed.
+    uint64_t s = cfg.seed + 0x9e3779b97f4a7c15ull * (cfg.pid + 1);
+    hcfg.psr.seed = splitMix64(s);
+    hcfg.policySeed = splitMix64(s);
+    if (cfg.alternateStartIsa && (cfg.pid & 1))
+        hcfg.startIsa = otherIsa(hcfg.startIsa);
+
+    _runtime = std::make_unique<HipstrRuntime>(bin, _mem, _os, hcfg);
+    _runtime->reset();
+}
+
+void
+GuestProcess::beginService(uint64_t insts)
+{
+    hipstr_assert(_state == ProcState::Blocked);
+    hipstr_assert(insts > 0);
+    _serviceRemaining = insts;
+    _state = ProcState::Ready;
+}
+
+QuantumResult
+GuestProcess::runQuantum(uint64_t maxInsts)
+{
+    hipstr_assert(_state == ProcState::Ready);
+    _state = ProcState::Running;
+    ++_stats.quanta;
+
+    uint64_t slice = std::min(maxInsts, _serviceRemaining);
+    QuantumResult q = _runtime->runQuantum(slice);
+    _serviceRemaining -= std::min<uint64_t>(q.ran, _serviceRemaining);
+    _lastMigrated = q.migrated;
+
+    switch (q.reason) {
+      case VmStop::Exited:
+      case VmStop::Halted:
+        ++_stats.programsCompleted;
+        if (_haveExpected && !_tainted &&
+            _os.outputChecksum() != _expectedChecksum) {
+            ++_stats.checksumMismatches;
+        }
+        if (_cfg.restartOnExit) {
+            restartProgram();
+            _state = _serviceRemaining > 0 ? ProcState::Ready
+                                           : ProcState::Blocked;
+        } else {
+            _state = ProcState::Exited;
+        }
+        break;
+
+      case VmStop::Fault:
+      case VmStop::BadInst:
+      case VmStop::SfiViolation:
+        ++_stats.crashes;
+        _state = ProcState::Crashed;
+        break;
+
+      case VmStop::MigrationRequested:
+        // The runtime already switched VMs; the scheduler must requeue
+        // us onto a core of the new isa().
+        _state = _serviceRemaining > 0 ? ProcState::Ready
+                                       : ProcState::Blocked;
+        break;
+
+      case VmStop::StepLimit:
+        _state = _serviceRemaining > 0 ? ProcState::Ready
+                                       : ProcState::Blocked;
+        break;
+    }
+    return q;
+}
+
+void
+GuestProcess::respawn()
+{
+    hipstr_assert(_state == ProcState::Crashed);
+    foldSummary();
+    ++_stats.respawns;
+
+    // Pristine address space: wipe everything mutable (data, heap,
+    // stack) and reload the image. The VM cache regions are rebuilt
+    // by reRandomize()'s flush.
+    _mem.zeroRange(layout::kDataBase,
+                   layout::kStackTop - layout::kDataBase);
+    loadFatBinary(_bin, _mem);
+    _os.reset();
+    for (IsaKind isa : kAllIsas)
+        _runtime->vm(isa).reRandomize();
+    _runtime->reset();
+    _tainted = false;
+    _state = _serviceRemaining > 0 ? ProcState::Ready
+                                   : ProcState::Blocked;
+}
+
+void
+GuestProcess::restartProgram()
+{
+    foldSummary();
+    _os.reset();
+    _runtime->reset();
+    _tainted = false;
+}
+
+void
+GuestProcess::foldSummary()
+{
+    const HipstrRunSummary &s = _runtime->summary();
+    _stats.guestInsts += s.totalGuestInsts;
+    for (size_t i = 0; i < kNumIsas; ++i)
+        _stats.guestInstsPerIsa[i] += s.guestInstsPerIsa[i];
+    _stats.migrations += s.migrations;
+    _stats.migrationsDenied += s.migrationsDenied;
+    // foldSummary runs immediately before the GuestOs reset that
+    // starts the next program generation, so each generation's bytes
+    // are accrued exactly once.
+    _stats.outputBytes += _os.totalOutputBytes();
+}
+
+GuestProcessStats
+GuestProcess::stats() const
+{
+    GuestProcessStats out = _stats;
+    const HipstrRunSummary &s = _runtime->summary();
+    out.guestInsts += s.totalGuestInsts;
+    for (size_t i = 0; i < kNumIsas; ++i)
+        out.guestInstsPerIsa[i] += s.guestInstsPerIsa[i];
+    out.migrations += s.migrations;
+    out.migrationsDenied += s.migrationsDenied;
+    out.outputBytes += _os.totalOutputBytes();
+    return out;
+}
+
+uint64_t
+GuestProcess::securityEvents() const
+{
+    uint64_t total = 0;
+    for (IsaKind isa : kAllIsas) {
+        const HipstrRuntime &rt = *_runtime;
+        total += rt.vm(isa).stats.securityEvents;
+    }
+    return total;
+}
+
+uint64_t
+GuestProcess::statsSignature() const
+{
+    GuestProcessStats s = stats();
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto fold = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    fold(_cfg.pid);
+    fold(s.guestInsts);
+    fold(s.guestInstsPerIsa[0]);
+    fold(s.guestInstsPerIsa[1]);
+    fold(s.quanta);
+    fold(s.migrations);
+    fold(s.migrationsDenied);
+    fold(s.crashes);
+    fold(s.respawns);
+    fold(s.programsCompleted);
+    fold(s.checksumMismatches);
+    fold(securityEvents());
+    fold(_os.outputChecksum());
+    fold(s.outputBytes);
+    return h;
+}
+
+Addr
+GuestProcess::findRetAddr(const FuncInfo &fi) const
+{
+    Addr pc = fi.entry;
+    const Addr end = fi.entry + fi.codeSize;
+    MachInst mi;
+    while (pc < end && decodeInst(isa(), _mem, pc, mi)) {
+        if (mi.op == Op::Ret)
+            return pc;
+        pc += mi.size;
+    }
+    return 0;
+}
+
+bool
+GuestProcess::stageHijack(Addr target, bool build_frame,
+                          uint32_t frame_func)
+{
+    const IsaKind cur = isa();
+    PsrVm &vm = _runtime->vm(cur);
+
+    // A one-instruction "ret gadget": dispatching it pops our planted
+    // word off the stack, exactly the control-transfer primitive a
+    // real stack smash yields.
+    const FuncInfo *gadget_func = nullptr;
+    Addr ret_at = 0;
+    for (const FuncInfo &fi : _bin.funcsFor(cur)) {
+        ret_at = findRetAddr(fi);
+        if (ret_at != 0) {
+            gadget_func = &fi;
+            break;
+        }
+    }
+    if (gadget_func == nullptr)
+        return false;
+
+    _mem.rawWrite32(kHijackSp, target);
+    if (build_frame) {
+        // The word above the planted return is where execution lands:
+        // give the migration engine a coherent single frame for the
+        // target's function — zeroed locals and the outermost-frame
+        // sentinel in the (randomized) return-address slot — so the
+        // cross-ISA stack transformation can genuinely run.
+        const RelocationMap &map =
+            vm.randomizer().mapFor(frame_func);
+        const FuncInfo &fi = _bin.funcInfo(cur, frame_func);
+        const Addr frame_base = kHijackSp + 4;
+        _mem.zeroRange(frame_base, map.newFrameSize + 64);
+        _mem.rawWrite32(frame_base + map.mapSlot(fi.raSlot),
+                        _bin.startRetAddr[static_cast<size_t>(cur)]);
+    }
+    vm.state.setSp(kHijackSp);
+    vm.state.pc = ret_at;
+    _tainted = true;
+    ++_stats.probesStaged;
+    return true;
+}
+
+bool
+GuestProcess::injectAttackProbe(uint64_t nonce)
+{
+    hipstr_assert(_state == ProcState::Ready);
+    const IsaKind cur = isa();
+    PsrVm &vm = _runtime->vm(cur);
+
+    // Candidate landing sites: cold (not yet translated — the ret
+    // into them misses the code cache and raises the security event),
+    // migration-safe block starts that are not function entries and
+    // not post-call resume points (segment 0 blocks are never Return
+    // Address Table keys, so the RAT cannot swallow the event).
+    struct Candidate
+    {
+        uint32_t funcId;
+        Addr addr;
+    };
+    std::vector<Candidate> candidates;
+    for (const FuncInfo &fi : _bin.funcsFor(cur)) {
+        for (const MachBlockInfo &b : fi.blocks) {
+            if (b.segment != 0 || b.start == fi.entry)
+                continue;
+            if (vm.codeCache().lookup(b.start) != nullptr)
+                continue;
+            if (!isMigrationPoint(_bin, cur, b.start,
+                                  MigrationSafety::OnDemandSafe))
+                continue;
+            candidates.push_back(Candidate{ fi.funcId, b.start });
+        }
+    }
+    if (candidates.empty())
+        return false;
+
+    const Candidate &c =
+        candidates[static_cast<size_t>(nonce % candidates.size())];
+    return stageHijack(c.addr, /*build_frame=*/true, c.funcId);
+}
+
+bool
+GuestProcess::injectCorruption(uint64_t nonce)
+{
+    hipstr_assert(_state == ProcState::Ready);
+    // Return into the VM's own code cache: the SFI check terminates
+    // the process (Section 5.1). Vary the exact cache offset by nonce
+    // so repeated probes are distinguishable in traces.
+    Addr target = layout::cacheBase(isa()) + 64 +
+        static_cast<Addr>((nonce % 16) * 4);
+    return stageHijack(target, /*build_frame=*/false, 0);
+}
+
+} // namespace hipstr

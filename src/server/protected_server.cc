@@ -1,0 +1,239 @@
+#include "protected_server.hh"
+
+#include <algorithm>
+
+#include "binary/loader.hh"
+#include "isa/interp.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** Safety valve against scheduling livelock; generous by orders of
+ *  magnitude over any configured stream. */
+constexpr uint64_t kMaxRounds = 100'000'000;
+
+void
+fold64(uint64_t &h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+}
+
+} // namespace
+
+ProtectedServer::ProtectedServer(const FatBinary &bin,
+                                 const ServerConfig &cfg)
+    : _bin(bin), _cfg(cfg), _cmp(cfg.cmp), _sched(_cmp, cfg.sched),
+      _stream(cfg.seed, cfg.mix, cfg.costs)
+{
+    hipstr_assert(cfg.workers > 0);
+    uint64_t expected = 0;
+    if (cfg.verifyOutput)
+        expected = referenceChecksum();
+
+    for (unsigned i = 0; i < cfg.workers; ++i) {
+        GuestProcessConfig pcfg;
+        pcfg.pid = i;
+        pcfg.seed = cfg.seed;
+        pcfg.hipstr = cfg.hipstr;
+        pcfg.outputCap = cfg.outputCap;
+        auto proc = std::make_unique<GuestProcess>(bin, pcfg);
+        if (cfg.verifyOutput)
+            proc->setExpectedChecksum(expected);
+        _workers.push_back(std::move(proc));
+    }
+}
+
+uint64_t
+ProtectedServer::referenceChecksum() const
+{
+    // One native run on the reference interpreter: the guest's output
+    // is ISA-independent (the workloads are self-checking), so one
+    // checksum covers every worker on either ISA.
+    Memory mem;
+    loadFatBinary(_bin, mem);
+    GuestOs os;
+    Interpreter interp(IsaKind::Cisc, mem, os);
+    initMachineState(interp.state, _bin, IsaKind::Cisc);
+    RunResult r = interp.run(1'000'000'000);
+    if (r.reason != StopReason::Exited && r.reason != StopReason::Halted)
+        hipstr_fatal("server reference run did not complete: %s",
+                     stopReasonName(r.reason));
+    return os.outputChecksum();
+}
+
+ServerReport
+ProtectedServer::run(ThreadPool *pool)
+{
+    ServerReport report;
+
+    // Per-worker in-flight request bookkeeping.
+    struct InFlight
+    {
+        Request req;
+        uint64_t startRound = 0;
+        bool active = false;
+    };
+    std::vector<InFlight> inflight(_workers.size());
+    std::vector<bool> retired(_workers.size(), false);
+
+    std::deque<Request> requeue; // from retired workers
+    uint64_t next_id = 0;
+    std::vector<uint64_t> latencies;
+    latencies.reserve(static_cast<size_t>(
+        std::min<uint64_t>(_cfg.requestCount, 1 << 20)));
+    uint64_t sig = 0xcbf29ce484222325ull;
+
+    uint64_t done = 0;
+    uint64_t round_no = 0;
+    while (done < _cfg.requestCount && round_no < kMaxRounds) {
+        // ---- Assign requests to idle workers in pid order. ----
+        for (size_t w = 0; w < _workers.size(); ++w) {
+            GuestProcess &proc = *_workers[w];
+            if (retired[w] || inflight[w].active ||
+                proc.state() != ProcState::Blocked) {
+                continue;
+            }
+            Request r;
+            if (!requeue.empty()) {
+                r = requeue.front();
+                requeue.pop_front();
+            } else if (next_id < _cfg.requestCount) {
+                r = _stream.make(next_id++);
+            } else {
+                continue;
+            }
+            proc.beginService(r.costInsts);
+            // Stage the request's payload only on first delivery — a
+            // retried request already burned its exploit.
+            if (r.retries == 0) {
+                if (r.kind == RequestKind::Attack)
+                    (void)proc.injectAttackProbe(r.id);
+                else if (r.kind == RequestKind::Malformed)
+                    (void)proc.injectCorruption(r.id);
+            }
+            inflight[w] = InFlight{ r, round_no, true };
+            _sched.notifyReady(&proc);
+        }
+
+        if (_sched.idle()) {
+            // Nothing runnable: either all requests are done, or the
+            // remaining ones cannot be served (every worker retired).
+            bool any_alive = false;
+            for (size_t w = 0; w < _workers.size(); ++w)
+                any_alive = any_alive || !retired[w];
+            if (!any_alive || (requeue.empty() &&
+                               next_id >= _cfg.requestCount)) {
+                break;
+            }
+        }
+
+        _sched.round(pool);
+        ++round_no;
+
+        // ---- Poll outcomes in pid order. ----
+        for (size_t w = 0; w < _workers.size(); ++w) {
+            GuestProcess &proc = *_workers[w];
+            if (!inflight[w].active)
+                continue;
+
+            if (proc.state() == ProcState::Blocked) {
+                // Service complete.
+                const Request &r = inflight[w].req;
+                uint64_t lat = round_no - inflight[w].startRound;
+                latencies.push_back(lat);
+                ++report.requestsServed;
+                ++report.servedByKind[static_cast<size_t>(r.kind)];
+                fold64(sig, r.id);
+                fold64(sig, static_cast<uint64_t>(r.kind));
+                fold64(sig, lat);
+                fold64(sig, static_cast<uint64_t>(w));
+                inflight[w].active = false;
+                ++done;
+            } else if (proc.state() == ProcState::Crashed) {
+                // Still Crashed after the scheduler round: the
+                // process hit its respawn limit and was retired. Its
+                // request goes back to the head of the queue for
+                // another worker.
+                retired[w] = true;
+                Request r = inflight[w].req;
+                ++r.retries;
+                requeue.push_front(r);
+                inflight[w].active = false;
+            }
+        }
+
+        // All workers gone: the remaining stream is unservable.
+        bool any_alive = false;
+        for (size_t w = 0; w < _workers.size(); ++w)
+            any_alive = any_alive || !retired[w];
+        if (!any_alive) {
+            report.requestsAbandoned =
+                _cfg.requestCount - done;
+            break;
+        }
+    }
+
+    // ---- Aggregate. ----
+    report.rounds = round_no;
+    const SchedulerStats &ss = _sched.stats();
+    report.migrationsRouted = ss.migrationsRouted;
+    report.respawns = ss.respawns;
+    report.retiredWorkers = ss.retired;
+    for (const auto &proc : _workers) {
+        GuestProcessStats s = proc->stats();
+        report.totalGuestInsts += s.guestInsts;
+        for (size_t i = 0; i < kNumIsas; ++i)
+            report.guestInstsPerIsa[i] += s.guestInstsPerIsa[i];
+        report.migrations += s.migrations;
+        report.migrationsDenied += s.migrationsDenied;
+        report.securityEvents += proc->securityEvents();
+        report.crashes += s.crashes;
+        report.programsCompleted += s.programsCompleted;
+        report.checksumMismatches += s.checksumMismatches;
+        report.probesStaged += s.probesStaged;
+        fold64(sig, proc->statsSignature());
+    }
+
+    if (!latencies.empty()) {
+        std::vector<uint64_t> sorted = latencies;
+        std::sort(sorted.begin(), sorted.end());
+        double sum = 0;
+        for (uint64_t l : sorted)
+            sum += double(l);
+        report.latency.meanRounds = sum / double(sorted.size());
+        report.latency.p50Rounds = sorted[sorted.size() / 2];
+        report.latency.p95Rounds =
+            sorted[std::min(sorted.size() - 1,
+                            sorted.size() * 95 / 100)];
+        report.latency.maxRounds = sorted.back();
+    }
+
+    // Modeled time: every round advances the machine by one quantum
+    // on each core; the CMP's aggregate rate converts that to
+    // seconds. Purely configuration-derived — no host clock touches
+    // the report.
+    double agg = _cmp.aggregateInstsPerSecond();
+    if (agg > 0) {
+        report.modeledSeconds =
+            double(report.rounds) *
+            double(_cfg.sched.quantumInsts) *
+            double(_cmp.totalCores()) / agg;
+        if (report.modeledSeconds > 0) {
+            report.requestsPerModeledSecond =
+                double(report.requestsServed) /
+                report.modeledSeconds;
+        }
+    }
+
+    report.signature = sig;
+    return report;
+}
+
+} // namespace hipstr

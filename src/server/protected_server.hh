@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The protected-server front-end: a pool of HIPStR-protected worker
+ * processes on a modeled heterogeneous-ISA CMP serving a synthetic
+ * request stream — the paper's Section 3.5/5.3 deployment scenario
+ * made runnable. Records per-request latency, throughput in modeled
+ * time, and the defense's bookkeeping (security events, migrations,
+ * crashes, respawns).
+ */
+
+#ifndef HIPSTR_SERVER_PROTECTED_SERVER_HH
+#define HIPSTR_SERVER_PROTECTED_SERVER_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binary/fatbin.hh"
+#include "server/cmp_model.hh"
+#include "server/guest_process.hh"
+#include "server/request_stream.hh"
+#include "server/scheduler.hh"
+
+namespace hipstr
+{
+
+/** Full server configuration. */
+struct ServerConfig
+{
+    unsigned workers = 8;        ///< worker process pool size
+    CmpConfig cmp;               ///< modeled machine
+    SchedulerConfig sched;       ///< quantum + respawn limit
+    uint64_t requestCount = 1000;
+    uint64_t seed = 0x5eed;      ///< stream + per-process seeds
+    RequestMix mix;
+    RequestCosts costs;
+    HipstrConfig hipstr;         ///< per-worker runtime template
+    size_t outputCap = 4096;     ///< per-worker retained output cap
+
+    /**
+     * Verify each worker's untainted program runs against a reference
+     * interpreter checksum computed once up front.
+     */
+    bool verifyOutput = true;
+};
+
+/** Latency distribution in scheduler rounds. */
+struct LatencySummary
+{
+    double meanRounds = 0;
+    uint64_t p50Rounds = 0;
+    uint64_t p95Rounds = 0;
+    uint64_t maxRounds = 0;
+};
+
+/** Everything a server run produces. */
+struct ServerReport
+{
+    uint64_t requestsServed = 0;
+    uint64_t requestsAbandoned = 0; ///< all workers retired
+    std::array<uint64_t, kNumRequestKinds> servedByKind{};
+    uint64_t rounds = 0;
+    uint64_t totalGuestInsts = 0;
+    std::array<uint64_t, kNumIsas> guestInstsPerIsa{};
+
+    uint32_t migrations = 0;        ///< successful cross-ISA switches
+    uint32_t migrationsRouted = 0;  ///< scheduler requeues onto other ISA
+    uint32_t migrationsDenied = 0;
+    uint64_t securityEvents = 0;
+    uint32_t crashes = 0;
+    uint32_t respawns = 0;
+    uint32_t retiredWorkers = 0;
+    uint32_t programsCompleted = 0;
+    uint32_t checksumMismatches = 0;
+    uint32_t probesStaged = 0;
+
+    LatencySummary latency;
+    /** Modeled wall time: rounds * quantum / aggregate CMP rate. */
+    double modeledSeconds = 0;
+    double requestsPerModeledSecond = 0;
+
+    /**
+     * FNV-1a fold of every per-request record and every worker's
+     * stats signature. Two runs of the same configuration must agree
+     * byte-for-byte; comparing signatures is the cheap way to check.
+     */
+    uint64_t signature = 0;
+};
+
+/**
+ * The server. Owns the worker pool and the scheduler; the fat binary
+ * (shared, immutable) is owned by the caller.
+ */
+class ProtectedServer
+{
+  public:
+    ProtectedServer(const FatBinary &bin, const ServerConfig &cfg);
+
+    /**
+     * Serve the whole request stream to completion (or until every
+     * worker is retired) and return the report. Runs the per-round
+     * quanta on @p pool (global pool when null).
+     */
+    ServerReport run(ThreadPool *pool = nullptr);
+
+    const std::vector<std::unique_ptr<GuestProcess>> &workers() const
+    {
+        return _workers;
+    }
+    const CmpModel &cmp() const { return _cmp; }
+    const CmpScheduler &scheduler() const { return _sched; }
+    const ServerConfig &config() const { return _cfg; }
+
+  private:
+    /** Reference output checksum of one clean program run. */
+    uint64_t referenceChecksum() const;
+
+    const FatBinary &_bin;
+    ServerConfig _cfg;
+    CmpModel _cmp;
+    CmpScheduler _sched;
+    RequestStream _stream;
+    std::vector<std::unique_ptr<GuestProcess>> _workers;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_SERVER_PROTECTED_SERVER_HH

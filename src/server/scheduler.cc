@@ -1,0 +1,99 @@
+#include "scheduler.hh"
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+CmpScheduler::CmpScheduler(const CmpModel &cmp,
+                           const SchedulerConfig &cfg)
+    : _cmp(cmp), _cfg(cfg)
+{
+    hipstr_assert(cfg.quantumInsts > 0);
+}
+
+void
+CmpScheduler::notifyReady(GuestProcess *p)
+{
+    hipstr_assert(p->state() == ProcState::Ready);
+    _ready[static_cast<size_t>(p->isa())].push_back(p);
+}
+
+unsigned
+CmpScheduler::round(ThreadPool *pool)
+{
+    const std::vector<CmpCore> &cores = _cmp.cores();
+
+    // Assign in fixed core order from the matching ISA queue.
+    std::vector<GuestProcess *> assigned(cores.size(), nullptr);
+    unsigned n = 0;
+    for (const CmpCore &core : cores) {
+        auto &queue = _ready[static_cast<size_t>(core.isa)];
+        if (queue.empty()) {
+            ++_stats.idleCoreQuanta;
+            continue;
+        }
+        assigned[core.id] = queue.front();
+        queue.pop_front();
+        ++n;
+    }
+
+    // Run every assigned quantum concurrently: processes share only
+    // the immutable FatBinary.
+    parallelFor(
+        cores.size(),
+        [&](size_t i) {
+            if (assigned[i] != nullptr)
+                (void)assigned[i]->runQuantum(_cfg.quantumInsts);
+        },
+        pool);
+
+    // Merge outcomes in fixed core order so queue contents — and
+    // therefore every subsequent scheduling decision — never depend
+    // on completion interleaving.
+    for (const CmpCore &core : cores) {
+        GuestProcess *p = assigned[core.id];
+        if (p == nullptr)
+            continue;
+        ++_stats.quantaRun;
+
+        bool respawned = false;
+        if (p->state() == ProcState::Crashed) {
+            if (_cfg.respawnLimit != 0 &&
+                p->respawnCount() >= _cfg.respawnLimit) {
+                _retired.push_back(p);
+                ++_stats.retired;
+                continue;
+            }
+            p->respawn();
+            ++_stats.respawns;
+            respawned = true;
+        }
+
+        if (p->state() == ProcState::Ready) {
+            // Only a quantum that genuinely migrated counts as a
+            // security routing decision; the start-ISA affinity a
+            // restart or respawn re-establishes does not.
+            if (!respawned && p->lastQuantumMigrated())
+                ++_stats.migrationsRouted;
+            _ready[static_cast<size_t>(p->isa())].push_back(p);
+        }
+        // Blocked (service complete, awaiting the next request) and
+        // Exited processes leave the scheduler until the server
+        // re-submits them via notifyReady().
+    }
+
+    ++_stats.rounds;
+    return n;
+}
+
+bool
+CmpScheduler::idle() const
+{
+    for (const auto &queue : _ready)
+        if (!queue.empty())
+            return false;
+    return true;
+}
+
+} // namespace hipstr

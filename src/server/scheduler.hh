@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Quantum-based process scheduler for the heterogeneous-ISA CMP.
+ *
+ * Time advances in rounds: each round assigns every core at most one
+ * Ready process of the core's ISA, runs all assigned processes for
+ * one quantum concurrently (each process's state is private, so the
+ * quanta are embarrassingly parallel), then folds the outcomes back
+ * in fixed core order. A process whose quantum ended in a successful
+ * security migration comes back with the opposite ISA affinity and is
+ * simply requeued on the other queue — the paper's "move the program
+ * to a core of the other ISA" is literally a requeue here. Crashed
+ * processes are respawned through GuestProcess::respawn() (fresh
+ * randomization, Section 5.3) up to a configurable limit.
+ *
+ * Determinism: assignment and merge order are pure functions of
+ * (configuration, queue contents), queues change only in that fixed
+ * order, and each quantum touches only process-private state — so a
+ * server run is byte-identical for every HIPSTR_JOBS value.
+ */
+
+#ifndef HIPSTR_SERVER_SCHEDULER_HH
+#define HIPSTR_SERVER_SCHEDULER_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "server/cmp_model.hh"
+#include "server/guest_process.hh"
+#include "support/parallel.hh"
+
+namespace hipstr
+{
+
+/** Scheduling knobs. */
+struct SchedulerConfig
+{
+    /** Timeslice per core per round, in guest instructions. */
+    uint64_t quantumInsts = 20'000;
+
+    /**
+     * Crash respawns allowed per process before it is retired;
+     * 0 = unlimited (a production server keeps respawning its
+     * workers — the limit exists for experiments).
+     */
+    uint32_t respawnLimit = 0;
+};
+
+/** Aggregate scheduler counters. */
+struct SchedulerStats
+{
+    uint64_t rounds = 0;
+    uint64_t quantaRun = 0;
+    uint64_t idleCoreQuanta = 0; ///< core-rounds with no Ready process
+    uint32_t migrationsRouted = 0; ///< requeues onto the other ISA
+    uint32_t respawns = 0;
+    uint32_t retired = 0; ///< processes past the respawn limit
+};
+
+/** The scheduler. Processes are owned by the caller. */
+class CmpScheduler
+{
+  public:
+    CmpScheduler(const CmpModel &cmp, const SchedulerConfig &cfg);
+
+    /**
+     * Make a Ready process schedulable. Must be called once per
+     * Ready transition the scheduler did not make itself (i.e. after
+     * GuestProcess::beginService); a process must never be enqueued
+     * twice.
+     */
+    void notifyReady(GuestProcess *p);
+
+    /**
+     * Run one round: one quantum on every core that has a matching
+     * Ready process. Quanta execute concurrently on @p pool (the
+     * global pool when null). Returns the number of quanta run — 0
+     * means every queue was empty.
+     */
+    unsigned round(ThreadPool *pool = nullptr);
+
+    /** True when no process is queued on either ISA. */
+    bool idle() const;
+
+    const SchedulerStats &stats() const { return _stats; }
+    const SchedulerConfig &config() const { return _cfg; }
+
+    /** Processes retired after exceeding the respawn limit. */
+    const std::vector<GuestProcess *> &retired() const
+    {
+        return _retired;
+    }
+
+  private:
+    const CmpModel &_cmp;
+    SchedulerConfig _cfg;
+    std::array<std::deque<GuestProcess *>, kNumIsas> _ready;
+    std::vector<GuestProcess *> _retired;
+    SchedulerStats _stats;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_SERVER_SCHEDULER_HH

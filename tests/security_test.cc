@@ -175,6 +175,7 @@ TEST(Security, HipstrRequestsMigrationOnAttack)
     uint64_t requests_before = vm.stats.migrationsRequested;
     uint64_t events_before = vm.stats.securityEvents;
     inject(*exploit, mem, vm.state);
+    runtime.rearm(); // resuming a hijacked guest is deliberate here
     auto s = runtime.run(10'000);
 
     EXPECT_FALSE(attackerWon(os));
