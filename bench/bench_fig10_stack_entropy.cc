@@ -52,11 +52,17 @@ runFigure10()
         table.addRow(row);
     }
     std::vector<std::string> means = { "geomean" };
-    for (unsigned i = 0; i < 4; ++i)
+    for (unsigned i = 0; i < 4; ++i) {
         means.push_back(formatPercent(geomean(columns[i])));
+        benchMetrics()
+            .gauge("fig10.relperf.s" +
+                   std::to_string(spaces[i] >> 10) + ".geomean")
+            .set(geomean(columns[i]));
+    }
     table.addRow(means);
     table.print(std::cout);
     double drop = geomean(columns[0]) - geomean(columns[3]);
+    benchMetrics().gauge("fig10.s8_to_s64_drop").set(drop);
     std::cout << "S8 -> S64 drop: " << formatPercent(drop)
               << "   (paper: 2.96%)\n";
 }

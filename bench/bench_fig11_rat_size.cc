@@ -59,6 +59,10 @@ runFigure11()
         double sum = 0;
         for (double v : overhead[i])
             sum += v;
+        benchMetrics()
+            .gauge("fig11.overhead.rat" + std::to_string(sizes[i]) +
+                   ".avg")
+            .set(sum / overhead[i].size());
         means.push_back(formatPercent(sum / overhead[i].size()));
     }
     table.addRow(means);

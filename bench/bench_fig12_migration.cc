@@ -78,9 +78,21 @@ runFigure12()
         double to_arm = costs[w * 2 + 1];
         to_x86_sum += to_x86;
         to_arm_sum += to_arm;
+        benchMetrics()
+            .gauge("fig12.migration_us.to_x86." + names[w])
+            .set(to_x86);
+        benchMetrics()
+            .gauge("fig12.migration_us.to_arm." + names[w])
+            .set(to_arm);
         table.addRow({ names[w], formatDouble(to_x86, 1),
                        formatDouble(to_arm, 1) });
     }
+    benchMetrics()
+        .gauge("fig12.migration_us.to_x86.avg")
+        .set(to_x86_sum / double(names.size()));
+    benchMetrics()
+        .gauge("fig12.migration_us.to_arm.avg")
+        .set(to_arm_sum / double(names.size()));
     table.addRow(
         { "average",
           formatDouble(to_x86_sum / double(names.size()), 1),

@@ -69,6 +69,10 @@ runFigure13()
         c.misses = vm.stats.codeCacheMisses - before;
         return c;
     });
+    auto &misses = benchMetrics().family("fig13.steady_misses",
+                                         { "workload", "cache_kb" });
+    auto &knees = benchMetrics().family("fig13.knee_bytes",
+                                        { "workload" });
     for (size_t w = 0; w < names.size(); ++w) {
         std::vector<std::string> row = { names[w] };
         uint32_t first_clean = 0;
@@ -80,9 +84,13 @@ runFigure13()
             }
             if (c.misses == 0 && first_clean == 0)
                 first_clean = sizes[i];
+            misses
+                .at({ names[w], std::to_string(sizes[i] / 1024) })
+                .set(c.misses);
             row.push_back(std::to_string(c.misses));
         }
         knee.push_back(first_clean);
+        knees.at({ names[w] }).set(first_clean);
         table.addRow(row);
     }
     table.print(std::cout);
@@ -137,6 +145,10 @@ runFigure13()
             ov.addRow({ label, "n/a", "n/a" });
             continue;
         }
+        benchMetrics()
+            .gauge("fig13.miss_rate_per_minsts.gobmk." +
+                   std::to_string(sizes[i] / 1024) + "kb")
+            .set(c.rate);
         ov.addRow({ label, std::to_string(c.misses),
                     formatDouble(c.rate, 1) });
     }

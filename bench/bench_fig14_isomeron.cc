@@ -70,6 +70,17 @@ runFigure14()
     double psr_iso_rel = config_geomean(1);
     double small_rel = config_geomean(2);
     double big_rel = config_geomean(3);
+    benchMetrics().gauge("fig14.relperf.isomeron").set(iso_rel);
+    benchMetrics()
+        .gauge("fig14.relperf.psr_isomeron")
+        .set(psr_iso_rel);
+    benchMetrics()
+        .gauge("fig14.relperf.hipstr_small_cache")
+        .set(small_rel);
+    benchMetrics().gauge("fig14.relperf.hipstr_2mb").set(big_rel);
+    benchMetrics()
+        .gauge("fig14.speedup_vs_isomeron")
+        .set(iso_rel > 0 ? big_rel / iso_rel - 1.0 : 0);
 
     TextTable table({ "p", "Isomeron", "PSR+Isomeron",
                       "HIPStR (small cache)", "HIPStR (2MB cache)" });

@@ -43,17 +43,26 @@ runFigure3()
         return Cell{ uint32_t(study.gadgets.size()),
                      study.unobfuscated };
     });
+    auto &totals = benchMetrics().family("fig3.gadgets.total",
+                                         { "workload" });
+    auto &unobf = benchMetrics().family("fig3.gadgets.unobfuscated",
+                                        { "workload" });
     double sum_frac = 0;
     for (size_t i = 0; i < names.size(); ++i) {
         uint32_t obf = cells[i].total - cells[i].unobfuscated;
         double frac =
             cells[i].total ? double(obf) / cells[i].total : 0;
         sum_frac += frac;
+        totals.at({ names[i] }).set(cells[i].total);
+        unobf.at({ names[i] }).set(cells[i].unobfuscated);
         table.addRow({ names[i], std::to_string(cells[i].total),
                        std::to_string(obf),
                        std::to_string(cells[i].unobfuscated),
                        formatPercent(frac) });
     }
+    benchMetrics()
+        .gauge("fig3.obfuscated_frac.avg")
+        .set(sum_frac / double(names.size()));
     table.print(std::cout);
     std::cout << "Average obfuscated: "
               << formatPercent(sum_frac / double(names.size()))

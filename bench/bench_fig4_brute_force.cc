@@ -42,16 +42,25 @@ runFigure4()
         return Cell{ uint32_t(study.gadgets.size()),
                      study.surviving };
     });
+    auto &totals = benchMetrics().family("fig4.gadgets.total",
+                                         { "workload" });
+    auto &surv = benchMetrics().family("fig4.gadgets.surviving",
+                                       { "workload" });
     double sum_frac = 0;
     for (size_t i = 0; i < names.size(); ++i) {
         uint32_t total = cells[i].total;
         double frac = total ? double(cells[i].surviving) / total : 0;
         sum_frac += frac;
+        totals.at({ names[i] }).set(total);
+        surv.at({ names[i] }).set(cells[i].surviving);
         table.addRow({ names[i], std::to_string(total),
                        std::to_string(total - cells[i].surviving),
                        std::to_string(cells[i].surviving),
                        formatPercent(frac) });
     }
+    benchMetrics()
+        .gauge("fig4.surviving_frac.avg")
+        .set(sum_frac / double(names.size()));
     table.print(std::cout);
     std::cout << "Average surviving: "
               << formatPercent(sum_frac / double(names.size()))

@@ -54,17 +54,32 @@ runFigure5()
 
         return analyzeJitRop(vm, study.gadgets, study.verdicts);
     });
+    auto &stages = benchMetrics().family("fig5.jitrop",
+                                         { "workload", "stage" });
     uint64_t psr_total = 0, hipstr_total = 0;
     for (size_t i = 0; i < names.size(); ++i) {
         const JitRopResult &res = cells[i];
         psr_total += res.survivingPsr;
         hipstr_total += res.survivingHipstr;
+        stages.at({ names[i], "classic" }).set(res.classicGadgets);
+        stages.at({ names[i], "discoverable" })
+            .set(res.discoverable);
+        stages.at({ names[i], "survive_psr" })
+            .set(res.survivingPsr);
+        stages.at({ names[i], "trigger_migration" })
+            .set(res.triggeringMigration);
+        stages.at({ names[i], "survive_hipstr" })
+            .set(res.survivingHipstr);
         table.addRow({ names[i], std::to_string(res.classicGadgets),
                        std::to_string(res.discoverable),
                        std::to_string(res.survivingPsr),
                        std::to_string(res.triggeringMigration),
                        std::to_string(res.survivingHipstr) });
     }
+    benchMetrics().counter("fig5.surviving_psr.total").set(psr_total);
+    benchMetrics()
+        .counter("fig5.surviving_hipstr.total")
+        .set(hipstr_total);
     table.print(std::cout);
     std::cout << "Averages: PSR survivors "
               << (psr_total / names.size()) << ", HIPStR survivors "

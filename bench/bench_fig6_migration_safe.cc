@@ -42,17 +42,30 @@ runFigure6()
                         name.c_str());
         return cisc;
     });
+    auto &blocks = benchMetrics().family("fig6.blocks",
+                                         { "workload", "class" });
     double base_sum = 0, od_sum = 0;
     for (size_t i = 0; i < names.size(); ++i) {
         const SafetyStats &cisc = cells[i];
         base_sum += cisc.baselineFraction();
         od_sum += cisc.onDemandFraction();
+        blocks.at({ names[i], "total" }).set(cisc.totalBlocks);
+        blocks.at({ names[i], "baseline_safe" })
+            .set(cisc.baselineSafe);
+        blocks.at({ names[i], "ondemand_safe" })
+            .set(cisc.onDemandSafe);
         table.addRow({ names[i], std::to_string(cisc.totalBlocks),
                        std::to_string(cisc.baselineSafe),
                        std::to_string(cisc.onDemandSafe),
                        formatPercent(cisc.baselineFraction()),
                        formatPercent(cisc.onDemandFraction()) });
     }
+    benchMetrics()
+        .gauge("fig6.baseline_frac.avg")
+        .set(base_sum / double(names.size()));
+    benchMetrics()
+        .gauge("fig6.ondemand_frac.avg")
+        .set(od_sum / double(names.size()));
     table.print(std::cout);
     std::cout << "Averages: baseline "
               << formatPercent(base_sum / double(names.size()))

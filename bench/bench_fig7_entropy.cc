@@ -41,9 +41,14 @@ runFigure7()
             std::log2(double(cfg.randSpaceBytes));
     });
     double entropy_sum = 0;
-    for (double b : bits)
-        entropy_sum += b;
+    for (size_t i = 0; i < names.size(); ++i) {
+        entropy_sum += bits[i];
+        benchMetrics()
+            .gauge("fig7.entropy_bits." + names[i])
+            .set(bits[i]);
+    }
     double avg_bits = entropy_sum / double(names.size());
+    benchMetrics().gauge("fig7.entropy_bits.avg").set(avg_bits);
 
     std::cout << "\n=== Figure 7: Entropy vs gadget-chain length "
                  "===\n";

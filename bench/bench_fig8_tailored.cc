@@ -70,6 +70,25 @@ runFigure8()
             ++zero_surface;
     }
 
+    benchMetrics()
+        .counter("fig8.invariance.total")
+        .set(inv_total.total);
+    benchMetrics()
+        .counter("fig8.invariance.same_isa")
+        .set(inv_total.sameIsaInvariant);
+    benchMetrics()
+        .counter("fig8.invariance.cross_isa")
+        .set(inv_total.crossIsaInvariant);
+    benchMetrics()
+        .counter("fig8.zero_surface_apps")
+        .set(zero_surface);
+    benchMetrics()
+        .counter("fig8.cache_resident.total")
+        .set(cache_resident);
+    benchMetrics()
+        .counter("fig8.psr_surviving.total")
+        .set(psr_surviving);
+
     std::cout << "\n=== Figure 8: Surface vs diversification "
                  "probability ===\n";
     std::cout << "Invariance census: " << inv_total.total

@@ -12,10 +12,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "sim/core_config.hh"
+#include "support/logging.hh"
 #include "support/stats.hh"
 
 using namespace hipstr;
@@ -23,6 +25,74 @@ using namespace hipstr::bench;
 
 namespace
 {
+
+/**
+ * Steady-state VM dispatch rate (guest insts per wall second) with
+ * the given trace sink attached — the measurement behind the
+ * telemetry zero-cost check.
+ */
+double
+steadyStateRate(const FatBinary &bin, telemetry::TraceBuffer *tb)
+{
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    cfg.seed = 11;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+    vm.trace = tb;
+    vm.reset();
+    (void)vm.run(50'000); // warm the code cache
+    const uint64_t target =
+        benchOptions().smoke ? 2'000'000 : 20'000'000;
+    uint64_t executed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    while (executed < target) {
+        uint64_t before = vm.stats.guestInsts;
+        auto r = vm.run(100'000);
+        executed += vm.stats.guestInsts - before;
+        if (r.reason != VmStop::StepLimit) {
+            os.reset();
+            vm.reset();
+        }
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return secs > 0 ? double(executed) / secs : 0;
+}
+
+/**
+ * Telemetry must be free when disabled: the steady-state dispatch
+ * rate with a masked (mask 0) TraceBuffer attached has to stay within
+ * noise of the rate with no sink at all — the VM has no hook sites on
+ * its per-instruction path. Wall-clock rates go to the _host JSON
+ * (never the deterministic summary); the gate is deliberately loose
+ * (0.5x) so scheduler noise cannot flake the smoke tier, while any
+ * accidental per-instruction hook (an order-of-magnitude hit) still
+ * fails loudly.
+ */
+void
+checkTelemetryZeroCost()
+{
+    const FatBinary &bin = compiledWorkload("hmmer", 1);
+    double off_rate = steadyStateRate(bin, nullptr);
+    telemetry::TraceBuffer masked(1024);
+    masked.setMask(0);
+    double masked_rate = steadyStateRate(bin, &masked);
+    benchHostMetric("telemetry_off_insts_per_sec", off_rate);
+    benchHostMetric("telemetry_masked_insts_per_sec", masked_rate);
+    if (masked_rate < 0.5 * off_rate) {
+        hipstr_fatal("masked telemetry slowed steady-state dispatch: "
+                     "%.3g vs %.3g insts/s",
+                     masked_rate, off_rate);
+    }
+    std::cout << "\nTelemetry zero-cost check: "
+              << formatDouble(off_rate / 1e6, 1)
+              << "M insts/s without a sink, "
+              << formatDouble(masked_rate / 1e6, 1)
+              << "M insts/s with a masked trace sink attached\n";
+}
 
 void
 runFigure9()
@@ -60,10 +130,19 @@ runFigure9()
         o1s.push_back(rels[w * 3 + 0]);
         o2s.push_back(rels[w * 3 + 1]);
         o3s.push_back(rels[w * 3 + 2]);
+        for (unsigned l = 0; l < 3; ++l) {
+            benchMetrics()
+                .gauge("fig9.relperf.o" + std::to_string(l + 1) +
+                       "." + names[w])
+                .set(rels[w * 3 + l]);
+        }
         table.addRow({ names[w], formatPercent(rels[w * 3 + 0]),
                        formatPercent(rels[w * 3 + 1]),
                        formatPercent(rels[w * 3 + 2]), "100%" });
     }
+    benchMetrics().gauge("fig9.relperf.o1.geomean").set(geomean(o1s));
+    benchMetrics().gauge("fig9.relperf.o2.geomean").set(geomean(o2s));
+    benchMetrics().gauge("fig9.relperf.o3.geomean").set(geomean(o3s));
     table.addRow({ "geomean", formatPercent(geomean(o1s)),
                    formatPercent(geomean(o2s)),
                    formatPercent(geomean(o3s)), "100%" });
@@ -91,6 +170,10 @@ runFigure9()
         std::vector<double> col(
             srels.begin() + long(e * names.size()),
             srels.begin() + long((e + 1) * names.size()));
+        benchMetrics()
+            .gauge("fig9.regcache.e" +
+                   std::to_string(entry_counts[e]) + ".geomean")
+            .set(geomean(col));
         sweep.addRow({ std::to_string(entry_counts[e]),
                        formatPercent(geomean(col)) });
     }
@@ -98,6 +181,8 @@ runFigure9()
     std::cout << "(the paper fixes the cache at 3 entries — enough "
                  "for tight loops, small enough to keep spilling to "
                  "random locations)\n";
+
+    checkTelemetryZeroCost();
 }
 
 void

@@ -50,6 +50,23 @@ runCaseStudy()
     JitRopResult jr = analyzeJitRop(vm, study.gadgets,
                                     study.verdicts);
 
+    benchMetrics().counter("httpd.gadgets.total").set(total);
+    benchMetrics()
+        .counter("httpd.gadgets.unobfuscated")
+        .set(study.unobfuscated);
+    benchMetrics()
+        .gauge("httpd.obfuscated_frac")
+        .set(total ? 1.0 - double(study.unobfuscated) / total : 0);
+    benchMetrics()
+        .gauge("httpd.brute_force_attempts")
+        .set(bf.attemptsNoBias);
+    benchMetrics()
+        .counter("httpd.jitrop.surviving_psr")
+        .set(jr.survivingPsr);
+    benchMetrics()
+        .counter("httpd.jitrop.surviving_hipstr")
+        .set(jr.survivingHipstr);
+
     TextTable table({ "Metric", "Measured", "Paper" });
     table.addRow({ "Total gadgets", std::to_string(total),
                    "169,272" });

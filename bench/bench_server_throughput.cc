@@ -9,22 +9,23 @@
  * cross-ISA migrations, crash respawns with fresh randomization —
  * while the stream is still served to completion.
  *
- * Writes BENCH_server_throughput.json containing only
- * configuration-derived, deterministic fields: it must be
- * byte-identical for every HIPSTR_JOBS value. (benchMain's host-side
- * wall-clock summary goes to the separate _host file.)
+ * Every reported number is configuration-derived and lands in the
+ * benchMetrics() registry under "server.<mix>.*" names (plus the
+ * "server.requests.served{mix,kind}" family and the per-phase runtime
+ * profile), so BENCH_server_throughput.json is byte-identical for
+ * every HIPSTR_JOBS value. benchMain's host-side wall-clock summary
+ * goes to the separate _host file.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <fstream>
-#include <iomanip>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "server/protected_server.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
+#include "telemetry/phase.hh"
 
 using namespace hipstr;
 using namespace hipstr::bench;
@@ -43,34 +44,45 @@ baseConfig()
     return cfg;
 }
 
+/**
+ * Publish one mix's report into the deterministic registry summary.
+ * Everything recorded here is a pure function of the configuration —
+ * never wall clock, never thread identity.
+ */
 void
-emitMix(std::ostream &os, const char *key, const ServerConfig &cfg,
-        const ServerReport &r, bool last)
+recordMix(const char *mix, const ServerConfig &cfg,
+          const ServerReport &r)
 {
-    os << "  \"" << key << "\": {\n"
-       << "    \"requests\": " << cfg.requestCount << ",\n"
-       << "    \"served\": " << r.requestsServed << ",\n"
-       << "    \"abandoned\": " << r.requestsAbandoned << ",\n"
-       << "    \"rounds\": " << r.rounds << ",\n"
-       << "    \"guest_insts\": " << r.totalGuestInsts << ",\n"
-       << "    \"security_events\": " << r.securityEvents << ",\n"
-       << "    \"migrations\": " << r.migrations << ",\n"
-       << "    \"migrations_routed\": " << r.migrationsRouted << ",\n"
-       << "    \"migrations_denied\": " << r.migrationsDenied << ",\n"
-       << "    \"crashes\": " << r.crashes << ",\n"
-       << "    \"respawns\": " << r.respawns << ",\n"
-       << "    \"checksum_mismatches\": " << r.checksumMismatches
-       << ",\n"
-       << "    \"latency_p50_rounds\": " << r.latency.p50Rounds
-       << ",\n"
-       << "    \"latency_p95_rounds\": " << r.latency.p95Rounds
-       << ",\n"
-       << "    \"req_per_modeled_second\": " << std::fixed
-       << std::setprecision(3) << r.requestsPerModeledSecond
-       << std::defaultfloat << ",\n"
-       << "    \"signature\": \"0x" << std::hex << r.signature
-       << std::dec << "\"\n"
-       << "  }" << (last ? "\n" : ",\n");
+    auto &reg = benchMetrics();
+    const std::string p = std::string("server.") + mix;
+    reg.counter(p + ".requests").set(cfg.requestCount);
+    reg.counter(p + ".served").set(r.requestsServed);
+    reg.counter(p + ".abandoned").set(r.requestsAbandoned);
+    reg.counter(p + ".rounds").set(r.rounds);
+    reg.counter(p + ".guest_insts").set(r.totalGuestInsts);
+    reg.counter(p + ".security_events").set(r.securityEvents);
+    reg.counter(p + ".migrations").set(r.migrations);
+    reg.counter(p + ".migrations_routed").set(r.migrationsRouted);
+    reg.counter(p + ".migrations_denied").set(r.migrationsDenied);
+    reg.counter(p + ".crashes").set(r.crashes);
+    reg.counter(p + ".respawns").set(r.respawns);
+    reg.counter(p + ".checksum_mismatches")
+        .set(r.checksumMismatches);
+    reg.counter(p + ".latency_p50_rounds").set(r.latency.p50Rounds);
+    reg.counter(p + ".latency_p95_rounds").set(r.latency.p95Rounds);
+    reg.gauge(p + ".req_per_modeled_second")
+        .set(r.requestsPerModeledSecond);
+    reg.counter(p + ".signature").set(r.signature);
+
+    auto &kinds = reg.family("server.requests.served",
+                             { "mix", "kind" });
+    for (size_t k = 0; k < kNumRequestKinds; ++k) {
+        kinds
+            .at({ mix,
+                  requestKindName(static_cast<RequestKind>(k)) })
+            .set(r.servedByKind[k]);
+    }
+    telemetry::exportPhases(reg, (p + ".phases").c_str(), r.phases);
 }
 
 void
@@ -152,23 +164,18 @@ runThroughput()
               << " extra rounds; every crash respawned with fresh "
                  "randomization and the stream was fully served)\n";
 
-    // Deterministic summary: everything here is a pure function of
-    // the configuration, so the file must not change with
+    // Deterministic summary: benchMain exports the registry as
+    // BENCH_server_throughput.json, which must not change with
     // HIPSTR_JOBS. Host wall time lives in the _host JSON instead.
-    std::ofstream json("BENCH_server_throughput.json");
-    json << "{\n"
-         << "  \"bench\": \"server_throughput\",\n"
-         << "  \"smoke\": "
-         << (benchOptions().smoke ? "true" : "false") << ",\n"
-         << "  \"workers\": " << base.workers << ",\n"
-         << "  \"risc_cores\": " << base.cmp.riscCores << ",\n"
-         << "  \"cisc_cores\": " << base.cmp.ciscCores << ",\n"
-         << "  \"quantum_insts\": " << base.sched.quantumInsts
-         << ",\n"
-         << "  \"seed\": " << base.seed << ",\n";
-    emitMix(json, "clean", clean, cr, false);
-    emitMix(json, "attack", attack, ar, true);
-    json << "}\n";
+    auto &reg = benchMetrics();
+    reg.counter("server.config.workers").set(base.workers);
+    reg.counter("server.config.risc_cores").set(base.cmp.riscCores);
+    reg.counter("server.config.cisc_cores").set(base.cmp.ciscCores);
+    reg.counter("server.config.quantum_insts")
+        .set(base.sched.quantumInsts);
+    reg.counter("server.config.seed").set(base.seed);
+    recordMix("clean", clean, cr);
+    recordMix("attack", attack, ar);
 }
 
 void
@@ -204,6 +211,6 @@ BENCHMARK(BM_ServerRound);
 int
 main(int argc, char **argv)
 {
-    return benchMain(argc, argv, "server_throughput_host",
+    return benchMain(argc, argv, "server_throughput",
                      runThroughput);
 }

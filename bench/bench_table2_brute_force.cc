@@ -43,8 +43,23 @@ runTable2()
         return simulateBruteForce(study.gadgets, study.verdicts,
                                   cfg.randSpaceBytes, false);
     });
+    auto &chain = benchMetrics().family("table2.chain_found",
+                                        { "workload" });
     for (size_t i = 0; i < names.size(); ++i) {
         const BruteForceResult &res = cells[i];
+        benchMetrics()
+            .gauge("table2." + names[i] + ".avg_randomizable_params")
+            .set(res.avgRandomizableParams);
+        benchMetrics()
+            .gauge("table2." + names[i] + ".entropy_bits")
+            .set(res.avgEntropyBits);
+        benchMetrics()
+            .gauge("table2." + names[i] + ".attempts_no_bias")
+            .set(res.attemptsNoBias);
+        benchMetrics()
+            .gauge("table2." + names[i] + ".attempts_reg_bias")
+            .set(res.attemptsRegBias);
+        chain.at({ names[i] }).set(res.chainFound ? 1 : 0);
         table.addRow({ names[i],
                        formatDouble(res.avgRandomizableParams),
                        formatDouble(res.avgEntropyBits, 1),

@@ -55,24 +55,68 @@ benchWorkloads(std::vector<std::string> full)
     return full;
 }
 
+namespace
+{
+
+std::mutex host_metrics_mutex;
+std::vector<std::pair<std::string, double>> host_metrics;
+
+} // namespace
+
+telemetry::MetricRegistry &
+benchMetrics()
+{
+    static telemetry::MetricRegistry registry;
+    return registry;
+}
+
+void
+benchHostMetric(const std::string &key, double value)
+{
+    std::lock_guard<std::mutex> lock(host_metrics_mutex);
+    host_metrics.emplace_back(key, value);
+}
+
 int
 benchMain(int argc, char **argv, const std::string &name,
           const std::function<void()> &figure)
 {
     using clock = std::chrono::steady_clock;
+    benchMetrics().reset();
     auto t0 = clock::now();
     figure();
     double wall = std::chrono::duration<double>(clock::now() - t0)
                       .count();
 
-    std::ofstream json("BENCH_" + name + ".json");
-    json << "{\n"
-         << "  \"bench\": \"" << name << "\",\n"
-         << "  \"smoke\": "
-         << (benchOptions().smoke ? "true" : "false") << ",\n"
-         << "  \"jobs\": " << benchOptions().jobs << ",\n"
-         << "  \"figure_wall_seconds\": " << wall << "\n"
-         << "}\n";
+    // Deterministic summary: the registry export only. Nothing
+    // host-dependent (jobs, wall clock) may appear here — the file is
+    // compared byte-for-byte across HIPSTR_JOBS values.
+    {
+        std::ofstream json("BENCH_" + name + ".json");
+        json << "{\n"
+             << "  \"bench\": \"" << name << "\",\n"
+             << "  \"smoke\": "
+             << (benchOptions().smoke ? "true" : "false") << ",\n"
+             << "  \"metrics\": {\n";
+        benchMetrics().toJson(json, 4);
+        json << "  }\n"
+             << "}\n";
+    }
+
+    // Host-side companion: run-to-run variable measurements.
+    {
+        std::ofstream host("BENCH_" + name + "_host.json");
+        host << "{\n"
+             << "  \"bench\": \"" << name << "\",\n"
+             << "  \"jobs\": " << benchOptions().jobs << ",\n"
+             << "  \"figure_wall_seconds\": " << wall;
+        std::lock_guard<std::mutex> lock(host_metrics_mutex);
+        for (const auto &kv : host_metrics) {
+            host << ",\n  \"" << telemetry::jsonEscape(kv.first)
+                 << "\": " << telemetry::jsonNumber(kv.second);
+        }
+        host << "\n}\n";
+    }
 
     if (benchOptions().smoke)
         return 0; // figure sweep only; skip the micro section

@@ -19,6 +19,7 @@
 #include "compiler/compile.hh"
 #include "sim/timing.hh"
 #include "support/parallel.hh"
+#include "telemetry/metrics.hh"
 #include "vm/psr_vm.hh"
 #include "workloads/workloads.hh"
 
@@ -55,10 +56,36 @@ std::vector<std::string> benchWorkloads(std::vector<std::string> full);
 /** @} */
 
 /**
- * Common harness entry point: time @p figure (the figure sweep), write
- * a machine-readable BENCH_<name>.json summary next to the binary,
- * then hand the remaining arguments to google-benchmark for the micro
- * section (skipped in smoke mode). Returns the process exit code.
+ * The registry every figure sweep publishes its headline numbers
+ * into. benchMain() resets it before the sweep and exports it — via
+ * MetricRegistry::toJson(), the repo's single deterministic JSON
+ * writer — as BENCH_<name>.json afterwards. Record only modeled /
+ * counted values here (never wall clock, never thread identity): the
+ * file must be byte-identical for every HIPSTR_JOBS.
+ */
+telemetry::MetricRegistry &benchMetrics();
+
+/**
+ * Record a host-side measurement (wall seconds, instruction rates —
+ * anything that legitimately varies run to run). Lands in
+ * BENCH_<name>_host.json, *not* in the deterministic summary.
+ */
+void benchHostMetric(const std::string &key, double value);
+
+/**
+ * Common harness entry point: time @p figure (the figure sweep), then
+ * write two machine-readable summaries next to the binary:
+ *
+ *  - BENCH_<name>.json — the benchMetrics() registry export plus the
+ *    bench name and smoke flag. Deterministic: byte-identical across
+ *    runs and HIPSTR_JOBS values (bench_determinism_test and
+ *    scripts/check_bench_json.py enforce this).
+ *  - BENCH_<name>_host.json — jobs, figure wall seconds, and any
+ *    benchHostMetric() values; run-to-run variable by nature.
+ *
+ * Finally hands the remaining arguments to google-benchmark for the
+ * micro section (skipped in smoke mode). Returns the process exit
+ * code.
  */
 int benchMain(int argc, char **argv, const std::string &name,
               const std::function<void()> &figure);

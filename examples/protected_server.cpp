@@ -14,9 +14,18 @@
  *    migrations, crashes, respawn generations.
  *
  *   ./examples/protected_server
+ *   ./examples/protected_server --trace server_trace.json
+ *
+ * With --trace, the run records a structured event trace (scheduler
+ * quanta, request lifecycles, VM translations, cross-ISA migrations)
+ * and writes it in Chrome trace_event format — open the file in
+ * chrome://tracing or https://ui.perfetto.dev. EXPERIMENTS.md has the
+ * full recipe.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "compiler/compile.hh"
 #include "server/protected_server.hh"
@@ -25,8 +34,20 @@
 using namespace hipstr;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *trace_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_path = (i + 1 < argc) ? argv[++i]
+                                        : "server_trace.json";
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--trace [file.json]]\n", argv[0]);
+            return 2;
+        }
+    }
+
     WorkloadConfig wcfg;
     wcfg.scale = 2;
     FatBinary bin = compileModule(buildWorkload("httpd", wcfg));
@@ -37,6 +58,12 @@ main()
     cfg.mix.attackFrac = 0.05;    // ~5% exploit attempts
     cfg.mix.malformedFrac = 0.05; // ~5% worker-killing garbage
     cfg.hipstr.diversificationProbability = 1.0;
+
+    telemetry::TraceBuffer trace(1 << 18);
+    if (trace_path != nullptr) {
+        trace.setMask(telemetry::kAllTraceCategories);
+        cfg.trace = &trace;
+    }
 
     std::printf("protected server: %u workers on %s, %llu requests "
                 "(5%% attacks, 5%% malformed)\n",
@@ -85,6 +112,28 @@ main()
                 w->runtime().vm(IsaKind::Cisc).randomizer()
                     .generation()),
             static_cast<unsigned long long>(w->stats().guestInsts));
+    }
+
+    std::printf("runtime phase profile (modeled microseconds, summed "
+                "over workers):\n");
+    for (size_t i = 0;
+         i < static_cast<size_t>(telemetry::Phase::kNum); ++i) {
+        const telemetry::Phase ph = static_cast<telemetry::Phase>(i);
+        const telemetry::PhaseStats &ps = r.phases[ph];
+        std::printf("  %-19s %6llu invocations  %12.1f us\n",
+                    telemetry::phaseName(ph),
+                    static_cast<unsigned long long>(ps.invocations),
+                    ps.modeledMicros);
+    }
+
+    if (trace_path != nullptr) {
+        std::ofstream os(trace_path);
+        trace.exportChrome(os);
+        std::printf("wrote %zu trace events (%llu dropped) to %s -- "
+                    "load in chrome://tracing or ui.perfetto.dev\n",
+                    trace.size(),
+                    static_cast<unsigned long long>(trace.dropped()),
+                    trace_path);
     }
 
     std::printf("done: every crash handed the attacker a "

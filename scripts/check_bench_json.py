@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate every BENCH_*.json a benchmark run produced.
+
+Each harness writes a pair of files through bench/bench_util.cc:
+
+  BENCH_<name>.json       deterministic: {"bench", "smoke", "metrics"}
+                          where "metrics" is the registry export --
+                          byte-identical for every HIPSTR_JOBS value.
+  BENCH_<name>_host.json  host-variable: {"bench", "jobs",
+                          "figure_wall_seconds"} plus free-form numeric
+                          host metrics (wall-clock rates etc.).
+
+This checker is the CI tripwire for the telemetry exporter's contract:
+metric names are well-formed and sorted, values are finite numbers or
+well-formed histogram objects, and the two files of a pair agree on
+the bench name. Run from a directory containing the files (ctest runs
+it in build/bench after the bench_smoke tier):
+
+  python3 scripts/check_bench_json.py [dir]
+
+Exit codes: 0 ok, 1 validation failure, 77 no files found (ctest
+SKIP_RETURN_CODE, so a tree that never ran the benches skips).
+"""
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+METRIC_NAME_RE = re.compile(
+    r"^[a-z0-9_]+(\.[a-z0-9_]+)*"  # dotted hierarchical name
+    r"(\{[a-z0-9_]+=[^,{}=]+(,[a-z0-9_]+=[^,{}=]+)*\})?$"  # labels
+)
+HISTOGRAM_KEYS = {"type", "bin_width", "samples", "mean", "bins"}
+
+errors = []
+
+
+def fail(path, msg):
+    errors.append(f"{path.name}: {msg}")
+
+
+def is_finite_number(v):
+    return (
+        isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and math.isfinite(v)
+    )
+
+
+def check_histogram(path, name, h):
+    if set(h.keys()) != HISTOGRAM_KEYS:
+        fail(path, f"{name}: histogram keys {sorted(h.keys())}, "
+                   f"want {sorted(HISTOGRAM_KEYS)}")
+        return
+    if h["type"] != "histogram":
+        fail(path, f"{name}: type {h['type']!r}")
+    if not isinstance(h["bin_width"], int) or h["bin_width"] <= 0:
+        fail(path, f"{name}: bad bin_width {h['bin_width']!r}")
+    if not isinstance(h["samples"], int) or h["samples"] < 0:
+        fail(path, f"{name}: bad samples {h['samples']!r}")
+    if not is_finite_number(h["mean"]):
+        fail(path, f"{name}: non-finite mean")
+    bins = h["bins"]
+    if not isinstance(bins, list) or not bins or any(
+        not isinstance(b, int) or b < 0 for b in bins
+    ):
+        fail(path, f"{name}: bad bins {bins!r}")
+    elif sum(bins) != h["samples"]:
+        fail(path, f"{name}: bins sum {sum(bins)} != "
+                   f"samples {h['samples']}")
+
+
+def check_metrics(path, metrics):
+    if not isinstance(metrics, dict) or not metrics:
+        fail(path, "metrics must be a non-empty object")
+        return
+    names = list(metrics.keys())
+    if names != sorted(names):
+        fail(path, "metric names are not sorted")
+    for name, value in metrics.items():
+        if not METRIC_NAME_RE.match(name):
+            fail(path, f"malformed metric name {name!r}")
+        if isinstance(value, dict):
+            check_histogram(path, name, value)
+        elif not is_finite_number(value):
+            fail(path, f"{name}: non-finite or non-numeric value "
+                       f"{value!r}")
+
+
+def check_deterministic(path, bench_name):
+    doc = json.loads(path.read_text())
+    if set(doc.keys()) != {"bench", "smoke", "metrics"}:
+        fail(path, f"top-level keys {sorted(doc.keys())}, want "
+                   f"['bench', 'metrics', 'smoke']")
+        return
+    if doc["bench"] != bench_name:
+        fail(path, f"bench {doc['bench']!r} != file name "
+                   f"{bench_name!r}")
+    if not isinstance(doc["smoke"], bool):
+        fail(path, f"smoke must be a bool, got {doc['smoke']!r}")
+    check_metrics(path, doc["metrics"])
+
+
+def check_host(path, bench_name):
+    doc = json.loads(path.read_text())
+    for key in ("bench", "jobs", "figure_wall_seconds"):
+        if key not in doc:
+            fail(path, f"missing key {key!r}")
+            return
+    if doc["bench"] != bench_name:
+        fail(path, f"bench {doc['bench']!r} != file name "
+                   f"{bench_name!r}")
+    if not isinstance(doc["jobs"], int) or doc["jobs"] < 0:
+        fail(path, f"bad jobs {doc['jobs']!r}")
+    if not is_finite_number(doc["figure_wall_seconds"]) or \
+            doc["figure_wall_seconds"] <= 0:
+        fail(path, f"bad figure_wall_seconds "
+                   f"{doc['figure_wall_seconds']!r}")
+    for key, value in doc.items():
+        if key != "bench" and not is_finite_number(value):
+            fail(path, f"host metric {key!r} is not a finite number")
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print(f"check_bench_json: no BENCH_*.json under {root} "
+              f"(run the bench_smoke tier first); skipping")
+        return 77
+
+    det, host = {}, {}
+    for path in files:
+        stem = path.stem[len("BENCH_"):]
+        try:
+            if stem.endswith("_host"):
+                name = stem[: -len("_host")]
+                host[name] = path
+                check_host(path, name)
+            else:
+                det[stem] = path
+                check_deterministic(path, stem)
+        except (json.JSONDecodeError, OSError) as e:
+            fail(path, f"unreadable: {e}")
+
+    for name in sorted(set(det) - set(host)):
+        fail(det[name], "has no _host.json companion")
+    for name in sorted(set(host) - set(det)):
+        fail(host[name], "has no deterministic companion")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}")
+        print(f"check_bench_json: {len(errors)} error(s) across "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"check_bench_json: {len(files)} file(s) ok "
+          f"({len(det)} bench pair(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -40,6 +40,23 @@ Randomizer::mapFor(uint32_t func_id)
     if (it == _maps.end()) {
         Rng child = _rng.split();
         it = _maps.emplace(func_id, generate(func_id, child)).first;
+
+        // Phase accounting: registers the permutation moved or
+        // relocated to memory, and stack slots recolored.
+        const RelocationMap &map = it->second;
+        uint64_t regs = 0;
+        for (unsigned r = 0; r < 16; ++r) {
+            if (map.regMap[r] != static_cast<Reg>(r))
+                ++regs;
+            if (map.regToSlot[r] != kNotInMemory)
+                ++regs;
+        }
+        uint64_t slots = map.slotMap.size();
+        regallocPhase.add(
+            regs, double(regs) * telemetry::cost::kRegallocUsPerReg);
+        relocationPhase.add(
+            slots,
+            double(slots) * telemetry::cost::kRelocationUsPerSlot);
     }
     return it->second;
 }
@@ -47,6 +64,10 @@ Randomizer::mapFor(uint32_t func_id)
 void
 Randomizer::reRandomize()
 {
+    // One Relocation invocation per whole-map regeneration; the work
+    // units count the maps dropped (regenerated maps re-accrue their
+    // own regalloc/relocation work on the next mapFor()).
+    relocationPhase.add(_maps.size(), 0.0);
     _maps.clear();
     ++_generation;
     // Advance the stream so the fresh maps differ from the old ones.

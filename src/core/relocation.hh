@@ -32,6 +32,7 @@
 #include "binary/fatbin.hh"
 #include "core/psr_config.hh"
 #include "support/random.hh"
+#include "telemetry/phase.hh"
 
 namespace hipstr
 {
@@ -124,6 +125,17 @@ class Randomizer
 
     /** True if @p func_id keeps the default calling convention. */
     bool usesDefaultConvention(uint32_t func_id) const;
+
+    /**
+     * Cumulative profiling of map generation, never reset (see
+     * telemetry/phase.hh). Regalloc counts registers permuted or
+     * relocated to memory; Relocation counts stack slots recolored,
+     * plus one invocation per reRandomize() whole-map regeneration.
+     * @{
+     */
+    telemetry::PhaseStats regallocPhase;
+    telemetry::PhaseStats relocationPhase;
+    /** @} */
 
   private:
     RelocationMap generate(uint32_t func_id, Rng &rng) const;

@@ -32,6 +32,42 @@ HipstrRuntime::reset()
     _terminal = false;
     _logNext = 0;
     _suppressNextEvent = false;
+    // The new epoch's summary().phases starts from zero; the
+    // cumulative phaseBreakdown() keeps running.
+    _phaseBase = phaseBreakdown();
+}
+
+void
+HipstrRuntime::setTraceBuffer(telemetry::TraceBuffer *tb)
+{
+    _trace = tb;
+    for (IsaKind isa : kAllIsas)
+        vm(isa).trace = tb;
+}
+
+telemetry::PhaseBreakdown
+HipstrRuntime::phaseBreakdown() const
+{
+    using telemetry::Phase;
+    telemetry::PhaseBreakdown bd;
+    for (IsaKind isa : kAllIsas) {
+        const PsrVm &v = vm(isa);
+        bd[Phase::Translate] += v.translatePhase;
+        bd[Phase::Regalloc] += v.randomizer().regallocPhase;
+        bd[Phase::Relocation] += v.randomizer().relocationPhase;
+    }
+    bd[Phase::MigrationTransform] += _transformPhase;
+    return bd;
+}
+
+double
+HipstrRuntime::traceTs() const
+{
+    // Guest progress at the nominal trace rate plus the modeled
+    // migration stalls of this epoch.
+    return double(_acc.totalGuestInsts) /
+        telemetry::cost::kGuestInstsPerMicro +
+        _acc.migrationMicroseconds;
 }
 
 void
@@ -63,6 +99,20 @@ HipstrRuntime::recordMigration(const MigrationOutcome &mo)
 {
     ++_acc.migrations;
     _acc.migrationMicroseconds += mo.microseconds;
+    _transformPhase.add(mo.valuesMoved, mo.microseconds);
+    if (_trace &&
+        _trace->enabled(telemetry::TraceCategory::Runtime)) {
+        _trace->record(
+            telemetry::traceInstant(telemetry::TraceCategory::Runtime,
+                                    "runtime.migration", traceTs(), 0,
+                                    static_cast<uint32_t>(_current))
+                .arg("to_isa",
+                     static_cast<uint64_t>(otherIsa(_current)))
+                .arg("frames", mo.frames)
+                .arg("values_moved", mo.valuesMoved)
+                .arg("transform_ns",
+                     static_cast<uint64_t>(mo.microseconds * 1000.0)));
+    }
     const uint32_t cap = _cfg.migrationLogCap;
     if (cap == 0) {
         ++_acc.migrationLogDropped;
@@ -96,6 +146,35 @@ HipstrRuntime::runQuantum(uint64_t budget, bool stop_after_migration)
                 rt->vm(isa).securityEventHook = nullptr;
         }
     } guard{ this };
+
+    // On every exit path: refresh the epoch's phase breakdown and
+    // close the quantum's trace span.
+    struct QuantumScope
+    {
+        HipstrRuntime *rt;
+        QuantumResult *q;
+        bool traced;
+        double ts0;
+        ~QuantumScope()
+        {
+            rt->_acc.phases =
+                rt->phaseBreakdown() - rt->_phaseBase;
+            if (traced) {
+                rt->_trace->record(
+                    telemetry::traceSpan(
+                        telemetry::TraceCategory::Runtime,
+                        "runtime.quantum", ts0, rt->traceTs() - ts0,
+                        0, static_cast<uint32_t>(rt->_current))
+                        .arg("ran", q->ran)
+                        .arg("migrated", q->migrated ? 1 : 0)
+                        .arg("reason",
+                             static_cast<uint64_t>(q->reason)));
+            }
+        }
+    } scope{ this, &q,
+             _trace != nullptr &&
+                 _trace->enabled(telemetry::TraceCategory::Runtime),
+             traceTs() };
 
     while (q.ran < budget) {
         installHook();
@@ -143,6 +222,15 @@ HipstrRuntime::runQuantum(uint64_t budget, bool stop_after_migration)
                 // Continue on the source ISA; suppress the repeat
                 // event the retry will raise for the same target.
                 ++_acc.migrationsDenied;
+                if (_trace && _trace->enabled(
+                                  telemetry::TraceCategory::Runtime)) {
+                    _trace->record(
+                        telemetry::traceInstant(
+                            telemetry::TraceCategory::Runtime,
+                            "runtime.migration_denied", traceTs(), 0,
+                            static_cast<uint32_t>(_current))
+                            .arg("target", res.migrationTarget));
+                }
                 _suppressNextEvent = true;
                 cur().state.pc = res.migrationTarget;
             }
@@ -206,6 +294,7 @@ HipstrRuntime::run(uint64_t max_guest_insts)
         _acc.migrationMicroseconds - before.migrationMicroseconds;
     delta.migrationLogDropped =
         _acc.migrationLogDropped - before.migrationLogDropped;
+    delta.phases = _acc.phases - before.phases;
     return delta;
 }
 

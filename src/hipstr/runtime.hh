@@ -17,6 +17,8 @@
 #include "core/psr_config.hh"
 #include "migration/transform.hh"
 #include "support/random.hh"
+#include "telemetry/phase.hh"
+#include "telemetry/trace.hh"
 #include "vm/psr_vm.hh"
 
 namespace hipstr
@@ -77,6 +79,14 @@ struct HipstrRunSummary
     std::vector<MigrationOutcome> migrationLog;
     /** Migrations not retained in migrationLog (cap 0 or evicted). */
     uint64_t migrationLogDropped = 0;
+
+    /**
+     * Per-phase profiling of this epoch: translation, map generation
+     * (regalloc + relocation), and migration-transform work with
+     * modeled costs (telemetry/phase.hh). The cumulative summary()
+     * carries the since-reset() breakdown; run() deltas subtract.
+     */
+    telemetry::PhaseBreakdown phases;
 };
 
 /**
@@ -167,6 +177,21 @@ class HipstrRuntime
      */
     MigrationOutcome forceMigration(uint64_t search_budget = 500'000);
 
+    /**
+     * Attach a structured-trace sink: the runtime records quantum
+     * spans and migration instants (TraceCategory::Runtime) and both
+     * VMs record their own Vm-category events. nullptr detaches.
+     */
+    void setTraceBuffer(telemetry::TraceBuffer *tb);
+
+    /**
+     * Per-phase profile cumulative since *construction* (unlike
+     * summary().phases, which reset() rebases). Survives reset() and
+     * reRandomize(), so long-lived worker processes can aggregate it
+     * across program generations and respawns.
+     */
+    telemetry::PhaseBreakdown phaseBreakdown() const;
+
     PsrVm &vm(IsaKind isa)
     {
         return *_vms[static_cast<size_t>(isa)];
@@ -187,6 +212,8 @@ class HipstrRuntime
     }
     void installHook();
     void recordMigration(const MigrationOutcome &mo);
+    /** Modeled "now" on the runtime's trace lane. */
+    double traceTs() const;
 
     const FatBinary &_bin;
     Memory &_mem;
@@ -200,6 +227,12 @@ class HipstrRuntime
     HipstrRunSummary _acc; ///< cumulative since reset()
     bool _terminal = false;
     size_t _logNext = 0; ///< ring cursor into _acc.migrationLog
+
+    telemetry::TraceBuffer *_trace = nullptr;
+    /** Migration-transform phase, cumulative since construction. */
+    telemetry::PhaseStats _transformPhase;
+    /** phaseBreakdown() at the last reset(); _acc.phases subtracts. */
+    telemetry::PhaseBreakdown _phaseBase;
 };
 
 } // namespace hipstr

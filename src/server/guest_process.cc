@@ -169,6 +169,7 @@ GuestProcess::stats() const
     out.migrations += s.migrations;
     out.migrationsDenied += s.migrationsDenied;
     out.outputBytes += _os.totalOutputBytes();
+    out.phases = _runtime->phaseBreakdown();
     return out;
 }
 

@@ -80,6 +80,14 @@ struct GuestProcessStats
     uint32_t probesStaged = 0;       ///< attack/corruption injections
     /** Output bytes across all program generations (retention-free). */
     uint64_t outputBytes = 0;
+    /**
+     * Per-phase profile (translate / regalloc / relocation /
+     * migration-transform), cumulative across restarts and respawns
+     * (sourced from HipstrRuntime::phaseBreakdown(), which survives
+     * runtime resets). Not folded into statsSignature() — the
+     * signature covers scheduling-visible outcomes only.
+     */
+    telemetry::PhaseBreakdown phases;
 };
 
 /**

@@ -33,6 +33,7 @@ ProtectedServer::ProtectedServer(const FatBinary &bin,
       _stream(cfg.seed, cfg.mix, cfg.costs)
 {
     hipstr_assert(cfg.workers > 0);
+    _sched.trace = cfg.trace;
     uint64_t expected = 0;
     if (cfg.verifyOutput)
         expected = referenceChecksum();
@@ -46,6 +47,7 @@ ProtectedServer::ProtectedServer(const FatBinary &bin,
         auto proc = std::make_unique<GuestProcess>(bin, pcfg);
         if (cfg.verifyOutput)
             proc->setExpectedChecksum(expected);
+        proc->runtime().setTraceBuffer(cfg.trace);
         _workers.push_back(std::move(proc));
     }
 }
@@ -90,6 +92,21 @@ ProtectedServer::run(ThreadPool *pool)
         std::min<uint64_t>(_cfg.requestCount, 1 << 20)));
     uint64_t sig = 0xcbf29ce484222325ull;
 
+    // Request-lifecycle tracing on the modeled timeline (one round =
+    // one quantum per core through the CMP's aggregate rate).
+    using telemetry::TraceCategory;
+    telemetry::TraceBuffer *tr = _cfg.trace;
+    const bool traced =
+        tr != nullptr && tr->enabled(TraceCategory::Server);
+    double us_per_round = 0;
+    {
+        double agg = _cmp.aggregateInstsPerSecond();
+        if (agg > 0) {
+            us_per_round = double(_cfg.sched.quantumInsts) *
+                double(_cmp.totalCores()) / agg * 1e6;
+        }
+    }
+
     uint64_t done = 0;
     uint64_t round_no = 0;
     while (done < _cfg.requestCount && round_no < kMaxRounds) {
@@ -120,6 +137,17 @@ ProtectedServer::run(ThreadPool *pool)
             }
             inflight[w] = InFlight{ r, round_no, true };
             _sched.notifyReady(&proc);
+            if (traced) {
+                tr->record(
+                    telemetry::traceInstant(
+                        TraceCategory::Server, "server.request.assign",
+                        double(round_no) * us_per_round,
+                        static_cast<uint32_t>(w) + 1)
+                        .arg("id", r.id)
+                        .arg("kind", static_cast<uint64_t>(r.kind))
+                        .arg("cost_insts", r.costInsts)
+                        .arg("retries", r.retries));
+            }
         }
 
         if (_sched.idle()) {
@@ -154,6 +182,18 @@ ProtectedServer::run(ThreadPool *pool)
                 fold64(sig, static_cast<uint64_t>(r.kind));
                 fold64(sig, lat);
                 fold64(sig, static_cast<uint64_t>(w));
+                if (traced) {
+                    tr->record(
+                        telemetry::traceSpan(
+                            TraceCategory::Server, "server.request",
+                            double(inflight[w].startRound) *
+                                us_per_round,
+                            double(lat) * us_per_round,
+                            static_cast<uint32_t>(w) + 1)
+                            .arg("id", r.id)
+                            .arg("kind", static_cast<uint64_t>(r.kind))
+                            .arg("latency_rounds", lat));
+                }
                 inflight[w].active = false;
                 ++done;
             } else if (proc.state() == ProcState::Crashed) {
@@ -166,6 +206,16 @@ ProtectedServer::run(ThreadPool *pool)
                 ++r.retries;
                 requeue.push_front(r);
                 inflight[w].active = false;
+                if (traced) {
+                    tr->record(
+                        telemetry::traceInstant(
+                            TraceCategory::Server,
+                            "server.request.retry",
+                            double(round_no) * us_per_round,
+                            static_cast<uint32_t>(w) + 1)
+                            .arg("id", r.id)
+                            .arg("retries", r.retries));
+                }
             }
         }
 
@@ -198,6 +248,7 @@ ProtectedServer::run(ThreadPool *pool)
         report.programsCompleted += s.programsCompleted;
         report.checksumMismatches += s.checksumMismatches;
         report.probesStaged += s.probesStaged;
+        report.phases += s.phases;
         fold64(sig, proc->statsSignature());
     }
 

@@ -44,6 +44,14 @@ struct ServerConfig
      * interpreter checksum computed once up front.
      */
     bool verifyOutput = true;
+
+    /**
+     * Optional structured-trace sink. Wired through to the scheduler
+     * (per-core quantum spans) and every worker runtime/VM, and used
+     * by the server itself for request-lifecycle events
+     * (TraceCategory::Server). nullptr disables all tracing.
+     */
+    telemetry::TraceBuffer *trace = nullptr;
 };
 
 /** Latency distribution in scheduler rounds. */
@@ -80,6 +88,12 @@ struct ServerReport
     /** Modeled wall time: rounds * quantum / aggregate CMP rate. */
     double modeledSeconds = 0;
     double requestsPerModeledSecond = 0;
+
+    /**
+     * Per-phase runtime profile summed over every worker (translate /
+     * regalloc / relocation / migration-transform; modeled costs).
+     */
+    telemetry::PhaseBreakdown phases;
 
     /**
      * FNV-1a fold of every per-request record and every worker's

@@ -10,6 +10,13 @@ CmpScheduler::CmpScheduler(const CmpModel &cmp,
     : _cmp(cmp), _cfg(cfg)
 {
     hipstr_assert(cfg.quantumInsts > 0);
+    // Modeled round length, matching ServerReport::modeledSeconds:
+    // one quantum on every core through the CMP's aggregate rate.
+    double agg = cmp.aggregateInstsPerSecond();
+    if (agg > 0) {
+        _usPerRound = double(cfg.quantumInsts) *
+            double(cmp.totalCores()) / agg * 1e6;
+    }
 }
 
 void
@@ -40,22 +47,45 @@ CmpScheduler::round(ThreadPool *pool)
 
     // Run every assigned quantum concurrently: processes share only
     // the immutable FatBinary.
+    std::vector<QuantumResult> results(cores.size());
     parallelFor(
         cores.size(),
         [&](size_t i) {
             if (assigned[i] != nullptr)
-                (void)assigned[i]->runQuantum(_cfg.quantumInsts);
+                results[i] = assigned[i]->runQuantum(_cfg.quantumInsts);
         },
         pool);
 
+    using telemetry::TraceCategory;
+    const bool traced =
+        trace != nullptr && trace->enabled(TraceCategory::Scheduler);
+    const double round_ts = double(_stats.rounds) * _usPerRound;
+
     // Merge outcomes in fixed core order so queue contents — and
     // therefore every subsequent scheduling decision — never depend
-    // on completion interleaving.
+    // on completion interleaving. Trace events are recorded here, in
+    // this sequential section, so their ring order is deterministic.
     for (const CmpCore &core : cores) {
         GuestProcess *p = assigned[core.id];
         if (p == nullptr)
             continue;
         ++_stats.quantaRun;
+        const QuantumResult &q = results[core.id];
+
+        if (traced) {
+            // The core executes q.ran guest instructions at its own
+            // modeled rate; the remainder of the round slot is idle.
+            double ips = _cmp.instsPerSecond(core.isa);
+            double dur =
+                ips > 0 ? double(q.ran) / ips * 1e6 : _usPerRound;
+            trace->record(
+                telemetry::traceSpan(TraceCategory::Scheduler,
+                                     "sched.quantum", round_ts, dur,
+                                     p->pid() + 1, core.id)
+                    .arg("ran", q.ran)
+                    .arg("reason", static_cast<uint64_t>(q.reason))
+                    .arg("migrated", q.migrated ? 1 : 0));
+        }
 
         bool respawned = false;
         if (p->state() == ProcState::Crashed) {
@@ -63,19 +93,44 @@ CmpScheduler::round(ThreadPool *pool)
                 p->respawnCount() >= _cfg.respawnLimit) {
                 _retired.push_back(p);
                 ++_stats.retired;
+                if (traced) {
+                    trace->record(telemetry::traceInstant(
+                                      TraceCategory::Scheduler,
+                                      "sched.retire", round_ts,
+                                      p->pid() + 1, core.id)
+                                      .arg("respawns",
+                                           p->respawnCount()));
+                }
                 continue;
             }
             p->respawn();
             ++_stats.respawns;
             respawned = true;
+            if (traced) {
+                trace->record(telemetry::traceInstant(
+                                  TraceCategory::Scheduler,
+                                  "sched.respawn", round_ts,
+                                  p->pid() + 1, core.id)
+                                  .arg("respawns", p->respawnCount()));
+            }
         }
 
         if (p->state() == ProcState::Ready) {
             // Only a quantum that genuinely migrated counts as a
             // security routing decision; the start-ISA affinity a
             // restart or respawn re-establishes does not.
-            if (!respawned && p->lastQuantumMigrated())
+            if (!respawned && p->lastQuantumMigrated()) {
                 ++_stats.migrationsRouted;
+                if (traced) {
+                    trace->record(
+                        telemetry::traceInstant(
+                            TraceCategory::Scheduler,
+                            "sched.route_migration", round_ts,
+                            p->pid() + 1, core.id)
+                            .arg("to_isa", static_cast<uint64_t>(
+                                               p->isa())));
+                }
+            }
             _ready[static_cast<size_t>(p->isa())].push_back(p);
         }
         // Blocked (service complete, awaiting the next request) and

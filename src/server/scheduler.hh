@@ -29,6 +29,7 @@
 #include "server/cmp_model.hh"
 #include "server/guest_process.hh"
 #include "support/parallel.hh"
+#include "telemetry/trace.hh"
 
 namespace hipstr
 {
@@ -65,6 +66,16 @@ class CmpScheduler
     CmpScheduler(const CmpModel &cmp, const SchedulerConfig &cfg);
 
     /**
+     * Optional structured-trace sink (TraceCategory::Scheduler:
+     * per-core quantum spans, respawns, retirements, migration
+     * routing). Events are recorded from the *sequential* merge
+     * section in fixed core order, on the modeled timeline (rounds
+     * through the CMP's aggregate rate), so a trace is as
+     * reproducible as the schedule itself.
+     */
+    telemetry::TraceBuffer *trace = nullptr;
+
+    /**
      * Make a Ready process schedulable. Must be called once per
      * Ready transition the scheduler did not make itself (i.e. after
      * GuestProcess::beginService); a process must never be enqueued
@@ -95,6 +106,7 @@ class CmpScheduler
   private:
     const CmpModel &_cmp;
     SchedulerConfig _cfg;
+    double _usPerRound = 0; ///< modeled microseconds per round
     std::array<std::deque<GuestProcess *>, kNumIsas> _ready;
     std::vector<GuestProcess *> _retired;
     SchedulerStats _stats;

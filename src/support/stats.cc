@@ -35,9 +35,23 @@ Histogram::reset()
     _sum = 0;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    hipstr_assert(other._binWidth == _binWidth &&
+                  other._bins.size() == _bins.size());
+    for (size_t i = 0; i < _bins.size(); ++i)
+        _bins[i] += other._bins[i];
+    _samples += other._samples;
+    _sum += other._sum;
+}
+
 double
 Histogram::mean() const
 {
+    // Empty histogram: define the mean as 0.0 rather than 0/0. Stats
+    // dumps and JSON exports run mid-experiment, before any sample
+    // may have arrived.
     if (_samples == 0)
         return 0.0;
     return static_cast<double>(_sum) / static_cast<double>(_samples);

@@ -39,6 +39,15 @@ class Counter
 /**
  * A histogram over integer samples with fixed-width bins. Used, e.g.,
  * for stack-slot displacement distributions and gadget-length counts.
+ *
+ * Overflow contract (every call site relies on this, so it is stated
+ * once here): a sample at or beyond `bin_width * num_bins` is NOT
+ * dropped — it is absorbed into the final bin. binCount(numBins()-1)
+ * therefore reads as "this value or larger", and mean() still
+ * reflects the exact sample values, not the bin midpoints.
+ *
+ * The thread-safe registry wrapper telemetry::HistogramMetric builds
+ * on this class; merge() is its shard-combining primitive.
  */
 class Histogram
 {
@@ -48,10 +57,22 @@ class Histogram
     void sample(uint64_t v, uint64_t count = 1);
     void reset();
 
+    /**
+     * Fold @p other into this histogram (bin-wise addition plus the
+     * sample/sum accounting mean() needs). Asserts on geometry
+     * mismatch — merging differently-binned histograms silently
+     * corrupts the distribution.
+     */
+    void merge(const Histogram &other);
+
     uint64_t totalSamples() const { return _samples; }
+    /** Mean of all samples; 0.0 for an empty histogram (no samples
+     *  recorded yet must never fault a stats dump mid-run). */
     double mean() const;
-    /** Count in bin @p i; the final bin absorbs overflow. */
+    /** Count in bin @p i; the final bin absorbs overflow (see the
+     *  class comment). */
     uint64_t binCount(size_t i) const { return _bins.at(i); }
+    uint64_t binWidth() const { return _binWidth; }
     size_t numBins() const { return _bins.size(); }
     const std::string &name() const { return _name; }
 

@@ -1,0 +1,322 @@
+#include "metrics.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hipstr::telemetry
+{
+
+void
+HistogramMetric::merge(const HistogramMetric &other)
+{
+    if (other.binWidth() != _binWidth ||
+        other.numBins() != numBins()) {
+        throw MetricError(
+            "histogram merge geometry mismatch: " +
+            snapshot().name());
+    }
+    Histogram theirs = other.snapshot();
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hist.merge(theirs);
+}
+
+std::string
+CounterFamily::renderedName(
+    const std::vector<std::string> &label_values) const
+{
+    std::string out = _name + "{";
+    for (size_t i = 0; i < _keys.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += _keys[i] + "=" + label_values[i];
+    }
+    out += "}";
+    return out;
+}
+
+CounterMetric &
+CounterFamily::at(const std::vector<std::string> &label_values)
+{
+    if (label_values.size() != _keys.size()) {
+        throw MetricError("family '" + _name + "' takes " +
+                          std::to_string(_keys.size()) +
+                          " labels, got " +
+                          std::to_string(label_values.size()));
+    }
+    const std::string key = renderedName(label_values);
+    {
+        std::shared_lock<std::shared_mutex> lock(_mutex);
+        auto it = _members.find(key);
+        if (it != _members.end())
+            return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    auto &slot = _members[key];
+    if (!slot)
+        slot = std::make_unique<CounterMetric>();
+    return *slot;
+}
+
+const char *
+MetricRegistry::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Counter: return "counter";
+      case Kind::Gauge: return "gauge";
+      case Kind::Hist: return "histogram";
+      case Kind::Family: return "family";
+    }
+    return "?";
+}
+
+MetricRegistry::Entry *
+MetricRegistry::find(const std::string &name, Kind want)
+{
+    std::shared_lock<std::shared_mutex> lock(_mutex);
+    auto it = _entries.find(name);
+    if (it == _entries.end())
+        return nullptr;
+    if (it->second.kind != want) {
+        throw MetricError("metric '" + name + "' already registered "
+                          "as " + kindName(it->second.kind) +
+                          ", requested as " + kindName(want));
+    }
+    return &it->second;
+}
+
+CounterMetric &
+MetricRegistry::counter(const std::string &name)
+{
+    if (Entry *e = find(name, Kind::Counter))
+        return *e->counter;
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    Entry &e = _entries[name];
+    if (e.counter == nullptr) {
+        if (e.gauge || e.hist || e.family) {
+            throw MetricError("metric '" + name +
+                              "' already registered with another "
+                              "kind, requested as counter");
+        }
+        e.kind = Kind::Counter;
+        e.counter = std::make_unique<CounterMetric>();
+    }
+    return *e.counter;
+}
+
+GaugeMetric &
+MetricRegistry::gauge(const std::string &name)
+{
+    if (Entry *e = find(name, Kind::Gauge))
+        return *e->gauge;
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    Entry &e = _entries[name];
+    if (e.gauge == nullptr) {
+        if (e.counter || e.hist || e.family) {
+            throw MetricError("metric '" + name +
+                              "' already registered with another "
+                              "kind, requested as gauge");
+        }
+        e.kind = Kind::Gauge;
+        e.gauge = std::make_unique<GaugeMetric>();
+    }
+    return *e.gauge;
+}
+
+HistogramMetric &
+MetricRegistry::histogram(const std::string &name, uint64_t bin_width,
+                          size_t num_bins)
+{
+    if (Entry *e = find(name, Kind::Hist)) {
+        if (e->hist->binWidth() != bin_width ||
+            e->hist->numBins() != num_bins) {
+            throw MetricError("histogram '" + name +
+                              "' re-registered with different "
+                              "geometry");
+        }
+        return *e->hist;
+    }
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    Entry &e = _entries[name];
+    if (e.hist == nullptr) {
+        if (e.counter || e.gauge || e.family) {
+            throw MetricError("metric '" + name +
+                              "' already registered with another "
+                              "kind, requested as histogram");
+        }
+        e.kind = Kind::Hist;
+        e.hist = std::make_unique<HistogramMetric>(name, bin_width,
+                                                   num_bins);
+    }
+    return *e.hist;
+}
+
+CounterFamily &
+MetricRegistry::family(const std::string &name,
+                       const std::vector<std::string> &label_keys)
+{
+    if (Entry *e = find(name, Kind::Family)) {
+        if (e->family->labelKeys() != label_keys) {
+            throw MetricError("family '" + name +
+                              "' re-registered with different label "
+                              "keys");
+        }
+        return *e->family;
+    }
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    Entry &e = _entries[name];
+    if (e.family == nullptr) {
+        if (e.counter || e.gauge || e.hist) {
+            throw MetricError("metric '" + name +
+                              "' already registered with another "
+                              "kind, requested as family");
+        }
+        e.kind = Kind::Family;
+        e.family.reset(new CounterFamily(name, label_keys));
+    }
+    return *e.family;
+}
+
+void
+MetricRegistry::toJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+
+    // Collect (rendered name, rendered value) pairs, then emit them
+    // sorted so the export order never depends on registration order.
+    std::map<std::string, std::string> lines;
+    {
+        std::shared_lock<std::shared_mutex> lock(_mutex);
+        for (const auto &kv : _entries) {
+            const Entry &e = kv.second;
+            switch (e.kind) {
+              case Kind::Counter:
+                lines[kv.first] = jsonNumber(e.counter->value());
+                break;
+              case Kind::Gauge:
+                lines[kv.first] = jsonNumber(e.gauge->value());
+                break;
+              case Kind::Hist: {
+                Histogram h = e.hist->snapshot();
+                std::string v = "{\"type\": \"histogram\", "
+                                "\"bin_width\": " +
+                    jsonNumber(e.hist->binWidth()) +
+                    ", \"samples\": " + jsonNumber(h.totalSamples()) +
+                    ", \"mean\": " + jsonNumber(h.mean()) +
+                    ", \"bins\": [";
+                for (size_t i = 0; i < h.numBins(); ++i) {
+                    if (i > 0)
+                        v += ", ";
+                    v += jsonNumber(h.binCount(i));
+                }
+                v += "]}";
+                lines[kv.first] = v;
+                break;
+              }
+              case Kind::Family: {
+                std::shared_lock<std::shared_mutex> flock(
+                    e.family->_mutex);
+                for (const auto &m : e.family->_members)
+                    lines[m.first] = jsonNumber(m.second->value());
+                break;
+              }
+            }
+        }
+    }
+
+    bool first = true;
+    for (const auto &kv : lines) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << pad << "\"" << jsonEscape(kv.first)
+           << "\": " << kv.second;
+    }
+    if (!first)
+        os << "\n";
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::ostringstream os;
+    toJson(os);
+    return os.str();
+}
+
+void
+MetricRegistry::reset()
+{
+    std::unique_lock<std::shared_mutex> lock(_mutex);
+    for (auto &kv : _entries) {
+        Entry &e = kv.second;
+        switch (e.kind) {
+          case Kind::Counter: e.counter->reset(); break;
+          case Kind::Gauge: e.gauge->reset(); break;
+          case Kind::Hist: e.hist->reset(); break;
+          case Kind::Family: {
+            std::unique_lock<std::shared_mutex> flock(
+                e.family->_mutex);
+            for (auto &m : e.family->_members)
+                m.second->reset();
+            break;
+          }
+        }
+    }
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(_mutex);
+    return _entries.size();
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+std::string
+jsonNumber(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+jsonNumber(double v)
+{
+    // %.12g is deterministic for a given value and keeps integers
+    // rendered as integers ("3" not "3.000000000000").
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace hipstr::telemetry

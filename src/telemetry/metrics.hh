@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unified metrics registry — the repo-wide observability substrate the
+ * evaluation (Figs. 7-14, Table 2) and the protected-server deployment
+ * report through.
+ *
+ * Design:
+ *  - Hierarchical dot-separated names ("vm.dispatch.hits",
+ *    "server.requests.attack", "sched.migrations.isa_flip").
+ *  - Three metric kinds: monotonically increasing Counter (atomic,
+ *    wait-free increment), last-value Gauge (doubles, for figure
+ *    results and rates), and HistogramMetric (fixed-width bins over a
+ *    hipstr::Histogram; the final bin absorbs overflow).
+ *  - Labeled families: family("sched.migrations", {"isa"}) hands out
+ *    one Counter per label-value tuple; members export under the
+ *    rendered name "sched.migrations{isa=risc}".
+ *  - One exporter: toJson() renders every metric, sorted by rendered
+ *    name, with deterministic number formatting — two runs (or two
+ *    HIPSTR_JOBS values) that do the same modeled work produce
+ *    byte-identical JSON. This is what every BENCH_<name>.json is
+ *    written through.
+ *
+ * Thread safety: the registry maps are guarded by a shared mutex
+ * (creation is rare, lookup cheap); Counter increments are relaxed
+ * atomics; Gauge set/get are atomic stores/loads; histogram sampling
+ * takes a per-histogram mutex (sampling sites are cold paths).
+ * Determinism across thread counts is the caller's contract: derive
+ * every recorded value from the work item, never from thread identity
+ * — then the exported totals are interleaving-independent.
+ *
+ * Name-collision semantics: requesting an existing name with the same
+ * kind (and, for histograms, the same geometry; for families, the
+ * same label keys) returns the existing metric. Requesting it with a
+ * different kind/geometry/keys throws MetricError — silently aliasing
+ * two subsystems' metrics is always a bug.
+ */
+
+#ifndef HIPSTR_TELEMETRY_METRICS_HH
+#define HIPSTR_TELEMETRY_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace hipstr::telemetry
+{
+
+/** Thrown on metric name collisions and label-arity mismatches. */
+class MetricError : public std::logic_error
+{
+  public:
+    explicit MetricError(const std::string &what)
+        : std::logic_error(what)
+    {
+    }
+};
+
+/** Monotonic counter; wait-free increments, exported as an integer. */
+class CounterMetric
+{
+  public:
+    void inc(uint64_t delta = 1)
+    {
+        _value.fetch_add(delta, std::memory_order_relaxed);
+    }
+    void set(uint64_t v) { _value.store(v, std::memory_order_relaxed); }
+    uint64_t value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+    void reset() { _value.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> _value{ 0 };
+};
+
+/** Last-value gauge; exported as a double. */
+class GaugeMetric
+{
+  public:
+    void set(double v) { _value.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+    void reset() { _value.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> _value{ 0.0 };
+};
+
+/**
+ * Thread-safe histogram over integer samples. Shares the fixed-width
+ * bin model of hipstr::Histogram (the final bin absorbs overflow);
+ * merge() folds another histogram of identical geometry in — the
+ * shard-merge primitive parallel sweeps use.
+ */
+class HistogramMetric
+{
+  public:
+    HistogramMetric(std::string name, uint64_t bin_width,
+                    size_t num_bins)
+        : _hist(std::move(name), bin_width, num_bins),
+          _binWidth(bin_width)
+    {
+    }
+
+    void
+    sample(uint64_t v, uint64_t count = 1)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _hist.sample(v, count);
+    }
+
+    /** Fold @p other in. @throws MetricError on geometry mismatch. */
+    void merge(const HistogramMetric &other);
+
+    /** Immutable snapshot for export (copies under the lock). */
+    Histogram snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _hist;
+    }
+
+    uint64_t binWidth() const { return _binWidth; }
+    size_t numBins() const { return _hist.numBins(); }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _hist.reset();
+    }
+
+  private:
+    mutable std::mutex _mutex;
+    Histogram _hist;
+    uint64_t _binWidth;
+};
+
+class MetricRegistry;
+
+/**
+ * A labeled metric family: one Counter per label-value tuple, all
+ * under one hierarchical name. Members render as
+ * "name{key1=v1,key2=v2}" in the export.
+ */
+class CounterFamily
+{
+  public:
+    /**
+     * The member counter for @p label_values (created on first use).
+     * @throws MetricError if the value count does not match the
+     *         family's label keys.
+     */
+    CounterMetric &at(const std::vector<std::string> &label_values);
+
+    const std::string &name() const { return _name; }
+    const std::vector<std::string> &labelKeys() const { return _keys; }
+
+  private:
+    friend class MetricRegistry;
+    CounterFamily(std::string name, std::vector<std::string> keys)
+        : _name(std::move(name)), _keys(std::move(keys))
+    {
+    }
+
+    std::string renderedName(
+        const std::vector<std::string> &label_values) const;
+
+    std::string _name;
+    std::vector<std::string> _keys;
+    mutable std::shared_mutex _mutex;
+    std::map<std::string, std::unique_ptr<CounterMetric>> _members;
+};
+
+/**
+ * The registry: get-or-create metrics by hierarchical name, export
+ * everything through one deterministic JSON writer.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    CounterMetric &counter(const std::string &name);
+    GaugeMetric &gauge(const std::string &name);
+    HistogramMetric &histogram(const std::string &name,
+                               uint64_t bin_width, size_t num_bins);
+    CounterFamily &family(const std::string &name,
+                          const std::vector<std::string> &label_keys);
+
+    /**
+     * Render every metric as a sorted JSON object with @p indent
+     * leading spaces per line:
+     *   "name": 12,                  counters (integers)
+     *   "name": 0.861234,            gauges (deterministic %.12g)
+     *   "name{isa=risc}": 3,         family members
+     *   "name": {"type": "histogram", "bin_width": ..., "samples":
+     *            ..., "mean": ..., "bins": [...]}
+     */
+    void toJson(std::ostream &os, int indent = 2) const;
+    std::string toJson() const;
+
+    /** Zero every metric (registrations are kept). */
+    void reset();
+
+    /** Number of registered top-level metrics (families count as 1). */
+    size_t size() const;
+
+    /** Process-wide registry for code without a better home. */
+    static MetricRegistry &global();
+
+  private:
+    enum class Kind : uint8_t
+    {
+        Counter,
+        Gauge,
+        Hist,
+        Family
+    };
+
+    struct Entry
+    {
+        Kind kind;
+        std::unique_ptr<CounterMetric> counter;
+        std::unique_ptr<GaugeMetric> gauge;
+        std::unique_ptr<HistogramMetric> hist;
+        std::unique_ptr<CounterFamily> family;
+    };
+
+    static const char *kindName(Kind k);
+    Entry *find(const std::string &name, Kind want);
+
+    mutable std::shared_mutex _mutex;
+    std::map<std::string, Entry> _entries;
+};
+
+/**
+ * Deterministic number rendering shared by the JSON exporters:
+ * integers verbatim, doubles through %.12g (enough digits to be
+ * stable, few enough to stay readable). @{
+ */
+std::string jsonNumber(uint64_t v);
+std::string jsonNumber(double v);
+/** @} */
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace hipstr::telemetry
+
+#endif // HIPSTR_TELEMETRY_METRICS_HH

@@ -1,0 +1,37 @@
+#include "phase.hh"
+
+#include <string>
+
+#include "metrics.hh"
+
+namespace hipstr::telemetry
+{
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Translate: return "translate";
+      case Phase::Regalloc: return "regalloc";
+      case Phase::Relocation: return "relocation";
+      case Phase::MigrationTransform: return "migration_transform";
+      case Phase::kNum: break;
+    }
+    return "?";
+}
+
+void
+exportPhases(MetricRegistry &reg, const char *prefix,
+             const PhaseBreakdown &bd)
+{
+    for (size_t i = 0; i < kNumPhases; ++i) {
+        const PhaseStats &ps = bd.phases[i];
+        const std::string base = std::string(prefix) + "." +
+            phaseName(static_cast<Phase>(i));
+        reg.counter(base + ".invocations").set(ps.invocations);
+        reg.counter(base + ".work_units").set(ps.workUnits);
+        reg.gauge(base + ".modeled_us").set(ps.modeledMicros);
+    }
+}
+
+} // namespace hipstr::telemetry

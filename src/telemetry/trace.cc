@@ -1,0 +1,167 @@
+#include "trace.hh"
+
+#include "metrics.hh"
+#include "support/logging.hh"
+
+namespace hipstr::telemetry
+{
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Vm: return "vm";
+      case TraceCategory::Runtime: return "runtime";
+      case TraceCategory::Scheduler: return "sched";
+      case TraceCategory::Server: return "server";
+      case TraceCategory::Phase: return "phase";
+      case TraceCategory::kNum: break;
+    }
+    return "?";
+}
+
+TraceEvent
+traceSpan(TraceCategory cat, const char *name, double ts, double dur,
+          uint32_t pid, uint32_t tid)
+{
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.ph = 'X';
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.pid = pid;
+    ev.tid = tid;
+    return ev;
+}
+
+TraceEvent
+traceInstant(TraceCategory cat, const char *name, double ts,
+             uint32_t pid, uint32_t tid)
+{
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.ph = 'i';
+    ev.ts = ts;
+    ev.pid = pid;
+    ev.tid = tid;
+    return ev;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : _ring(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+TraceBuffer::record(const TraceEvent &ev)
+{
+    if (!enabled(ev.cat))
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_count == _ring.size())
+        ++_dropped; // overwriting the oldest retained event
+    else
+        ++_count;
+    _ring[_next] = ev;
+    _next = (_next + 1) % _ring.size();
+    ++_recorded;
+}
+
+size_t
+TraceBuffer::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _count;
+}
+
+uint64_t
+TraceBuffer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _dropped;
+}
+
+uint64_t
+TraceBuffer::recorded() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _recorded;
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<TraceEvent> out;
+    out.reserve(_count);
+    // Oldest event sits at _next when the ring has wrapped, at 0
+    // otherwise.
+    size_t start = _count == _ring.size() ? _next : 0;
+    for (size_t i = 0; i < _count; ++i)
+        out.push_back(_ring[(start + i) % _ring.size()]);
+    return out;
+}
+
+void
+TraceBuffer::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _next = 0;
+    _count = 0;
+    _dropped = 0;
+    _recorded = 0;
+}
+
+void
+TraceBuffer::exportChrome(std::ostream &os) const
+{
+    std::vector<TraceEvent> events = snapshot();
+    uint64_t dropped_events;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        dropped_events = _dropped;
+    }
+
+    os << "{\n  \"traceEvents\": [\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &ev = events[i];
+        os << "    {\"name\": \"" << jsonEscape(ev.name)
+           << "\", \"cat\": \"" << traceCategoryName(ev.cat)
+           << "\", \"ph\": \"" << ev.ph
+           << "\", \"ts\": " << jsonNumber(ev.ts);
+        if (ev.ph == 'X')
+            os << ", \"dur\": "
+               << jsonNumber(ev.dur < 0 ? 0.0 : ev.dur);
+        os << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+        if (ev.ph == 'i')
+            os << ", \"s\": \"t\""; // instant scope: thread
+        if (ev.nargs > 0) {
+            os << ", \"args\": {";
+            for (uint32_t a = 0; a < ev.nargs; ++a) {
+                if (a > 0)
+                    os << ", ";
+                os << "\"" << jsonEscape(ev.args[a].first)
+                   << "\": " << jsonNumber(ev.args[a].second);
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < events.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n"
+       << "  \"otherData\": {\n"
+       << "    \"dropped\": " << dropped_events << ",\n"
+       << "    \"clock\": \"modeled-microseconds\"\n"
+       << "  }\n"
+       << "}\n";
+}
+
+TraceBuffer &
+TraceBuffer::global()
+{
+    static TraceBuffer buffer(1 << 16);
+    return buffer;
+}
+
+} // namespace hipstr::telemetry

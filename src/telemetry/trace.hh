@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Low-overhead structured trace events with Chrome trace_event-format
+ * export — the "magnified view" instrumentation the heterogeneous-ISA
+ * migration literature demands: per-quantum core occupancy, migration
+ * timing breakdowns, request lifecycles, all on the *modeled*
+ * timeline so traces are reproducible artifacts, not wall-clock
+ * noise.
+ *
+ * Model:
+ *  - A TraceBuffer is a fixed-capacity ring of TraceEvent records.
+ *    When the ring is full, the oldest event is overwritten and
+ *    dropped() is incremented — a long soak keeps the newest window.
+ *  - Every record() is gated on a per-category runtime mask;
+ *    enabled() is a single relaxed atomic load + AND, cheap enough
+ *    for any non-per-instruction site. The compile-time switch
+ *    HIPSTR_TELEMETRY_DISABLED turns enabled() into `false` so the
+ *    whole layer folds away.
+ *  - Producers hold a TraceBuffer* that defaults to nullptr; a null
+ *    pointer (the common case) costs one predictable branch at each
+ *    cold hook site and nothing on the VM's per-instruction path,
+ *    which has no hook sites at all (see DESIGN.md's overhead
+ *    budget).
+ *  - Timestamps are modeled microseconds supplied by the caller
+ *    (guest instructions at a nominal rate, or scheduler rounds
+ *    through the CMP's aggregate rate). Two runs of the same
+ *    configuration therefore produce identical event payloads; only
+ *    ring *order* may vary when producers race, which deterministic
+ *    callers (the scheduler's merge phase) avoid by recording from
+ *    their fixed-order sections.
+ *
+ * exportChrome() writes the JSON Object Format of the Chrome
+ * trace_event spec; load the file in chrome://tracing or
+ * https://ui.perfetto.dev (EXPERIMENTS.md has the recipe).
+ */
+
+#ifndef HIPSTR_TELEMETRY_TRACE_HH
+#define HIPSTR_TELEMETRY_TRACE_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hipstr::telemetry
+{
+
+/** Event categories, maskable at runtime. */
+enum class TraceCategory : uint8_t
+{
+    Vm,        ///< PSR VM run slices, translations, security events
+    Runtime,   ///< HipstrRuntime quanta and migrations
+    Scheduler, ///< CmpScheduler rounds, quanta, respawns, routing
+    Server,    ///< ProtectedServer request lifecycle
+    Phase,     ///< per-phase profiling scopes
+    kNum
+};
+
+constexpr uint32_t
+categoryBit(TraceCategory c)
+{
+    return 1u << static_cast<unsigned>(c);
+}
+
+/** Mask enabling every category. */
+constexpr uint32_t kAllTraceCategories =
+    (1u << static_cast<unsigned>(TraceCategory::kNum)) - 1;
+
+const char *traceCategoryName(TraceCategory c);
+
+/**
+ * One structured event. `name` and arg keys must be string literals
+ * (static lifetime) — events are recorded on cold paths but copied
+ * around wholesale, so they carry no owned strings.
+ */
+struct TraceEvent
+{
+    static constexpr size_t kMaxArgs = 4;
+
+    double ts = 0;   ///< modeled microseconds
+    double dur = -1; ///< duration for 'X' events; <0 renders none
+    uint32_t pid = 0; ///< logical process lane (worker pid, 0 = host)
+    uint32_t tid = 0; ///< logical thread lane (core id, VM isa, ...)
+    TraceCategory cat = TraceCategory::Vm;
+    char ph = 'i'; ///< Chrome phase: 'X' complete, 'i' instant, 'C' counter
+    const char *name = "";
+    uint32_t nargs = 0;
+    std::array<std::pair<const char *, uint64_t>, kMaxArgs> args{};
+
+    TraceEvent &
+    arg(const char *key, uint64_t value)
+    {
+        if (nargs < kMaxArgs)
+            args[nargs++] = { key, value };
+        return *this;
+    }
+};
+
+/** Build a complete ('X') event spanning [ts, ts+dur]. */
+TraceEvent traceSpan(TraceCategory cat, const char *name, double ts,
+                     double dur, uint32_t pid = 0, uint32_t tid = 0);
+/** Build an instant ('i') event at ts. */
+TraceEvent traceInstant(TraceCategory cat, const char *name, double ts,
+                        uint32_t pid = 0, uint32_t tid = 0);
+
+/**
+ * The ring buffer. All members are safe to call concurrently;
+ * record() takes a mutex (hook sites are cold paths — quanta,
+ * migrations, requests — never per-instruction).
+ */
+class TraceBuffer
+{
+  public:
+    /** @param capacity ring size in events (>= 1). */
+    explicit TraceBuffer(size_t capacity = 1 << 14);
+
+    /** Replace the category mask (0 disables all recording). */
+    void setMask(uint32_t mask)
+    {
+        _mask.store(mask, std::memory_order_relaxed);
+    }
+    uint32_t mask() const
+    {
+        return _mask.load(std::memory_order_relaxed);
+    }
+
+    /** The hot gate: one relaxed load + AND (constant false when the
+     *  layer is compiled out). */
+    bool
+    enabled(TraceCategory c) const
+    {
+#ifdef HIPSTR_TELEMETRY_DISABLED
+        (void)c;
+        return false;
+#else
+        return (_mask.load(std::memory_order_relaxed) &
+                categoryBit(c)) != 0;
+#endif
+    }
+
+    /**
+     * Append @p ev; when the ring is full the oldest event is
+     * overwritten and counted in dropped(). Events in disabled
+     * categories are ignored (callers normally pre-check enabled()).
+     */
+    void record(const TraceEvent &ev);
+
+    /** Events currently retained (<= capacity). */
+    size_t size() const;
+    size_t capacity() const { return _ring.size(); }
+    /** Events overwritten because the ring was full. */
+    uint64_t dropped() const;
+    /** Total record() calls accepted (retained + dropped). */
+    uint64_t recorded() const;
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Drop all retained events and zero the drop accounting. */
+    void clear();
+
+    /**
+     * Chrome trace_event JSON Object Format:
+     * {"traceEvents": [...], "otherData": {"dropped": N, ...}}.
+     * Events are emitted oldest first; numbers use the deterministic
+     * formatter, so equal event sequences export byte-identically.
+     */
+    void exportChrome(std::ostream &os) const;
+
+    /** Process-wide buffer (disabled mask by default). */
+    static TraceBuffer &global();
+
+  private:
+    std::atomic<uint32_t> _mask{ 0 };
+    mutable std::mutex _mutex;
+    std::vector<TraceEvent> _ring;
+    size_t _next = 0;    ///< ring cursor
+    size_t _count = 0;   ///< retained events (saturates at capacity)
+    uint64_t _dropped = 0;
+    uint64_t _recorded = 0;
+};
+
+} // namespace hipstr::telemetry
+
+#endif // HIPSTR_TELEMETRY_TRACE_HH

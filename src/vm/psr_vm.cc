@@ -3,6 +3,8 @@
 #include "binary/loader.hh"
 #include "isa/interp.hh"
 #include "isa/mem_traffic.hh"
+#include "sim/core_config.hh"
+#include "sim/timing.hh"
 #include "support/logging.hh"
 
 namespace hipstr
@@ -31,6 +33,17 @@ PsrVm::PsrVm(const FatBinary &bin, IsaKind isa, Memory &mem,
       _cache(mem, isa, cfg.codeCacheBytes, cfg.blockPlacement()),
       _rat(cfg.ratEntries)
 {
+    // Modeled translation cost per guest instruction on this core:
+    // cycles / (GHz * 1000) = microseconds.
+    _translateUsPerInst = TimingParams{}.translateCyclesPerGuestInst /
+        (coreConfig(isa).freqGhz * 1000.0);
+}
+
+double
+PsrVm::traceTs() const
+{
+    return double(stats.guestInsts) /
+        telemetry::cost::kGuestInstsPerMicro;
 }
 
 void
@@ -46,6 +59,13 @@ PsrVm::reRandomize()
     _cache.flush();
     _rat.flush();
     ++stats.cacheFlushes;
+    if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
+        trace->record(
+            telemetry::traceInstant(telemetry::TraceCategory::Vm,
+                                    "vm.rerandomize", traceTs(), 0,
+                                    static_cast<uint32_t>(_isa))
+                .arg("generation", _randomizer.generation()));
+    }
 }
 
 TranslatedBlock *
@@ -64,6 +84,17 @@ PsrVm::fetchBlock(Addr src, VmRunResult &stop)
     }
     stats.translations++;
     stats.translatedGuestInsts += unit->guestInstCount;
+    translatePhase.add(unit->guestInstCount,
+                       double(unit->guestInstCount) *
+                           _translateUsPerInst);
+    if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
+        trace->record(
+            telemetry::traceInstant(telemetry::TraceCategory::Vm,
+                                    "vm.translate", traceTs(), 0,
+                                    static_cast<uint32_t>(_isa))
+                .arg("guest_pc", src)
+                .arg("guest_insts", unit->guestInstCount));
+    }
 
     uint64_t flushes_before = _cache.flushes();
     TranslatedBlock *placed = _cache.insert(std::move(unit));
@@ -96,9 +127,24 @@ PsrVm::traceData(const MachInst &mi)
 VmRunResult
 PsrVm::run(uint64_t max_guest_insts)
 {
-    if (fetchTraceHook || dataTraceHook)
-        return runLoop<true>(max_guest_insts);
-    return runLoop<false>(max_guest_insts);
+    const bool spans =
+        trace && trace->enabled(telemetry::TraceCategory::Vm);
+    const double ts0 = spans ? traceTs() : 0;
+    const uint64_t g0 = stats.guestInsts;
+
+    VmRunResult res = (fetchTraceHook || dataTraceHook)
+        ? runLoop<true>(max_guest_insts)
+        : runLoop<false>(max_guest_insts);
+
+    if (spans) {
+        trace->record(
+            telemetry::traceSpan(telemetry::TraceCategory::Vm,
+                                 "vm.run", ts0, traceTs() - ts0, 0,
+                                 static_cast<uint32_t>(_isa))
+                .arg("ran", stats.guestInsts - g0)
+                .arg("reason", static_cast<uint64_t>(res.reason)));
+    }
+    return res;
 }
 
 template <bool Traced>
@@ -143,6 +189,13 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         // PSR virtual machine suspects a security breach.
         ++stats.codeCacheMisses;
         ++stats.securityEvents;
+        if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
+            trace->record(telemetry::traceInstant(
+                              telemetry::TraceCategory::Vm,
+                              "vm.security_event", traceTs(), 0,
+                              static_cast<uint32_t>(_isa))
+                              .arg("target", target));
+        }
         if (securityEventHook && securityEventHook(target)) {
             ++stats.migrationsRequested;
             stop.reason = VmStop::MigrationRequested;

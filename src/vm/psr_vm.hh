@@ -24,6 +24,8 @@
 #include "isa/machine_state.hh"
 #include "isa/memory.hh"
 #include "sim/rat.hh"
+#include "telemetry/phase.hh"
+#include "telemetry/trace.hh"
 #include "vm/code_cache.hh"
 
 namespace hipstr
@@ -114,6 +116,22 @@ class PsrVm
      */
     std::function<void(Addr target, char kind)> controlTraceHook;
 
+    /**
+     * Optional structured-trace sink (TraceCategory::Vm: run slices,
+     * translations, security events, re-randomizations). nullptr (the
+     * default) costs one branch at each cold hook site; the
+     * per-instruction loop has no hook sites at all.
+     */
+    telemetry::TraceBuffer *trace = nullptr;
+
+    /**
+     * Cumulative Translate phase profile: one invocation per unit
+     * translated, work units are guest instructions, modeled cost
+     * charges TimingParams::translateCyclesPerGuestInst at this
+     * core's frequency. Never reset (cache flushes re-accrue).
+     */
+    telemetry::PhaseStats translatePhase;
+
     /** Point the VM at the program entry with a fresh stack. */
     void reset();
 
@@ -141,6 +159,7 @@ class PsrVm
     const CodeCache &codeCache() const { return _cache; }
     ReturnAddressTable &rat() { return _rat; }
     Randomizer &randomizer() { return _randomizer; }
+    const Randomizer &randomizer() const { return _randomizer; }
     GuestOs &os() { return _os; }
     Memory &mem() { return _mem; }
     const FatBinary &binary() const { return _bin; }
@@ -155,11 +174,15 @@ class PsrVm
     template <bool Traced>
     VmRunResult runLoop(uint64_t max_guest_insts);
 
+    /** Modeled timestamp of "now" for trace events (cold paths). */
+    double traceTs() const;
+
     const FatBinary &_bin;
     IsaKind _isa;
     Memory &_mem;
     GuestOs &_os;
     PsrConfig _cfg;
+    double _translateUsPerInst; ///< modeled translation cost/inst
     Randomizer _randomizer;
     PsrTranslator _translator;
     CodeCache _cache;

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Differential testing: every workload program runs under the plain
+ * reference interpreter and under the PSR VM — on both ISAs, across a
+ * seed sweep — and must produce the identical guest-visible outcome
+ * (exit code and output checksum). This is the paper's "legitimate
+ * execution is unaffected" invariant (Section 5.3) checked as a
+ * product over the whole workload suite, not just hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+constexpr uint64_t kMaxInsts = 400'000'000;
+constexpr unsigned kSeeds = 8;
+
+struct Reference
+{
+    uint32_t exitCode = 0;
+    uint64_t outputChecksum = 0;
+};
+
+/** Native run on the reference interpreter. */
+Reference
+referenceRun(const FatBinary &bin, IsaKind isa)
+{
+    test::NativeRun native = test::runNative(bin, isa, kMaxInsts);
+    EXPECT_EQ(native.result.reason, StopReason::Exited);
+    return Reference{ native.exitCode, native.outputChecksum };
+}
+
+void
+expectVmMatchesNative(const FatBinary &bin, IsaKind isa,
+                      const Reference &ref, uint64_t seed,
+                      const std::string &label)
+{
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    cfg.seed = seed;
+    // Vary the optimization level with the seed so the sweep also
+    // crosses the translator's O1/O2/O3 configurations.
+    cfg.optLevel = unsigned(seed % 3) + 1;
+    PsrVm vm(bin, isa, mem, os, cfg);
+    vm.reset();
+    VmRunResult r = vm.run(kMaxInsts);
+    ASSERT_EQ(r.reason, VmStop::Exited) << label;
+    EXPECT_EQ(os.exitCode(), ref.exitCode) << label;
+    EXPECT_EQ(os.outputChecksum(), ref.outputChecksum) << label;
+}
+
+TEST(Differential, EveryWorkloadBothIsasAcrossSeeds)
+{
+    for (const std::string &name : allWorkloadNames()) {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        FatBinary bin = compileModule(buildWorkload(name, wcfg));
+        for (IsaKind isa : kAllIsas) {
+            Reference ref = referenceRun(bin, isa);
+            for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+                expectVmMatchesNative(
+                    bin, isa, ref, seed,
+                    name + "/" + isaName(isa) + "/seed=" +
+                        std::to_string(seed));
+            }
+        }
+    }
+}
+
+TEST(Differential, OutputAgreesAcrossIsas)
+{
+    // The workloads are self-checking and ISA-independent: the two
+    // native runs of one binary must agree with each other, which is
+    // what lets the protected server verify either-ISA workers
+    // against a single reference checksum.
+    for (const std::string &name : allWorkloadNames()) {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        FatBinary bin = compileModule(buildWorkload(name, wcfg));
+        Reference risc = referenceRun(bin, IsaKind::Risc);
+        Reference cisc = referenceRun(bin, IsaKind::Cisc);
+        EXPECT_EQ(risc.exitCode, cisc.exitCode) << name;
+        EXPECT_EQ(risc.outputChecksum, cisc.outputChecksum) << name;
+    }
+}
+
+} // namespace
+} // namespace hipstr

@@ -195,6 +195,52 @@ TEST(Stats, Histogram)
     EXPECT_NEAR(h.mean(), (0 + 9 + 10 + 1000) / 4.0, 1e-9);
 }
 
+TEST(Stats, HistogramEmptyMeanIsZero)
+{
+    // Regression: mean() on a histogram with no samples must return
+    // 0.0, not divide by zero — stats dumps run mid-flight before the
+    // first sample lands.
+    Histogram h("empty", 10, 5);
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    h.sample(7);
+    h.reset();
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, HistogramOverflowAbsorbedInFinalBin)
+{
+    // The documented overflow contract: samples at or beyond
+    // bin_width * num_bins land in the final bin, and mean() still
+    // uses the exact sample values.
+    Histogram h("ovf", 4, 3); // bins [0,4) [4,8) [8,...)
+    h.sample(8);              // exactly at the final-bin boundary
+    h.sample(12);             // beyond the nominal range
+    h.sample(1'000'000);      // far beyond
+    EXPECT_EQ(h.binCount(0), 0u);
+    EXPECT_EQ(h.binCount(1), 0u);
+    EXPECT_EQ(h.binCount(2), 3u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+    EXPECT_NEAR(h.mean(), (8.0 + 12.0 + 1'000'000.0) / 3.0, 1e-9);
+}
+
+TEST(Stats, HistogramMerge)
+{
+    Histogram a("m", 10, 4);
+    Histogram b("m2", 10, 4);
+    a.sample(5);
+    a.sample(15);
+    b.sample(25, 2);
+    b.sample(500); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.binCount(0), 1u);
+    EXPECT_EQ(a.binCount(1), 1u);
+    EXPECT_EQ(a.binCount(2), 2u);
+    EXPECT_EQ(a.binCount(3), 1u);
+    EXPECT_EQ(a.totalSamples(), 5u);
+    EXPECT_NEAR(a.mean(), (5 + 15 + 25 + 25 + 500) / 5.0, 1e-9);
+}
+
 TEST(Stats, TextTableAlignsColumns)
 {
     TextTable t({ "name", "value" });

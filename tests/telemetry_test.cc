@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Telemetry-layer unit tests: registry name-collision and
+ * labeled-family semantics, histogram merge, trace-ring overflow
+ * accounting, the deterministic JSON exporter (golden comparison),
+ * and cross-thread determinism of registry contents under
+ * HIPSTR_JOBS-style pool widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/parallel.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/phase.hh"
+#include "telemetry/trace.hh"
+
+namespace hipstr::telemetry
+{
+namespace
+{
+
+TEST(MetricRegistry, CounterGaugeBasics)
+{
+    MetricRegistry reg;
+    reg.counter("vm.dispatch.hits").inc();
+    reg.counter("vm.dispatch.hits").inc(4);
+    EXPECT_EQ(reg.counter("vm.dispatch.hits").value(), 5u);
+    reg.gauge("vm.relperf").set(0.87);
+    EXPECT_DOUBLE_EQ(reg.gauge("vm.relperf").value(), 0.87);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricRegistry, NameCollisionAcrossKindsThrows)
+{
+    MetricRegistry reg;
+    reg.counter("x.count");
+    EXPECT_THROW(reg.gauge("x.count"), MetricError);
+    EXPECT_THROW(reg.histogram("x.count", 10, 4), MetricError);
+    EXPECT_THROW(reg.family("x.count", { "isa" }), MetricError);
+
+    reg.gauge("x.gauge");
+    EXPECT_THROW(reg.counter("x.gauge"), MetricError);
+
+    // Same name + same kind is get-or-create, not an error.
+    EXPECT_NO_THROW(reg.counter("x.count"));
+}
+
+TEST(MetricRegistry, HistogramGeometryCollisionThrows)
+{
+    MetricRegistry reg;
+    reg.histogram("h", 10, 4);
+    EXPECT_NO_THROW(reg.histogram("h", 10, 4));
+    EXPECT_THROW(reg.histogram("h", 20, 4), MetricError);
+    EXPECT_THROW(reg.histogram("h", 10, 8), MetricError);
+}
+
+TEST(MetricRegistry, FamilyLabelSemantics)
+{
+    MetricRegistry reg;
+    CounterFamily &fam =
+        reg.family("sched.migrations", { "isa" });
+    fam.at({ "risc" }).inc(3);
+    fam.at({ "cisc" }).inc();
+    // Same tuple returns the same member.
+    EXPECT_EQ(fam.at({ "risc" }).value(), 3u);
+
+    // Wrong label arity and re-registration with different keys throw.
+    EXPECT_THROW(fam.at({ "risc", "extra" }), MetricError);
+    EXPECT_THROW(reg.family("sched.migrations", { "core" }),
+                 MetricError);
+    EXPECT_NO_THROW(reg.family("sched.migrations", { "isa" }));
+
+    // Members export under their rendered names.
+    std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"sched.migrations{isa=risc}\": 3"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sched.migrations{isa=cisc}\": 1"),
+              std::string::npos);
+}
+
+TEST(MetricRegistry, HistogramMergeAndMismatch)
+{
+    MetricRegistry reg;
+    HistogramMetric &a = reg.histogram("a", 10, 4);
+    HistogramMetric &b = reg.histogram("b", 10, 4);
+    a.sample(5);
+    b.sample(15);
+    b.sample(500); // overflow bin
+    a.merge(b);
+    Histogram s = a.snapshot();
+    EXPECT_EQ(s.totalSamples(), 3u);
+    EXPECT_EQ(s.binCount(0), 1u);
+    EXPECT_EQ(s.binCount(1), 1u);
+    EXPECT_EQ(s.binCount(3), 1u);
+
+    HistogramMetric &c = reg.histogram("c", 20, 4);
+    EXPECT_THROW(a.merge(c), MetricError);
+}
+
+TEST(MetricRegistry, JsonExportGolden)
+{
+    // Golden comparison: names sorted, integers verbatim, doubles via
+    // %.12g, histograms inline, family members rendered. Any change
+    // here changes every BENCH_<name>.json on disk — update both.
+    MetricRegistry reg;
+    reg.counter("b.count").set(3);
+    reg.gauge("a.gauge").set(0.5);
+    HistogramMetric &h = reg.histogram("c.hist", 10, 3);
+    h.sample(5);
+    h.sample(25);
+    h.sample(100);
+    reg.family("d.fam", { "isa" }).at({ "risc" }).inc(2);
+
+    const std::string expect =
+        "  \"a.gauge\": 0.5,\n"
+        "  \"b.count\": 3,\n"
+        "  \"c.hist\": {\"type\": \"histogram\", \"bin_width\": 10, "
+        "\"samples\": 3, \"mean\": 43.3333333333, "
+        "\"bins\": [1, 0, 2]},\n"
+        "  \"d.fam{isa=risc}\": 2\n";
+    EXPECT_EQ(reg.toJson(), expect);
+}
+
+TEST(MetricRegistry, ResetZeroesButKeepsRegistrations)
+{
+    MetricRegistry reg;
+    reg.counter("c").inc(7);
+    reg.gauge("g").set(1.5);
+    reg.histogram("h", 10, 2).sample(3);
+    reg.family("f", { "k" }).at({ "v" }).inc();
+    reg.reset();
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+    EXPECT_EQ(reg.histogram("h", 10, 2).snapshot().totalSamples(),
+              0u);
+    EXPECT_EQ(reg.family("f", { "k" }).at({ "v" }).value(), 0u);
+}
+
+TEST(MetricRegistry, ExportPhasesNaming)
+{
+    MetricRegistry reg;
+    PhaseBreakdown bd;
+    bd[Phase::Translate].add(100, 2.5);
+    bd[Phase::MigrationTransform].add(7, 900.0);
+    exportPhases(reg, "server.phases", bd);
+    std::string json = reg.toJson();
+    EXPECT_NE(
+        json.find("\"server.phases.translate.invocations\": 1"),
+        std::string::npos);
+    EXPECT_NE(
+        json.find("\"server.phases.translate.work_units\": 100"),
+        std::string::npos);
+    EXPECT_NE(
+        json.find("\"server.phases.translate.modeled_us\": 2.5"),
+        std::string::npos);
+    EXPECT_NE(json.find("\"server.phases.migration_transform."
+                        "modeled_us\": 900"),
+              std::string::npos);
+}
+
+TEST(TraceBuffer, RingOverflowAccounting)
+{
+    TraceBuffer tb(4);
+    tb.setMask(kAllTraceCategories);
+    for (int i = 0; i < 6; ++i) {
+        tb.record(traceInstant(TraceCategory::Vm, "e", double(i)));
+    }
+    EXPECT_EQ(tb.size(), 4u);
+    EXPECT_EQ(tb.dropped(), 2u);
+    EXPECT_EQ(tb.recorded(), 6u);
+
+    // Snapshot is oldest first: the two earliest events were dropped.
+    std::vector<TraceEvent> events = tb.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i)
+        EXPECT_DOUBLE_EQ(events[i].ts, double(i + 2));
+
+    tb.clear();
+    EXPECT_EQ(tb.size(), 0u);
+    EXPECT_EQ(tb.dropped(), 0u);
+    EXPECT_EQ(tb.recorded(), 0u);
+}
+
+TEST(TraceBuffer, CategoryMaskGatesRecording)
+{
+    TraceBuffer tb(8);
+    tb.setMask(categoryBit(TraceCategory::Scheduler));
+    EXPECT_TRUE(tb.enabled(TraceCategory::Scheduler));
+    EXPECT_FALSE(tb.enabled(TraceCategory::Vm));
+
+    tb.record(traceInstant(TraceCategory::Vm, "ignored", 1.0));
+    tb.record(traceInstant(TraceCategory::Scheduler, "kept", 2.0));
+    EXPECT_EQ(tb.size(), 1u);
+    EXPECT_EQ(tb.snapshot()[0].ts, 2.0);
+
+    tb.setMask(0);
+    EXPECT_FALSE(tb.enabled(TraceCategory::Scheduler));
+    tb.record(traceInstant(TraceCategory::Scheduler, "dropped", 3.0));
+    EXPECT_EQ(tb.size(), 1u);
+}
+
+TEST(TraceBuffer, ChromeExportShape)
+{
+    TraceBuffer tb(8);
+    tb.setMask(kAllTraceCategories);
+    tb.record(traceSpan(TraceCategory::Runtime, "runtime.quantum",
+                        10.0, 5.0, /*pid=*/1, /*tid=*/2)
+                  .arg("ran", 1000));
+    tb.record(
+        traceInstant(TraceCategory::Vm, "vm.security_event", 12.0));
+
+    std::ostringstream os;
+    tb.exportChrome(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"runtime.quantum\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"ran\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+}
+
+TEST(Telemetry, RegistryDeterministicAcrossPoolWidths)
+{
+    // The HIPSTR_JOBS contract at the registry level: values derived
+    // from the work index (never thread identity) export identically
+    // for any pool width.
+    MetricRegistry reg;
+    CounterFamily &fam = reg.family("det.shards", { "shard" });
+    HistogramMetric &hist = reg.histogram("det.hist", 8, 8);
+
+    auto sweep = [&](unsigned workers) {
+        ThreadPool::setGlobalThreads(workers);
+        reg.reset();
+        parallelFor(64, [&](size_t i) {
+            reg.counter("det.total").inc(i);
+            fam.at({ std::to_string(i % 4) }).inc();
+            hist.sample(i % 50);
+        });
+        ThreadPool::setGlobalThreads(0);
+        return reg.toJson();
+    };
+
+    std::string serial = sweep(0);
+    std::string wide = sweep(3);
+    EXPECT_EQ(serial, wide);
+    EXPECT_NE(serial.find("\"det.total\": 2016"), std::string::npos);
+}
+
+} // namespace
+} // namespace hipstr::telemetry
