@@ -15,12 +15,19 @@
  *
  *   ./examples/protected_server
  *   ./examples/protected_server --trace server_trace.json
+ *   ./examples/protected_server --chaos
  *
  * With --trace, the run records a structured event trace (scheduler
  * quanta, request lifecycles, VM translations, cross-ISA migrations)
  * and writes it in Chrome trace_event format — open the file in
  * chrome://tracing or https://ui.perfetto.dev. EXPERIMENTS.md has the
  * full recipe.
+ *
+ * With --chaos, a seeded fault plan (src/fault) injects transient
+ * guest faults, random core outages, and one scripted full-ISA
+ * blackout; the supervisor rides it out with backoff, quarantine,
+ * rerouting, and degraded single-ISA mode, and the run prints the
+ * fault/recovery bookkeeping plus the final telemetry gauges.
  */
 
 #include <cstdio>
@@ -37,13 +44,17 @@ int
 main(int argc, char **argv)
 {
     const char *trace_path = nullptr;
+    bool chaos = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0) {
             trace_path = (i + 1 < argc) ? argv[++i]
                                         : "server_trace.json";
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--trace [file.json]]\n", argv[0]);
+                         "usage: %s [--trace [file.json]] [--chaos]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -65,10 +76,27 @@ main(int argc, char **argv)
         cfg.trace = &trace;
     }
 
+    telemetry::MetricRegistry metrics;
+    if (chaos) {
+        cfg.faults.enabled = true;
+        cfg.faults.quantumFaultRate = 0.01;
+        cfg.faults.coreFailRate = 0.002;
+        cfg.faults.scriptedOutageIsa = IsaKind::Risc;
+        cfg.faults.scriptedOutageRound = 20;
+        cfg.faults.scriptedOutageRounds = 25;
+        cfg.watchdogQuanta = 3;
+        cfg.sched.supervisor.backoffBaseRounds = 1;
+        cfg.sched.supervisor.backoffCapRounds = 8;
+        cfg.sched.supervisor.quarantineAfter = 4;
+        cfg.sched.supervisor.quarantineRounds = 16;
+        cfg.metrics = &metrics;
+    }
+
     std::printf("protected server: %u workers on %s, %llu requests "
-                "(5%% attacks, 5%% malformed)\n",
+                "(5%% attacks, 5%% malformed)%s\n",
                 cfg.workers, CmpModel(cfg.cmp).describe().c_str(),
-                static_cast<unsigned long long>(cfg.requestCount));
+                static_cast<unsigned long long>(cfg.requestCount),
+                chaos ? " + seeded chaos plan" : "");
 
     ProtectedServer server(bin, cfg);
     ServerReport r = server.run();
@@ -97,6 +125,28 @@ main(int argc, char **argv)
     std::printf("  integrity: %u program completions verified, %u "
                 "checksum mismatches\n",
                 r.programsCompleted, r.checksumMismatches);
+
+    if (chaos) {
+        std::printf(
+            "  chaos: %llu faults injected, %u watchdog kills, %u "
+            "transform aborts rolled back\n",
+            static_cast<unsigned long long>(r.faultsInjectedTotal),
+            r.watchdogKills, r.transformAborts);
+        std::printf(
+            "  supervision: %u core outages (%llu offline quanta), "
+            "%u reroutes + %u reroute respawns, %u quarantines, "
+            "%u recoveries (mean %.1f rounds)\n",
+            r.coreOutages,
+            static_cast<unsigned long long>(r.offlineCoreQuanta),
+            r.reroutes, r.rerouteRespawns, r.quarantines,
+            r.recoveries, r.meanRoundsToRecover);
+        std::printf(
+            "  degraded single-ISA mode: entered %u times, exited "
+            "%u, %llu rounds total; degraded_mode gauge now %.0f\n",
+            r.degradedEntries, r.degradedExits,
+            static_cast<unsigned long long>(r.degradedRounds),
+            metrics.gauge("server.degraded_mode").value());
+    }
 
     std::printf("per-worker generations after the run:\n");
     for (const auto &w : server.workers()) {

@@ -89,6 +89,35 @@ def check_metrics(path, metrics):
                        f"{value!r}")
 
 
+def check_fault_tolerance(path, metrics):
+    """BENCH_fault_tolerance.json carries an availability sweep: at
+    least 3 distinct "fault.r<permille>." groups, each with an
+    availability gauge in [0, 1] and a mean-rounds-to-recover
+    gauge."""
+    groups = set()
+    for name in metrics:
+        m = re.match(r"^fault\.r(\d+)\.", name)
+        if m:
+            groups.add(int(m.group(1)))
+    if len(groups) < 3:
+        fail(path, f"fault sweep has {len(groups)} rate group(s), "
+                   f"want >= 3")
+    for rate in sorted(groups):
+        prefix = f"fault.r{rate}."
+        avail = metrics.get(prefix + "availability")
+        if avail is None:
+            fail(path, f"{prefix}availability missing")
+        elif not is_finite_number(avail) or not 0.0 <= avail <= 1.0:
+            fail(path, f"{prefix}availability {avail!r} not in "
+                       f"[0, 1]")
+        recover = metrics.get(prefix + "mean_rounds_to_recover")
+        if recover is None:
+            fail(path, f"{prefix}mean_rounds_to_recover missing")
+        elif not is_finite_number(recover) or recover < 0:
+            fail(path, f"{prefix}mean_rounds_to_recover "
+                       f"{recover!r} invalid")
+
+
 def check_deterministic(path, bench_name):
     doc = json.loads(path.read_text())
     if set(doc.keys()) != {"bench", "smoke", "metrics"}:
@@ -101,6 +130,9 @@ def check_deterministic(path, bench_name):
     if not isinstance(doc["smoke"], bool):
         fail(path, f"smoke must be a bool, got {doc['smoke']!r}")
     check_metrics(path, doc["metrics"])
+    if bench_name == "fault_tolerance" and \
+            isinstance(doc["metrics"], dict):
+        check_fault_tolerance(path, doc["metrics"])
 
 
 def check_host(path, bench_name):

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "isa/memory.hh"
+
 namespace hipstr
 {
 
@@ -40,6 +42,39 @@ FatBinary::findFuncByAddr(IsaKind isa, Addr addr) const
             return &fi;
     }
     return nullptr;
+}
+
+std::string
+FatBinary::structuralIssue() const
+{
+    for (IsaKind isa : kAllIsas) {
+        const auto &sec = code[static_cast<size_t>(isa)];
+        if (sec.empty())
+            return std::string("empty code section: ") + isaName(isa);
+        const Addr base = layout::codeBase(isa);
+        const uint32_t cap = isa == IsaKind::Risc
+            ? layout::kCiscCodeBase - layout::kRiscCodeBase
+            : layout::kDataBase - layout::kCiscCodeBase;
+        if (sec.size() > cap) {
+            return std::string("code section overflows its region: ") +
+                isaName(isa);
+        }
+        const Addr entry = entryPoint[static_cast<size_t>(isa)];
+        if (entry < base || entry >= base + sec.size()) {
+            return std::string("entry point outside code section: ") +
+                isaName(isa);
+        }
+        if (funcsFor(isa).size() * 4 > 0x1000) {
+            return std::string(
+                       "function table overflows 1024 entries: ") +
+                isaName(isa);
+        }
+    }
+    if (!data.empty() && data.size() > dataSize)
+        return "data image larger than declared dataSize";
+    if (dataSize > layout::kHeapBase - layout::kGlobalsBase)
+        return "data image overflows its region";
+    return "";
 }
 
 const CallSiteInfo *

@@ -159,6 +159,16 @@ struct FatBinary
         return static_cast<uint32_t>(
             code[static_cast<size_t>(isa)].size());
     }
+
+    /**
+     * First structural violation of the canonical address-space
+     * layout ("" when well-formed): empty or region-overflowing code
+     * sections, an entry point outside its section, a function table
+     * past its 1024 slots, or an oversized data image. The loader
+     * turns a non-empty result into a typed LoadError before touching
+     * guest memory.
+     */
+    std::string structuralIssue() const;
 };
 
 } // namespace hipstr

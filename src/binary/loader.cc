@@ -1,19 +1,94 @@
 #include "loader.hh"
 
+#include <cstring>
+#include <iterator>
+
 #include "support/logging.hh"
 
 namespace hipstr
 {
 
+namespace
+{
+
+/** 'HFB1', little-endian. */
+constexpr uint32_t kImageMagic = 0x31424648u;
+constexpr uint32_t kImageVersion = 1;
+constexpr uint32_t kHeaderBytes = 16;
+constexpr uint32_t kEntryBytes = 16;
+/** Far above anything packLoadImage emits; bounds corrupt counts. */
+constexpr uint32_t kMaxSections = 64;
+
+enum SectionKind : uint32_t
+{
+    kSecCodeRisc = 0,
+    kSecCodeCisc = 1,
+    kSecData = 2,
+    kSecMeta = 3,
+};
+
+/** Capacity of the target region for a loadable section kind. */
+uint32_t
+sectionCapacity(uint32_t kind)
+{
+    switch (kind) {
+      case kSecCodeRisc:
+        return layout::kCiscCodeBase - layout::kRiscCodeBase;
+      case kSecCodeCisc:
+        return layout::kDataBase - layout::kCiscCodeBase;
+      case kSecData:
+        return layout::kHeapBase - layout::kGlobalsBase;
+      default:
+        return 0;
+    }
+}
+
+uint32_t
+rd32(const std::vector<uint8_t> &v, size_t off)
+{
+    uint32_t x;
+    std::memcpy(&x, v.data() + off, 4);
+    return x;
+}
+
+void
+wr32(std::vector<uint8_t> &v, size_t off, uint32_t x)
+{
+    std::memcpy(v.data() + off, &x, 4);
+}
+
+/**
+ * Structural validation shared by loadFatBinary and packLoadImage:
+ * everything the canonical layout demands of a FatBinary, checked
+ * before a single byte moves.
+ */
+void
+validateFatBinary(const FatBinary &bin)
+{
+    std::string issue = bin.structuralIssue();
+    if (!issue.empty())
+        throw LoadError(0, issue);
+}
+
+} // namespace
+
+LoadError::LoadError(uint64_t offset, const std::string &reason)
+    : std::runtime_error("fat binary load error at offset " +
+                         std::to_string(offset) + ": " + reason),
+      _offset(offset), _reason(reason)
+{
+}
+
 void
 loadFatBinary(const FatBinary &bin, Memory &mem)
 {
+    validateFatBinary(bin);
+
     // Code sections. Readable + executable: the JIT-ROP threat model
     // assumes code pages can be disclosed through a leaked pointer.
     for (IsaKind isa : kAllIsas) {
         size_t idx = static_cast<size_t>(isa);
         const auto &code = bin.code[idx];
-        hipstr_assert(!code.empty());
         Addr base = layout::codeBase(isa);
         mem.rawWriteBytes(base, code.data(), code.size());
         mem.setRegion(base, static_cast<uint32_t>(code.size()), PermRX,
@@ -24,7 +99,6 @@ loadFatBinary(const FatBinary &bin, Memory &mem)
     for (IsaKind isa : kAllIsas) {
         Addr table = layout::funcTableBase(isa);
         const auto &fns = bin.funcsFor(isa);
-        hipstr_assert(fns.size() * 4 <= 0x1000);
         for (size_t i = 0; i < fns.size(); ++i)
             mem.rawWrite32(table + static_cast<Addr>(4 * i),
                            fns[i].entry);
@@ -40,6 +114,148 @@ loadFatBinary(const FatBinary &bin, Memory &mem)
     mem.setRegion(layout::kGlobalsBase, data_region, PermRW, "data");
 
     // Heap and stack.
+    mem.setRegion(layout::kHeapBase,
+                  layout::kStackLimit - layout::kHeapBase, PermRW,
+                  "heap");
+    mem.setRegion(layout::kStackLimit,
+                  layout::kStackTop - layout::kStackLimit, PermRW,
+                  "stack");
+}
+
+std::vector<uint8_t>
+packLoadImage(const FatBinary &bin)
+{
+    validateFatBinary(bin);
+
+    struct Section
+    {
+        uint32_t kind;
+        const uint8_t *bytes;
+        uint32_t size;
+        uint32_t aux;
+    };
+    const Section sections[] = {
+        { kSecCodeRisc, bin.code[0].data(),
+          static_cast<uint32_t>(bin.code[0].size()), 0 },
+        { kSecCodeCisc, bin.code[1].data(),
+          static_cast<uint32_t>(bin.code[1].size()), 0 },
+        { kSecData, bin.data.data(),
+          static_cast<uint32_t>(bin.data.size()), bin.dataSize },
+        { kSecMeta, nullptr, 0, bin.entryFuncId },
+    };
+    const uint32_t count =
+        static_cast<uint32_t>(std::size(sections));
+
+    uint32_t total = kHeaderBytes + count * kEntryBytes;
+    for (const Section &s : sections)
+        total += s.size;
+
+    std::vector<uint8_t> out(total, 0);
+    wr32(out, 0, kImageMagic);
+    wr32(out, 4, kImageVersion);
+    wr32(out, 8, count);
+    wr32(out, 12, total);
+
+    uint32_t payload = kHeaderBytes + count * kEntryBytes;
+    for (uint32_t i = 0; i < count; ++i) {
+        const Section &s = sections[i];
+        const uint32_t entry = kHeaderBytes + i * kEntryBytes;
+        wr32(out, entry + 0, s.kind);
+        wr32(out, entry + 4, s.size ? payload : 0);
+        wr32(out, entry + 8, s.size);
+        wr32(out, entry + 12, s.aux);
+        if (s.size) {
+            std::memcpy(out.data() + payload, s.bytes, s.size);
+            payload += s.size;
+        }
+    }
+    return out;
+}
+
+void
+loadFatBinaryImage(const std::vector<uint8_t> &image, Memory &mem)
+{
+    if (image.size() < kHeaderBytes)
+        throw LoadError(0, "truncated header");
+    if (rd32(image, 0) != kImageMagic)
+        throw LoadError(0, "bad magic");
+    if (rd32(image, 4) != kImageVersion)
+        throw LoadError(4, "unsupported version");
+    const uint32_t count = rd32(image, 8);
+    if (count == 0 || count > kMaxSections)
+        throw LoadError(8, "implausible section count");
+    if (rd32(image, 12) != image.size())
+        throw LoadError(12, "totalSize does not match image size");
+    const uint64_t table_end =
+        uint64_t(kHeaderBytes) + uint64_t(count) * kEntryBytes;
+    if (table_end > image.size())
+        throw LoadError(8, "truncated section table");
+
+    // Validate the whole table before the first write: a bad image
+    // must leave memory untouched.
+    bool seen[4] = { false, false, false, false };
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint32_t entry = kHeaderBytes + i * kEntryBytes;
+        const uint32_t kind = rd32(image, entry + 0);
+        const uint32_t off = rd32(image, entry + 4);
+        const uint32_t size = rd32(image, entry + 8);
+        if (kind > kSecMeta)
+            throw LoadError(entry + 0, "unknown section kind");
+        if (seen[kind])
+            throw LoadError(entry + 0, "duplicate section kind");
+        seen[kind] = true;
+        if (uint64_t(off) + size > image.size())
+            throw LoadError(entry + 4, "section exceeds image bounds");
+        if (size != 0 && off < table_end)
+            throw LoadError(entry + 4,
+                            "section overlaps the header");
+        if (kind != kSecMeta && size > sectionCapacity(kind))
+            throw LoadError(entry + 8,
+                            "section overflows its memory region");
+        if ((kind == kSecCodeRisc || kind == kSecCodeCisc) &&
+            size == 0) {
+            throw LoadError(entry + 8, "empty code section");
+        }
+        if (kind == kSecData) {
+            const uint32_t aux = rd32(image, entry + 12);
+            if (aux < size || aux > sectionCapacity(kSecData))
+                throw LoadError(entry + 12,
+                                "bad zero-extended data size");
+        }
+    }
+    if (!seen[kSecCodeRisc] || !seen[kSecCodeCisc])
+        throw LoadError(8, "missing code section");
+
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint32_t entry = kHeaderBytes + i * kEntryBytes;
+        const uint32_t kind = rd32(image, entry + 0);
+        const uint32_t off = rd32(image, entry + 4);
+        const uint32_t size = rd32(image, entry + 8);
+        switch (kind) {
+          case kSecCodeRisc:
+          case kSecCodeCisc: {
+            const IsaKind isa = kind == kSecCodeRisc ? IsaKind::Risc
+                                                     : IsaKind::Cisc;
+            const Addr base = layout::codeBase(isa);
+            mem.rawWriteBytes(base, image.data() + off, size);
+            mem.setRegion(base, size, PermRX,
+                          std::string("code.") + isaName(isa));
+            break;
+          }
+          case kSecData: {
+            const uint32_t aux = rd32(image, entry + 12);
+            if (size)
+                mem.rawWriteBytes(layout::kGlobalsBase,
+                                  image.data() + off, size);
+            mem.setRegion(layout::kGlobalsBase, aux ? aux : 4, PermRW,
+                          "data");
+            break;
+          }
+          case kSecMeta:
+            break;
+        }
+    }
+
     mem.setRegion(layout::kHeapBase,
                   layout::kStackLimit - layout::kHeapBase, PermRW,
                   "heap");

@@ -8,6 +8,8 @@
 #ifndef HIPSTR_BINARY_LOADER_HH
 #define HIPSTR_BINARY_LOADER_HH
 
+#include <stdexcept>
+
 #include "binary/fatbin.hh"
 #include "isa/machine_state.hh"
 #include "isa/memory.hh"
@@ -16,13 +18,64 @@ namespace hipstr
 {
 
 /**
+ * A malformed, truncated, or address-space-violating binary image.
+ * Carries the byte offset of the offending field (into the flat image
+ * for loadFatBinaryImage; 0 for structural FatBinary violations) and
+ * a stable reason string, so corrupt-input tests can assert on *what*
+ * was rejected, not just that something threw.
+ */
+class LoadError : public std::runtime_error
+{
+  public:
+    LoadError(uint64_t offset, const std::string &reason);
+
+    uint64_t offset() const { return _offset; }
+    const std::string &reason() const { return _reason; }
+
+  private:
+    uint64_t _offset;
+    std::string _reason;
+};
+
+/**
  * Map the fat binary into @p mem. Code sections get PermRX (readable
  * so a JIT-ROP attacker can disclose them, exactly as the threat model
  * assumes), data/heap/stack get PermRW, and the function tables PermR.
  * The VM code-cache regions are left unmapped; the PSR virtual
  * machines map their own.
+ *
+ * @throws LoadError if the binary violates the canonical layout
+ * (empty or oversized code section, function table past its 1024
+ * entries, entry point outside its code section, oversized data
+ * image) — before any byte is written to @p mem.
  */
 void loadFatBinary(const FatBinary &bin, Memory &mem);
+
+/**
+ * Flat single-file load image of a fat binary's memory contents —
+ * what would ship to another host. Little-endian throughout:
+ *
+ *   header   u32 magic 'HFB1'  u32 version=1
+ *            u32 sectionCount  u32 totalSize (whole image, bytes)
+ *   entries  sectionCount x { u32 kind; u32 offset; u32 size;
+ *                             u32 aux; }
+ *   payload  section bytes at their stated offsets
+ *
+ * Section kinds: 0 = code.risc, 1 = code.cisc, 2 = data (aux = full
+ * zero-extended data size), 3 = meta (aux = entryFuncId; reserved).
+ * @{
+ */
+std::vector<uint8_t> packLoadImage(const FatBinary &bin);
+
+/**
+ * Validate @p image and map its sections into @p mem exactly as
+ * loadFatBinary would. Every header and section-table field is range-
+ * checked before any write: a truncated, oversized, overlapping, or
+ * region-violating image throws LoadError with the image offset of
+ * the bad field and leaves @p mem untouched.
+ */
+void loadFatBinaryImage(const std::vector<uint8_t> &image, Memory &mem);
+/** @} */
 
 /**
  * Point @p state at the program entry for @p isa with a fresh stack.

@@ -1,0 +1,26 @@
+#include "fault.hh"
+
+namespace hipstr
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None: return "none";
+      case FaultKind::MemFault: return "mem_fault";
+      case FaultKind::BadInstruction: return "bad_instruction";
+      case FaultKind::SfiViolation: return "sfi_violation";
+      case FaultKind::BitFlip: return "bit_flip";
+      case FaultKind::DecodeFault: return "decode_fault";
+      case FaultKind::CacheFlush: return "cache_flush";
+      case FaultKind::TransformAbort: return "transform_abort";
+      case FaultKind::Wedge: return "wedge";
+      case FaultKind::Watchdog: return "watchdog";
+      case FaultKind::CoreFailure: return "core_failure";
+      case FaultKind::kNum: break;
+    }
+    return "?";
+}
+
+} // namespace hipstr

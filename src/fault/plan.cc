@@ -1,0 +1,98 @@
+#include "plan.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+/** Hash-stream tags. */
+constexpr uint64_t kQuantumRollStream = 1;
+constexpr uint64_t kQuantumKindStream = 2;
+constexpr uint64_t kCoreFailStream = 3;
+
+/** The injectable transient fault kinds a faulted quantum draws from. */
+constexpr FaultKind kQuantumKinds[] = {
+    FaultKind::BitFlip,       FaultKind::DecodeFault,
+    FaultKind::CacheFlush,    FaultKind::TransformAbort,
+    FaultKind::Wedge,
+};
+constexpr uint64_t kNumQuantumKinds =
+    sizeof(kQuantumKinds) / sizeof(kQuantumKinds[0]);
+
+/** Uniform [0,1) from the top 53 bits, as Rng::uniform() does. */
+double
+unitFloat(uint64_t h)
+{
+    return double(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultPlanConfig &cfg) : _cfg(cfg)
+{
+    hipstr_assert(cfg.quantumFaultRate >= 0 &&
+                  cfg.quantumFaultRate <= 1);
+    hipstr_assert(cfg.coreFailRate >= 0 && cfg.coreFailRate <= 1);
+    hipstr_assert(cfg.outageRoundsMin > 0 &&
+                  cfg.outageRoundsMin <= cfg.outageRoundsMax);
+    hipstr_assert(cfg.wedgeQuantaMin > 0 &&
+                  cfg.wedgeQuantaMin <= cfg.wedgeQuantaMax);
+}
+
+uint64_t
+FaultPlan::hashAt(uint64_t stream, uint64_t a, uint64_t b) const
+{
+    uint64_t s = _cfg.seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+    (void)splitMix64(s);
+    s += a * 0xbf58476d1ce4e5b9ull;
+    (void)splitMix64(s);
+    s += b * 0x94d049bb133111ebull;
+    return splitMix64(s);
+}
+
+QuantumFault
+FaultPlan::quantumFault(uint32_t pid, uint64_t serial) const
+{
+    QuantumFault f;
+    if (_cfg.quantumFaultRate <= 0)
+        return f;
+    uint64_t roll = hashAt(kQuantumRollStream, pid, serial);
+    if (unitFloat(roll) >= _cfg.quantumFaultRate)
+        return f;
+    uint64_t h = hashAt(kQuantumKindStream, pid, serial);
+    f.kind = kQuantumKinds[h % kNumQuantumKinds];
+    f.payload = h / kNumQuantumKinds;
+    return f;
+}
+
+uint32_t
+FaultPlan::coreOutageAt(unsigned coreId, IsaKind isa,
+                        uint64_t round) const
+{
+    if (_cfg.scriptedOutageRounds != 0 &&
+        round == _cfg.scriptedOutageRound &&
+        isa == _cfg.scriptedOutageIsa) {
+        return _cfg.scriptedOutageRounds;
+    }
+    if (_cfg.coreFailRate <= 0)
+        return 0;
+    uint64_t h = hashAt(kCoreFailStream, coreId, round);
+    if (unitFloat(h) >= _cfg.coreFailRate)
+        return 0;
+    uint32_t span = _cfg.outageRoundsMax - _cfg.outageRoundsMin + 1;
+    return _cfg.outageRoundsMin +
+        static_cast<uint32_t>((h >> 11) % span);
+}
+
+uint32_t
+FaultPlan::wedgeLength(uint64_t payload) const
+{
+    uint32_t span = _cfg.wedgeQuantaMax - _cfg.wedgeQuantaMin + 1;
+    return _cfg.wedgeQuantaMin + static_cast<uint32_t>(payload % span);
+}
+
+} // namespace hipstr

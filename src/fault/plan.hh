@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The deterministic fault-injection engine: a FaultPlan derived from
+ * the server seed that schedules typed infrastructure faults against
+ * the protected server — core outages, transient guest faults (bit
+ * flips, decode faults, cache flushes), migration-transform aborts,
+ * and wedged guests.
+ *
+ * Every decision is a pure hash of (seed, stream, identity, time):
+ * core outages key on (core id, round) and quantum faults on
+ * (pid, per-process quantum serial). Both identities advance
+ * deterministically under the scheduler's fixed-order merge, so a
+ * faulted run is byte-identical for every HIPSTR_JOBS value — the
+ * same contract the fault-free server already holds.
+ */
+
+#ifndef HIPSTR_FAULT_PLAN_HH
+#define HIPSTR_FAULT_PLAN_HH
+
+#include "fault/fault.hh"
+
+namespace hipstr
+{
+
+/** Knobs of the fault plan. Disabled by default: a server built with
+ *  the default config behaves bit-for-bit like one built before the
+ *  fault engine existed. */
+struct FaultPlanConfig
+{
+    bool enabled = false;
+
+    /** Derive all fault streams from this (the server passes its own
+     *  seed, so one seed reproduces the whole chaos run). */
+    uint64_t seed = 0x5eed;
+
+    /**
+     * Per-quantum probability of a transient guest fault. The faulted
+     * quantum draws one kind uniformly from {bit flip, decode fault,
+     * cache flush, transform abort, wedge}.
+     */
+    double quantumFaultRate = 0.0;
+
+    /** Per-core, per-round probability of the core going offline. */
+    double coreFailRate = 0.0;
+
+    /** Outage length in rounds, drawn per outage from this range. @{ */
+    uint32_t outageRoundsMin = 8;
+    uint32_t outageRoundsMax = 40;
+    /** @} */
+
+    /** Wedge-episode length in quanta, drawn per episode. @{ */
+    uint32_t wedgeQuantaMin = 2;
+    uint32_t wedgeQuantaMax = 5;
+    /** @} */
+
+    /**
+     * Scripted full-ISA outage: at round scriptedOutageRound every
+     * core of scriptedOutageIsa goes down for scriptedOutageRounds —
+     * the deterministic way to drive the server into (and out of)
+     * degraded single-ISA mode. Disabled while scriptedOutageRounds
+     * is 0.
+     */
+    IsaKind scriptedOutageIsa = IsaKind::Risc;
+    uint64_t scriptedOutageRound = 0;
+    uint32_t scriptedOutageRounds = 0;
+};
+
+/** One scheduled transient fault (FaultKind::None = clean quantum). */
+struct QuantumFault
+{
+    FaultKind kind = FaultKind::None;
+    /** Kind-specific entropy: bit-flip address/bit, wedge length. */
+    uint64_t payload = 0;
+};
+
+/** The plan. Stateless and const after construction — safe to share
+ *  across every worker and the scheduler. */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultPlanConfig &cfg);
+
+    const FaultPlanConfig &config() const { return _cfg; }
+
+    /**
+     * The transient fault (if any) scheduled for process @p pid's
+     * quantum number @p serial. Pure function of (seed, pid, serial).
+     */
+    QuantumFault quantumFault(uint32_t pid, uint64_t serial) const;
+
+    /**
+     * Outage length, in rounds, of an outage *starting* at @p round on
+     * core @p coreId of @p isa; 0 = the core stays up. Includes the
+     * scripted full-ISA outage window.
+     */
+    uint32_t coreOutageAt(unsigned coreId, IsaKind isa,
+                          uint64_t round) const;
+
+    /** Wedge-episode length for a Wedge fault's @p payload. */
+    uint32_t wedgeLength(uint64_t payload) const;
+
+  private:
+    /** Independent hash streams so e.g. the outage schedule never
+     *  shifts when the quantum-fault rate changes. */
+    uint64_t hashAt(uint64_t stream, uint64_t a, uint64_t b) const;
+
+    FaultPlanConfig _cfg;
+};
+
+} // namespace hipstr
+
+#endif // HIPSTR_FAULT_PLAN_HH

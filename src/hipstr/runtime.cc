@@ -8,6 +8,27 @@
 namespace hipstr
 {
 
+namespace
+{
+
+/** Map a crashing VmStop onto the FaultInfo taxonomy. */
+FaultKind
+stopFaultKind(VmStop s)
+{
+    switch (s) {
+      case VmStop::Fault:
+        return FaultKind::MemFault;
+      case VmStop::BadInst:
+        return FaultKind::BadInstruction;
+      case VmStop::SfiViolation:
+        return FaultKind::SfiViolation;
+      default:
+        return FaultKind::None;
+    }
+}
+
+} // anonymous namespace
+
 HipstrRuntime::HipstrRuntime(const FatBinary &bin, Memory &mem,
                              GuestOs &os, const HipstrConfig &cfg)
     : _bin(bin), _mem(mem), _cfg(cfg), _engine(bin, mem),
@@ -32,6 +53,9 @@ HipstrRuntime::reset()
     _terminal = false;
     _logNext = 0;
     _suppressNextEvent = false;
+    _abortNextTransform = false;
+    // _migrationSuspended deliberately survives: it reflects the
+    // machine (an ISA's cores are offline), not the program.
     // The new epoch's summary().phases starts from zero; the
     // cumulative phaseBreakdown() keeps running.
     _phaseBase = phaseBreakdown();
@@ -82,6 +106,13 @@ HipstrRuntime::installHook()
         }
         if (!_cfg.migrateOnSecurityEvents)
             return false;
+        if (_migrationSuspended) {
+            // Degraded single-ISA mode: log and carry on. Checked
+            // before the policy roll so suspension does not consume
+            // from (and thus desynchronize) the policy RNG stream.
+            ++_acc.migrationsSuppressed;
+            return false;
+        }
         if (!_policy.chance(_cfg.diversificationProbability))
             return false;
         if (!isMigrationPoint(_bin, isa, target,
@@ -202,9 +233,36 @@ HipstrRuntime::runQuantum(uint64_t budget, bool stop_after_migration)
             q.stopPc = res.stopPc;
             _acc.reason = res.reason;
             _acc.stopPc = res.stopPc;
+            if (res.crashed()) {
+                _acc.fault.kind = stopFaultKind(res.reason);
+                _acc.fault.pc = res.stopPc;
+                _acc.fault.isa = _current;
+                _acc.fault.generation = static_cast<uint32_t>(
+                    cur().randomizer().generation());
+            }
             return q;
 
           case VmStop::MigrationRequested: {
+            if (_abortNextTransform) {
+                // Injected transform failure. MigrationEngine's
+                // failure contract modifies nothing, so aborting
+                // before the call is an exact rollback to the
+                // source-ISA checkpoint; resume like a denied
+                // migration.
+                _abortNextTransform = false;
+                ++_acc.transformAborts;
+                ++_acc.migrationsDenied;
+                if (_trace && _trace->enabled(
+                                  telemetry::TraceCategory::Runtime)) {
+                    _trace->record(telemetry::traceInstant(
+                        telemetry::TraceCategory::Runtime,
+                        "runtime.transform_abort", traceTs(), 0,
+                        static_cast<uint32_t>(_current)));
+                }
+                _suppressNextEvent = true;
+                cur().state.pc = res.migrationTarget;
+                break;
+            }
             MigrationOutcome mo =
                 _engine.migrate(cur(), other(), res.migrationTarget);
             if (mo.ok) {
@@ -245,6 +303,24 @@ HipstrRuntime::runQuantum(uint64_t budget, bool stop_after_migration)
             if (_cfg.phaseIntervalInsts > 0 &&
                 isMigrationPoint(_bin, _current, cur().state.pc,
                                  MigrationSafety::OnDemandSafe)) {
+                if (_migrationSuspended) {
+                    ++_acc.migrationsSuppressed;
+                    break;
+                }
+                if (_abortNextTransform) {
+                    _abortNextTransform = false;
+                    ++_acc.transformAborts;
+                    ++_acc.migrationsDenied;
+                    if (_trace &&
+                        _trace->enabled(
+                            telemetry::TraceCategory::Runtime)) {
+                        _trace->record(telemetry::traceInstant(
+                            telemetry::TraceCategory::Runtime,
+                            "runtime.transform_abort", traceTs(), 0,
+                            static_cast<uint32_t>(_current)));
+                    }
+                    break;
+                }
                 MigrationOutcome mo = _engine.migrate(
                     cur(), other(), cur().state.pc);
                 if (mo.ok) {
@@ -290,6 +366,12 @@ HipstrRuntime::run(uint64_t max_guest_insts)
     delta.migrations = _acc.migrations - before.migrations;
     delta.migrationsDenied =
         _acc.migrationsDenied - before.migrationsDenied;
+    delta.migrationsSuppressed =
+        _acc.migrationsSuppressed - before.migrationsSuppressed;
+    delta.transformAborts =
+        _acc.transformAborts - before.transformAborts;
+    if (_acc.fault.valid() && !before.fault.valid())
+        delta.fault = _acc.fault;
     delta.migrationMicroseconds =
         _acc.migrationMicroseconds - before.migrationMicroseconds;
     delta.migrationLogDropped =

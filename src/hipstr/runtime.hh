@@ -15,6 +15,7 @@
 
 #include "binary/fatbin.hh"
 #include "core/psr_config.hh"
+#include "fault/fault.hh"
 #include "migration/transform.hh"
 #include "support/random.hh"
 #include "telemetry/phase.hh"
@@ -70,7 +71,23 @@ struct HipstrRunSummary
     std::array<uint64_t, kNumIsas> guestInstsPerIsa{};
     uint32_t migrations = 0;
     uint32_t migrationsDenied = 0; ///< policy fired but unsafe point
+    /** Security events ignored while migration was suspended
+     *  (degraded single-ISA mode — the paper's dual-ISA response is
+     *  unavailable, so the event is logged and execution continues). */
+    uint32_t migrationsSuppressed = 0;
+    /** Cross-ISA transforms that aborted and rolled back to the
+     *  source-ISA checkpoint (injected by the fault engine; counted
+     *  inside migrationsDenied as well). */
+    uint32_t transformAborts = 0;
     double migrationMicroseconds = 0;
+
+    /**
+     * Why the program died, when reason is a crash stop: fault kind,
+     * faulting guest PC, the ISA executing, and that VM's
+     * randomization generation. kind == FaultKind::None for clean
+     * exits and un-finished epochs.
+     */
+    FaultInfo fault;
     /**
      * Most recent migrations, bounded by HipstrConfig::migrationLogCap
      * (empty unless the cap is set). The cumulative summary() carries
@@ -185,6 +202,34 @@ class HipstrRuntime
     void setTraceBuffer(telemetry::TraceBuffer *tb);
 
     /**
+     * Fault injection: force the next cross-ISA transform (security-
+     * or phase-triggered) to abort. The engine's failure contract
+     * already guarantees nothing was modified, so the rollback to the
+     * source-ISA checkpoint is exact: execution continues on the
+     * source ISA and the abort is counted in transformAborts (and
+     * migrationsDenied). One-shot; cleared by reset().
+     */
+    void abortNextTransform() { _abortNextTransform = true; }
+    bool transformAbortArmed() const { return _abortNextTransform; }
+
+    /**
+     * Degraded single-ISA mode: while suspended, security events
+     * never request migration (counted in migrationsSuppressed) —
+     * the supervisor sets this when an entire ISA's cores are offline
+     * and clears it on recovery. Survives reset()/respawn: it models
+     * machine state, not program state.
+     */
+    void setMigrationSuspended(bool s) { _migrationSuspended = s; }
+    bool migrationSuspended() const { return _migrationSuspended; }
+
+    /**
+     * Retarget the ISA the next reset() (and thus a respawn) starts
+     * on. The supervisor uses this to respawn a worker onto the
+     * surviving ISA when its home ISA's cores are all offline.
+     */
+    void setStartIsa(IsaKind isa) { _cfg.startIsa = isa; }
+
+    /**
      * Per-phase profile cumulative since *construction* (unlike
      * summary().phases, which reset() rebases). Survives reset() and
      * reRandomize(), so long-lived worker processes can aggregate it
@@ -223,6 +268,8 @@ class HipstrRuntime
     IsaKind _current;
     Rng _policy;
     bool _suppressNextEvent = false;
+    bool _abortNextTransform = false;
+    bool _migrationSuspended = false;
 
     HipstrRunSummary _acc; ///< cumulative since reset()
     bool _terminal = false;

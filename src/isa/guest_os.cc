@@ -48,6 +48,13 @@ GuestOs::handleSyscall(MachineState &state, Memory &mem)
         return false;
       case SyscallNo::WriteBuf: {
         uint32_t len = a2 > 4096 ? 4096 : a2;
+        // Validate the whole buffer before the first emit: a bad
+        // guest pointer is the guest's bug, answered with -1 and no
+        // partial output — never a host-side Fault mid-stream.
+        if (!mem.rangeAccessible(a1, len, PermR)) {
+            state.setReg(desc.retReg, static_cast<uint32_t>(-1));
+            return true;
+        }
         for (uint32_t i = 0; i < len; ++i)
             emit(mem.read8(a1 + i));
         emit(static_cast<uint8_t>(a3));
@@ -82,6 +89,12 @@ GuestOs::handleSyscall(MachineState &state, Memory &mem)
         // under any relocation map of the same randomization
         // generation (the map renames uses, not the registers'
         // identities at a syscall boundary).
+        const uint32_t buf_len = 12 +
+            4 * static_cast<uint32_t>(desc.calleeSaved.size());
+        if (!mem.rangeAccessible(a1, buf_len, PermW)) {
+            state.setReg(desc.retReg, static_cast<uint32_t>(-1));
+            return true;
+        }
         mem.write32(a1 + 0, state.sp());
         mem.write32(a1 + 4, a2);
         mem.write32(a1 + 8, 0);
@@ -93,6 +106,16 @@ GuestOs::handleSyscall(MachineState &state, Memory &mem)
         return true;
       }
       case SyscallNo::LongJmp: {
+        // The buffer must be readable throughout and writable at the
+        // value slot before any register or pc is touched — a corrupt
+        // jmp_buf pointer must not half-restore the machine.
+        const uint32_t buf_len = 12 +
+            4 * static_cast<uint32_t>(desc.calleeSaved.size());
+        if (!mem.rangeAccessible(a1, buf_len, PermR) ||
+            !mem.rangeAccessible(a1 + 8, 4, PermW)) {
+            state.setReg(desc.retReg, static_cast<uint32_t>(-1));
+            return true;
+        }
         uint32_t sp = mem.read32(a1 + 0);
         Addr resume = mem.read32(a1 + 4);
         mem.write32(a1 + 8, a2 ? a2 : 1);

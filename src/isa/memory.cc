@@ -73,6 +73,18 @@ Memory::check(Addr addr, unsigned len, Perm needed) const
 }
 
 bool
+Memory::rangeAccessible(Addr addr, uint32_t len,
+                        Perm needed) const noexcept
+{
+    if (static_cast<uint64_t>(addr) + len > _bytes.size())
+        return false;
+    for (uint64_t a = addr; a < static_cast<uint64_t>(addr) + len; ++a)
+        if ((permAt(static_cast<Addr>(a)) & needed) != needed)
+            return false;
+    return true;
+}
+
+bool
 Memory::tryRead8(Addr addr, uint8_t &v) const noexcept
 {
     if (!checkOk(addr, 1, PermR))

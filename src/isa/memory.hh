@@ -127,6 +127,17 @@ class Memory
     bool tryWrite32(Addr addr, uint32_t v) noexcept;
     /** @} */
 
+    /**
+     * True iff every byte of [addr, addr+len) is inside the address
+     * space and grants @p needed. Syscall argument validation uses
+     * this to reject guest-supplied buffer pointers up front — a
+     * guest-level error return instead of a host-side Fault halfway
+     * through the operation. Permission is checked per byte, so a
+     * range spanning a region boundary needs @p needed on both sides.
+     */
+    bool rangeAccessible(Addr addr, uint32_t len,
+                         Perm needed) const noexcept;
+
     /** Instruction fetch: like read but requires PermX. */
     uint8_t fetch8(Addr addr) const;
     /** Fetch up to @p len bytes into @p out; stops at region end. */

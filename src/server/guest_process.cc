@@ -61,12 +61,87 @@ GuestProcess::beginService(uint64_t insts)
     _state = ProcState::Ready;
 }
 
+void
+GuestProcess::stageInjectedFault(const QuantumFault &f)
+{
+    ++_stats.faultsInjected[static_cast<size_t>(f.kind)];
+    switch (f.kind) {
+      case FaultKind::BitFlip: {
+        // Single-event upset somewhere in the mutable image. The run
+        // may crash (MemFault soon after), silently corrupt output,
+        // or shrug it off — all three are realistic outcomes.
+        constexpr Addr span = layout::kStackTop - layout::kDataBase;
+        const Addr a =
+            layout::kDataBase + static_cast<Addr>(f.payload % span);
+        const uint8_t bit = (f.payload >> 32) & 7;
+        _mem.rawWrite8(a, _mem.rawRead8(a) ^ (uint8_t(1) << bit));
+        // The generation's output can no longer be checksum-verified.
+        _tainted = true;
+        _pendingKind = FaultKind::BitFlip;
+        break;
+      }
+      case FaultKind::DecodeFault:
+        _runtime->vm(isa()).armDecodeFault();
+        _pendingKind = FaultKind::DecodeFault;
+        break;
+      case FaultKind::CacheFlush:
+        _runtime->vm(isa()).flushTranslations();
+        break;
+      case FaultKind::TransformAbort:
+        _runtime->abortNextTransform();
+        break;
+      case FaultKind::Wedge:
+        _wedgeRemaining = _cfg.faultPlan->wedgeLength(f.payload);
+        break;
+      default:
+        break;
+    }
+}
+
 QuantumResult
 GuestProcess::runQuantum(uint64_t maxInsts)
 {
     hipstr_assert(_state == ProcState::Ready);
     _state = ProcState::Running;
     ++_stats.quanta;
+
+    if (_cfg.faultPlan != nullptr && _wedgeRemaining == 0) {
+        QuantumFault f = _cfg.faultPlan->quantumFault(
+            _cfg.pid, _quantumSerial++);
+        if (f.kind != FaultKind::None)
+            stageInjectedFault(f);
+    }
+
+    if (_wedgeRemaining > 0) {
+        // Wedged: the quantum burns its timeslice without retiring a
+        // single guest instruction and without consuming service
+        // budget — from the scheduler's view the worker is livelocked.
+        --_wedgeRemaining;
+        ++_stats.wedgedQuanta;
+        ++_wedgeStreak;
+        QuantumResult q;
+        q.reason = VmStop::StepLimit;
+        q.stopPc = _runtime->vm(isa()).state.pc;
+        q.ran = 0;
+        _lastMigrated = false;
+        if (_cfg.watchdogQuanta != 0 &&
+            _wedgeStreak >= _cfg.watchdogQuanta) {
+            ++_stats.crashes;
+            ++_stats.watchdogKills;
+            _lastFault = FaultInfo{
+                FaultKind::Watchdog, q.stopPc, isa(),
+                static_cast<uint32_t>(
+                    _runtime->vm(isa()).randomizer().generation())
+            };
+            _wedgeRemaining = 0;
+            _wedgeStreak = 0;
+            _state = ProcState::Crashed;
+        } else {
+            _state = ProcState::Ready;
+        }
+        return q;
+    }
+    _wedgeStreak = 0;
 
     uint64_t slice = std::min(maxInsts, _serviceRemaining);
     QuantumResult q = _runtime->runQuantum(slice);
@@ -94,6 +169,12 @@ GuestProcess::runQuantum(uint64_t maxInsts)
       case VmStop::BadInst:
       case VmStop::SfiViolation:
         ++_stats.crashes;
+        _lastFault = _runtime->summary().fault;
+        // Attribute crashes that follow an injection to the injected
+        // kind — a tripped decode fault is a DecodeFault, not the raw
+        // BadInst the VM observed.
+        if (_pendingKind != FaultKind::None)
+            _lastFault.kind = _pendingKind;
         _state = ProcState::Crashed;
         break;
 
@@ -113,9 +194,8 @@ GuestProcess::runQuantum(uint64_t maxInsts)
 }
 
 void
-GuestProcess::respawn()
+GuestProcess::respawnImage()
 {
-    hipstr_assert(_state == ProcState::Crashed);
     foldSummary();
     ++_stats.respawns;
 
@@ -126,12 +206,43 @@ GuestProcess::respawn()
                    layout::kStackTop - layout::kDataBase);
     loadFatBinary(_bin, _mem);
     _os.reset();
-    for (IsaKind isa : kAllIsas)
+    for (IsaKind isa : kAllIsas) {
+        _runtime->vm(isa).disarmDecodeFault();
         _runtime->vm(isa).reRandomize();
+    }
     _runtime->reset();
     _tainted = false;
+    _pendingKind = FaultKind::None;
+    _wedgeRemaining = 0;
+    _wedgeStreak = 0;
     _state = _serviceRemaining > 0 ? ProcState::Ready
                                    : ProcState::Blocked;
+}
+
+void
+GuestProcess::respawn()
+{
+    hipstr_assert(_state == ProcState::Crashed);
+    respawnImage();
+}
+
+bool
+GuestProcess::relocateToIsa(IsaKind target, uint64_t search_budget)
+{
+    if (isa() == target)
+        return true;
+    MigrationOutcome mo = _runtime->forceMigration(search_budget);
+    if (mo.ok && isa() == target) {
+        ++_stats.emergencyRelocations;
+        return true;
+    }
+    // No migration-safe point reachable (or the program stopped mid-
+    // search): hard evacuation. Respawn directly onto the surviving
+    // ISA — program state is lost, the in-flight request's budget
+    // carries over to the fresh worker.
+    setStartIsa(target);
+    respawnImage();
+    return false;
 }
 
 void
@@ -141,6 +252,7 @@ GuestProcess::restartProgram()
     _os.reset();
     _runtime->reset();
     _tainted = false;
+    _pendingKind = FaultKind::None;
 }
 
 void
@@ -152,6 +264,8 @@ GuestProcess::foldSummary()
         _stats.guestInstsPerIsa[i] += s.guestInstsPerIsa[i];
     _stats.migrations += s.migrations;
     _stats.migrationsDenied += s.migrationsDenied;
+    _stats.transformAborts += s.transformAborts;
+    _stats.migrationsSuppressed += s.migrationsSuppressed;
     // foldSummary runs immediately before the GuestOs reset that
     // starts the next program generation, so each generation's bytes
     // are accrued exactly once.
@@ -168,6 +282,8 @@ GuestProcess::stats() const
         out.guestInstsPerIsa[i] += s.guestInstsPerIsa[i];
     out.migrations += s.migrations;
     out.migrationsDenied += s.migrationsDenied;
+    out.transformAborts += s.transformAborts;
+    out.migrationsSuppressed += s.migrationsSuppressed;
     out.outputBytes += _os.totalOutputBytes();
     out.phases = _runtime->phaseBreakdown();
     return out;

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "binary/fatbin.hh"
+#include "fault/plan.hh"
 #include "hipstr/runtime.hh"
 #include "isa/guest_os.hh"
 #include "isa/memory.hh"
@@ -63,6 +64,23 @@ struct GuestProcessConfig
 
     /** Retained-output cap handed to GuestOs::setOutputCap(). */
     size_t outputCap = 4096;
+
+    /**
+     * Deterministic fault plan (src/fault), or nullptr for the
+     * fault-free server. When set, every quantum consults the plan —
+     * keyed on (pid, per-process quantum serial) so the schedule is
+     * independent of host threading — and may have a transient fault
+     * staged before it runs. nullptr leaves all hot paths untouched.
+     */
+    const FaultPlan *faultPlan = nullptr;
+
+    /**
+     * Watchdog: a worker wedged (burning timeslices without retiring
+     * a single instruction) for this many consecutive quanta is killed
+     * (Crashed with FaultKind::Watchdog) so the supervisor can respawn
+     * it. 0 disables — a wedge then lasts its scheduled length.
+     */
+    uint32_t watchdogQuanta = 0;
 };
 
 /** Cumulative per-process accounting across restarts and respawns. */
@@ -80,6 +98,14 @@ struct GuestProcessStats
     uint32_t probesStaged = 0;       ///< attack/corruption injections
     /** Output bytes across all program generations (retention-free). */
     uint64_t outputBytes = 0;
+    /** Faults staged by the fault plan, by FaultKind. */
+    std::array<uint64_t, kNumFaultKinds> faultsInjected{};
+    uint64_t wedgedQuanta = 0;   ///< quanta burned by a wedge
+    uint32_t watchdogKills = 0;  ///< wedges the watchdog terminated
+    uint32_t transformAborts = 0;
+    uint32_t migrationsSuppressed = 0; ///< degraded-mode events
+    /** Successful forced evacuations off a failed ISA. */
+    uint32_t emergencyRelocations = 0;
     /**
      * Per-phase profile (translate / regalloc / relocation /
      * migration-transform), cumulative across restarts and respawns
@@ -183,6 +209,39 @@ class GuestProcess
      */
     bool injectCorruption(uint64_t nonce);
 
+    /**
+     * Why the process most recently crashed (FaultKind::None if it
+     * never has). Injected faults are attributed to their injection
+     * kind — a crash from an armed decode fault reports DecodeFault,
+     * not the raw BadInst the VM observed.
+     */
+    const FaultInfo &lastFault() const { return _lastFault; }
+
+    /**
+     * Emergency evacuation off a failing ISA (degraded-mode reroute):
+     * force-migrate to @p target at the next safe point. If no safe
+     * transform point exists within @p search_budget the process is
+     * instead hard-respawned (Section 5.3 semantics) directly onto
+     * @p target — state is lost but the service budget carries over.
+     * Returns true for a live migration, false for the respawn path.
+     */
+    bool relocateToIsa(IsaKind target,
+                       uint64_t search_budget = 200'000);
+
+    /** Retarget the ISA future respawns/restarts boot on. */
+    void setStartIsa(IsaKind isa) { _runtime->setStartIsa(isa); }
+
+    /** Degraded single-ISA mode (forwarded to the runtime). @{ */
+    void setMigrationSuspended(bool s)
+    {
+        _runtime->setMigrationSuspended(s);
+    }
+    bool migrationSuspended() const
+    {
+        return _runtime->migrationSuspended();
+    }
+    /** @} */
+
     /** Cumulative stats, including the live (un-reset) runtime epoch. */
     GuestProcessStats stats() const;
 
@@ -199,6 +258,10 @@ class GuestProcess
   private:
     /** Warm restart after a clean exit: same randomization. */
     void restartProgram();
+    /** The wipe/reload/re-randomize core of respawn(). */
+    void respawnImage();
+    /** Apply one scheduled fault before the quantum runs. */
+    void stageInjectedFault(const QuantumFault &f);
     /** Accrue the runtime's summary into _stats (before a reset). */
     void foldSummary();
     /** Stage a return-to-@p target hijack in the current VM. */
@@ -220,6 +283,14 @@ class GuestProcess
     uint64_t _expectedChecksum = 0;
     bool _haveExpected = false;
     GuestProcessStats _stats;
+
+    /** Quanta started by this process, ever — the fault-plan key. */
+    uint64_t _quantumSerial = 0;
+    uint32_t _wedgeRemaining = 0; ///< quanta left in the active wedge
+    uint32_t _wedgeStreak = 0;    ///< consecutive wedged quanta seen
+    FaultInfo _lastFault;
+    /** Injected kind awaiting attribution at the next crash. */
+    FaultKind _pendingKind = FaultKind::None;
 };
 
 } // namespace hipstr

@@ -34,6 +34,10 @@ ProtectedServer::ProtectedServer(const FatBinary &bin,
 {
     hipstr_assert(cfg.workers > 0);
     _sched.trace = cfg.trace;
+    if (cfg.faults.enabled) {
+        _plan = std::make_unique<FaultPlan>(cfg.faults);
+        _sched.faultPlan = _plan.get();
+    }
     uint64_t expected = 0;
     if (cfg.verifyOutput)
         expected = referenceChecksum();
@@ -44,6 +48,10 @@ ProtectedServer::ProtectedServer(const FatBinary &bin,
         pcfg.seed = cfg.seed;
         pcfg.hipstr = cfg.hipstr;
         pcfg.outputCap = cfg.outputCap;
+        if (_plan != nullptr) {
+            pcfg.faultPlan = _plan.get();
+            pcfg.watchdogQuanta = cfg.watchdogQuanta;
+        }
         auto proc = std::make_unique<GuestProcess>(bin, pcfg);
         if (cfg.verifyOutput)
             proc->setExpectedChecksum(expected);
@@ -107,6 +115,16 @@ ProtectedServer::run(ThreadPool *pool)
         }
     }
 
+    // Degraded-mode bookkeeping: a gauge for dashboards plus one
+    // Server-category span per complete outage window.
+    telemetry::GaugeMetric *degraded_gauge = _cfg.metrics != nullptr
+        ? &_cfg.metrics->gauge("server.degraded_mode")
+        : nullptr;
+    if (degraded_gauge != nullptr)
+        degraded_gauge->set(0);
+    bool was_degraded = false;
+    uint64_t degraded_start = 0;
+
     uint64_t done = 0;
     uint64_t round_no = 0;
     while (done < _cfg.requestCount && round_no < kMaxRounds) {
@@ -150,9 +168,10 @@ ProtectedServer::run(ThreadPool *pool)
             }
         }
 
-        if (_sched.idle()) {
-            // Nothing runnable: either all requests are done, or the
-            // remaining ones cannot be served (every worker retired).
+        if (_sched.idle() && !_sched.hasConvalescents()) {
+            // Nothing runnable now or parked for later: either all
+            // requests are done, or the remaining ones cannot be
+            // served (every worker retired).
             bool any_alive = false;
             for (size_t w = 0; w < _workers.size(); ++w)
                 any_alive = any_alive || !retired[w];
@@ -164,6 +183,25 @@ ProtectedServer::run(ThreadPool *pool)
 
         _sched.round(pool);
         ++round_no;
+
+        if (_plan != nullptr) {
+            const bool deg = _sched.degraded();
+            if (deg != was_degraded) {
+                if (degraded_gauge != nullptr)
+                    degraded_gauge->set(deg ? 1 : 0);
+                if (deg) {
+                    degraded_start = round_no;
+                } else if (traced) {
+                    tr->record(telemetry::traceSpan(
+                        TraceCategory::Server, "server.degraded",
+                        double(degraded_start) * us_per_round,
+                        double(round_no - degraded_start) *
+                            us_per_round,
+                        0));
+                }
+                was_degraded = deg;
+            }
+        }
 
         // ---- Poll outcomes in pid order. ----
         for (size_t w = 0; w < _workers.size(); ++w) {
@@ -196,9 +234,12 @@ ProtectedServer::run(ThreadPool *pool)
                 }
                 inflight[w].active = false;
                 ++done;
-            } else if (proc.state() == ProcState::Crashed) {
-                // Still Crashed after the scheduler round: the
-                // process hit its respawn limit and was retired. Its
+            } else if (proc.state() == ProcState::Crashed &&
+                       _sched.isRetired(&proc)) {
+                // Still Crashed after the scheduler round *and*
+                // permanently retired (a worker merely parked in the
+                // supervisor's infirmary keeps its request and will
+                // finish it after respawning). The retired worker's
                 // request goes back to the head of the queue for
                 // another worker.
                 retired[w] = true;
@@ -236,6 +277,17 @@ ProtectedServer::run(ThreadPool *pool)
     report.migrationsRouted = ss.migrationsRouted;
     report.respawns = ss.respawns;
     report.retiredWorkers = ss.retired;
+    report.coreOutages = ss.coreOutages;
+    report.coreRecoveries = ss.coreRecoveries;
+    report.offlineCoreQuanta = ss.offlineCoreQuanta;
+    report.degradedEntries = ss.degradedEntries;
+    report.degradedExits = ss.degradedExits;
+    report.degradedRounds = ss.degradedRounds;
+    report.reroutes = ss.reroutes;
+    report.rerouteRespawns = ss.rerouteRespawns;
+    report.quarantines = ss.quarantines;
+    report.recoveries = ss.recoveries;
+    report.meanRoundsToRecover = _sched.meanRoundsToRecover();
     for (const auto &proc : _workers) {
         GuestProcessStats s = proc->stats();
         report.totalGuestInsts += s.guestInsts;
@@ -249,7 +301,53 @@ ProtectedServer::run(ThreadPool *pool)
         report.checksumMismatches += s.checksumMismatches;
         report.probesStaged += s.probesStaged;
         report.phases += s.phases;
+        for (size_t k = 0; k < kNumFaultKinds; ++k) {
+            report.faultsInjected[k] += s.faultsInjected[k];
+            report.faultsInjectedTotal += s.faultsInjected[k];
+        }
+        report.wedgedQuanta += s.wedgedQuanta;
+        report.watchdogKills += s.watchdogKills;
+        report.transformAborts += s.transformAborts;
+        report.migrationsSuppressed += s.migrationsSuppressed;
+        report.emergencyRelocations += s.emergencyRelocations;
         fold64(sig, proc->statsSignature());
+    }
+
+    if (_plan != nullptr && _cfg.metrics != nullptr) {
+        telemetry::MetricRegistry &m = *_cfg.metrics;
+        for (size_t k = 1; k < kNumFaultKinds; ++k) {
+            m.counter(std::string("server.fault.") +
+                      faultKindName(static_cast<FaultKind>(k)))
+                .set(report.faultsInjected[k]);
+        }
+        m.counter("server.fault.total").set(report.faultsInjectedTotal);
+        m.counter("server.fault.wedged_quanta").set(report.wedgedQuanta);
+        m.counter("server.fault.watchdog_kills")
+            .set(report.watchdogKills);
+        m.counter("server.fault.transform_aborts")
+            .set(report.transformAborts);
+        m.counter("server.fault.migrations_suppressed")
+            .set(report.migrationsSuppressed);
+        m.counter("server.fault.emergency_relocations")
+            .set(report.emergencyRelocations);
+        m.counter("server.fault.core_outages").set(report.coreOutages);
+        m.counter("server.fault.core_recoveries")
+            .set(report.coreRecoveries);
+        m.counter("server.fault.offline_core_quanta")
+            .set(report.offlineCoreQuanta);
+        m.counter("server.fault.degraded_entries")
+            .set(report.degradedEntries);
+        m.counter("server.fault.degraded_exits")
+            .set(report.degradedExits);
+        m.counter("server.fault.degraded_rounds")
+            .set(report.degradedRounds);
+        m.counter("server.fault.reroutes").set(report.reroutes);
+        m.counter("server.fault.reroute_respawns")
+            .set(report.rerouteRespawns);
+        m.counter("server.fault.quarantines").set(report.quarantines);
+        m.counter("server.fault.recoveries").set(report.recoveries);
+        m.gauge("server.fault.mean_rounds_to_recover")
+            .set(report.meanRoundsToRecover);
     }
 
     if (!latencies.empty()) {

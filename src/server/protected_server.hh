@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "binary/fatbin.hh"
+#include "fault/plan.hh"
 #include "server/cmp_model.hh"
 #include "server/guest_process.hh"
 #include "server/request_stream.hh"
 #include "server/scheduler.hh"
+#include "telemetry/metrics.hh"
 
 namespace hipstr
 {
@@ -52,6 +54,32 @@ struct ServerConfig
      * (TraceCategory::Server). nullptr disables all tracing.
      */
     telemetry::TraceBuffer *trace = nullptr;
+
+    /**
+     * Deterministic fault injection (src/fault). Disabled by default;
+     * when faults.enabled the server builds one FaultPlan from this
+     * config and wires it into the scheduler (core outages, degraded
+     * mode) and every worker (transient quantum faults). With it
+     * disabled the whole fault machinery is compiled in but
+     * unreachable — a fault-free run is byte-identical to one built
+     * without the subsystem.
+     */
+    FaultPlanConfig faults;
+
+    /**
+     * Kill a worker wedged for this many consecutive quanta
+     * (GuestProcessConfig::watchdogQuanta). Only reachable with
+     * faults.enabled — wedges come from the plan.
+     */
+    uint32_t watchdogQuanta = 4;
+
+    /**
+     * Optional metric sink: the run maintains a "server.degraded_mode"
+     * gauge (1 while an entire ISA is offline) and, when faults are
+     * enabled, publishes the fault/supervision counters at the end of
+     * the run. nullptr disables.
+     */
+    telemetry::MetricRegistry *metrics = nullptr;
 };
 
 /** Latency distribution in scheduler rounds. */
@@ -83,6 +111,28 @@ struct ServerReport
     uint32_t programsCompleted = 0;
     uint32_t checksumMismatches = 0;
     uint32_t probesStaged = 0;
+
+    /** Fault-injection & supervision outcome (all zero when the
+     *  fault plan is disabled). @{ */
+    std::array<uint64_t, kNumFaultKinds> faultsInjected{};
+    uint64_t faultsInjectedTotal = 0;
+    uint64_t wedgedQuanta = 0;
+    uint32_t watchdogKills = 0;
+    uint32_t transformAborts = 0;
+    uint32_t migrationsSuppressed = 0;
+    uint32_t emergencyRelocations = 0;
+    uint32_t coreOutages = 0;
+    uint32_t coreRecoveries = 0;
+    uint64_t offlineCoreQuanta = 0;
+    uint32_t degradedEntries = 0;
+    uint32_t degradedExits = 0;
+    uint64_t degradedRounds = 0;
+    uint32_t reroutes = 0;
+    uint32_t rerouteRespawns = 0;
+    uint32_t quarantines = 0;
+    uint32_t recoveries = 0;
+    double meanRoundsToRecover = 0;
+    /** @} */
 
     LatencySummary latency;
     /** Modeled wall time: rounds * quantum / aggregate CMP rate. */
@@ -126,6 +176,8 @@ class ProtectedServer
     const CmpModel &cmp() const { return _cmp; }
     const CmpScheduler &scheduler() const { return _sched; }
     const ServerConfig &config() const { return _cfg; }
+    /** The active fault plan (nullptr when faults are disabled). */
+    const FaultPlan *faultPlan() const { return _plan.get(); }
 
   private:
     /** Reference output checksum of one clean program run. */
@@ -136,6 +188,7 @@ class ProtectedServer
     CmpModel _cmp;
     CmpScheduler _sched;
     RequestStream _stream;
+    std::unique_ptr<FaultPlan> _plan;
     std::vector<std::unique_ptr<GuestProcess>> _workers;
 };
 

@@ -24,8 +24,10 @@
 
 #include <array>
 #include <deque>
+#include <map>
 #include <vector>
 
+#include "fault/plan.hh"
 #include "server/cmp_model.hh"
 #include "server/guest_process.hh"
 #include "support/parallel.hh"
@@ -33,6 +35,37 @@
 
 namespace hipstr
 {
+
+/**
+ * Supervision policy for crashed workers. The zero defaults reproduce
+ * the legacy scheduler exactly: a crashed process is respawned in the
+ * same merge step that observed the crash, no state is parked, no
+ * counter moves — so a fault-free server is byte-identical to one
+ * built before supervision existed.
+ */
+struct SupervisorConfig
+{
+    /**
+     * First-crash respawn delay in scheduler rounds; each consecutive
+     * crash doubles it (capped below). 0 = respawn immediately in the
+     * observing round, the legacy behaviour.
+     */
+    uint32_t backoffBaseRounds = 0;
+
+    /** Ceiling of the exponential backoff, in rounds. */
+    uint32_t backoffCapRounds = 64;
+
+    /**
+     * Consecutive crashes (without an intervening clean quantum)
+     * before the worker is quarantined — parked for quarantineRounds,
+     * then respawned with fresh randomization and a cleared streak.
+     * 0 = never quarantine.
+     */
+    uint32_t quarantineAfter = 0;
+
+    /** Park length of a quarantine, in rounds. */
+    uint32_t quarantineRounds = 64;
+};
 
 /** Scheduling knobs. */
 struct SchedulerConfig
@@ -46,6 +79,9 @@ struct SchedulerConfig
      * workers — the limit exists for experiments).
      */
     uint32_t respawnLimit = 0;
+
+    /** Crash-recovery policy (defaults = legacy immediate respawn). */
+    SupervisorConfig supervisor;
 };
 
 /** Aggregate scheduler counters. */
@@ -57,6 +93,26 @@ struct SchedulerStats
     uint32_t migrationsRouted = 0; ///< requeues onto the other ISA
     uint32_t respawns = 0;
     uint32_t retired = 0; ///< processes past the respawn limit
+
+    /** Fault-plan core outages (all zero without a plan). @{ */
+    uint64_t offlineCoreQuanta = 0; ///< core-rounds lost to outages
+    uint32_t coreOutages = 0;
+    uint32_t coreRecoveries = 0;
+    /** @} */
+
+    /** Degraded single-ISA mode (an entire ISA offline). @{ */
+    uint32_t degradedEntries = 0;
+    uint32_t degradedExits = 0;
+    uint64_t degradedRounds = 0;
+    uint32_t reroutes = 0;        ///< live evacuations off a dead ISA
+    uint32_t rerouteRespawns = 0; ///< evacuations that hard-respawned
+    /** @} */
+
+    /** Supervisor (infirmary) activity. @{ */
+    uint32_t quarantines = 0;
+    uint32_t recoveries = 0; ///< infirmary releases back to service
+    uint64_t recoveryRoundsSum = 0; ///< crash→release round gaps
+    /** @} */
 };
 
 /** The scheduler. Processes are owned by the caller. */
@@ -74,6 +130,18 @@ class CmpScheduler
      * reproducible as the schedule itself.
      */
     telemetry::TraceBuffer *trace = nullptr;
+
+    /**
+     * Deterministic fault plan, or nullptr (the default) for the
+     * fault-free scheduler. When set, each round first consults the
+     * plan for core outages — an offline core is skipped at
+     * assignment (offlineCoreQuanta) until its scheduled recovery —
+     * and an ISA whose cores are all offline puts the server in
+     * degraded mode: migration is suspended on every worker, workers
+     * stranded on the dead ISA's queue are evacuated, and dual-ISA
+     * protection resumes when the outage ends.
+     */
+    const FaultPlan *faultPlan = nullptr;
 
     /**
      * Make a Ready process schedulable. Must be called once per
@@ -103,13 +171,77 @@ class CmpScheduler
         return _retired;
     }
 
+    /** True when @p p has been permanently retired (vs. merely parked
+     *  Crashed in the infirmary awaiting its respawn round). */
+    bool isRetired(const GuestProcess *p) const;
+
+    /** True while any crashed worker is parked awaiting respawn. */
+    bool hasConvalescents() const { return !_infirmary.empty(); }
+
+    /** Core/ISA availability under the fault plan. @{ */
+    bool coreOnline(unsigned coreId) const;
+    bool isaOffline(IsaKind isa) const
+    {
+        return _isaOffline[static_cast<size_t>(isa)];
+    }
+    /** Degraded mode: at least one entire ISA is offline. */
+    bool degraded() const
+    {
+        return _isaOffline[0] || _isaOffline[1];
+    }
+    /** @} */
+
+    /** Mean crash→release gap of infirmary recoveries, in rounds. */
+    double meanRoundsToRecover() const
+    {
+        return _stats.recoveries == 0
+            ? 0.0
+            : double(_stats.recoveryRoundsSum) / _stats.recoveries;
+    }
+
   private:
+    /** A crashed worker parked for a later respawn round. */
+    struct Convalescent
+    {
+        GuestProcess *p;
+        uint64_t crashRound;
+        uint64_t releaseRound;
+        bool quarantined;
+    };
+
+    /**
+     * Fault supervision, run once at the head of every round while a
+     * plan is attached or workers are parked: advance core outages,
+     * track degraded mode, evacuate stranded queues, and release due
+     * convalescents. Everything iterates in fixed (core id / pid)
+     * order, so supervision is as deterministic as the schedule.
+     */
+    void superviseRound(bool traced, double round_ts);
+
+    /**
+     * Handle a crash observed in the merge step: retire past the
+     * respawn limit, quarantine past the streak limit, park with
+     * exponential backoff, or — with supervision disabled — respawn
+     * immediately (the legacy path). Returns true iff the process was
+     * respawned in place and is runnable again this round.
+     */
+    bool superviseCrash(GuestProcess *p, unsigned coreId,
+                        double round_ts, bool traced);
+
     const CmpModel &_cmp;
     SchedulerConfig _cfg;
     double _usPerRound = 0; ///< modeled microseconds per round
     std::array<std::deque<GuestProcess *>, kNumIsas> _ready;
     std::vector<GuestProcess *> _retired;
     SchedulerStats _stats;
+
+    /** Round the core comes back (0 = online); indexed by core id. */
+    std::vector<uint64_t> _coreOfflineUntil;
+    std::array<bool, kNumIsas> _isaOffline{};
+    /** Parked crashed workers, keyed by pid for deterministic order. */
+    std::map<uint32_t, Convalescent> _infirmary;
+    /** Consecutive-crash streaks, keyed by pid. */
+    std::map<uint32_t, uint32_t> _streak;
 };
 
 } // namespace hipstr

@@ -68,6 +68,20 @@ PsrVm::reRandomize()
     }
 }
 
+void
+PsrVm::flushTranslations()
+{
+    _cache.flush();
+    _rat.flush();
+    ++stats.cacheFlushes;
+    if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
+        trace->record(
+            telemetry::traceInstant(telemetry::TraceCategory::Vm,
+                                    "vm.fault_flush", traceTs(), 0,
+                                    static_cast<uint32_t>(_isa)));
+    }
+}
+
 TranslatedBlock *
 PsrVm::fetchBlock(Addr src, VmRunResult &stop)
 {
@@ -127,6 +141,20 @@ PsrVm::traceData(const MachInst &mi)
 VmRunResult
 PsrVm::run(uint64_t max_guest_insts)
 {
+    if (_decodeFaultArmed) {
+        // Injected decode fault (src/fault): the corrupted entry trips
+        // the decoder before a single instruction retires.
+        _decodeFaultArmed = false;
+        VmRunResult res;
+        res.reason = VmStop::BadInst;
+        res.stopPc = state.pc;
+        if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
+            trace->record(telemetry::traceInstant(
+                telemetry::TraceCategory::Vm, "vm.injected_decode_fault",
+                traceTs(), 0, static_cast<uint32_t>(_isa)));
+        }
+        return res;
+    }
     const bool spans =
         trace && trace->enabled(telemetry::TraceCategory::Vm);
     const double ts0 = spans ? traceTs() : 0;

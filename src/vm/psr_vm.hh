@@ -153,6 +153,25 @@ class PsrVm
      */
     void reRandomize();
 
+    /**
+     * Fault injection (src/fault): arm a decode fault — the next
+     * run() stops immediately with BadInst at the current pc, as if
+     * the decoder tripped over a corrupted code-cache entry. One-shot;
+     * disarmed when consumed or by disarmDecodeFault() (respawn).
+     * @{
+     */
+    void armDecodeFault() { _decodeFaultArmed = true; }
+    void disarmDecodeFault() { _decodeFaultArmed = false; }
+    bool decodeFaultArmed() const { return _decodeFaultArmed; }
+    /** @} */
+
+    /**
+     * Fault injection: a spurious code-cache + RAT flush (a transient
+     * translator fault). Unlike reRandomize() the relocation maps are
+     * untouched — the guest just pays retranslation, no crash.
+     */
+    void flushTranslations();
+
     IsaKind isa() const { return _isa; }
     VmStats stats;
     CodeCache &codeCache() { return _cache; }
@@ -187,6 +206,7 @@ class PsrVm
     PsrTranslator _translator;
     CodeCache _cache;
     ReturnAddressTable _rat;
+    bool _decodeFaultArmed = false;
 };
 
 } // namespace hipstr

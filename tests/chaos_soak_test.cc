@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Chaos soak: thousands of requests served under a live fault plan —
+ * transient quantum faults on every worker, random core outages, a
+ * scripted full-ISA outage forcing the server through degraded
+ * single-ISA mode and back — with supervised (backoff + quarantine)
+ * recovery. The claims: not a single request is lost, the server
+ * demonstrably enters AND exits degraded mode, the degraded gauge
+ * ends at zero, and the whole chaos run is byte-identical across
+ * host thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "server/protected_server.hh"
+#include "test_util.hh"
+#include "workloads/workloads.hh"
+
+using namespace hipstr;
+
+TEST(ChaosSoak, NoRequestLostAcrossFullIsaOutage)
+{
+    WorkloadConfig wcfg;
+    wcfg.scale = 1;
+    FatBinary bin = compileModule(buildWorkload("httpd", wcfg));
+
+    ServerConfig cfg;
+    cfg.workers = 8;
+    cfg.requestCount = 5000;
+    cfg.mix.attackFrac = 0.02;
+    cfg.mix.malformedFrac = 0.02;
+    cfg.hipstr.diversificationProbability = 1.0;
+    cfg.faults.enabled = true;
+    cfg.faults.quantumFaultRate = 0.01;
+    cfg.faults.coreFailRate = 0.002;
+    cfg.faults.scriptedOutageIsa = IsaKind::Risc;
+    cfg.faults.scriptedOutageRound = 40;
+    cfg.faults.scriptedOutageRounds = 30;
+    cfg.watchdogQuanta = 3;
+    cfg.sched.supervisor.backoffBaseRounds = 1;
+    cfg.sched.supervisor.backoffCapRounds = 8;
+    cfg.sched.supervisor.quarantineAfter = 4;
+    cfg.sched.supervisor.quarantineRounds = 16;
+
+    telemetry::MetricRegistry serial_reg;
+    cfg.metrics = &serial_reg;
+    ThreadPool::setGlobalThreads(0); // HIPSTR_JOBS=1
+    ProtectedServer serial(bin, cfg);
+    ServerReport r1 = serial.run();
+
+    telemetry::MetricRegistry threaded_reg;
+    cfg.metrics = &threaded_reg;
+    ThreadPool::setGlobalThreads(3); // HIPSTR_JOBS=4
+    ProtectedServer threaded(bin, cfg);
+    ServerReport r2 = threaded.run();
+    ThreadPool::setGlobalThreads(0);
+
+    // Availability: every offered request is served — none lost to
+    // crashes, quarantines, outages, or the ISA-wide blackout.
+    EXPECT_EQ(r1.requestsServed, cfg.requestCount);
+    EXPECT_EQ(r1.requestsAbandoned, 0u);
+
+    // The chaos actually happened.
+    EXPECT_GT(r1.faultsInjectedTotal, 0u);
+    EXPECT_GT(r1.crashes, 0u);
+    EXPECT_GT(r1.coreOutages, 0u);
+    EXPECT_GT(r1.recoveries, 0u);
+    EXPECT_GT(r1.meanRoundsToRecover, 0.0);
+
+    // The scripted blackout pushed the server into degraded
+    // single-ISA mode and full dual-ISA protection came back.
+    EXPECT_GE(r1.degradedEntries, 1u);
+    EXPECT_GE(r1.degradedExits, 1u);
+    EXPECT_EQ(r1.degradedEntries, r1.degradedExits);
+    EXPECT_GT(r1.degradedRounds, 0u);
+    EXPECT_FALSE(serial.scheduler().degraded());
+    EXPECT_EQ(serial_reg.gauge("server.degraded_mode").value(), 0.0);
+
+    // Benign traffic survived every fault byte-for-byte.
+    EXPECT_EQ(r1.checksumMismatches, 0u);
+
+    // And the entire faulted run — schedule, faults, recoveries,
+    // degraded window — is byte-identical across host thread counts.
+    EXPECT_EQ(r1.signature, r2.signature);
+    EXPECT_EQ(r1.rounds, r2.rounds);
+    EXPECT_EQ(r1.faultsInjectedTotal, r2.faultsInjectedTotal);
+    for (size_t k = 0; k < kNumFaultKinds; ++k)
+        EXPECT_EQ(r1.faultsInjected[k], r2.faultsInjected[k]) << k;
+    EXPECT_EQ(r1.crashes, r2.crashes);
+    EXPECT_EQ(r1.respawns, r2.respawns);
+    EXPECT_EQ(r1.watchdogKills, r2.watchdogKills);
+    EXPECT_EQ(r1.transformAborts, r2.transformAborts);
+    EXPECT_EQ(r1.migrationsSuppressed, r2.migrationsSuppressed);
+    EXPECT_EQ(r1.coreOutages, r2.coreOutages);
+    EXPECT_EQ(r1.offlineCoreQuanta, r2.offlineCoreQuanta);
+    EXPECT_EQ(r1.degradedRounds, r2.degradedRounds);
+    EXPECT_EQ(r1.reroutes, r2.reroutes);
+    EXPECT_EQ(r1.rerouteRespawns, r2.rerouteRespawns);
+    EXPECT_EQ(r1.quarantines, r2.quarantines);
+    EXPECT_EQ(r1.recoveries, r2.recoveries);
+    EXPECT_DOUBLE_EQ(r1.meanRoundsToRecover, r2.meanRoundsToRecover);
+    EXPECT_EQ(r1.totalGuestInsts, r2.totalGuestInsts);
+    EXPECT_EQ(r1.latency.p95Rounds, r2.latency.p95Rounds);
+
+    // The published metric mirrors the report.
+    EXPECT_EQ(serial_reg.counter("server.fault.total").value(),
+              r1.faultsInjectedTotal);
+    EXPECT_EQ(threaded_reg.counter("server.fault.total").value(),
+              r2.faultsInjectedTotal);
+}

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Fault-injection engine and supervisor tests: FaultPlan purity and
+ * seed-determinism, transient-fault staging in GuestProcess (wedges,
+ * watchdog kills, transform aborts), scripted full-ISA outages with
+ * degraded-mode rerouting, and the backoff/quarantine lifecycle of
+ * the scheduler's infirmary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/plan.hh"
+#include "server/protected_server.hh"
+#include "test_util.hh"
+#include "workloads/workloads.hh"
+
+using namespace hipstr;
+using namespace hipstr::test;
+
+namespace
+{
+
+const FatBinary &
+httpdBin()
+{
+    static const FatBinary bin = [] {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        return compileModule(buildWorkload("httpd", wcfg));
+    }();
+    return bin;
+}
+
+GuestProcessConfig
+procConfig(uint32_t pid = 0)
+{
+    GuestProcessConfig cfg;
+    cfg.pid = pid;
+    cfg.hipstr.diversificationProbability = 1.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FaultTaxonomy, KindNamesAreStableSnakeCase)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::None), "none");
+    EXPECT_STREQ(faultKindName(FaultKind::MemFault), "mem_fault");
+    EXPECT_STREQ(faultKindName(FaultKind::BadInstruction),
+                 "bad_instruction");
+    EXPECT_STREQ(faultKindName(FaultKind::Watchdog), "watchdog");
+    EXPECT_STREQ(faultKindName(FaultKind::CoreFailure),
+                 "core_failure");
+    // Metric names embed these: only [a-z_] survives the schema.
+    for (size_t k = 0; k < kNumFaultKinds; ++k) {
+        const char *n = faultKindName(static_cast<FaultKind>(k));
+        ASSERT_NE(n, nullptr);
+        for (const char *c = n; *c != '\0'; ++c) {
+            EXPECT_TRUE((*c >= 'a' && *c <= 'z') || *c == '_')
+                << n;
+        }
+    }
+}
+
+// The plan is a pure function of its seed: two plans built from the
+// same config agree on every decision, a different seed disagrees
+// somewhere, and decisions are dense enough to matter.
+TEST(FaultPlan, DecisionsArePureFunctionsOfSeed)
+{
+    FaultPlanConfig cfg;
+    cfg.enabled = true;
+    cfg.quantumFaultRate = 0.05;
+    cfg.coreFailRate = 0.01;
+    FaultPlan a(cfg);
+    FaultPlan b(cfg);
+    cfg.seed = 0x1234;
+    FaultPlan other(cfg);
+
+    unsigned faults = 0;
+    unsigned differs = 0;
+    for (uint32_t pid = 0; pid < 4; ++pid) {
+        for (uint64_t serial = 0; serial < 500; ++serial) {
+            QuantumFault fa = a.quantumFault(pid, serial);
+            QuantumFault fb = b.quantumFault(pid, serial);
+            ASSERT_EQ(static_cast<int>(fa.kind),
+                      static_cast<int>(fb.kind));
+            ASSERT_EQ(fa.payload, fb.payload);
+            if (fa.kind != FaultKind::None)
+                ++faults;
+            if (fa.kind != other.quantumFault(pid, serial).kind)
+                ++differs;
+        }
+    }
+    EXPECT_GT(faults, 0u);
+    EXPECT_GT(differs, 0u);
+
+    unsigned outages = 0;
+    for (unsigned core = 0; core < 4; ++core) {
+        for (uint64_t round = 0; round < 2000; ++round) {
+            uint32_t la = a.coreOutageAt(core, IsaKind::Risc, round);
+            ASSERT_EQ(la, b.coreOutageAt(core, IsaKind::Risc, round));
+            if (la != 0) {
+                ++outages;
+                EXPECT_GE(la, cfg.outageRoundsMin);
+                EXPECT_LE(la, cfg.outageRoundsMax);
+            }
+        }
+    }
+    EXPECT_GT(outages, 0u);
+
+    for (uint64_t p = 0; p < 64; ++p) {
+        uint32_t w = a.wedgeLength(p);
+        EXPECT_GE(w, cfg.wedgeQuantaMin);
+        EXPECT_LE(w, cfg.wedgeQuantaMax);
+    }
+}
+
+TEST(FaultPlan, ZeroRatesScheduleNothing)
+{
+    FaultPlanConfig cfg;
+    cfg.enabled = true; // rates stay at their 0.0 defaults
+    FaultPlan plan(cfg);
+    for (uint32_t pid = 0; pid < 4; ++pid) {
+        for (uint64_t serial = 0; serial < 200; ++serial) {
+            EXPECT_EQ(static_cast<int>(
+                          plan.quantumFault(pid, serial).kind),
+                      static_cast<int>(FaultKind::None));
+        }
+    }
+    for (unsigned core = 0; core < 4; ++core)
+        for (uint64_t round = 0; round < 200; ++round)
+            EXPECT_EQ(plan.coreOutageAt(core, IsaKind::Cisc, round),
+                      0u);
+}
+
+TEST(FaultPlan, ScriptedOutageHitsOnlyItsIsaAndRound)
+{
+    FaultPlanConfig cfg;
+    cfg.enabled = true;
+    cfg.scriptedOutageIsa = IsaKind::Cisc;
+    cfg.scriptedOutageRound = 10;
+    cfg.scriptedOutageRounds = 5;
+    FaultPlan plan(cfg);
+
+    EXPECT_EQ(plan.coreOutageAt(2, IsaKind::Cisc, 10), 5u);
+    EXPECT_EQ(plan.coreOutageAt(3, IsaKind::Cisc, 10), 5u);
+    EXPECT_EQ(plan.coreOutageAt(0, IsaKind::Risc, 10), 0u);
+    EXPECT_EQ(plan.coreOutageAt(2, IsaKind::Cisc, 9), 0u);
+    EXPECT_EQ(plan.coreOutageAt(2, IsaKind::Cisc, 11), 0u);
+}
+
+// Chaos at the worker level: under a 100% quantum-fault rate the
+// worker keeps making progress through respawns, every staged fault
+// is counted by kind, wedges are killed by the watchdog after exactly
+// watchdogQuanta burned timeslices, and the whole ordeal is a pure
+// function of (seed, pid) — a twin process retells it byte for byte.
+TEST(GuestProcess, InjectedFaultsAreCountedAndSurvivable)
+{
+    FaultPlanConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.quantumFaultRate = 1.0;
+    fcfg.wedgeQuantaMin = 4;
+    fcfg.wedgeQuantaMax = 6;
+    FaultPlan plan(fcfg);
+
+    GuestProcessConfig cfg = procConfig();
+    cfg.faultPlan = &plan;
+    cfg.watchdogQuanta = 2;
+
+    auto runChaos = [&](GuestProcess &proc, bool &saw_watchdog) {
+        proc.beginService(uint64_t(1) << 40);
+        for (unsigned i = 0; i < 300; ++i) {
+            if (proc.state() == ProcState::Crashed) {
+                if (proc.lastFault().kind == FaultKind::Watchdog)
+                    saw_watchdog = true;
+                EXPECT_TRUE(proc.lastFault().valid());
+                proc.respawn();
+            }
+            if (proc.state() != ProcState::Ready)
+                break;
+            proc.runQuantum(2'000);
+        }
+    };
+
+    GuestProcess proc(httpdBin(), cfg);
+    bool saw_watchdog = false;
+    runChaos(proc, saw_watchdog);
+
+    GuestProcessStats s = proc.stats();
+    EXPECT_TRUE(saw_watchdog);
+    EXPECT_GT(s.watchdogKills, 0u);
+    // Every wedge (scheduled length >= 4) is killed at streak 2; the
+    // loop can at most end one quantum into a final episode.
+    EXPECT_GE(s.wedgedQuanta, uint64_t(2) * s.watchdogKills);
+    EXPECT_LE(s.wedgedQuanta, uint64_t(2) * s.watchdogKills + 1);
+    EXPECT_EQ(s.faultsInjected[static_cast<size_t>(FaultKind::None)],
+              0u);
+    uint64_t injected = 0;
+    for (uint64_t v : s.faultsInjected)
+        injected += v;
+    EXPECT_GT(injected, 0u);
+    EXPECT_GT(s.respawns, 0u);
+    EXPECT_GT(s.guestInsts, 0u);
+
+    // Determinism: a twin built from the identical config replays the
+    // identical chaos.
+    GuestProcess twin(httpdBin(), cfg);
+    bool twin_watchdog = false;
+    runChaos(twin, twin_watchdog);
+    EXPECT_EQ(twin_watchdog, saw_watchdog);
+    EXPECT_EQ(proc.statsSignature(), twin.statsSignature());
+    GuestProcessStats t = twin.stats();
+    for (size_t k = 0; k < kNumFaultKinds; ++k)
+        EXPECT_EQ(s.faultsInjected[k], t.faultsInjected[k]) << k;
+}
+
+// An injected transform failure aborts a (benign, phase-driven)
+// migration and rolls back to the source-ISA checkpoint: the worker
+// stays on its ISA, keeps executing, and its output stays
+// byte-correct across later program generations.
+TEST(GuestProcess, TransformAbortRollsBackToSourceIsa)
+{
+    GuestProcessConfig cfg = procConfig();
+    cfg.alternateStartIsa = false;
+    cfg.hipstr.phaseIntervalInsts = 2'000;
+    GuestProcess proc(httpdBin(), cfg);
+    proc.setExpectedChecksum(
+        runNative(httpdBin(), IsaKind::Cisc).outputChecksum);
+
+    const IsaKind before = proc.isa();
+    proc.beginService(uint64_t(1) << 40);
+    proc.runtime().abortNextTransform();
+    ASSERT_TRUE(proc.runtime().transformAbortArmed());
+
+    // One phase-boundary check per 3k-instruction quantum: the first
+    // migration-safe phase point consumes the armed abort. Until then
+    // no migration can have happened, so the ISA is pinned.
+    unsigned guard = 0;
+    while (proc.runtime().transformAbortArmed() &&
+           proc.state() == ProcState::Ready) {
+        ASSERT_LT(++guard, 2'000u);
+        proc.runQuantum(3'000);
+    }
+    ASSERT_FALSE(proc.runtime().transformAbortArmed());
+    EXPECT_EQ(proc.isa(), before);
+    EXPECT_EQ(proc.state(), ProcState::Ready);
+
+    GuestProcessStats s = proc.stats();
+    EXPECT_EQ(s.transformAborts, 1u);
+    EXPECT_GE(s.migrationsDenied, 1u);
+    EXPECT_EQ(s.migrations, 0u);
+    EXPECT_EQ(s.crashes, 0u);
+
+    // The rollback is exact: the worker keeps serving — through
+    // program restarts and (now re-enabled) genuine migrations —
+    // without a crash or a corrupted byte of output.
+    for (unsigned i = 0;
+         i < 200 && proc.state() == ProcState::Ready; ++i) {
+        proc.runQuantum(20'000);
+    }
+    EXPECT_EQ(proc.stats().crashes, 0u);
+    EXPECT_GT(proc.stats().programsCompleted, 0u);
+    EXPECT_EQ(proc.stats().checksumMismatches, 0u);
+}
+
+// The scripted full-ISA outage drives the scheduler into degraded
+// single-ISA mode and out again: workers stranded on the dead ISA are
+// evacuated, migration is suspended exactly for the outage, and every
+// counter closes at its exact scripted value.
+TEST(CmpScheduler, ScriptedIsaOutageEntersAndExitsDegradedMode)
+{
+    CmpModel cmp{ CmpConfig{} }; // 2 Risc + 2 Cisc cores
+    CmpScheduler sched(cmp, SchedulerConfig{});
+
+    FaultPlanConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.scriptedOutageIsa = IsaKind::Risc;
+    fcfg.scriptedOutageRound = 5;
+    fcfg.scriptedOutageRounds = 10;
+    FaultPlan plan(fcfg);
+    sched.faultPlan = &plan;
+
+    std::vector<std::unique_ptr<GuestProcess>> procs;
+    for (uint32_t pid = 0; pid < 4; ++pid) {
+        GuestProcessConfig pcfg = procConfig(pid);
+        // No organic (security-event) migrations: ISA affinities stay
+        // at their pid-parity start values, so the evacuation counts
+        // below are exact.
+        pcfg.hipstr.diversificationProbability = 0.0;
+        procs.push_back(std::make_unique<GuestProcess>(
+            httpdBin(), pcfg));
+        procs.back()->beginService(uint64_t(1) << 40);
+        sched.notifyReady(procs.back().get());
+    }
+
+    for (unsigned r = 0; r < 6; ++r)
+        sched.round();
+    EXPECT_TRUE(sched.degraded());
+    EXPECT_TRUE(sched.isaOffline(IsaKind::Risc));
+    EXPECT_FALSE(sched.isaOffline(IsaKind::Cisc));
+    // Everyone scheduled during the outage runs with migration
+    // suspended; the evacuees now carry Cisc affinity.
+    for (const auto &p : procs)
+        EXPECT_EQ(p->isa(), IsaKind::Cisc) << "pid " << p->pid();
+
+    while (sched.stats().rounds < 40)
+        sched.round();
+
+    const SchedulerStats &st = sched.stats();
+    EXPECT_FALSE(sched.degraded());
+    EXPECT_EQ(st.coreOutages, 2u);
+    EXPECT_EQ(st.coreRecoveries, 2u);
+    EXPECT_EQ(st.degradedEntries, 1u);
+    EXPECT_EQ(st.degradedExits, 1u);
+    EXPECT_EQ(st.degradedRounds, 10u);
+    EXPECT_EQ(st.offlineCoreQuanta, 20u); // 2 cores x 10 rounds
+    EXPECT_EQ(st.reroutes + st.rerouteRespawns, 2u);
+
+    // Dual-ISA protection is restored once the outage ends: every
+    // worker scheduled since recovery had its suspension lifted.
+    for (const auto &p : procs) {
+        EXPECT_FALSE(p->migrationSuspended())
+            << "pid " << p->pid();
+    }
+}
+
+// Supervised recovery lifecycle (single crashing worker, a healthy
+// filler keeping its core busy): exponential backoff parks the worker
+// for 2 then 4 rounds, the third consecutive crash quarantines it for
+// 6, and every park ends in a Section 5.3 respawn — so the mean
+// rounds-to-recover closes at exactly (2+4+6)/3.
+TEST(CmpScheduler, BackoffThenQuarantineThenRelease)
+{
+    CmpConfig mc;
+    mc.riscCores = 1;
+    mc.ciscCores = 1;
+    CmpModel cmp(mc);
+
+    SchedulerConfig scfg;
+    scfg.supervisor.backoffBaseRounds = 2;
+    scfg.supervisor.backoffCapRounds = 8;
+    scfg.supervisor.quarantineAfter = 3;
+    scfg.supervisor.quarantineRounds = 6;
+    CmpScheduler sched(cmp, scfg);
+
+    GuestProcessConfig fcfg = procConfig(0);
+    fcfg.alternateStartIsa = false; // both pinned to the Cisc core
+    GuestProcess filler(httpdBin(), fcfg);
+    filler.beginService(uint64_t(1) << 40);
+    sched.notifyReady(&filler);
+
+    GuestProcessConfig vcfg = procConfig(1);
+    vcfg.alternateStartIsa = false;
+    GuestProcess victim(httpdBin(), vcfg);
+    victim.beginService(uint64_t(1) << 40);
+    sched.notifyReady(&victim);
+
+    // The filler always sits ahead of the victim in the queue, so a
+    // release round never runs the victim before the test can stage
+    // the next malformed request.
+    unsigned staged = 0;
+    for (unsigned r = 0; r < 60; ++r) {
+        sched.round();
+        if (staged < 3 && victim.state() == ProcState::Ready &&
+            !sched.isRetired(&victim)) {
+            ASSERT_TRUE(victim.injectCorruption(100 + staged));
+            ++staged;
+        }
+    }
+
+    const SchedulerStats &st = sched.stats();
+    EXPECT_EQ(staged, 3u);
+    EXPECT_EQ(st.quarantines, 1u);
+    EXPECT_EQ(st.recoveries, 3u);
+    EXPECT_EQ(st.recoveryRoundsSum, 12u); // 2 + 4 + 6
+    EXPECT_DOUBLE_EQ(sched.meanRoundsToRecover(), 4.0);
+    EXPECT_EQ(st.respawns, 3u);
+    EXPECT_FALSE(sched.hasConvalescents());
+    EXPECT_FALSE(sched.isRetired(&victim));
+    EXPECT_TRUE(sched.retired().empty());
+
+    EXPECT_EQ(victim.respawnCount(), 3u);
+    EXPECT_EQ(victim.stats().crashes, 3u);
+    EXPECT_EQ(static_cast<int>(victim.lastFault().kind),
+              static_cast<int>(FaultKind::SfiViolation));
+    // Released from quarantine, the victim is back in service.
+    EXPECT_EQ(victim.state(), ProcState::Ready);
+}
+
+// respawnLimit == 1 boundary: the first crash consumes the single
+// allowed respawn, the second retires the worker for good.
+TEST(CmpScheduler, RespawnLimitOneRetiresOnSecondCrash)
+{
+    CmpConfig mc;
+    mc.riscCores = 1;
+    mc.ciscCores = 1;
+    CmpModel cmp(mc);
+    SchedulerConfig scfg;
+    scfg.respawnLimit = 1;
+    CmpScheduler sched(cmp, scfg);
+
+    GuestProcessConfig cfg = procConfig();
+    cfg.alternateStartIsa = false;
+    GuestProcess proc(httpdBin(), cfg);
+    proc.beginService(uint64_t(1) << 40);
+    ASSERT_TRUE(proc.injectCorruption(1));
+    sched.notifyReady(&proc);
+
+    sched.round(); // crash #1: respawned in place (legacy path)
+    EXPECT_EQ(sched.stats().respawns, 1u);
+    EXPECT_EQ(sched.stats().retired, 0u);
+    EXPECT_EQ(proc.respawnCount(), 1u);
+    ASSERT_EQ(proc.state(), ProcState::Ready);
+
+    ASSERT_TRUE(proc.injectCorruption(2));
+    sched.round(); // crash #2: past the limit — retired
+    EXPECT_EQ(sched.stats().respawns, 1u);
+    EXPECT_EQ(sched.stats().retired, 1u);
+    EXPECT_TRUE(sched.isRetired(&proc));
+    ASSERT_EQ(sched.retired().size(), 1u);
+    EXPECT_EQ(sched.retired()[0], &proc);
+    EXPECT_EQ(proc.state(), ProcState::Crashed);
+    EXPECT_TRUE(sched.idle());
+}
+
+// An Exited worker (restartOnExit off) leaves the scheduler cleanly:
+// it is never requeued or respawned, and subsequent rounds run zero
+// quanta with every core idle.
+TEST(CmpScheduler, ExitedWorkerLeavesSchedulerIdle)
+{
+    CmpConfig mc;
+    mc.riscCores = 1;
+    mc.ciscCores = 1;
+    CmpModel cmp(mc);
+    CmpScheduler sched(cmp, SchedulerConfig{});
+
+    GuestProcessConfig cfg = procConfig();
+    cfg.alternateStartIsa = false;
+    cfg.restartOnExit = false;
+    GuestProcess proc(httpdBin(), cfg);
+    proc.beginService(uint64_t(1) << 40);
+    sched.notifyReady(&proc);
+
+    unsigned guard = 0;
+    while (proc.state() != ProcState::Exited) {
+        ASSERT_LT(++guard, 10'000u);
+        sched.round();
+    }
+    EXPECT_TRUE(sched.idle());
+    EXPECT_EQ(proc.stats().crashes, 0u);
+    EXPECT_EQ(proc.stats().respawns, 0u);
+
+    const uint64_t quanta_before = sched.stats().quantaRun;
+    const uint64_t idle_before = sched.stats().idleCoreQuanta;
+    EXPECT_EQ(sched.round(), 0u);
+    EXPECT_EQ(sched.stats().quantaRun, quanta_before);
+    EXPECT_EQ(sched.stats().idleCoreQuanta, idle_before + 2);
+    EXPECT_EQ(proc.state(), ProcState::Exited);
+}

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "attack/galileo.hh"
+#include "binary/loader.hh"
 #include "test_util.hh"
 #include "vm/psr_vm.hh"
 #include "workloads/workloads.hh"
@@ -112,6 +115,211 @@ TEST(FatBinary, StartReturnAddressIsNotACallSite)
         EXPECT_EQ(bin.findCallSiteByRetAddr(isa,
                                             bin.startRetAddr[ii]),
                   nullptr);
+    }
+}
+
+// ---- Load-image hardening -------------------------------------------
+
+constexpr uint32_t kImgMagic = 0x31424648u; // 'HFB1'
+// packLoadImage emits exactly four sections in this order.
+constexpr size_t kEntRisc = 16;
+constexpr size_t kEntCisc = 32;
+constexpr size_t kEntData = 48;
+constexpr size_t kEntMeta = 64;
+
+uint32_t
+imgPeek(const std::vector<uint8_t> &img, size_t off)
+{
+    uint32_t v;
+    std::memcpy(&v, img.data() + off, 4);
+    return v;
+}
+
+void
+imgPoke(std::vector<uint8_t> &img, size_t off, uint32_t v)
+{
+    std::memcpy(img.data() + off, &v, 4);
+}
+
+/** Expect loadFatBinaryImage to reject @p img with a LoadError whose
+ *  offset is @p offset and whose reason contains @p needle — and to
+ *  leave the target memory completely untouched. */
+void
+expectLoadError(const std::vector<uint8_t> &img, uint64_t offset,
+                const std::string &needle)
+{
+    Memory mem;
+    try {
+        loadFatBinaryImage(img, mem);
+        FAIL() << "image accepted; expected LoadError(" << needle
+               << ")";
+    } catch (const LoadError &e) {
+        EXPECT_EQ(e.offset(), offset) << e.what();
+        EXPECT_NE(e.reason().find(needle), std::string::npos)
+            << e.reason();
+    }
+    EXPECT_EQ(mem.permAt(layout::kRiscCodeBase), PermNone);
+    EXPECT_EQ(mem.permAt(layout::kGlobalsBase), PermNone);
+    EXPECT_EQ(mem.permAt(layout::kHeapBase), PermNone);
+}
+
+TEST(LoadImage, PackRoundTripsAgainstDirectLoad)
+{
+    FatBinary bin = compileModule(buildWorkload("httpd"));
+    Memory direct;
+    loadFatBinary(bin, direct);
+
+    std::vector<uint8_t> img = packLoadImage(bin);
+    EXPECT_EQ(imgPeek(img, 0), kImgMagic);
+    EXPECT_EQ(imgPeek(img, 12), uint32_t(img.size()));
+    EXPECT_EQ(imgPeek(img, kEntMeta + 12), bin.entryFuncId);
+
+    Memory via;
+    loadFatBinaryImage(img, via);
+    for (IsaKind isa : kAllIsas) {
+        const Addr base = layout::codeBase(isa);
+        const auto &code = bin.code[static_cast<size_t>(isa)];
+        EXPECT_EQ(via.permAt(base), PermRX) << isaName(isa);
+        for (size_t i = 0; i < code.size(); ++i) {
+            ASSERT_EQ(via.rawRead8(base + Addr(i)),
+                      direct.rawRead8(base + Addr(i)))
+                << isaName(isa) << " byte " << i;
+        }
+    }
+    EXPECT_EQ(via.permAt(layout::kGlobalsBase), PermRW);
+    for (size_t i = 0; i < bin.data.size(); ++i) {
+        ASSERT_EQ(via.rawRead8(layout::kGlobalsBase + Addr(i)),
+                  direct.rawRead8(layout::kGlobalsBase + Addr(i)));
+    }
+    EXPECT_EQ(via.permAt(layout::kHeapBase), PermRW);
+    EXPECT_EQ(via.permAt(layout::kStackTop - 4), PermRW);
+}
+
+TEST(LoadImage, RejectsCorruptHeader)
+{
+    const std::vector<uint8_t> good =
+        packLoadImage(compileModule(buildWorkload("httpd")));
+
+    {
+        std::vector<uint8_t> img(good.begin(), good.begin() + 8);
+        expectLoadError(img, 0, "truncated header");
+    }
+    {
+        auto img = good;
+        imgPoke(img, 0, 0xdeadbeefu);
+        expectLoadError(img, 0, "bad magic");
+    }
+    {
+        auto img = good;
+        imgPoke(img, 4, 2);
+        expectLoadError(img, 4, "unsupported version");
+    }
+    {
+        auto img = good;
+        imgPoke(img, 8, 0);
+        expectLoadError(img, 8, "implausible section count");
+    }
+    {
+        auto img = good;
+        imgPoke(img, 8, 65);
+        expectLoadError(img, 8, "implausible section count");
+    }
+    {
+        auto img = good;
+        imgPoke(img, 12, imgPeek(img, 12) - 1);
+        expectLoadError(img, 12, "totalSize");
+    }
+    {
+        // Plausible count, but the table runs past a tiny image.
+        std::vector<uint8_t> img(16, 0);
+        imgPoke(img, 0, kImgMagic);
+        imgPoke(img, 4, 1);
+        imgPoke(img, 8, 2);
+        imgPoke(img, 12, 16);
+        expectLoadError(img, 8, "truncated section table");
+    }
+}
+
+TEST(LoadImage, RejectsCorruptSectionTable)
+{
+    const std::vector<uint8_t> good =
+        packLoadImage(compileModule(buildWorkload("httpd")));
+
+    {
+        auto img = good;
+        imgPoke(img, kEntMeta + 0, 9);
+        expectLoadError(img, kEntMeta + 0, "unknown section kind");
+    }
+    {
+        auto img = good;
+        imgPoke(img, kEntCisc + 0, 0); // second code.risc
+        expectLoadError(img, kEntCisc + 0, "duplicate section kind");
+    }
+    {
+        auto img = good;
+        imgPoke(img, kEntRisc + 8, 0x7fffffffu);
+        expectLoadError(img, kEntRisc + 4,
+                        "section exceeds image bounds");
+    }
+    {
+        auto img = good;
+        imgPoke(img, kEntRisc + 4, 4); // payload inside the header
+        expectLoadError(img, kEntRisc + 4, "overlaps the header");
+    }
+    {
+        auto img = good;
+        imgPoke(img, kEntRisc + 8, 0);
+        expectLoadError(img, kEntRisc + 8, "empty code section");
+    }
+    {
+        auto img = good;
+        imgPoke(img, kEntData + 12, 0x7fffffffu); // absurd zero-extend
+        expectLoadError(img, kEntData + 12,
+                        "bad zero-extended data size");
+    }
+    {
+        // Structurally clean image with no code section at all.
+        std::vector<uint8_t> img(32, 0);
+        imgPoke(img, 0, kImgMagic);
+        imgPoke(img, 4, 1);
+        imgPoke(img, 8, 1);
+        imgPoke(img, 12, 32);
+        imgPoke(img, 16, 3); // lone meta section
+        expectLoadError(img, 8, "missing code section");
+    }
+}
+
+TEST(Loader, RejectsStructurallyBrokenBinary)
+{
+    const FatBinary good = compileModule(buildWorkload("httpd"));
+
+    {
+        FatBinary bad = good;
+        bad.code[0].clear();
+        Memory mem;
+        EXPECT_THROW(loadFatBinary(bad, mem), LoadError);
+        EXPECT_THROW(packLoadImage(bad), LoadError);
+        EXPECT_EQ(mem.permAt(layout::kRiscCodeBase), PermNone);
+    }
+    {
+        FatBinary bad = good;
+        bad.entryPoint[1] = layout::kDataBase;
+        Memory mem;
+        try {
+            loadFatBinary(bad, mem);
+            FAIL() << "broken entry point accepted";
+        } catch (const LoadError &e) {
+            EXPECT_EQ(e.offset(), 0u);
+            EXPECT_NE(e.reason().find("entry point"),
+                      std::string::npos)
+                << e.reason();
+        }
+        EXPECT_EQ(mem.permAt(layout::kCiscCodeBase), PermNone);
+    }
+    {
+        FatBinary bad = good;
+        bad.dataSize = layout::kHeapBase; // larger than the region
+        EXPECT_THROW(packLoadImage(bad), LoadError);
     }
 }
 

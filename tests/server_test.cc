@@ -356,3 +356,63 @@ TEST(GuestOs, OutputCapBoundsRetainedBytesButNotChecksum)
     EXPECT_TRUE(capped.output().empty());
     EXPECT_EQ(capped.outputChecksum(), unbounded.outputChecksum());
 }
+
+// Syscall argument validation: a guest-supplied buffer pointer that
+// is unmapped (or straddles a region edge) is the guest's bug — the
+// kernel answers -1 and keeps the guest running, never raising a
+// host-side Memory::Fault or half-completing the operation.
+TEST(GuestOs, BadSyscallPointersReturnGuestError)
+{
+    GuestOs os;
+    Memory mem;
+    mem.setRegion(layout::kGlobalsBase, 0x1000, PermRW, "data");
+    MachineState st;
+    st.isa = IsaKind::Risc;
+    const IsaDescriptor &desc = isaDescriptor(st.isa);
+
+    auto call = [&](SyscallNo no, uint32_t a1, uint32_t a2,
+                    uint32_t a3) {
+        st.setReg(desc.retReg, static_cast<uint32_t>(no));
+        st.setReg(desc.argRegs[1], a1);
+        st.setReg(desc.argRegs[2], a2);
+        st.setReg(desc.argRegs[3], a3);
+        EXPECT_TRUE(os.handleSyscall(st, mem));
+        return st.reg(desc.retReg);
+    };
+
+    // WriteBuf from an unmapped pointer: -1, not a single byte out.
+    EXPECT_EQ(call(SyscallNo::WriteBuf, 0x10, 64, 0), uint32_t(-1));
+    EXPECT_EQ(os.totalOutputBytes(), 0u);
+    // A buffer straddling the end of the mapped window is rejected
+    // whole — validation is all-or-nothing, never a partial stream.
+    EXPECT_EQ(call(SyscallNo::WriteBuf,
+                   layout::kGlobalsBase + 0x1000 - 8, 64, 0),
+              uint32_t(-1));
+    EXPECT_EQ(os.totalOutputBytes(), 0u);
+    // A good pointer still works: len bytes plus the marker byte.
+    EXPECT_EQ(call(SyscallNo::WriteBuf, layout::kGlobalsBase, 8, 0),
+              8u);
+    EXPECT_EQ(os.totalOutputBytes(), 9u);
+
+    // SetJmp into unmapped memory: -1, nothing written.
+    EXPECT_EQ(call(SyscallNo::SetJmp, 0x20, 0x1234, 0), uint32_t(-1));
+
+    // LongJmp from a bad jmp_buf: -1 with sp/pc untouched — a corrupt
+    // pointer must not half-restore the machine.
+    const Addr pc_before = st.pc;
+    const uint32_t sp_before = st.sp();
+    EXPECT_EQ(call(SyscallNo::LongJmp, 0x20, 7, 0), uint32_t(-1));
+    EXPECT_EQ(st.pc, pc_before);
+    EXPECT_EQ(st.sp(), sp_before);
+    EXPECT_FALSE(os.takeRedirect());
+
+    // The validated path still round-trips through a good buffer.
+    const Addr buf = layout::kGlobalsBase + 64;
+    st.setSp(0x00ff0000);
+    EXPECT_EQ(call(SyscallNo::SetJmp, buf, 0x00401000, 0), 0u);
+    call(SyscallNo::LongJmp, buf, 42, 0);
+    EXPECT_TRUE(os.takeRedirect());
+    EXPECT_EQ(st.pc, 0x00401000u);
+    EXPECT_EQ(st.sp(), 0x00ff0000u);
+    EXPECT_EQ(mem.read32(buf + 8), 42u);
+}
