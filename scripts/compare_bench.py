@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Diff two trees of BENCH_<name>_host.json files.
+
+The deterministic BENCH_<name>.json files are required to stay
+byte-identical across performance work (bench_determinism_test and the
+JOBS-invariance contract enforce that), so the *only* place a perf
+change is allowed to show up is the host-variable companion files.
+This tool makes that delta visible per PR:
+
+  python3 scripts/compare_bench.py BEFORE_DIR AFTER_DIR [--only RE]
+
+where each directory holds the BENCH_*_host.json files of one bench
+run (typically build/bench saved before and after a change; see
+EXPERIMENTS.md "Comparing two bench runs"). For every harness present
+in both trees it prints each shared numeric host metric with its
+relative delta, e.g.:
+
+  fig9_performance
+    telemetry_off_insts_per_sec   5.774e+07 -> 1.046e+08   +81.2%
+    figure_wall_seconds               12.41 ->      7.03   -43.3%
+
+Positive deltas mean the metric grew; whether that is an improvement
+depends on the metric (rates: up is better; wall seconds: down is
+better). Harnesses present in only one tree are listed, not failed —
+a PR may legitimately add or remove a harness.
+
+--only RE restricts the report to metrics whose name matches the
+regular expression RE (e.g. --only insts_per_sec).
+
+Exit codes: 0 ok, 1 malformed input, 77 when either tree contains no
+BENCH_*_host.json (ctest SKIP_RETURN_CODE, so a checkout that never
+ran the benches skips instead of failing). `--selftest FIXTURE_DIR`
+runs the comparison against the checked-in fixture trees and verifies
+the computed deltas; the bench_compare_selftest ctest invokes it.
+"""
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+# Host-file keys that are identity, not measurement.
+NON_METRIC_KEYS = {"bench", "jobs"}
+
+
+def is_finite_number(v):
+    return (
+        isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and math.isfinite(v)
+    )
+
+
+def load_host_tree(root):
+    """Map harness name -> {metric: value} for one directory.
+
+    Raises ValueError on malformed files; returns {} when the tree has
+    no host files at all (the skip case).
+    """
+    tree = {}
+    for path in sorted(Path(root).glob("BENCH_*_host.json")):
+        name = path.stem[len("BENCH_"):-len("_host")]
+        try:
+            doc = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as e:
+            raise ValueError(f"{path.name}: unreadable: {e}")
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path.name}: not a JSON object")
+        metrics = {}
+        for key, value in doc.items():
+            if key in NON_METRIC_KEYS:
+                continue
+            if not is_finite_number(value):
+                raise ValueError(
+                    f"{path.name}: host metric {key!r} is not a "
+                    f"finite number"
+                )
+            metrics[key] = float(value)
+        tree[name] = metrics
+    return tree
+
+
+def compare_trees(before, after, only=None):
+    """Yield (harness, metric, before, after, pct_delta) rows for every
+    shared harness/metric pair. pct_delta is None when before == 0."""
+    rows = []
+    pattern = re.compile(only) if only else None
+    for name in sorted(set(before) & set(after)):
+        for metric in sorted(set(before[name]) & set(after[name])):
+            if pattern and not pattern.search(metric):
+                continue
+            b = before[name][metric]
+            a = after[name][metric]
+            pct = (a - b) / b * 100.0 if b != 0 else None
+            rows.append((name, metric, b, a, pct))
+    return rows
+
+
+def format_rows(rows):
+    lines = []
+    current = None
+    for name, metric, b, a, pct in rows:
+        if name != current:
+            lines.append(name)
+            current = name
+        delta = "    n/a" if pct is None else f"{pct:+7.1f}%"
+        lines.append(
+            f"  {metric:<32} {b:>12.6g} -> {a:>12.6g}  {delta}"
+        )
+    return lines
+
+
+def run_compare(before_dir, after_dir, only=None):
+    try:
+        before = load_host_tree(before_dir)
+        after = load_host_tree(after_dir)
+    except ValueError as e:
+        print(f"FAIL {e}")
+        return 1
+    if not before or not after:
+        which = before_dir if not before else after_dir
+        print(f"compare_bench: no BENCH_*_host.json under {which} "
+              f"(run the bench_smoke tier first); skipping")
+        return 77
+
+    rows = compare_trees(before, after, only)
+    for line in format_rows(rows):
+        print(line)
+    for name in sorted(set(before) - set(after)):
+        print(f"{name}: only in {before_dir}")
+    for name in sorted(set(after) - set(before)):
+        print(f"{name}: only in {after_dir}")
+    shared = len({r[0] for r in rows})
+    print(f"compare_bench: {shared} harness(es), {len(rows)} "
+          f"metric pair(s) compared")
+    return 0
+
+
+def selftest(fixture_dir):
+    """Verify the comparison math and the skip path against the
+    checked-in fixtures (tests/fixtures/bench_compare)."""
+    fixtures = Path(fixture_dir)
+    before_dir = fixtures / "before"
+    after_dir = fixtures / "after"
+    failures = []
+
+    def check(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    before = load_host_tree(before_dir)
+    after = load_host_tree(after_dir)
+    check("fig9_performance" in before,
+          "fixture before/ lacks fig9_performance")
+    check("fig9_performance" in after,
+          "fixture after/ lacks fig9_performance")
+
+    rows = compare_trees(before, after)
+    by_key = {(r[0], r[1]): r for r in rows}
+
+    # Known fixture deltas: 50M -> 60M insts/s is exactly +20%, and
+    # 10 -> 8 wall seconds is exactly -20%.
+    rate = by_key.get(("fig9_performance",
+                       "telemetry_off_insts_per_sec"))
+    check(rate is not None, "insts_per_sec pair missing")
+    if rate:
+        check(abs(rate[4] - 20.0) < 1e-9,
+              f"insts_per_sec delta {rate[4]!r}, want +20.0")
+    wall = by_key.get(("fig9_performance", "figure_wall_seconds"))
+    check(wall is not None, "figure_wall_seconds pair missing")
+    if wall:
+        check(abs(wall[4] + 20.0) < 1e-9,
+              f"wall delta {wall[4]!r}, want -20.0")
+
+    # A zero baseline must report n/a, not divide.
+    zero = by_key.get(("fig9_performance", "zero_baseline_metric"))
+    check(zero is not None and zero[4] is None,
+          "zero-baseline metric should compare with pct=None")
+
+    # server_throughput exists only in after/: shared rows must not
+    # include it, and the full CLI run must still succeed.
+    check(all(r[0] != "server_throughput" for r in rows),
+          "one-sided harness leaked into shared rows")
+
+    # --only filtering.
+    only = compare_trees(before, after, only="insts_per_sec")
+    check(all("insts_per_sec" in r[1] for r in only) and only,
+          "--only filter failed")
+
+    # The skip path: an empty directory (fixture root itself holds no
+    # host files) must return the ctest skip code.
+    check(run_compare(fixtures, after_dir) == 77,
+          "empty tree did not return skip code 77")
+    check(run_compare(before_dir, after_dir) == 0,
+          "fixture comparison did not exit 0")
+
+    if failures:
+        for f in failures:
+            print(f"SELFTEST FAIL {f}")
+        return 1
+    print("compare_bench selftest: ok")
+    return 0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--"]
+    only = None
+    if "--only" in args:
+        i = args.index("--only")
+        if i + 1 >= len(args):
+            print("usage: compare_bench.py BEFORE AFTER [--only RE]")
+            return 1
+        only = args[i + 1]
+        del args[i:i + 2]
+    if args and args[0] == "--selftest":
+        if len(args) != 2:
+            print("usage: compare_bench.py --selftest FIXTURE_DIR")
+            return 1
+        return selftest(args[1])
+    if len(args) != 2:
+        print("usage: compare_bench.py BEFORE_DIR AFTER_DIR "
+              "[--only RE] | --selftest FIXTURE_DIR")
+        return 1
+    return run_compare(args[0], args[1], only)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,8 +19,8 @@ analyzeJitRop(PsrVm &vm, const std::vector<Gadget> &gadgets,
     IsaKind isa = vm.isa();
 
     auto in_translated_source = [&](Addr a) {
-        for (const auto &kv : blocks) {
-            const TranslatedBlock &b = *kv.second;
+        for (const auto &bp : blocks) {
+            const TranslatedBlock &b = *bp;
             if (a >= b.srcStart && a < b.srcEnd)
                 return true;
         }

@@ -1112,6 +1112,9 @@ TranslationContext::run(TranslateError &err)
     // ----------------------------------------------------------------
     std::vector<uint32_t> offsets(_unit->insts.size() + 1, 0);
     uint32_t cursor = 0;
+    uint32_t guest_cum = 0;
+    uint32_t reads_cum = 0;
+    uint32_t writes_cum = 0;
     for (size_t i = 0; i < _unit->insts.size(); ++i) {
         TInst &ti = _unit->insts[i];
         ti.mi.size =
@@ -1122,6 +1125,35 @@ TranslationContext::run(TranslateError &err)
         MemCounts mc = instMemCounts(ti.mi, _isa);
         ti.memReads = mc.reads;
         ti.memWrites = mc.writes;
+
+        // Pre-classification for the VM's switch-based inner loop.
+        // A Jcc without a wired exit stays Plain and executes inline,
+        // matching the pre-classification op cascade.
+        if (ti.mi.op == Op::Jcc && ti.exitIdx >= 0)
+            ti.klass = ExecClass::Jcc;
+        else if (ti.mi.op == Op::VmExit)
+            ti.klass = ExecClass::VmExit;
+        else if (ti.mi.op == Op::Ret)
+            ti.klass = ExecClass::Ret;
+        else if (ti.mi.op == Op::Syscall)
+            ti.klass = ExecClass::Syscall;
+        else
+            ti.klass = ti.guestStart ? ExecClass::GuestStartPlain
+                                     : ExecClass::Plain;
+
+        // Inclusive running totals (see TInst): guest boundaries over
+        // every class, data traffic only over the Plain classes whose
+        // counts the VM would otherwise add per instruction.
+        if (ti.guestStart)
+            ++guest_cum;
+        if (ti.klass == ExecClass::Plain ||
+            ti.klass == ExecClass::GuestStartPlain) {
+            reads_cum += ti.memReads;
+            writes_cum += ti.memWrites;
+        }
+        ti.guestCum = guest_cum;
+        ti.memReadsCum = reads_cum;
+        ti.memWritesCum = writes_cum;
     }
     offsets[_unit->insts.size()] = cursor;
 

@@ -33,6 +33,48 @@ namespace hipstr
 
 struct TranslatedBlock;
 
+/**
+ * Per-site indirect-branch inline cache (IBTC): a tiny direct map
+ * from recently dispatched guest targets to their translated blocks,
+ * embedded in the owning exit so it is destroyed together with every
+ * pointer it caches when the code cache flushes. The VM consults it
+ * only *after* the SFI check and populates it only with targets that
+ * completed the full Section 3.5 indirect-dispatch policy, so hot
+ * virtual-call sites skip the hash map without changing which
+ * transfers raise security events.
+ */
+struct IndirectTargetCache
+{
+    static constexpr unsigned kWays = 4;
+
+    Addr targets[kWays] = {};
+    TranslatedBlock *blocks[kWays] = {};
+    uint8_t nextVictim = 0;
+
+    TranslatedBlock *lookup(Addr target) const
+    {
+        for (unsigned w = 0; w < kWays; ++w) {
+            if (targets[w] == target && blocks[w] != nullptr)
+                return blocks[w];
+        }
+        return nullptr;
+    }
+
+    void insert(Addr target, TranslatedBlock *block)
+    {
+        for (unsigned w = 0; w < kWays; ++w) {
+            if (blocks[w] == nullptr || targets[w] == target) {
+                targets[w] = target;
+                blocks[w] = block;
+                return;
+            }
+        }
+        targets[nextVictim] = target;
+        blocks[nextVictim] = block;
+        nextVictim = static_cast<uint8_t>((nextVictim + 1) % kWays);
+    }
+};
+
 /** How control leaves a translated unit. */
 struct BlockExit
 {
@@ -52,6 +94,24 @@ struct BlockExit
     Operand targetOperand;
     /** Filled by the VM once the target is translated (chaining). */
     TranslatedBlock *chained = nullptr;
+    /** Inline cache for IndirectJump/IndirectCall exits (VM-filled). */
+    IndirectTargetCache ibtc;
+};
+
+/**
+ * Dense execution class, assigned at translate time so the VM's inner
+ * loop is one switch per instruction instead of an op-compare cascade.
+ * GuestStartPlain and Plain execute identically; the split only keeps
+ * guest-boundary information available without touching guestStart.
+ */
+enum class ExecClass : uint8_t
+{
+    Plain,           ///< straight-line instruction (executeInst)
+    GuestStartPlain, ///< Plain that opens a new guest instruction
+    Jcc,             ///< conditional branch wired to an exit
+    Ret,             ///< return macro-op (RAT-translated)
+    Syscall,         ///< OS entry (may redirect or exit)
+    VmExit           ///< unit exit stub
 };
 
 /** One translated instruction; exitIdx links Jcc/VmExit to an exit. */
@@ -69,6 +129,21 @@ struct TInst
     /** @} */
     /** Byte offset within the unit's encoding (I-fetch modelling). */
     uint16_t byteOff = 0;
+    /** Dispatch class driving the VM's inner switch. */
+    ExecClass klass = ExecClass::Plain;
+    /**
+     * Inclusive running totals over the unit's instruction list, so
+     * the VM credits whole straight-line runs with two subtractions
+     * at each loop exit instead of per-instruction increments:
+     * guestCum counts guestStart markers through this instruction;
+     * memReadsCum/memWritesCum sum the translate-time data-access
+     * counts of the Plain instructions through this one (exit-class
+     * instructions account for their own traffic in the VM). @{
+     */
+    uint32_t guestCum = 0;
+    uint32_t memReadsCum = 0;
+    uint32_t memWritesCum = 0;
+    /** @} */
 };
 
 /** A translated unit (one or more guest blocks under superblocking). */

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "isa/exec_inline.hh"
 #include "isa/guest_os.hh"
 #include "isa/instruction.hh"
 #include "isa/machine_state.hh"
@@ -17,16 +18,6 @@
 
 namespace hipstr
 {
-
-/** Outcome of executing a single instruction. */
-enum class ExecStatus
-{
-    Continue, ///< state.pc advanced; keep going
-    Halted,   ///< Halt executed
-    Exited,   ///< guest called Exit or Execve
-    VmExit,   ///< VmExit pseudo-op reached (only meaningful inside a VM)
-    Faulted   ///< memory fault; state.pc still points at the instruction
-};
 
 /**
  * Execute one decoded instruction. @p state.pc must point at the
@@ -44,6 +35,9 @@ enum class ExecStatus
  *
  * @param os may be null when executing in a sandbox (Syscall then
  *           behaves as Exited so gadget chains terminate).
+ *
+ * This is the out-of-line wrapper around executeInstInline
+ * (isa/exec_inline.hh); hot loops call the inline form directly.
  */
 ExecStatus executeInst(const MachInst &mi, MachineState &state,
                        Memory &mem, GuestOs *os);

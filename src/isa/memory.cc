@@ -1,5 +1,6 @@
 #include "memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "support/logging.hh"
@@ -9,6 +10,7 @@ namespace hipstr
 
 Memory::Memory() : _bytes(layout::kMemEnd, 0)
 {
+    rebuildSpans();
 }
 
 void
@@ -22,21 +24,51 @@ Memory::setRegion(Addr base, uint32_t size, Perm perm,
         if (r.base == base && r.size == size) {
             r.perm = perm;
             r.name = name;
+            rebuildSpans();
             return;
         }
     }
     _regions.push_back(Region{base, size, perm, name});
+    rebuildSpans();
 }
 
-Perm
-Memory::permAt(Addr addr) const
+void
+Memory::rebuildSpans()
 {
-    Perm p = PermNone;
+    // Every region edge is a potential permission change; resolve the
+    // perm of each cell with the region list's last-definition-wins
+    // rule, then merge equal neighbours. Region counts are single
+    // digits, so the quadratic resolve is irrelevant — this runs only
+    // on setRegion, never on an access.
+    std::vector<Addr> edges;
+    edges.reserve(_regions.size() * 2 + 2);
+    edges.push_back(0);
+    const Addr mem_end = static_cast<Addr>(_bytes.size());
     for (const auto &r : _regions) {
-        if (addr >= r.base && addr - r.base < r.size)
-            p = r.perm;
+        if (r.base < mem_end)
+            edges.push_back(r.base);
+        if (r.base + r.size < mem_end)
+            edges.push_back(r.base + r.size);
     }
-    return p;
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges.push_back(mem_end);
+
+    _spans.clear();
+    for (size_t i = 0; i + 1 < edges.size(); ++i) {
+        const Addr cell = edges[i];
+        Perm p = PermNone;
+        for (const auto &r : _regions) {
+            if (cell >= r.base && cell - r.base < r.size)
+                p = r.perm;
+        }
+        if (!_spans.empty() && _spans.back().perm == p)
+            _spans.back().end = edges[i + 1];
+        else
+            _spans.push_back(Span{edges[i + 1],
+                                  static_cast<uint8_t>(p)});
+    }
+    hipstr_assert(!_spans.empty() && _spans.back().end == mem_end);
 }
 
 std::string
@@ -48,14 +80,6 @@ Memory::regionName(Addr addr) const
             name = r.name;
     }
     return name;
-}
-
-bool
-Memory::checkOk(Addr addr, unsigned len, Perm needed) const noexcept
-{
-    if (static_cast<uint64_t>(addr) + len > _bytes.size())
-        return false;
-    return (permAt(addr) & needed) == needed;
 }
 
 void
@@ -81,44 +105,6 @@ Memory::rangeAccessible(Addr addr, uint32_t len,
     for (uint64_t a = addr; a < static_cast<uint64_t>(addr) + len; ++a)
         if ((permAt(static_cast<Addr>(a)) & needed) != needed)
             return false;
-    return true;
-}
-
-bool
-Memory::tryRead8(Addr addr, uint8_t &v) const noexcept
-{
-    if (!checkOk(addr, 1, PermR))
-        return false;
-    v = _bytes[addr];
-    return true;
-}
-
-bool
-Memory::tryRead32(Addr addr, uint32_t &v) const noexcept
-{
-    if (!checkOk(addr, 4, PermR))
-        return false;
-    std::memcpy(&v, &_bytes[addr], 4);
-    return true;
-}
-
-bool
-Memory::tryWrite8(Addr addr, uint8_t v) noexcept
-{
-    if (!checkOk(addr, 1, PermW))
-        return false;
-    journalBytes(addr, 1);
-    _bytes[addr] = v;
-    return true;
-}
-
-bool
-Memory::tryWrite32(Addr addr, uint32_t v) noexcept
-{
-    if (!checkOk(addr, 4, PermW))
-        return false;
-    journalBytes(addr, 4);
-    std::memcpy(&_bytes[addr], &v, 4);
     return true;
 }
 

@@ -99,8 +99,27 @@ class Memory
     void setRegion(Addr base, uint32_t size, Perm perm,
                    const std::string &name);
 
-    /** Permission byte governing @p addr. */
-    Perm permAt(Addr addr) const;
+    /**
+     * Permission byte governing @p addr: a binary search over the
+     * flattened span partition (rebuilt on every setRegion), so the
+     * per-access cost is O(log regions) instead of a scan of the
+     * region list with last-definition-wins ordering.
+     */
+    Perm permAt(Addr addr) const
+    {
+        if (addr >= _bytes.size())
+            return PermNone;
+        size_t lo = 0, hi = _spans.size() - 1;
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (addr < _spans[mid].end)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return static_cast<Perm>(_spans[lo].perm);
+    }
+
     /** Name of the region containing @p addr ("" if unmapped). */
     std::string regionName(Addr addr) const;
 
@@ -119,12 +138,45 @@ class Memory
      * and the PSR VMs, where a status return avoids the try/catch setup
      * cost of the throwing variants; the throwing variants remain for
      * cold paths that want the diagnostic message. Try-writes honor
-     * journaling exactly like their throwing counterparts. @{
+     * journaling exactly like their throwing counterparts. Inline —
+     * together with the span-based permAt, a checked access is a
+     * bounds test, a short binary search, and the data move. @{
      */
-    bool tryRead8(Addr addr, uint8_t &v) const noexcept;
-    bool tryRead32(Addr addr, uint32_t &v) const noexcept;
-    bool tryWrite8(Addr addr, uint8_t v) noexcept;
-    bool tryWrite32(Addr addr, uint32_t v) noexcept;
+    bool tryRead8(Addr addr, uint8_t &v) const noexcept
+    {
+        if (!checkOk(addr, 1, PermR))
+            return false;
+        v = _bytes[addr];
+        return true;
+    }
+
+    bool tryRead32(Addr addr, uint32_t &v) const noexcept
+    {
+        if (!checkOk(addr, 4, PermR))
+            return false;
+        __builtin_memcpy(&v, &_bytes[addr], 4);
+        return true;
+    }
+
+    bool tryWrite8(Addr addr, uint8_t v) noexcept
+    {
+        if (!checkOk(addr, 1, PermW))
+            return false;
+        if (_journaling)
+            journalBytes(addr, 1);
+        _bytes[addr] = v;
+        return true;
+    }
+
+    bool tryWrite32(Addr addr, uint32_t v) noexcept
+    {
+        if (!checkOk(addr, 4, PermW))
+            return false;
+        if (_journaling)
+            journalBytes(addr, 4);
+        __builtin_memcpy(&_bytes[addr], &v, 4);
+        return true;
+    }
     /** @} */
 
     /**
@@ -181,7 +233,13 @@ class Memory
     void journalBytes(Addr addr, unsigned len);
 
     void check(Addr addr, unsigned len, Perm needed) const;
-    bool checkOk(Addr addr, unsigned len, Perm needed) const noexcept;
+
+    bool checkOk(Addr addr, unsigned len, Perm needed) const noexcept
+    {
+        if (static_cast<uint64_t>(addr) + len > _bytes.size())
+            return false;
+        return (permAt(addr) & needed) == needed;
+    }
 
     struct Region
     {
@@ -191,8 +249,25 @@ class Memory
         std::string name;
     };
 
+    /**
+     * One cell of the flattened permission partition: covers up to
+     * (exclusive) @c end with @c perm. Spans are sorted, contiguous
+     * from 0, and always terminate at the address-space end, so
+     * permAt resolves with a binary search instead of replaying the
+     * region list's definition order.
+     */
+    struct Span
+    {
+        Addr end;
+        uint8_t perm;
+    };
+
+    /** Recompute _spans from _regions (definition order wins). */
+    void rebuildSpans();
+
     std::vector<uint8_t> _bytes;
     std::vector<Region> _regions;
+    std::vector<Span> _spans;
     bool _journaling = false;
     std::vector<std::pair<Addr, uint8_t>> _journal;
 };

@@ -27,7 +27,8 @@ ReturnAddressTable::setIndex(Addr source) const
 }
 
 void
-ReturnAddressTable::insert(Addr source, Addr translated)
+ReturnAddressTable::insert(Addr source, Addr translated,
+                           TranslatedBlock *block)
 {
     ++_tick;
     ++_insertions;
@@ -37,6 +38,7 @@ ReturnAddressTable::insert(Addr source, Addr translated)
         Entry &e = set[w];
         if (e.valid && e.source == source) {
             e.translated = translated;
+            e.block = block;
             e.lastUse = _tick;
             return;
         }
@@ -50,11 +52,20 @@ ReturnAddressTable::insert(Addr source, Addr translated)
     victim->valid = true;
     victim->source = source;
     victim->translated = translated;
+    victim->block = block;
     victim->lastUse = _tick;
 }
 
 bool
 ReturnAddressTable::lookup(Addr source, Addr &translated)
+{
+    TranslatedBlock *ignored;
+    return lookup(source, translated, ignored);
+}
+
+bool
+ReturnAddressTable::lookup(Addr source, Addr &translated,
+                           TranslatedBlock *&block)
 {
     ++_tick;
     Entry *set = &_table[setIndex(source) * _ways];
@@ -63,6 +74,7 @@ ReturnAddressTable::lookup(Addr source, Addr &translated)
         if (e.valid && e.source == source) {
             e.lastUse = _tick;
             translated = e.translated;
+            block = e.block;
             ++_hits;
             return true;
         }
@@ -74,8 +86,10 @@ ReturnAddressTable::lookup(Addr source, Addr &translated)
 void
 ReturnAddressTable::flush()
 {
-    for (Entry &e : _table)
+    for (Entry &e : _table) {
         e.valid = false;
+        e.block = nullptr;
+    }
 }
 
 } // namespace hipstr

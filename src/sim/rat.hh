@@ -21,6 +21,8 @@
 namespace hipstr
 {
 
+struct TranslatedBlock;
+
 /** Set-associative return address table with LRU replacement. */
 class ReturnAddressTable
 {
@@ -31,14 +33,27 @@ class ReturnAddressTable
      */
     explicit ReturnAddressTable(unsigned entries, unsigned ways = 4);
 
-    /** Install source -> translated mapping (the call macro-op). */
-    void insert(Addr source, Addr translated);
+    /**
+     * Install source -> translated mapping (the call macro-op).
+     * @p block optionally memoizes the resolved translation so a hit
+     * needs no code-cache lookup; callers must flush() whenever the
+     * memoized pointers die (every code-cache flush already does).
+     */
+    void insert(Addr source, Addr translated,
+                TranslatedBlock *block = nullptr);
 
     /**
      * Translate a source return address (the return macro-op).
      * @retval true on hit; @p translated receives the mapping.
      */
     bool lookup(Addr source, Addr &translated);
+
+    /**
+     * Translate plus block memo: on a hit, @p block receives the
+     * memoized translation (nullptr when none was installed).
+     */
+    bool lookup(Addr source, Addr &translated,
+                TranslatedBlock *&block);
 
     /** Remove every entry (code cache flush invalidates the RAT). */
     void flush();
@@ -57,6 +72,8 @@ class ReturnAddressTable
         bool valid = false;
         Addr source = 0;
         Addr translated = 0;
+        /** Memoized translation (invalidated by flush()). */
+        TranslatedBlock *block = nullptr;
         uint64_t lastUse = 0;
     };
 

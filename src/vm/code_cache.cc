@@ -1,16 +1,24 @@
 #include "code_cache.hh"
 
+#include <algorithm>
+
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
 namespace hipstr
 {
 
+namespace
+{
+constexpr size_t kInitialIndexSlots = 1024; // power of two
+}
+
 CodeCache::CodeCache(Memory &mem, IsaKind isa, uint32_t capacity,
                      bool align_loop_heads)
     : _mem(mem), _isa(isa), _base(layout::cacheBase(isa)),
       _capacity(capacity), _alignLoopHeads(align_loop_heads),
-      _cursor(_base)
+      _cursor(_base), _index(kInitialIndexSlots),
+      _mask(kInitialIndexSlots - 1)
 {
     hipstr_assert(capacity > 0);
     hipstr_assert(_base + capacity <= layout::cacheBase(isa) +
@@ -19,6 +27,34 @@ CodeCache::CodeCache(Memory &mem, IsaKind isa, uint32_t capacity,
     // lets an attacker disclose.
     _mem.setRegion(_base, capacity, PermRX,
                    std::string("codecache.") + isaName(isa));
+}
+
+void
+CodeCache::indexInsert(Addr src, TranslatedBlock *block)
+{
+    if ((_owned.size() + 1) * 3 > _index.size() * 2) {
+        std::vector<Slot> bigger(_index.size() * 2);
+        _mask = bigger.size() - 1;
+        _index.swap(bigger);
+        for (const auto &b : _owned) {
+            size_t i = slotFor(b->srcStart);
+            while (_index[i].block != nullptr)
+                i = (i + 1) & _mask;
+            _index[i] = Slot{ b->srcStart, b.get() };
+        }
+    }
+    size_t i = slotFor(src);
+    while (_index[i].block != nullptr) {
+        if (_index[i].src == src) {
+            // Re-translation of a resident entry: repoint the index;
+            // the superseded block stays owned (and inert) until the
+            // next flush so outstanding chain pointers cannot dangle.
+            _index[i].block = block;
+            return;
+        }
+        i = (i + 1) & _mask;
+    }
+    _index[i] = Slot{ src, block };
 }
 
 TranslatedBlock *
@@ -41,29 +77,18 @@ CodeCache::insert(std::unique_ptr<TranslatedBlock> block)
     _cursor = placed + need;
     ++_insertions;
     TranslatedBlock *raw = block.get();
-    _blocks[block->srcStart] = std::move(block);
+    _owned.push_back(std::move(block));
+    indexInsert(raw->srcStart, raw);
     return raw;
-}
-
-TranslatedBlock *
-CodeCache::lookup(Addr src)
-{
-    auto it = _blocks.find(src);
-    return it == _blocks.end() ? nullptr : it->second.get();
 }
 
 void
 CodeCache::flush()
 {
-    _blocks.clear();
+    _owned.clear();
+    std::fill(_index.begin(), _index.end(), Slot{});
     _cursor = _base;
     ++_flushes;
-}
-
-bool
-CodeCache::contains(Addr addr) const
-{
-    return addr >= _base && addr < _base + _capacity;
 }
 
 } // namespace hipstr

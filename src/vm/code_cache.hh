@@ -5,13 +5,18 @@
  * flushes everything when capacity is exhausted — the classic DBT
  * policy whose re-translation cost Figure 13 measures against cache
  * size.
+ *
+ * The source-address index is a power-of-two open-addressed table
+ * (linear probing, no tombstones: the only removal is a whole-cache
+ * flush), so the VM's cold dispatch pays one multiplicative hash and
+ * a short probe run instead of an unordered_map traversal. Blocks are
+ * owned by a side vector, which is also what JIT-ROP analysis scans.
  */
 
 #ifndef HIPSTR_VM_CODE_CACHE_HH
 #define HIPSTR_VM_CODE_CACHE_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/translator.hh"
@@ -43,21 +48,34 @@ class CodeCache
     TranslatedBlock *insert(std::unique_ptr<TranslatedBlock> block);
 
     /** Translation for source address @p src, or nullptr. */
-    TranslatedBlock *lookup(Addr src);
+    TranslatedBlock *lookup(Addr src)
+    {
+        size_t i = slotFor(src);
+        for (;;) {
+            const Slot &s = _index[i];
+            if (s.block == nullptr)
+                return nullptr;
+            if (s.src == src)
+                return s.block;
+            i = (i + 1) & _mask;
+        }
+    }
 
     /** Drop every translation (capacity flush or re-randomization). */
     void flush();
 
     /** True if @p addr falls inside this cache's memory region. */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const
+    {
+        return addr >= _base && addr < _base + _capacity;
+    }
 
-    /** All resident blocks (JIT-ROP analysis scans these). @{ */
-    const std::unordered_map<Addr, std::unique_ptr<TranslatedBlock>> &
+    /** All resident blocks (JIT-ROP analysis scans these). */
+    const std::vector<std::unique_ptr<TranslatedBlock>> &
     blocks() const
     {
-        return _blocks;
+        return _owned;
     }
-    /** @} */
 
     uint32_t capacity() const { return _capacity; }
     uint32_t used() const { return _cursor - _base; }
@@ -66,13 +84,33 @@ class CodeCache
     Addr base() const { return _base; }
 
   private:
+    /** One open-addressed index slot; block == nullptr marks empty. */
+    struct Slot
+    {
+        Addr src = 0;
+        TranslatedBlock *block = nullptr;
+    };
+
+    size_t slotFor(Addr src) const
+    {
+        // Fibonacci-style multiplicative hash: source addresses are
+        // dense and word-aligned, the high product bits spread them.
+        uint32_t h = src * 2654435761u;
+        return (h >> 9) & _mask;
+    }
+
+    /** Insert into the index, growing it past 2/3 load. */
+    void indexInsert(Addr src, TranslatedBlock *block);
+
     Memory &_mem;
     IsaKind _isa;
     Addr _base;
     uint32_t _capacity;
     bool _alignLoopHeads;
     Addr _cursor;
-    std::unordered_map<Addr, std::unique_ptr<TranslatedBlock>> _blocks;
+    std::vector<Slot> _index;
+    size_t _mask;
+    std::vector<std::unique_ptr<TranslatedBlock>> _owned;
     uint64_t _flushes = 0;
     uint64_t _insertions = 0;
 };

@@ -199,15 +199,10 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         return next;
     };
 
-    // Handle an indirect transfer to @p target: SFI check, then the
-    // code-cache-miss security policy of Section 3.5.
-    auto indirect_dispatch = [&](Addr target) -> TranslatedBlock * {
-        ++stats.indirectTransfers;
-        if (_cache.contains(target)) {
-            stop.reason = VmStop::SfiViolation;
-            stop.stopPc = target;
-            return nullptr;
-        }
+    // Post-SFI tail of an indirect transfer: the code-cache-miss
+    // security policy of Section 3.5. Callers have already counted
+    // the transfer and run the SFI check.
+    auto indirect_resolve = [&](Addr target) -> TranslatedBlock * {
         state.pc = target;
         ++stats.dispatches;
         TranslatedBlock *next = _cache.lookup(target);
@@ -235,6 +230,18 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         return next;
     };
 
+    // Handle an indirect transfer to @p target: SFI check, then the
+    // code-cache-miss security policy.
+    auto indirect_dispatch = [&](Addr target) -> TranslatedBlock * {
+        ++stats.indirectTransfers;
+        if (_cache.contains(target)) {
+            stop.reason = VmStop::SfiViolation;
+            stop.stopPc = target;
+            return nullptr;
+        }
+        return indirect_resolve(target);
+    };
+
     // Push/record a source return address for a call exit and make
     // sure the RAT can translate it on return.
     auto emit_call_linkage = [&](Addr source_ra) -> bool {
@@ -251,50 +258,110 @@ PsrVm::runLoop(uint64_t max_guest_insts)
             state.setReg(isaDescriptor(_isa).lrReg, source_ra);
         }
         // Eagerly translate the return point (the call macro-op
-        // installs the RAT mapping, Section 5.1).
+        // installs the RAT mapping, Section 5.1) and memoize the
+        // resolved block so the matching return needs no hash lookup.
         VmRunResult scratch_stop;
         TranslatedBlock *ret_block =
             fetchBlock(source_ra, scratch_stop);
         if (ret_block != nullptr)
-            _rat.insert(source_ra, source_ra);
+            _rat.insert(source_ra, source_ra, ret_block);
         return true;
     };
 
     while (true) {
-        // Execute the block's translated instructions.
+        // Execute the block's translated instructions. The loop is a
+        // single switch on the translate-time ExecClass; guest-inst
+        // and data-traffic counters are folded in from the per-inst
+        // running totals only at loop exits (credit_through), so the
+        // straight-line path does no per-instruction accounting.
+        const TInst *const insts = blk->insts.data();
+        const size_t n = blk->insts.size();
+        const Addr block_pc = state.pc; // VM owns the pc
         size_t i = 0;
+        size_t credited = 0; ///< insts already folded into stats
         int taken_exit = -1;
         Addr ret_target = 0;
         bool is_ret = false;
         bool redirected = false;
 
-        while (i < blk->insts.size()) {
-            const TInst &ti = blk->insts[i];
-            ++stats.hostInsts;
-            if (ti.guestStart)
-                ++stats.guestInsts;
+        // Fold insts [credited, idx] into stats (cums are inclusive).
+        // Called before anything that can observe the counters: exits,
+        // syscalls, faults, and trace events (traceTs reads them).
+        auto credit_through = [&](size_t idx) {
+            const TInst &t = insts[idx];
+            uint32_t g0 = 0, r0 = 0, w0 = 0;
+            if (credited > 0) {
+                const TInst &p = insts[credited - 1];
+                g0 = p.guestCum;
+                r0 = p.memReadsCum;
+                w0 = p.memWritesCum;
+            }
+            stats.guestInsts += t.guestCum - g0;
+            stats.hostInsts += (idx + 1) - credited;
+            if constexpr (!Traced) {
+                // Translate-time counts: no operand scanning, no
+                // address formation on the untraced fast path. The
+                // traced loop counts per access in traceData().
+                stats.memReads += t.memReadsCum - r0;
+                stats.memWrites += t.memWritesCum - w0;
+            }
+            credited = idx + 1;
+        };
+
+        while (i < n) {
+            const TInst &ti = insts[i];
             if constexpr (Traced) {
                 if (fetchTraceHook)
                     fetchTraceHook(blk->cacheAddr + ti.byteOff);
             }
 
-            if (ti.mi.op == Op::Jcc && ti.exitIdx >= 0) {
-                if (condHolds(ti.mi.cond, state.flags)) {
-                    taken_exit = ti.exitIdx;
-                    break;
+            switch (ti.klass) {
+              case ExecClass::Plain:
+              case ExecClass::GuestStartPlain: {
+                if constexpr (Traced)
+                    traceData(ti.mi);
+                ExecStatus st =
+                    executeInstInline(ti.mi, state, _mem, &_os);
+                state.pc = block_pc;
+                if (st != ExecStatus::Continue) [[unlikely]] {
+                    // The faulting instruction is still accounted,
+                    // like the increment-at-top loop did.
+                    credit_through(i);
+                    if (st == ExecStatus::Faulted) {
+                        stop.reason = VmStop::Fault;
+                        stop.stopPc = blk->srcStart;
+                        return stop;
+                    }
+                    if (st == ExecStatus::Halted) {
+                        stop.reason = VmStop::Halted;
+                        stop.stopPc = blk->srcStart;
+                        return stop;
+                    }
                 }
                 ++i;
                 continue;
-            }
-            if (ti.mi.op == Op::VmExit) {
+              }
+
+              case ExecClass::Jcc:
+                if (!condHolds(ti.mi.cond, state.flags)) {
+                    ++i;
+                    continue;
+                }
+                credit_through(i);
+                taken_exit = ti.exitIdx;
+                break;
+
+              case ExecClass::VmExit:
+                credit_through(i);
                 taken_exit = ti.exitIdx >= 0
                     ? ti.exitIdx
-                    : ti.mi.src1.disp;
+                    : static_cast<int>(ti.mi.src1.disp);
                 break;
-            }
-            if (ti.mi.op == Op::Ret) {
+
+              case ExecClass::Ret: {
                 // Pop the source return address; translate through
                 // the RAT below.
+                credit_through(i);
                 uint32_t sp = state.sp();
                 if (!_mem.tryRead32(sp, ret_target)) {
                     stop.reason = VmStop::Fault;
@@ -309,8 +376,10 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                 state.setSp(sp + kWordSize);
                 is_ret = true;
                 break;
-            }
-            if (ti.mi.op == Op::Syscall) {
+              }
+
+              case ExecClass::Syscall: {
+                credit_through(i);
                 ++stats.syscalls;
                 bool keep;
                 try {
@@ -332,6 +401,8 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                     // including the SFI check and the security
                     // policy (the paper forces migration on a
                     // longjmp whose setjmp ran on the other ISA).
+                    if (controlTraceHook)
+                        controlTraceHook(state.pc, 'J');
                     blk = indirect_dispatch(state.pc);
                     if (blk == nullptr)
                         return stop;
@@ -340,32 +411,9 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                 }
                 ++i;
                 continue;
+              }
             }
-
-            if constexpr (Traced) {
-                traceData(ti.mi);
-            } else {
-                // Translate-time counts: no operand scanning, no
-                // address formation on the untraced fast path.
-                stats.memReads += ti.memReads;
-                stats.memWrites += ti.memWrites;
-            }
-            Addr saved_pc = state.pc;
-            ExecStatus st = executeInst(ti.mi, state, _mem, &_os);
-            state.pc = saved_pc; // VM owns the pc
-            if (st != ExecStatus::Continue) {
-                if (st == ExecStatus::Faulted) {
-                    stop.reason = VmStop::Fault;
-                    stop.stopPc = blk->srcStart;
-                    return stop;
-                }
-                if (st == ExecStatus::Halted) {
-                    stop.reason = VmStop::Halted;
-                    stop.stopPc = blk->srcStart;
-                    return stop;
-                }
-            }
-            ++i;
+            break; // an exit class left the switch: block is done
         }
 
         if (redirected) {
@@ -390,16 +438,24 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                 return stop;
             }
             Addr translated;
-            if (_rat.lookup(ret_target, translated)) {
+            TranslatedBlock *memo = nullptr;
+            if (_rat.lookup(ret_target, translated, memo)) {
                 ++stats.ratHits;
                 state.pc = ret_target;
-                blk = _cache.lookup(ret_target);
-                if (blk == nullptr) {
-                    // Stale RAT entry (should not happen: flushes
-                    // clear the RAT) — treat as a miss.
-                    blk = fetchBlock(ret_target, stop);
-                    if (blk == nullptr)
-                        return stop;
+                if (memo != nullptr) {
+                    // Memoized translation: one RAT probe, zero hash
+                    // lookups. Valid because every code-cache flush
+                    // also flushes the RAT.
+                    blk = memo;
+                } else {
+                    blk = _cache.lookup(ret_target);
+                    if (blk == nullptr) {
+                        // Stale RAT entry (should not happen: flushes
+                        // clear the RAT) — treat as a miss.
+                        blk = fetchBlock(ret_target, stop);
+                        if (blk == nullptr)
+                            return stop;
+                    }
                 }
             } else {
                 ++stats.ratMisses;
@@ -422,7 +478,7 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                     if (next == nullptr)
                         return stop;
                 }
-                _rat.insert(ret_target, ret_target);
+                _rat.insert(ret_target, ret_target, next);
                 ++stats.dispatches;
                 blk = next;
             }
@@ -435,11 +491,14 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         }
 
         hipstr_assert(taken_exit >= 0);
-        // Copy the exit: translating a target can flush the code
-        // cache and destroy the exit's owning block.
         const size_t exit_idx = static_cast<size_t>(taken_exit);
         const Addr owner_src = blk->srcStart;
-        BlockExit exit = blk->exits[exit_idx];
+        // Translating a target below can flush the code cache and
+        // destroy the exit's owning block, so everything needed from
+        // the exit is copied into locals up front and every pointer
+        // taken from it is discarded when the flush generation moves.
+        const uint64_t flushes_at_exit = _cache.flushes();
+        const BlockExit &exit = blk->exits[exit_idx];
 
         // Re-resolve the owner before writing a chain pointer: the
         // owner may have been destroyed by a capacity flush.
@@ -451,6 +510,15 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                 owner->exits[exit_idx].chained = next;
         };
 
+        // Install an IBTC entry on the owner's live exit (re-resolved
+        // like patch_chain): @p target already passed the full
+        // indirect-dispatch security policy this transfer.
+        auto update_ibtc = [&](Addr target, TranslatedBlock *next) {
+            TranslatedBlock *owner = _cache.lookup(owner_src);
+            if (owner != nullptr && exit_idx < owner->exits.size())
+                owner->exits[exit_idx].ibtc.insert(target, next);
+        };
+
         switch (exit.kind) {
           case BlockExit::Kind::Halt:
             stop.reason = VmStop::Halted;
@@ -458,14 +526,16 @@ PsrVm::runLoop(uint64_t max_guest_insts)
             return stop;
 
           case BlockExit::Kind::Branch: {
+            const Addr target = exit.target;
+            TranslatedBlock *chained = exit.chained;
             if (controlTraceHook)
-                controlTraceHook(exit.target, 'B');
-            if (exit.chained != nullptr) {
+                controlTraceHook(target, 'B');
+            if (chained != nullptr) {
                 ++stats.chainFollows;
-                state.pc = exit.target;
-                blk = exit.chained;
+                state.pc = target;
+                blk = chained;
             } else {
-                blk = dispatch(exit.target);
+                blk = dispatch(target);
                 if (blk == nullptr)
                     return stop;
                 patch_chain(blk);
@@ -474,25 +544,33 @@ PsrVm::runLoop(uint64_t max_guest_insts)
           }
 
           case BlockExit::Kind::Call: {
+            const Addr target = exit.target;
+            const Addr return_to = exit.returnTo;
+            TranslatedBlock *chained = exit.chained;
             if (controlTraceHook)
-                controlTraceHook(exit.target, 'C');
-            if (!emit_call_linkage(exit.returnTo))
+                controlTraceHook(target, 'C');
+            if (!emit_call_linkage(return_to))
                 return stop;
+            if (_cache.flushes() != flushes_at_exit) {
+                // The eager return-point translation flushed the
+                // cache: the chain pointer read above dangles.
+                chained = nullptr;
+            }
             if (_cfg.isomeronMode) {
                 // The diversifier flips a coin and dispatches to the
                 // chosen program variant — chaining is impossible.
                 ++stats.diversificationFlips;
-                blk = dispatch(exit.target);
+                blk = dispatch(target);
                 if (blk == nullptr)
                     return stop;
                 break;
             }
-            if (exit.chained != nullptr) {
+            if (chained != nullptr) {
                 ++stats.chainFollows;
-                state.pc = exit.target;
-                blk = exit.chained;
+                state.pc = target;
+                blk = chained;
             } else {
-                blk = dispatch(exit.target);
+                blk = dispatch(target);
                 if (blk == nullptr)
                     return stop;
                 patch_chain(blk);
@@ -502,6 +580,9 @@ PsrVm::runLoop(uint64_t max_guest_insts)
 
           case BlockExit::Kind::IndirectCall:
           case BlockExit::Kind::IndirectJump: {
+            const bool is_call =
+                exit.kind == BlockExit::Kind::IndirectCall;
+            const Addr return_to = exit.returnTo;
             // Read the target from its (possibly relocated) home.
             uint32_t target;
             if (exit.targetOperand.isMem()) {
@@ -516,15 +597,43 @@ PsrVm::runLoop(uint64_t max_guest_insts)
             } else {
                 target = state.reg(exit.targetOperand.reg);
             }
+            // Consult the site's inline cache while the exit is
+            // still guaranteed live (nothing has translated yet).
+            TranslatedBlock *ibtc_hit = exit.ibtc.lookup(target);
             if (controlTraceHook)
                 controlTraceHook(target, 'I');
-            if (exit.kind == BlockExit::Kind::IndirectCall) {
-                if (!emit_call_linkage(exit.returnTo))
+            if (is_call) {
+                if (!emit_call_linkage(return_to))
                     return stop;
+                if (_cache.flushes() != flushes_at_exit) {
+                    // Linkage translation flushed the cache; the
+                    // cached block pointer is gone with it.
+                    ibtc_hit = nullptr;
+                }
             }
-            blk = indirect_dispatch(target);
-            if (blk == nullptr)
+            ++stats.indirectTransfers;
+            // SFI first, always — a cached target can never point
+            // into the cache region, but the check is the security
+            // boundary and stays in front unconditionally.
+            if (_cache.contains(target)) {
+                stop.reason = VmStop::SfiViolation;
+                stop.stopPc = target;
                 return stop;
+            }
+            if (ibtc_hit != nullptr) {
+                // Inline-cache hit: this (site, target) pair passed
+                // the full Section 3.5 policy before, and the block
+                // survived (no flush since). Same counter semantics
+                // as the lookup-hit dispatch it replaces.
+                state.pc = target;
+                ++stats.dispatches;
+                blk = ibtc_hit;
+            } else {
+                blk = indirect_resolve(target);
+                if (blk == nullptr)
+                    return stop;
+                update_ibtc(target, blk);
+            }
             break;
           }
         }

@@ -111,8 +111,16 @@ class PsrVm
 
     /**
      * Optional control-transfer trace: called with the guest target
-     * and a kind tag ('B'ranch, 'C'all, 'I'ndirect, 'R'eturn) at
-     * every dispatch-level transfer. Used by differential tests.
+     * and a kind tag ('B'ranch, 'C'all, 'I'ndirect, 'R'eturn,
+     * 'J' syscall redirect/longjmp) at every dispatch-level transfer.
+     * Used by differential tests; together the kinds observe every
+     * transfer the dispatcher accounts, so across runs that stop at
+     * an instruction boundary (Exited/Halted/StepLimit)
+     *   dispatches + chainFollows + ratHits
+     *     == hook invocations + run entries
+     * (each run() entry dispatches once without a hook call; a run
+     * killed mid-transfer may have called the hook for the very
+     * transfer whose dispatch was then denied).
      */
     std::function<void(Addr target, char kind)> controlTraceHook;
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Dispatch smoke tier: fast canaries for the VM execution hot path.
+ *
+ * Two failure families historically surfaced only in the soak tier or
+ * in wall-clock bench numbers: (a) the steady-state fast path quietly
+ * regressing into the dispatcher (every transfer paying a hash
+ * lookup), and (b) chain/RAT-memo/IBTC invalidation bugs that need a
+ * capacity-flush-heavy configuration to trigger. This binary checks
+ * both in seconds so they fail in `ctest` on every change:
+ *
+ *  - steady-state shape: once the working set is translated, blocks
+ *    reach each other through chains, RAT memos, and inline caches —
+ *    dispatcher entries must be rare and translations zero;
+ *  - telemetry-off contract: the fig9 steady-state measurement runs
+ *    with no trace sink; a masked sink must be a pure observer with
+ *    byte-identical deterministic counters (the wall-clock companion
+ *    check lives in bench_fig9_performance's checkTelemetryZeroCost);
+ *  - tiny-code-cache configuration: continuous capacity flushes with
+ *    live guest state, the regime where a stale chain pointer or IBTC
+ *    way turns into a wrong transfer or a use-after-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.hh"
+#include "test_util.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+constexpr uint64_t kMaxInsts = 400'000'000;
+
+FatBinary
+workloadBinary(const std::string &name)
+{
+    WorkloadConfig wcfg;
+    wcfg.scale = 1;
+    return compileModule(buildWorkload(name, wcfg));
+}
+
+TEST(DispatchSmoke, SteadyStateAvoidsTheDispatcher)
+{
+    // The paper's Figure 9 premise: legitimate control flow almost
+    // never enters the dispatcher. After warming the code cache on
+    // hmmer (the fig9 steady-state workload), a measurement slice
+    // must retire its transfers through chains and RAT memos, not
+    // dispatcher entries, and must not translate anything new.
+    FatBinary bin = workloadBinary("hmmer");
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+    vm.reset();
+    auto warm = vm.run(50'000);
+    ASSERT_EQ(warm.reason, VmStop::StepLimit);
+
+    const VmStats before = vm.stats;
+    auto r = vm.run(100'000);
+    ASSERT_EQ(r.reason, VmStop::StepLimit);
+
+    const uint64_t translations =
+        vm.stats.translations - before.translations;
+    const uint64_t dispatches =
+        vm.stats.dispatches - before.dispatches;
+    const uint64_t fast_transfers =
+        (vm.stats.chainFollows - before.chainFollows) +
+        (vm.stats.ratHits - before.ratHits);
+    EXPECT_EQ(translations, 0u)
+        << "steady state must run fully from the code cache";
+    EXPECT_EQ(vm.stats.securityEvents, 0u);
+    EXPECT_GT(fast_transfers, 1000u);
+    // One dispatcher entry comes from the run() slice itself; beyond
+    // that the fast path must dominate by orders of magnitude.
+    EXPECT_LT(dispatches * 100, fast_transfers)
+        << "dispatcher entered on " << dispatches
+        << " of " << (dispatches + fast_transfers)
+        << " transfers in steady state";
+}
+
+TEST(DispatchSmoke, MaskedTraceSinkIsAPureObserver)
+{
+    // The fig9 telemetry-off number is only meaningful if attaching a
+    // masked sink cannot change what the VM does — deterministic
+    // counters must be byte-identical with and without one. (The
+    // wall-clock half of the contract is checked by
+    // bench_fig9_performance.)
+    FatBinary bin = workloadBinary("hmmer");
+    auto run_with = [&](telemetry::TraceBuffer *tb) {
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        PsrConfig cfg;
+        PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+        vm.trace = tb;
+        vm.reset();
+        auto r = vm.run(200'000);
+        EXPECT_EQ(r.reason, VmStop::StepLimit);
+        return vm.stats;
+    };
+    VmStats off = run_with(nullptr);
+    telemetry::TraceBuffer masked(1024);
+    masked.setMask(0);
+    VmStats on = run_with(&masked);
+
+    EXPECT_EQ(on.guestInsts, off.guestInsts);
+    EXPECT_EQ(on.hostInsts, off.hostInsts);
+    EXPECT_EQ(on.memReads, off.memReads);
+    EXPECT_EQ(on.memWrites, off.memWrites);
+    EXPECT_EQ(on.dispatches, off.dispatches);
+    EXPECT_EQ(on.chainFollows, off.chainFollows);
+    EXPECT_EQ(on.translations, off.translations);
+    EXPECT_EQ(on.ratHits, off.ratHits);
+    EXPECT_EQ(on.ratMisses, off.ratMisses);
+    EXPECT_EQ(on.indirectTransfers, off.indirectTransfers);
+    EXPECT_EQ(on.securityEvents, off.securityEvents);
+    EXPECT_EQ(on.syscalls, off.syscalls);
+}
+
+TEST(DispatchSmoke, TinyCodeCacheCapacityFlushHeavy)
+{
+    // Capacity-flush-heavy configuration: a 1 KiB cache flushes on
+    // nearly every translation, so every chain pointer, RAT memo, and
+    // IBTC way is created and destroyed thousands of times while the
+    // guest keeps live frames. Any invalidation bug lands here as a
+    // wrong exit code, a fault, or an SFI stop. httpd adds the
+    // alternating indirect-handler site; mcf is the call-heavy deep
+    // workload the original tiny-cache test used.
+    for (const char *name : { "httpd", "mcf" }) {
+        FatBinary bin = workloadBinary(name);
+        for (IsaKind isa : kAllIsas) {
+            auto native = test::runNative(bin, isa, kMaxInsts);
+            ASSERT_EQ(native.result.reason, StopReason::Exited);
+            Memory mem;
+            loadFatBinary(bin, mem);
+            GuestOs os;
+            PsrConfig cfg;
+            cfg.codeCacheBytes = 1024;
+            PsrVm vm(bin, isa, mem, os, cfg);
+            vm.reset();
+            auto r = vm.run(kMaxInsts);
+            ASSERT_EQ(r.reason, VmStop::Exited)
+                << name << "/" << isaName(isa) << ": "
+                << vmStopName(r.reason) << " at 0x" << std::hex
+                << r.stopPc;
+            EXPECT_EQ(os.exitCode(), native.exitCode)
+                << name << "/" << isaName(isa);
+            EXPECT_EQ(os.outputChecksum(), native.outputChecksum)
+                << name << "/" << isaName(isa);
+            EXPECT_GT(vm.stats.cacheFlushes, 2u)
+                << name << "/" << isaName(isa);
+        }
+    }
+}
+
+} // namespace
+} // namespace hipstr

@@ -248,6 +248,208 @@ TEST(PsrVm, TinyCodeCacheStillCorrect)
     EXPECT_GT(vm.stats.cacheFlushes, 0u);
 }
 
+TEST(PsrVm, CapacityFlushDuringCallLinkageStaysCorrect)
+{
+    // Regression test for a latent use-after-free: the Call exit path
+    // reads exit.chained, then emit_call_linkage eagerly translates
+    // the return point — which can trigger a capacity flush that
+    // destroys every block, including the one the chained pointer
+    // refers to. The dispatcher must detect the flush-generation
+    // change and discard the stale pointer. A cache this small flushes
+    // on nearly every translation, so call-heavy workloads force the
+    // flush to land inside call linkage constantly.
+    for (const char *name : { "httpd", "bzip2" }) {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        FatBinary bin = compileModule(buildWorkload(name, wcfg));
+        for (IsaKind isa : kAllIsas) {
+            auto native = test::runNative(bin, isa, 400'000'000);
+            ASSERT_EQ(native.result.reason, StopReason::Exited);
+            for (uint32_t cache_bytes : { 1024u, 2048u }) {
+                PsrConfig cfg;
+                cfg.codeCacheBytes = cache_bytes;
+                auto vm = runUnderVm(bin, isa, cfg);
+                ASSERT_EQ(vm.result.reason, VmStop::Exited)
+                    << name << "/" << isaName(isa) << " cache "
+                    << cache_bytes << ": "
+                    << vmStopName(vm.result.reason) << " at 0x"
+                    << std::hex << vm.result.stopPc;
+                EXPECT_EQ(vm.exitCode, native.exitCode)
+                    << name << "/" << isaName(isa);
+                EXPECT_EQ(vm.outputChecksum, native.outputChecksum);
+                EXPECT_GT(vm.stats.cacheFlushes, 0u)
+                    << name << "/" << isaName(isa)
+                    << ": cache not small enough to stress flushes";
+            }
+        }
+    }
+}
+
+/**
+ * Per-kind control-transfer counts observed through controlTraceHook,
+ * and the dispatch-level accounting they must reconcile with.
+ */
+struct TransferCounts
+{
+    uint64_t branches = 0;   ///< 'B' (direct branch exits)
+    uint64_t calls = 0;      ///< 'C' (direct call exits)
+    uint64_t indirects = 0;  ///< 'I' (indirect call/jump exits)
+    uint64_t returns = 0;    ///< 'R' (return exits)
+    uint64_t redirects = 0;  ///< 'J' (syscall longjmp redirects)
+
+    uint64_t total() const
+    {
+        return branches + calls + indirects + returns + redirects;
+    }
+};
+
+void
+expectDispatchAccounting(const VmStats &stats,
+                         const TransferCounts &hooks,
+                         uint64_t run_entries,
+                         const std::string &label)
+{
+    // Every dispatch-level transfer resolves through exactly one of
+    // the three mechanisms: a dispatcher entry, a chain follow, or a
+    // RAT-memoized return. Each run() entry dispatches once without a
+    // hook event. This is the documented controlTraceHook invariant
+    // (vm/psr_vm.hh) — RAT memoization and the per-site inline caches
+    // must not add or drop a single transfer.
+    EXPECT_EQ(stats.dispatches + stats.chainFollows + stats.ratHits,
+              hooks.total() + run_entries)
+        << label;
+    // Indirect-transfer accounting is the security-policy input: one
+    // per return, per indirect exit, and per syscall redirect, whether
+    // or not the transfer was served from a RAT memo or an IBTC way.
+    EXPECT_EQ(stats.indirectTransfers,
+              hooks.returns + hooks.indirects + hooks.redirects)
+        << label;
+    // Every return consults the RAT exactly once.
+    EXPECT_EQ(stats.ratHits + stats.ratMisses, hooks.returns)
+        << label;
+}
+
+TEST(PsrVm, DispatchAccountingInvariant)
+{
+    for (const std::string &name : allWorkloadNames()) {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        FatBinary bin = compileModule(buildWorkload(name, wcfg));
+        for (IsaKind isa : kAllIsas) {
+            const std::string label = name + "/" + isaName(isa);
+            PsrConfig cfg;
+            cfg.seed = 7;
+
+            // Reference run without any hook installed.
+            auto plain = runUnderVm(bin, isa, cfg);
+            ASSERT_EQ(plain.result.reason, VmStop::Exited) << label;
+
+            // Observed run: count transfers by kind.
+            Memory mem;
+            loadFatBinary(bin, mem);
+            GuestOs os;
+            PsrVm vm(bin, isa, mem, os, cfg);
+            TransferCounts hooks;
+            vm.controlTraceHook = [&](Addr, char kind) {
+                switch (kind) {
+                  case 'B': ++hooks.branches; break;
+                  case 'C': ++hooks.calls; break;
+                  case 'I': ++hooks.indirects; break;
+                  case 'R': ++hooks.returns; break;
+                  case 'J': ++hooks.redirects; break;
+                  default: FAIL() << "unknown transfer kind " << kind;
+                }
+            };
+            vm.reset();
+            auto r = vm.run(400'000'000);
+            ASSERT_EQ(r.reason, VmStop::Exited) << label;
+
+            expectDispatchAccounting(vm.stats, hooks, 1, label);
+
+            // The control hook must be a pure observer: every counter
+            // the timing model consumes is identical with and without
+            // it (it does not toggle the traced dispatch loop).
+            EXPECT_EQ(vm.stats.guestInsts, plain.stats.guestInsts)
+                << label;
+            EXPECT_EQ(vm.stats.hostInsts, plain.stats.hostInsts)
+                << label;
+            EXPECT_EQ(vm.stats.memReads, plain.stats.memReads)
+                << label;
+            EXPECT_EQ(vm.stats.memWrites, plain.stats.memWrites)
+                << label;
+            EXPECT_EQ(vm.stats.dispatches, plain.stats.dispatches)
+                << label;
+            EXPECT_EQ(vm.stats.chainFollows,
+                      plain.stats.chainFollows)
+                << label;
+            EXPECT_EQ(vm.stats.ratHits, plain.stats.ratHits)
+                << label;
+            EXPECT_EQ(vm.stats.ratMisses, plain.stats.ratMisses)
+                << label;
+            EXPECT_EQ(vm.stats.indirectTransfers,
+                      plain.stats.indirectTransfers)
+                << label;
+            EXPECT_EQ(vm.stats.securityEvents,
+                      plain.stats.securityEvents)
+                << label;
+            // Legitimate execution may take one cold miss per
+            // distinct indirect target (the first transfer before the
+            // target is translated); the memo/IBTC layers must never
+            // add events beyond that.
+            EXPECT_LE(vm.stats.securityEvents, 4u) << label;
+        }
+    }
+}
+
+TEST(PsrVm, DispatchAccountingInvariantUnderFlushPressure)
+{
+    // The same reconciliation must hold when capacity flushes destroy
+    // chains, RAT memos, and inline caches continuously, and when the
+    // run is sliced into quanta (each run() entry dispatches once).
+    WorkloadConfig wcfg;
+    wcfg.scale = 1;
+    FatBinary bin = compileModule(buildWorkload("httpd", wcfg));
+    for (IsaKind isa : kAllIsas) {
+        const std::string label =
+            std::string("httpd-flush/") + isaName(isa);
+        Memory mem;
+        loadFatBinary(bin, mem);
+        GuestOs os;
+        PsrConfig cfg;
+        cfg.codeCacheBytes = 2048;
+        cfg.ratEntries = 8;
+        PsrVm vm(bin, isa, mem, os, cfg);
+        TransferCounts hooks;
+        vm.controlTraceHook = [&](Addr, char kind) {
+            switch (kind) {
+              case 'B': ++hooks.branches; break;
+              case 'C': ++hooks.calls; break;
+              case 'I': ++hooks.indirects; break;
+              case 'R': ++hooks.returns; break;
+              case 'J': ++hooks.redirects; break;
+              default: FAIL() << "unknown transfer kind " << kind;
+            }
+        };
+        vm.reset();
+        uint64_t run_entries = 0;
+        VmRunResult r;
+        do {
+            r = vm.run(10'000);
+            ++run_entries;
+        } while (r.reason == VmStop::StepLimit);
+        ASSERT_EQ(r.reason, VmStop::Exited) << label;
+
+        expectDispatchAccounting(vm.stats, hooks, run_entries, label);
+        EXPECT_GT(vm.stats.cacheFlushes, 2u) << label;
+        EXPECT_GT(vm.stats.ratMisses, 0u) << label;
+        // Post-flush indirect transfers legitimately miss the cold
+        // cache; each miss must be accounted as exactly one
+        // suspected-breach event (Section 3.5).
+        EXPECT_EQ(vm.stats.securityEvents, vm.stats.codeCacheMisses)
+            << label;
+    }
+}
+
 TEST(PsrVm, TinyRatStillCorrect)
 {
     IrModule m = smallProgram();
