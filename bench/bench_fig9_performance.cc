@@ -32,7 +32,8 @@ namespace
  * telemetry zero-cost check.
  */
 double
-steadyStateRate(const FatBinary &bin, telemetry::TraceBuffer *tb)
+steadyStateRate(const FatBinary &bin, telemetry::TraceBuffer *tb,
+                telemetry::MetricRegistry *trace_reg = nullptr)
 {
     Memory mem;
     loadFatBinary(bin, mem);
@@ -59,6 +60,8 @@ steadyStateRate(const FatBinary &bin, telemetry::TraceBuffer *tb)
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    if (trace_reg != nullptr)
+        vm.publishTraceTelemetry(*trace_reg);
     return secs > 0 ? double(executed) / secs : 0;
 }
 
@@ -76,12 +79,19 @@ void
 checkTelemetryZeroCost()
 {
     const FatBinary &bin = compiledWorkload("hmmer", 1);
-    double off_rate = steadyStateRate(bin, nullptr);
+    // Superblock-trace engine counters for the off-rate run. Host
+    // JSON only: trace coverage legitimately varies with HIPSTR_TRACE,
+    // so these must never reach the deterministic summary.
+    telemetry::MetricRegistry trace_reg;
+    double off_rate = steadyStateRate(bin, nullptr, &trace_reg);
     telemetry::TraceBuffer masked(1024);
     masked.setMask(0);
     double masked_rate = steadyStateRate(bin, &masked);
     benchHostMetric("telemetry_off_insts_per_sec", off_rate);
     benchHostMetric("telemetry_masked_insts_per_sec", masked_rate);
+    for (const char *key : { "trace.formed", "trace.follows",
+                             "trace.invalidated", "trace.sideExits" })
+        benchHostMetric(key, double(trace_reg.counter(key).value()));
     if (masked_rate < 0.5 * off_rate) {
         hipstr_fatal("masked telemetry slowed steady-state dispatch: "
                      "%.3g vs %.3g insts/s",

@@ -27,11 +27,21 @@ a PR may legitimately add or remove a harness.
 --only RE restricts the report to metrics whose name matches the
 regular expression RE (e.g. --only insts_per_sec).
 
-Exit codes: 0 ok, 1 malformed input, 77 when either tree contains no
-BENCH_*_host.json (ctest SKIP_RETURN_CODE, so a checkout that never
-ran the benches skips instead of failing). `--selftest FIXTURE_DIR`
-runs the comparison against the checked-in fixture trees and verifies
-the computed deltas; the bench_compare_selftest ctest invokes it.
+--min-speedup X turns the report into a gate: every compared metric
+(so typically combined with --only to name the rate of interest) must
+satisfy after/before >= X or the run exits 2. At least one metric must
+match — a filter that selects nothing fails rather than vacuously
+passing. Example, the fig9 steady-state acceptance check:
+
+  python3 scripts/compare_bench.py BEFORE AFTER \
+      --only telemetry_off_insts_per_sec --min-speedup 1.7
+
+Exit codes: 0 ok, 1 malformed input, 2 threshold not met, 77 when
+either tree contains no BENCH_*_host.json (ctest SKIP_RETURN_CODE, so
+a checkout that never ran the benches skips instead of failing).
+`--selftest FIXTURE_DIR` runs the comparison against the checked-in
+fixture trees and verifies the computed deltas; the
+bench_compare_selftest ctest invokes it.
 """
 
 import json
@@ -111,7 +121,35 @@ def format_rows(rows):
     return lines
 
 
-def run_compare(before_dir, after_dir, only=None):
+def check_min_speedup(rows, min_speedup):
+    """Gate every compared row on after/before >= min_speedup.
+
+    Returns the exit code: 0 when all rows pass, 2 when any row falls
+    short (or cannot be evaluated against a zero baseline), and 2 when
+    no row matched at all — a filter that selects nothing must not
+    pass vacuously.
+    """
+    if not rows:
+        print(f"FAIL --min-speedup {min_speedup:g}: no shared metric "
+              f"matched (check --only)")
+        return 2
+    failed = False
+    for name, metric, b, a, _ in rows:
+        if b == 0:
+            print(f"FAIL {name}/{metric}: zero baseline, speedup "
+                  f"undefined")
+            failed = True
+            continue
+        speedup = a / b
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(f"{verdict:<4} {name}/{metric}: speedup {speedup:.3f}x "
+              f"(floor {min_speedup:g}x)")
+        if speedup < min_speedup:
+            failed = True
+    return 2 if failed else 0
+
+
+def run_compare(before_dir, after_dir, only=None, min_speedup=None):
     try:
         before = load_host_tree(before_dir)
         after = load_host_tree(after_dir)
@@ -134,6 +172,8 @@ def run_compare(before_dir, after_dir, only=None):
     shared = len({r[0] for r in rows})
     print(f"compare_bench: {shared} harness(es), {len(rows)} "
           f"metric pair(s) compared")
+    if min_speedup is not None:
+        return check_min_speedup(rows, min_speedup)
     return 0
 
 
@@ -188,6 +228,27 @@ def selftest(fixture_dir):
     check(all("insts_per_sec" in r[1] for r in only) and only,
           "--only filter failed")
 
+    # --min-speedup gating: the fixture rate pair is exactly 1.2x, so
+    # a 1.1x floor passes, a 1.5x floor fails with the threshold exit
+    # code, an empty selection fails rather than passing vacuously,
+    # and a zero baseline is unevaluable (also exit 2).
+    check(check_min_speedup(only, 1.1) == 0,
+          "--min-speedup 1.1 should pass on the 1.2x fixture pair")
+    check(check_min_speedup(only, 1.5) == 2,
+          "--min-speedup 1.5 should fail on the 1.2x fixture pair")
+    check(check_min_speedup([], 1.1) == 2,
+          "--min-speedup with no matched metric should fail")
+    zero_rows = compare_trees(before, after,
+                              only="zero_baseline_metric")
+    check(check_min_speedup(zero_rows, 1.1) == 2,
+          "--min-speedup on a zero baseline should fail")
+    check(run_compare(before_dir, after_dir, only="insts_per_sec",
+                      min_speedup=1.1) == 0,
+          "CLI --min-speedup pass case did not exit 0")
+    check(run_compare(before_dir, after_dir, only="insts_per_sec",
+                      min_speedup=9.9) == 2,
+          "CLI --min-speedup fail case did not exit 2")
+
     # The skip path: an empty directory (fixture root itself holds no
     # host files) must return the ctest skip code.
     check(run_compare(fixtures, after_dir) == 77,
@@ -206,12 +267,30 @@ def selftest(fixture_dir):
 def main(argv):
     args = [a for a in argv[1:] if a != "--"]
     only = None
+    min_speedup = None
     if "--only" in args:
         i = args.index("--only")
         if i + 1 >= len(args):
             print("usage: compare_bench.py BEFORE AFTER [--only RE]")
             return 1
         only = args[i + 1]
+        del args[i:i + 2]
+    if "--min-speedup" in args:
+        i = args.index("--min-speedup")
+        if i + 1 >= len(args):
+            print("usage: compare_bench.py BEFORE AFTER "
+                  "--min-speedup X")
+            return 1
+        try:
+            min_speedup = float(args[i + 1])
+        except ValueError:
+            print(f"FAIL --min-speedup {args[i + 1]!r} is not a "
+                  f"number")
+            return 1
+        if not math.isfinite(min_speedup) or min_speedup <= 0:
+            print(f"FAIL --min-speedup must be a positive finite "
+                  f"number, got {args[i + 1]!r}")
+            return 1
         del args[i:i + 2]
     if args and args[0] == "--selftest":
         if len(args) != 2:
@@ -220,9 +299,10 @@ def main(argv):
         return selftest(args[1])
     if len(args) != 2:
         print("usage: compare_bench.py BEFORE_DIR AFTER_DIR "
-              "[--only RE] | --selftest FIXTURE_DIR")
+              "[--only RE] [--min-speedup X] | "
+              "--selftest FIXTURE_DIR")
         return 1
-    return run_compare(args[0], args[1], only)
+    return run_compare(args[0], args[1], only, min_speedup)
 
 
 if __name__ == "__main__":

@@ -54,6 +54,26 @@ struct PsrConfig
     unsigned maxSuperblockBlocks = 8;
 
     /**
+     * Superblock trace execution (the dispatcher-bypassing threaded
+     * trace loop). FromEnv honours HIPSTR_TRACE=0/1 (default on);
+     * On/Off force the decision regardless of the environment —
+     * differential tests use the forced modes to compare both engines.
+     */
+    enum class TraceMode : uint8_t
+    {
+        FromEnv,
+        On,
+        Off
+    };
+    TraceMode traceMode = TraceMode::FromEnv;
+
+    /** Block entries before a head is considered for trace formation. */
+    unsigned traceHotThreshold = 32;
+
+    /** Maximum guest blocks spliced into one trace (unrolling cap). */
+    unsigned traceMaxBlocks = 16;
+
+    /**
      * Isomeron baseline mode (Davi et al.): function-granularity
      * two-variant execution-path diversification with a coin flip at
      * every call and return. No PSR transformations; chaining across

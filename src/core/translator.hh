@@ -32,6 +32,7 @@ namespace hipstr
 {
 
 struct TranslatedBlock;
+struct SuperTrace;
 
 /**
  * Per-site indirect-branch inline cache (IBTC): a tiny direct map
@@ -96,6 +97,12 @@ struct BlockExit
     TranslatedBlock *chained = nullptr;
     /** Inline cache for IndirectJump/IndirectCall exits (VM-filled). */
     IndirectTargetCache ibtc;
+    /**
+     * Times the untraced dispatch loop took this exit — the edge
+     * profile the superblock trace builder reads to pick a block's
+     * dominant successor. Never exported; dies with the block.
+     */
+    uint64_t hitCount = 0;
 };
 
 /**
@@ -160,6 +167,20 @@ struct TranslatedBlock
     unsigned guestInstCount = 0;
     unsigned guestBlocksInlined = 1;
     bool isLoopHead = false;     ///< entered from a backward branch
+
+    /**
+     * Superblock-trace bookkeeping (all VM-filled, none exported).
+     * @c strace points at the trace headed by this block, owned by the
+     * VM's TraceEngine; it is only ever set while the block is live
+     * and every flush that destroys the block also invalidates the
+     * trace. hotCount/traceFails drive formation; traceDead marks a
+     * head the builder permanently gave up on. @{
+     */
+    SuperTrace *strace = nullptr;
+    uint32_t hotCount = 0;
+    uint8_t traceFails = 0;
+    bool traceDead = false;
+    /** @} */
 };
 
 /** Why a translation attempt failed. */

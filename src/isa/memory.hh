@@ -180,6 +180,61 @@ class Memory
     /** @} */
 
     /**
+     * Span hint: a word-access fast path for loops whose addresses
+     * cluster inside one permission span (stack frames, the relocated
+     * register slots, a hot array). The hint caches the inclusive
+     * range of base addresses for which a 4-byte access is known
+     * legal, so a hit replaces the permAt binary search with one range
+     * compare. Hints hold no pointers and must be discarded (or simply
+     * not reused) across setRegion calls; the superblock trace
+     * executor creates fresh hints per trace run and traces never
+     * reach setRegion (syscalls end a trace). A hinted access has
+     * byte-identical semantics to tryRead32/tryWrite32, including the
+     * first-byte permission rule and write journaling.
+     *
+     * A hint is direction-specific: the cached window proves only the
+     * permission of the access that established it, so a hint must be
+     * used exclusively with tryRead32Span or exclusively with
+     * tryWrite32Span, never both. @{
+     */
+    struct SpanHint
+    {
+        Addr lo = 1; ///< inclusive; lo > hi encodes the empty range
+        Addr hi = 0;
+    };
+
+    bool tryRead32Span(SpanHint &h, Addr addr, uint32_t &v) const noexcept
+    {
+        if (addr >= h.lo && addr <= h.hi) [[likely]] {
+            __builtin_memcpy(&v, &_bytes[addr], 4);
+            return true;
+        }
+        if (!checkOk(addr, 4, PermR))
+            return false;
+        refillHint(h, addr);
+        __builtin_memcpy(&v, &_bytes[addr], 4);
+        return true;
+    }
+
+    bool tryWrite32Span(SpanHint &h, Addr addr, uint32_t v) noexcept
+    {
+        if (addr >= h.lo && addr <= h.hi) [[likely]] {
+            if (_journaling) [[unlikely]]
+                journalBytes(addr, 4);
+            __builtin_memcpy(&_bytes[addr], &v, 4);
+            return true;
+        }
+        if (!checkOk(addr, 4, PermW))
+            return false;
+        refillHint(h, addr);
+        if (_journaling)
+            journalBytes(addr, 4);
+        __builtin_memcpy(&_bytes[addr], &v, 4);
+        return true;
+    }
+    /** @} */
+
+    /**
      * True iff every byte of [addr, addr+len) is inside the address
      * space and grants @p needed. Syscall argument validation uses
      * this to reject guest-supplied buffer pointers up front — a
@@ -233,6 +288,29 @@ class Memory
     void journalBytes(Addr addr, unsigned len);
 
     void check(Addr addr, unsigned len, Perm needed) const;
+
+    /**
+     * Point @p h at the widest window around @p addr for which a
+     * 4-byte access with the just-verified permission stays legal:
+     * base addresses within the containing span whose first byte rule
+     * and the address-space bound both hold. Caller has already passed
+     * checkOk(addr, 4, perm).
+     */
+    void refillHint(SpanHint &h, Addr addr) const noexcept
+    {
+        size_t lo = 0, hi = _spans.size() - 1;
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (addr < _spans[mid].end)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        h.lo = lo == 0 ? 0 : _spans[lo - 1].end;
+        Addr span_last = _spans[lo].end - 1;
+        Addr bound_last = static_cast<Addr>(_bytes.size()) - 4;
+        h.hi = span_last < bound_last ? span_last : bound_last;
+    }
 
     bool checkOk(Addr addr, unsigned len, Perm needed) const noexcept
     {

@@ -1,5 +1,7 @@
 #include "psr_vm.hh"
 
+#include <cstdlib>
+
 #include "binary/loader.hh"
 #include "isa/interp.hh"
 #include "isa/mem_traffic.hh"
@@ -9,6 +11,32 @@
 
 namespace hipstr
 {
+
+namespace
+{
+
+/** HIPSTR_TRACE=0 disables superblock traces; anything else is on. */
+bool
+traceEnvEnabled()
+{
+    const char *e = std::getenv("HIPSTR_TRACE");
+    if (e == nullptr || *e == '\0')
+        return true;
+    return !(e[0] == '0' && e[1] == '\0');
+}
+
+bool
+resolveTraceMode(const PsrConfig &cfg)
+{
+    switch (cfg.traceMode) {
+      case PsrConfig::TraceMode::On: return true;
+      case PsrConfig::TraceMode::Off: return false;
+      case PsrConfig::TraceMode::FromEnv: break;
+    }
+    return traceEnvEnabled();
+}
+
+} // namespace
 
 const char *
 vmStopName(VmStop s)
@@ -37,6 +65,18 @@ PsrVm::PsrVm(const FatBinary &bin, IsaKind isa, Memory &mem,
     // cycles / (GHz * 1000) = microseconds.
     _translateUsPerInst = TimingParams{}.translateCyclesPerGuestInst /
         (coreConfig(isa).freqGhz * 1000.0);
+    // Trace formation needs chained exits, so it rides the same O1
+    // switch as chaining itself.
+    _traceOn = resolveTraceMode(cfg) && cfg.superblocks();
+}
+
+void
+PsrVm::publishTraceTelemetry(telemetry::MetricRegistry &reg) const
+{
+    reg.counter("trace.formed").set(_traces.stats.formed);
+    reg.counter("trace.follows").set(stats.traceFollows);
+    reg.counter("trace.invalidated").set(_traces.stats.invalidated);
+    reg.counter("trace.sideExits").set(_traces.stats.sideExits);
 }
 
 double
@@ -58,6 +98,7 @@ PsrVm::reRandomize()
     _randomizer.reRandomize();
     _cache.flush();
     _rat.flush();
+    _traces.invalidateAll();
     ++stats.cacheFlushes;
     if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
         trace->record(
@@ -73,6 +114,7 @@ PsrVm::flushTranslations()
 {
     _cache.flush();
     _rat.flush();
+    _traces.invalidateAll();
     ++stats.cacheFlushes;
     if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
         trace->record(
@@ -118,8 +160,13 @@ PsrVm::fetchBlock(Addr src, VmRunResult &stop)
         return nullptr;
     }
     if (_cache.flushes() != flushes_before) {
-        // A capacity flush invalidates every RAT entry and chain.
+        // A capacity flush invalidates every RAT entry, chain, and
+        // trace. Retired traces are only *freed* at safe points: this
+        // can run mid-trace (call-linkage translation), and the
+        // executing trace checks the flush generation before touching
+        // another trace-held pointer.
         _rat.flush();
+        _traces.invalidateAll();
         ++stats.cacheFlushes;
     }
     return placed;
@@ -155,6 +202,10 @@ PsrVm::run(uint64_t max_guest_insts)
         }
         return res;
     }
+    // Safe point: no trace is executing, so traces retired by an
+    // earlier mid-trace flush can be freed.
+    _traces.collectRetired();
+
     const bool spans =
         trace && trace->enabled(telemetry::TraceCategory::Vm);
     const double ts0 = spans ? traceTs() : 0;
@@ -175,6 +226,94 @@ PsrVm::run(uint64_t max_guest_insts)
     return res;
 }
 
+// Dispatch to a (possibly untranslated) guest target after an
+// exit; returns nullptr when the run must stop.
+TranslatedBlock *
+PsrVm::dispatchTo(Addr target, VmRunResult &stop)
+{
+    state.pc = target;
+    ++stats.dispatches; // every dispatcher entry costs a lookup
+    TranslatedBlock *next = _cache.lookup(target);
+    if (next != nullptr)
+        return next;
+    next = fetchBlock(target, stop);
+    return next;
+}
+
+// Post-SFI tail of an indirect transfer: the code-cache-miss
+// security policy of Section 3.5. Callers have already counted
+// the transfer and run the SFI check.
+TranslatedBlock *
+PsrVm::indirectResolve(Addr target, VmRunResult &stop)
+{
+    state.pc = target;
+    ++stats.dispatches;
+    TranslatedBlock *next = _cache.lookup(target);
+    if (next != nullptr)
+        return next;
+    // Indirect control transfer missing the code cache: the
+    // PSR virtual machine suspects a security breach.
+    ++stats.codeCacheMisses;
+    ++stats.securityEvents;
+    if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
+        trace->record(telemetry::traceInstant(
+                          telemetry::TraceCategory::Vm,
+                          "vm.security_event", traceTs(), 0,
+                          static_cast<uint32_t>(_isa))
+                          .arg("target", target));
+    }
+    if (securityEventHook && securityEventHook(target)) {
+        ++stats.migrationsRequested;
+        stop.reason = VmStop::MigrationRequested;
+        stop.stopPc = target;
+        stop.migrationTarget = target;
+        return nullptr;
+    }
+    next = fetchBlock(target, stop);
+    return next;
+}
+
+// Handle an indirect transfer to @p target: SFI check, then the
+// code-cache-miss security policy.
+TranslatedBlock *
+PsrVm::indirectDispatch(Addr target, VmRunResult &stop)
+{
+    ++stats.indirectTransfers;
+    if (_cache.contains(target)) {
+        stop.reason = VmStop::SfiViolation;
+        stop.stopPc = target;
+        return nullptr;
+    }
+    return indirectResolve(target, stop);
+}
+
+// Push/record a source return address for a call exit and make
+// sure the RAT can translate it on return.
+bool
+PsrVm::emitCallLinkage(Addr source_ra, VmRunResult &stop)
+{
+    if (_isa == IsaKind::Cisc) {
+        uint32_t sp = state.sp() - kWordSize;
+        if (!_mem.tryWrite32(sp, source_ra)) {
+            stop.reason = VmStop::Fault;
+            stop.stopPc = state.pc;
+            return false;
+        }
+        state.setSp(sp);
+        ++stats.memWrites;
+    } else {
+        state.setReg(isaDescriptor(_isa).lrReg, source_ra);
+    }
+    // Eagerly translate the return point (the call macro-op
+    // installs the RAT mapping, Section 5.1) and memoize the
+    // resolved block so the matching return needs no hash lookup.
+    VmRunResult scratch_stop;
+    TranslatedBlock *ret_block = fetchBlock(source_ra, scratch_stop);
+    if (ret_block != nullptr)
+        _rat.insert(source_ra, source_ra, ret_block);
+    return true;
+}
+
 template <bool Traced>
 VmRunResult
 PsrVm::runLoop(uint64_t max_guest_insts)
@@ -187,88 +326,73 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         return stop;
     ++stats.dispatches;
 
-    // Dispatch to a (possibly untranslated) guest target after an
-    // exit; returns nullptr when the run must stop.
     auto dispatch = [&](Addr target) -> TranslatedBlock * {
-        state.pc = target;
-        ++stats.dispatches; // every dispatcher entry costs a lookup
-        TranslatedBlock *next = _cache.lookup(target);
-        if (next != nullptr)
-            return next;
-        next = fetchBlock(target, stop);
-        return next;
+        return dispatchTo(target, stop);
     };
-
-    // Post-SFI tail of an indirect transfer: the code-cache-miss
-    // security policy of Section 3.5. Callers have already counted
-    // the transfer and run the SFI check.
-    auto indirect_resolve = [&](Addr target) -> TranslatedBlock * {
-        state.pc = target;
-        ++stats.dispatches;
-        TranslatedBlock *next = _cache.lookup(target);
-        if (next != nullptr)
-            return next;
-        // Indirect control transfer missing the code cache: the
-        // PSR virtual machine suspects a security breach.
-        ++stats.codeCacheMisses;
-        ++stats.securityEvents;
-        if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
-            trace->record(telemetry::traceInstant(
-                              telemetry::TraceCategory::Vm,
-                              "vm.security_event", traceTs(), 0,
-                              static_cast<uint32_t>(_isa))
-                              .arg("target", target));
-        }
-        if (securityEventHook && securityEventHook(target)) {
-            ++stats.migrationsRequested;
-            stop.reason = VmStop::MigrationRequested;
-            stop.stopPc = target;
-            stop.migrationTarget = target;
-            return nullptr;
-        }
-        next = fetchBlock(target, stop);
-        return next;
-    };
-
-    // Handle an indirect transfer to @p target: SFI check, then the
-    // code-cache-miss security policy.
     auto indirect_dispatch = [&](Addr target) -> TranslatedBlock * {
-        ++stats.indirectTransfers;
-        if (_cache.contains(target)) {
-            stop.reason = VmStop::SfiViolation;
-            stop.stopPc = target;
-            return nullptr;
-        }
-        return indirect_resolve(target);
+        return indirectDispatch(target, stop);
+    };
+    auto emit_call_linkage = [&](Addr source_ra) -> bool {
+        return emitCallLinkage(source_ra, stop);
+    };
+    auto indirect_resolve = [&](Addr target) -> TranslatedBlock * {
+        return indirectResolve(target, stop);
     };
 
-    // Push/record a source return address for a call exit and make
-    // sure the RAT can translate it on return.
-    auto emit_call_linkage = [&](Addr source_ra) -> bool {
-        if (_isa == IsaKind::Cisc) {
-            uint32_t sp = state.sp() - kWordSize;
-            if (!_mem.tryWrite32(sp, source_ra)) {
-                stop.reason = VmStop::Fault;
-                stop.stopPc = state.pc;
-                return false;
-            }
-            state.setSp(sp);
-            ++stats.memWrites;
-        } else {
-            state.setReg(isaDescriptor(_isa).lrReg, source_ra);
-        }
-        // Eagerly translate the return point (the call macro-op
-        // installs the RAT mapping, Section 5.1) and memoize the
-        // resolved block so the matching return needs no hash lookup.
-        VmRunResult scratch_stop;
-        TranslatedBlock *ret_block =
-            fetchBlock(source_ra, scratch_stop);
-        if (ret_block != nullptr)
-            _rat.insert(source_ra, source_ra, ret_block);
-        return true;
-    };
+    // Block-loop entry state for trace side exits: resume_i is the
+    // instruction index the next block iteration starts at (credited
+    // stays 0 — traces never fold mid-segment), and from_resume
+    // suppresses trace re-entry for that one iteration so the resumed
+    // instruction is re-executed by the baseline machinery.
+    size_t resume_i = 0;
+    [[maybe_unused]] bool from_resume = false;
 
     while (true) {
+        if constexpr (!Traced) {
+            // Superblock traces live only on the untraced loop: the
+            // fetch/data-hooked loop models per-instruction cache
+            // behaviour and must keep the baseline dispatch shape.
+            const bool entered_from_resume = from_resume;
+            from_resume = false;
+            if (_traceOn && !entered_from_resume) {
+                if (SuperTrace *t = blk->strace; t != nullptr) {
+                    TraceExit tx = runTrace(t, guest_budget, stop);
+                    if (tx.kind == TraceExitKind::Stop)
+                        return stop;
+                    if (tx.kind == TraceExitKind::DispatchTo) {
+                        // Mid-trace capacity flush: re-enter through
+                        // the ordinary counting dispatcher, exactly
+                        // as the baseline's flush-dirtied chain does.
+                        blk = dispatch(tx.target);
+                        if (blk == nullptr)
+                            return stop;
+                        if (stats.guestInsts >= guest_budget) {
+                            stop.reason = VmStop::StepLimit;
+                            stop.stopPc = state.pc;
+                            return stop;
+                        }
+                        continue;
+                    }
+                    blk = tx.blk;
+                    resume_i = tx.instIdx;
+                    from_resume = true;
+                } else if (!blk->traceDead &&
+                           ++blk->hotCount >= _cfg.traceHotThreshold) {
+                    _traces.collectRetired();
+                    if (_traces.tryForm(blk, _cfg,
+                                        isaDescriptor(_isa).spReg,
+                                        _cfg.isomeronMode,
+                                        _cache.flushes()) == nullptr) {
+                        if (++blk->traceFails >= 4)
+                            blk->traceDead = true;
+                        else
+                            blk->hotCount = 0;
+                    }
+                    // A formed trace starts on the *next* entry; this
+                    // iteration still runs the baseline block loop.
+                }
+            }
+        }
         // Execute the block's translated instructions. The loop is a
         // single switch on the translate-time ExecClass; guest-inst
         // and data-traffic counters are folded in from the per-inst
@@ -277,7 +401,8 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         const TInst *const insts = blk->insts.data();
         const size_t n = blk->insts.size();
         const Addr block_pc = state.pc; // VM owns the pc
-        size_t i = 0;
+        size_t i = resume_i;
+        resume_i = 0;
         size_t credited = 0; ///< insts already folded into stats
         int taken_exit = -1;
         Addr ret_target = 0;
@@ -498,7 +623,13 @@ PsrVm::runLoop(uint64_t max_guest_insts)
         // the exit is copied into locals up front and every pointer
         // taken from it is discarded when the flush generation moves.
         const uint64_t flushes_at_exit = _cache.flushes();
-        const BlockExit &exit = blk->exits[exit_idx];
+        BlockExit &exit_slot = blk->exits[exit_idx];
+        if constexpr (!Traced) {
+            // Edge profile for the superblock trace builder. The
+            // traced loop never forms traces, so it skips the count.
+            ++exit_slot.hitCount;
+        }
+        const BlockExit &exit = exit_slot;
 
         // Re-resolve the owner before writing a chain pointer: the
         // owner may have been destroyed by a capacity flush.

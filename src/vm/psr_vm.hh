@@ -24,9 +24,11 @@
 #include "isa/machine_state.hh"
 #include "isa/memory.hh"
 #include "sim/rat.hh"
+#include "telemetry/metrics.hh"
 #include "telemetry/phase.hh"
 #include "telemetry/trace.hh"
 #include "vm/code_cache.hh"
+#include "vm/superblock.hh"
 
 namespace hipstr
 {
@@ -69,6 +71,14 @@ struct VmStats
     uint64_t memWrites = 0;
     uint64_t dispatches = 0;     ///< dispatcher entries (unchained)
     uint64_t chainFollows = 0;   ///< direct block-to-block transfers
+    /**
+     * Block-to-block transfers retired inside a superblock trace.
+     * With tracing off these edges count as chainFollows instead;
+     * every other counter in this struct is byte-identical either
+     * way (neither chainFollows nor traceFollows feeds the timing
+     * model or a deterministic bench export).
+     */
+    uint64_t traceFollows = 0;
     uint64_t translations = 0;
     uint64_t translatedGuestInsts = 0;
     uint64_t ratHits = 0;
@@ -116,7 +126,7 @@ class PsrVm
      * Used by differential tests; together the kinds observe every
      * transfer the dispatcher accounts, so across runs that stop at
      * an instruction boundary (Exited/Halted/StepLimit)
-     *   dispatches + chainFollows + ratHits
+     *   dispatches + chainFollows + ratHits + traceFollows
      *     == hook invocations + run entries
      * (each run() entry dispatches once without a hook call; a run
      * killed mid-transfer may have called the hook for the very
@@ -180,6 +190,24 @@ class PsrVm
      */
     void flushTranslations();
 
+    /**
+     * Superblock tracing observability: engine counters plus whether
+     * the knob (config traceMode resolved against HIPSTR_TRACE)
+     * enabled tracing for this VM. @{
+     */
+    bool tracingEnabled() const { return _traceOn; }
+    const TraceStats &traceStats() const { return _traces.stats; }
+    size_t liveTraces() const { return _traces.liveCount(); }
+    /** @} */
+
+    /**
+     * Mirror the trace counters (trace.formed/follows/invalidated/
+     * sideExits) into @p reg. Host-side observability only — callers
+     * must not route this into a deterministic bench registry, since
+     * trace coverage legitimately changes with HIPSTR_TRACE.
+     */
+    void publishTraceTelemetry(telemetry::MetricRegistry &reg) const;
+
     IsaKind isa() const { return _isa; }
     VmStats stats;
     CodeCache &codeCache() { return _cache; }
@@ -201,6 +229,25 @@ class PsrVm
     template <bool Traced>
     VmRunResult runLoop(uint64_t max_guest_insts);
 
+    /**
+     * Dispatch-loop transfer helpers, shared between the block loop
+     * and the trace executor so both pay identical counter and
+     * security semantics. Each returns nullptr/false with @p stop
+     * filled when the run must end. @{
+     */
+    TranslatedBlock *dispatchTo(Addr target, VmRunResult &stop);
+    TranslatedBlock *indirectResolve(Addr target, VmRunResult &stop);
+    TranslatedBlock *indirectDispatch(Addr target, VmRunResult &stop);
+    bool emitCallLinkage(Addr source_ra, VmRunResult &stop);
+    /** @} */
+
+    /**
+     * Run @p tr's threaded op stream until a stop, a side exit, or an
+     * abandoning flush (defined in superblock.cc).
+     */
+    TraceExit runTrace(SuperTrace *tr, uint64_t guest_budget,
+                       VmRunResult &stop);
+
     /** Modeled timestamp of "now" for trace events (cold paths). */
     double traceTs() const;
 
@@ -214,6 +261,8 @@ class PsrVm
     PsrTranslator _translator;
     CodeCache _cache;
     ReturnAddressTable _rat;
+    TraceEngine _traces;
+    bool _traceOn = false; ///< traceMode resolved against HIPSTR_TRACE
     bool _decodeFaultArmed = false;
 };
 

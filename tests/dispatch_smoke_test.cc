@@ -70,7 +70,8 @@ TEST(DispatchSmoke, SteadyStateAvoidsTheDispatcher)
         vm.stats.dispatches - before.dispatches;
     const uint64_t fast_transfers =
         (vm.stats.chainFollows - before.chainFollows) +
-        (vm.stats.ratHits - before.ratHits);
+        (vm.stats.ratHits - before.ratHits) +
+        (vm.stats.traceFollows - before.traceFollows);
     EXPECT_EQ(translations, 0u)
         << "steady state must run fully from the code cache";
     EXPECT_EQ(vm.stats.securityEvents, 0u);
@@ -114,6 +115,7 @@ TEST(DispatchSmoke, MaskedTraceSinkIsAPureObserver)
     EXPECT_EQ(on.memWrites, off.memWrites);
     EXPECT_EQ(on.dispatches, off.dispatches);
     EXPECT_EQ(on.chainFollows, off.chainFollows);
+    EXPECT_EQ(on.traceFollows, off.traceFollows);
     EXPECT_EQ(on.translations, off.translations);
     EXPECT_EQ(on.ratHits, off.ratHits);
     EXPECT_EQ(on.ratMisses, off.ratMisses);

@@ -310,12 +310,14 @@ expectDispatchAccounting(const VmStats &stats,
                          const std::string &label)
 {
     // Every dispatch-level transfer resolves through exactly one of
-    // the three mechanisms: a dispatcher entry, a chain follow, or a
-    // RAT-memoized return. Each run() entry dispatches once without a
-    // hook event. This is the documented controlTraceHook invariant
-    // (vm/psr_vm.hh) — RAT memoization and the per-site inline caches
+    // the four mechanisms: a dispatcher entry, a chain follow, a
+    // RAT-memoized return, or a superblock-trace edge. Each run()
+    // entry dispatches once without a hook event. This is the
+    // documented controlTraceHook invariant (vm/psr_vm.hh) — RAT
+    // memoization, the per-site inline caches, and trace formation
     // must not add or drop a single transfer.
-    EXPECT_EQ(stats.dispatches + stats.chainFollows + stats.ratHits,
+    EXPECT_EQ(stats.dispatches + stats.chainFollows + stats.ratHits +
+                  stats.traceFollows,
               hooks.total() + run_entries)
         << label;
     // Indirect-transfer accounting is the security-policy input: one
@@ -381,6 +383,9 @@ TEST(PsrVm, DispatchAccountingInvariant)
                 << label;
             EXPECT_EQ(vm.stats.chainFollows,
                       plain.stats.chainFollows)
+                << label;
+            EXPECT_EQ(vm.stats.traceFollows,
+                      plain.stats.traceFollows)
                 << label;
             EXPECT_EQ(vm.stats.ratHits, plain.stats.ratHits)
                 << label;
@@ -507,6 +512,133 @@ TEST(PsrVm, RelocationMapsRandomizeAcrossSeeds)
     EXPECT_NE(ma.slotMap, mb.slotMap);
     EXPECT_GT(ma.randomizableParams, 0u);
     EXPECT_GT(ma.entropyBits, 13.0);
+}
+
+/**
+ * Superblock-trace invalidation: every flush flavour must retire all
+ * live traces before a stale block pointer can be re-followed, and
+ * execution after the flush must stay byte-for-byte correct.
+ */
+TEST(PsrVm, TraceInvalidationOnFlushTranslations)
+{
+    FatBinary bin = compileModule(buildWorkload("hmmer"));
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    cfg.traceMode = PsrConfig::TraceMode::On;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+    vm.reset();
+
+    // Warm long enough for the hot loop to cross the formation
+    // threshold and run through traces.
+    auto warm = vm.run(100'000);
+    ASSERT_EQ(warm.reason, VmStop::StepLimit);
+    ASSERT_TRUE(vm.tracingEnabled());
+    ASSERT_GT(vm.traceStats().formed, 0u);
+    ASSERT_GT(vm.liveTraces(), 0u);
+    ASSERT_GT(vm.stats.traceFollows, 0u);
+
+    // A fault-injected translator flush mid-run: every live trace is
+    // retired with the code cache that owns its blocks.
+    const uint64_t invalidated_before = vm.traceStats().invalidated;
+    const uint64_t live_before = vm.liveTraces();
+    vm.flushTranslations();
+    EXPECT_EQ(vm.liveTraces(), 0u);
+    EXPECT_EQ(vm.traceStats().invalidated,
+              invalidated_before + live_before);
+
+    // Execution continues correctly (retranslating and reforming).
+    auto r = vm.run(400'000'000);
+    EXPECT_EQ(r.reason, VmStop::Exited);
+    auto plain = runUnderVm(bin, IsaKind::Cisc, cfg);
+    ASSERT_EQ(plain.result.reason, VmStop::Exited);
+    EXPECT_EQ(os.exitCode(), plain.exitCode);
+    EXPECT_EQ(os.outputChecksum(), plain.outputChecksum);
+}
+
+TEST(PsrVm, TraceInvalidationOnReRandomize)
+{
+    FatBinary bin = compileModule(buildWorkload("hmmer"));
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    cfg.traceMode = PsrConfig::TraceMode::On;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+    vm.reset();
+    auto warm = vm.run(100'000);
+    ASSERT_EQ(warm.reason, VmStop::StepLimit);
+    ASSERT_GT(vm.liveTraces(), 0u);
+
+    // Respawn re-randomization (Section 5.3) drops every trace along
+    // with the translations they splice.
+    vm.reRandomize();
+    EXPECT_EQ(vm.liveTraces(), 0u);
+
+    // The old architectural state is not expected to survive a
+    // re-randomization mid-function (relocation maps changed), so
+    // restart from the entry point and check end-to-end behaviour.
+    os.reset();
+    vm.reset();
+    auto r = vm.run(400'000'000);
+    EXPECT_EQ(r.reason, VmStop::Exited);
+    auto plain = runUnderVm(bin, IsaKind::Cisc, cfg);
+    ASSERT_EQ(plain.result.reason, VmStop::Exited);
+    EXPECT_EQ(os.exitCode(), plain.exitCode);
+    EXPECT_EQ(os.outputChecksum(), plain.outputChecksum);
+}
+
+TEST(PsrVm, TraceInvalidationOnCapacityFlush)
+{
+    // A 1 KiB code cache flushes on nearly every translation, so
+    // traces are constantly formed over blocks that are about to
+    // disappear — including flushes triggered *by* a trace's own call
+    // linkage mid-execution. Behaviour must match the trace-off run
+    // exactly on every deterministic observable.
+    for (const std::string &name : { std::string("httpd"),
+                                     std::string("mcf") }) {
+        FatBinary bin = compileModule(buildWorkload(name));
+        for (IsaKind isa : kAllIsas) {
+            PsrConfig cfg;
+            cfg.codeCacheBytes = 1024;
+            cfg.traceMode = PsrConfig::TraceMode::On;
+            auto on = runUnderVm(bin, isa, cfg);
+            cfg.traceMode = PsrConfig::TraceMode::Off;
+            auto off = runUnderVm(bin, isa, cfg);
+            const std::string label = name + "/" + isaName(isa);
+            ASSERT_EQ(on.result.reason, VmStop::Exited) << label;
+            ASSERT_EQ(off.result.reason, VmStop::Exited) << label;
+            EXPECT_GT(on.stats.cacheFlushes, 0u) << label;
+            EXPECT_EQ(on.exitCode, off.exitCode) << label;
+            EXPECT_EQ(on.outputChecksum, off.outputChecksum) << label;
+            EXPECT_EQ(on.stats.guestInsts, off.stats.guestInsts)
+                << label;
+            EXPECT_EQ(on.stats.hostInsts, off.stats.hostInsts)
+                << label;
+            EXPECT_EQ(on.stats.memReads, off.stats.memReads) << label;
+            EXPECT_EQ(on.stats.memWrites, off.stats.memWrites)
+                << label;
+            EXPECT_EQ(on.stats.ratHits, off.stats.ratHits) << label;
+            EXPECT_EQ(on.stats.indirectTransfers,
+                      off.stats.indirectTransfers)
+                << label;
+            EXPECT_EQ(on.stats.securityEvents,
+                      off.stats.securityEvents)
+                << label;
+            EXPECT_EQ(on.stats.cacheFlushes, off.stats.cacheFlushes)
+                << label;
+            // The chainFollows/traceFollows split is the one allowed
+            // counter difference: their sum plus dispatches is
+            // conserved.
+            EXPECT_EQ(on.stats.dispatches + on.stats.chainFollows +
+                          on.stats.traceFollows,
+                      off.stats.dispatches + off.stats.chainFollows +
+                          off.stats.traceFollows)
+                << label;
+            EXPECT_EQ(off.stats.traceFollows, 0u) << label;
+        }
+    }
 }
 
 TEST(PsrVm, StatsAreInternalllyConsistent)
