@@ -11,6 +11,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hipstr::bench
@@ -21,8 +22,7 @@ benchOptions()
 {
     static const BenchRunOptions opts = [] {
         BenchRunOptions o;
-        const char *env = std::getenv("HIPSTR_BENCH_SMOKE");
-        o.smoke = env != nullptr && env[0] == '1';
+        o.smoke = envFlag("HIPSTR_BENCH_SMOKE", false);
         o.jobs = hipstrJobs();
         return o;
     }();

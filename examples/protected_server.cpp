@@ -28,14 +28,28 @@
  * blackout; the supervisor rides it out with backoff, quarantine,
  * rerouting, and degraded single-ISA mode, and the run prints the
  * fault/recovery bookkeeping plus the final telemetry gauges.
+ *
+ * Record/replay (src/replay) wires in through two environment knobs:
+ *
+ *   HIPSTR_RECORD=run.hjl ./examples/protected_server --chaos
+ *   HIPSTR_REPLAY=run.hjl ./examples/protected_server --chaos
+ *
+ * Recording journals every nondeterministic input (request draws,
+ * fault firings, migration coin flips) plus periodic checkpoints
+ * without perturbing the run; replaying re-drives the identical run
+ * bit-exactly, verifying every round's sync signature. EXPERIMENTS.md
+ * has the crash-triage recipe built on these.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "compiler/compile.hh"
+#include "replay/record_replay.hh"
 #include "server/protected_server.hh"
+#include "support/env.hh"
 #include "workloads/workloads.hh"
 
 using namespace hipstr;
@@ -98,8 +112,41 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cfg.requestCount),
                 chaos ? " + seeded chaos plan" : "");
 
-    ProtectedServer server(bin, cfg);
-    ServerReport r = server.run();
+    const std::string recordPath = envString("HIPSTR_RECORD");
+    const std::string replayPath = envString("HIPSTR_REPLAY");
+    if (!recordPath.empty() && !replayPath.empty()) {
+        std::fprintf(stderr, "set HIPSTR_RECORD or HIPSTR_REPLAY, "
+                             "not both\n");
+        return 2;
+    }
+
+    // The record/replay harnesses own their server internally, so
+    // the per-worker dump below only runs for a plain serve.
+    std::unique_ptr<ProtectedServer> server;
+    ServerReport r;
+    if (!replayPath.empty()) {
+        replay::ReplayResult rr =
+            replay::replayRun(bin, cfg, replayPath);
+        r = rr.report;
+        std::printf("replayed %s bit-exactly: %llu rounds, %llu "
+                    "sync points verified\n",
+                    replayPath.c_str(),
+                    static_cast<unsigned long long>(rr.rounds),
+                    static_cast<unsigned long long>(rr.syncChecks));
+    } else if (!recordPath.empty()) {
+        replay::RecordResult rc =
+            replay::recordRun(bin, cfg, recordPath);
+        r = rc.report;
+        std::printf("recorded %llu rounds to %s (%llu journal "
+                    "bytes, %llu checkpoints)\n",
+                    static_cast<unsigned long long>(rc.rounds),
+                    recordPath.c_str(),
+                    static_cast<unsigned long long>(rc.journalBytes),
+                    static_cast<unsigned long long>(rc.checkpoints));
+    } else {
+        server = std::make_unique<ProtectedServer>(bin, cfg);
+        r = server->run();
+    }
 
     std::printf(
         "served %llu/%llu requests in %llu rounds "
@@ -148,8 +195,12 @@ main(int argc, char **argv)
             metrics.gauge("server.degraded_mode").value());
     }
 
+    if (server == nullptr) {
+        std::printf("done\n");
+        return 0;
+    }
     std::printf("per-worker generations after the run:\n");
-    for (const auto &w : server.workers()) {
+    for (const auto &w : server->workers()) {
         std::printf(
             "  pid %-2u %-8s isa=%-4s respawns=%u gen(risc/cisc)="
             "%llu/%llu insts=%llu\n",

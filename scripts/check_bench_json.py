@@ -118,6 +118,25 @@ def check_fault_tolerance(path, metrics):
                        f"{recover!r} invalid")
 
 
+def check_record_replay(path, metrics):
+    """BENCH_record_replay.json carries the record/replay fidelity
+    claims: recording perturbed nothing, the replay matched the
+    journal bit-exactly (with at least one verified sync point), a
+    non-empty journal was produced, and the windowed replay restored
+    a mid-run checkpoint."""
+    for name in ("record.zero_perturbation", "replay.match"):
+        v = metrics.get(name)
+        if v != 1:
+            fail(path, f"{name} is {v!r}, want 1")
+    for name in ("record.journal_bytes", "record.checkpoints",
+                 "replay.sync_checks", "window.start_round"):
+        v = metrics.get(name)
+        if v is None:
+            fail(path, f"{name} missing")
+        elif not is_finite_number(v) or v <= 0:
+            fail(path, f"{name} {v!r} invalid, want > 0")
+
+
 def check_deterministic(path, bench_name):
     doc = json.loads(path.read_text())
     if set(doc.keys()) != {"bench", "smoke", "metrics"}:
@@ -133,6 +152,9 @@ def check_deterministic(path, bench_name):
     if bench_name == "fault_tolerance" and \
             isinstance(doc["metrics"], dict):
         check_fault_tolerance(path, doc["metrics"])
+    if bench_name == "record_replay" and \
+            isinstance(doc["metrics"], dict):
+        check_record_replay(path, doc["metrics"])
 
 
 def check_host(path, bench_name):

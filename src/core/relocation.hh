@@ -32,6 +32,7 @@
 #include "binary/fatbin.hh"
 #include "core/psr_config.hh"
 #include "support/random.hh"
+#include "support/serialize.hh"
 #include "telemetry/phase.hh"
 
 namespace hipstr
@@ -135,6 +136,18 @@ class Randomizer
      */
     telemetry::PhaseStats regallocPhase;
     telemetry::PhaseStats relocationPhase;
+    /** @} */
+
+    /**
+     * Checkpoint the randomization state: generation counter, RNG
+     * stream position, phase profiles, and every generated map
+     * verbatim — a restored guest must see the exact frame layouts
+     * its stack was built against, and future reRandomize() draws
+     * must continue the recorded stream. _addressTaken is derived
+     * from the binary in the constructor and is not serialized. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r);
     /** @} */
 
   private:

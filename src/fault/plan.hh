@@ -74,11 +74,16 @@ struct QuantumFault
 };
 
 /** The plan. Stateless and const after construction — safe to share
- *  across every worker and the scheduler. */
+ *  across every worker and the scheduler. The three scheduling
+ *  queries are virtual so the record/replay layer (src/replay) can
+ *  decorate a plan to journal its firings, or substitute one that
+ *  answers from a journal; all three sit on cold per-quantum /
+ *  per-round paths, so the indirection costs nothing measurable. */
 class FaultPlan
 {
   public:
     explicit FaultPlan(const FaultPlanConfig &cfg);
+    virtual ~FaultPlan() = default;
 
     const FaultPlanConfig &config() const { return _cfg; }
 
@@ -86,18 +91,19 @@ class FaultPlan
      * The transient fault (if any) scheduled for process @p pid's
      * quantum number @p serial. Pure function of (seed, pid, serial).
      */
-    QuantumFault quantumFault(uint32_t pid, uint64_t serial) const;
+    virtual QuantumFault quantumFault(uint32_t pid,
+                                      uint64_t serial) const;
 
     /**
      * Outage length, in rounds, of an outage *starting* at @p round on
      * core @p coreId of @p isa; 0 = the core stays up. Includes the
      * scripted full-ISA outage window.
      */
-    uint32_t coreOutageAt(unsigned coreId, IsaKind isa,
-                          uint64_t round) const;
+    virtual uint32_t coreOutageAt(unsigned coreId, IsaKind isa,
+                                  uint64_t round) const;
 
     /** Wedge-episode length for a Wedge fault's @p payload. */
-    uint32_t wedgeLength(uint64_t payload) const;
+    virtual uint32_t wedgeLength(uint64_t payload) const;
 
   private:
     /** Independent hash streams so e.g. the outage schedule never

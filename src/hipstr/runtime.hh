@@ -10,6 +10,7 @@
 #define HIPSTR_HIPSTR_RUNTIME_HH
 
 #include <array>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -228,6 +229,35 @@ class HipstrRuntime
      * surviving ISA when its home ISA's cores are all offline.
      */
     void setStartIsa(IsaKind isa) { _cfg.startIsa = isa; }
+
+    /**
+     * Record/replay seams (src/replay). Both default to nullptr and
+     * cost nothing in normal operation — they are consulted only on
+     * the cold security-event path, after every cheaper check.
+     *
+     * coinLog (recording): each diversification coin flip is drawn
+     * from the policy RNG exactly as without a recorder, then its
+     * outcome is appended — the random stream is unperturbed.
+     *
+     * coinFeed (replay): flips are consumed from the journal instead
+     * of drawn. An exhausted feed latches coinStarved and denies the
+     * migration; the replayer checks the latch at the next sync
+     * point and reports divergence. @{
+     */
+    std::vector<uint8_t> *coinLog = nullptr;
+    std::deque<uint8_t> *coinFeed = nullptr;
+    bool coinStarved = false;
+    /** @} */
+
+    /**
+     * Checkpoint the runtime: current ISA, policy-RNG position,
+     * one-shot latches, cumulative summary, phase accounting, and
+     * both VMs (PsrVm::saveState). Restore with the identical
+     * HipstrConfig; the caller owns Memory/GuestOs state. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r);
+    /** @} */
 
     /**
      * Per-phase profile cumulative since *construction* (unlike

@@ -13,6 +13,7 @@
 
 #include "isa/machine_state.hh"
 #include "isa/memory.hh"
+#include "support/serialize.hh"
 
 namespace hipstr
 {
@@ -89,6 +90,19 @@ class GuestOs
     }
 
     void reset();
+
+    /**
+     * Checkpoint the OS-visible program state: exit/execve status,
+     * the brk pointer, the retained output tail AND the running
+     * checksum + total-byte counters. The checksum capture is what
+     * lets a restored guest's whole-run outputChecksum() match the
+     * uninterrupted run even when output was drained before the
+     * snapshot. The retention cap is configuration, not state, and
+     * is not serialized. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r);
+    /** @} */
 
     /**
      * True exactly once after a syscall redirected the program

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hipstr
@@ -306,7 +307,7 @@ MigrationEngine::migrate(PsrVm &from, PsrVm &to, Addr guest_pc)
                 value = value - f.spA + f.spB;
                 ++out.pointersRebased;
             }
-            if (getenv("HIPSTR_MIG_DEBUG")) {
+            if (envFlag("HIPSTR_MIG_DEBUG", false)) {
                 const VregLoc &la = fiAf.vregLoc[v];
                 const FuncInfo &fb2 = _bin.funcInfo(isaB, f.funcId);
                 const VregLoc &lb = fb2.vregLoc[v];

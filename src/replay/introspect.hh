@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Remote introspection server: a minimal line-protocol TCP endpoint
+ * (in the spirit of a simulator's gdb stub) bound to a paused or
+ * stepped ProtectedServer. A debugging client can list guests, read
+ * a guest's registers and memory, dump serve-loop telemetry, trigger
+ * a full server checkpoint to disk, and single-step scheduler rounds
+ * during a paused replay.
+ *
+ * Protocol: one command per line; responses are zero or more data
+ * lines followed by a terminator line — "ok" (optionally with
+ * trailing fields) on success, "err <message>" on failure.
+ *
+ *   guests                    one line per worker:
+ *                             "guest <pid> <state> <isa> pc=<hex>
+ *                              insts=<n>"
+ *   regs <pid>                "r0=<hex> ... r15=<hex>", "pc=<hex>",
+ *                             "flags=<z><s><c><o>"
+ *   mem <pid> <hexaddr> <len> hex dump, 16 bytes per line
+ *   telemetry                 serve-loop counters, "key=value" lines
+ *   checkpoint <path>         write saveCheckpoint() to <path>
+ *   step [n]                  advance n scheduler rounds (default 1)
+ *   status                    "round=<n> finished=<0|1>"
+ *   quit                      close the connection and stop serving
+ *
+ * Threading: the server mutates the ProtectedServer only from the
+ * serve() thread (step/checkpoint). It is meant to drive a *paused*
+ * run — the owner must not step the same server concurrently.
+ */
+
+#ifndef HIPSTR_REPLAY_INTROSPECT_HH
+#define HIPSTR_REPLAY_INTROSPECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "server/protected_server.hh"
+
+namespace hipstr
+{
+namespace replay
+{
+
+class IntrospectionServer
+{
+  public:
+    /**
+     * Bind to 127.0.0.1:@p port (0 = any free port; see port()).
+     * The ProtectedServer must have had beginRun() called and must
+     * outlive this object. Throws ReplayErrc::Io on bind failure.
+     */
+    explicit IntrospectionServer(ProtectedServer &srv,
+                                 uint16_t port = 0);
+    ~IntrospectionServer();
+
+    IntrospectionServer(const IntrospectionServer &) = delete;
+    IntrospectionServer &operator=(const IntrospectionServer &) =
+        delete;
+
+    /** The bound TCP port (useful with port 0). */
+    uint16_t port() const { return _port; }
+
+    /**
+     * Accept and serve clients, one at a time, until a client sends
+     * "quit" or requestStop() is called. Blocking — run it on its own
+     * thread.
+     */
+    void serve();
+
+    /** Unblock serve() from another thread. */
+    void requestStop();
+
+    /** Handle one protocol line (exposed for unit tests; the response
+     *  includes the trailing terminator line, newline-separated). */
+    std::string handleLine(const std::string &line);
+
+  private:
+    ProtectedServer &_srv;
+    int _listenFd = -1;
+    uint16_t _port = 0;
+    std::atomic<bool> _stop{ false };
+    bool _quit = false; ///< set by the "quit" command
+};
+
+} // namespace replay
+} // namespace hipstr
+
+#endif // HIPSTR_REPLAY_INTROSPECT_HH

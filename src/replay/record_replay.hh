@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic record/replay for the protected server.
+ *
+ * Recording wraps a normal ProtectedServer run: a ServerTap journals
+ * every request drawn from the stream, a RecordingFaultPlan decorator
+ * journals every fault-plan firing, and per-worker coin logs capture
+ * each diversification coin flip — all without perturbing the run
+ * (the RNG streams are drawn exactly as they would be un-recorded).
+ * At each round boundary the recorder emits a sync signature, and at
+ * a configurable cadence a full server checkpoint.
+ *
+ * Replaying re-drives a server built from the same (FatBinary,
+ * ServerConfig): requests come from the journal, faults from a
+ * journal-backed ReplayFaultPlan, coin flips from per-worker feeds.
+ * Every round's sync signature is compared against the recording and
+ * the first disagreement raises ReplayErrc::Divergence — so a replay
+ * that completes is bit-exact, not approximately similar. Windowed
+ * replay restores the nearest checkpoint at or before the requested
+ * round and re-drives only the tail.
+ */
+
+#ifndef HIPSTR_REPLAY_RECORD_REPLAY_HH
+#define HIPSTR_REPLAY_RECORD_REPLAY_HH
+
+#include <memory>
+#include <string>
+
+#include "replay/journal.hh"
+#include "server/protected_server.hh"
+
+namespace hipstr
+{
+namespace replay
+{
+
+/**
+ * FaultPlan decorator that answers from the real plan and journals
+ * every non-trivial answer. The per-pid fault log is written from
+ * concurrently running quanta, but each pid runs at most one quantum
+ * per round on one host thread, so distinct pids never race and one
+ * pid's entries are ordered by its quantum serial. Outage queries
+ * happen in the scheduler's sequential supervision step.
+ */
+class RecordingFaultPlan : public FaultPlan
+{
+  public:
+    explicit RecordingFaultPlan(const FaultPlanConfig &cfg,
+                                unsigned workers);
+
+    QuantumFault quantumFault(uint32_t pid,
+                              uint64_t serial) const override;
+    uint32_t coreOutageAt(unsigned coreId, IsaKind isa,
+                          uint64_t round) const override;
+
+    /** One journaled firing. @{ */
+    struct FaultRec
+    {
+        uint32_t pid;
+        uint64_t serial;
+        QuantumFault fault;
+    };
+    struct OutageRec
+    {
+        uint32_t coreId;
+        IsaKind isa;
+        uint64_t round;
+        uint32_t len;
+    };
+    /** @} */
+
+    /** Drain everything logged since the last drain (round end). */
+    void drain(std::vector<FaultRec> &faults,
+               std::vector<OutageRec> &outages) const;
+
+  private:
+    /** Indexed by pid; mutable because the query API is const. */
+    mutable std::vector<std::vector<FaultRec>> _faultLog;
+    mutable std::vector<OutageRec> _outageLog;
+};
+
+/**
+ * FaultPlan that answers quantum faults and core outages from a
+ * parsed journal; wedge lengths (a pure function of the payload)
+ * delegate to the real plan's derivation.
+ */
+class ReplayFaultPlan : public FaultPlan
+{
+  public:
+    ReplayFaultPlan(const FaultPlanConfig &cfg, const Journal &j);
+
+    QuantumFault quantumFault(uint32_t pid,
+                              uint64_t serial) const override;
+    uint32_t coreOutageAt(unsigned coreId, IsaKind isa,
+                          uint64_t round) const override;
+
+  private:
+    const Journal &_journal;
+};
+
+/**
+ * Behavioural hash of a ServerConfig: every knob that affects what a
+ * run does (pointer-valued observers — trace, metrics, tap — are
+ * excluded). A journal records the hash of the config it was captured
+ * under; replaying against a different one fails fast with
+ * ConfigMismatch instead of diverging mysteriously mid-run.
+ */
+uint64_t serverConfigHash(const ServerConfig &cfg);
+
+/** Recording knobs. */
+struct RecordOptions
+{
+    /** Emit a full server checkpoint every N rounds (0 = only record,
+     *  never checkpoint; windowed replay then always starts at round
+     *  0). */
+    uint64_t checkpointEveryRounds = 64;
+};
+
+/** What recordRun() produced. */
+struct RecordResult
+{
+    ServerReport report;    ///< the run's normal report
+    uint64_t rounds = 0;
+    uint64_t journalBytes = 0;
+    uint64_t requestsDrawn = 0;
+    uint64_t checkpoints = 0;
+};
+
+/** What replayRun()/replayWindow() produced. */
+struct ReplayResult
+{
+    ServerReport report;    ///< must equal the recorded run's report
+    uint64_t rounds = 0;    ///< rounds executed by this replay
+    uint64_t startRound = 0; ///< 0, or the restored checkpoint round
+    uint64_t syncChecks = 0; ///< round signatures verified
+};
+
+/**
+ * Run the server to completion under recording, writing the journal
+ * to @p path. The run itself is bit-identical to an un-recorded one
+ * with the same (bin, cfg).
+ */
+RecordResult recordRun(const FatBinary &bin, const ServerConfig &cfg,
+                       const std::string &path,
+                       ThreadPool *pool = nullptr,
+                       const RecordOptions &opts = RecordOptions{});
+
+/**
+ * Re-drive a recorded run from round 0 and verify it bit-exactly:
+ * every round's sync signature and the final report signature must
+ * match the journal. Throws ReplayError (ConfigMismatch, Divergence,
+ * or any journal parse error).
+ */
+ReplayResult replayRun(const FatBinary &bin, const ServerConfig &cfg,
+                       const std::string &path,
+                       ThreadPool *pool = nullptr);
+
+/**
+ * Windowed replay: restore the nearest recorded checkpoint at or
+ * before @p fromRound and re-drive from there to completion, with
+ * the same bit-exact verification over the replayed window.
+ */
+ReplayResult replayWindow(const FatBinary &bin,
+                          const ServerConfig &cfg,
+                          const std::string &path, uint64_t fromRound,
+                          ThreadPool *pool = nullptr);
+
+} // namespace replay
+} // namespace hipstr
+
+#endif // HIPSTR_REPLAY_RECORD_REPLAY_HH

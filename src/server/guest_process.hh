@@ -242,6 +242,20 @@ class GuestProcess
     }
     /** @} */
 
+    /**
+     * Checkpoint the complete process: lifecycle state, service
+     * budget, cumulative stats, fault bookkeeping, guest OS (with
+     * retained-output checksum), the dual-ISA runtime, and the
+     * data/heap/stack memory image ([kDataBase, kStackTop), zero
+     * pages skipped). Restore into a process constructed from the
+     * identical (FatBinary, GuestProcessConfig); the restored guest
+     * continues byte-identically while its translation caches
+     * rebuild cold. May not be called mid-quantum. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r);
+    /** @} */
+
     /** Cumulative stats, including the live (un-reset) runtime epoch. */
     GuestProcessStats stats() const;
 

@@ -25,6 +25,30 @@ fold64(uint64_t &h, uint64_t v)
     }
 }
 
+void
+saveRequest(ByteWriter &w, const Request &r)
+{
+    w.u64(r.id);
+    w.u8(static_cast<uint8_t>(r.kind));
+    w.u64(r.costInsts);
+    w.u32(r.retries);
+}
+
+Request
+loadRequest(ByteReader &r)
+{
+    Request req;
+    req.id = r.u64();
+    uint8_t kind = r.u8();
+    if (kind >= kNumRequestKinds)
+        throw SerializeError(SerializeErrc::Corrupt,
+                             "bad request kind in checkpoint");
+    req.kind = static_cast<RequestKind>(kind);
+    req.costInsts = r.u64();
+    req.retries = r.u32();
+    return req;
+}
+
 } // namespace
 
 ProtectedServer::ProtectedServer(const FatBinary &bin,
@@ -34,10 +58,15 @@ ProtectedServer::ProtectedServer(const FatBinary &bin,
 {
     hipstr_assert(cfg.workers > 0);
     _sched.trace = cfg.trace;
-    if (cfg.faults.enabled) {
+    const FaultPlan *active = nullptr;
+    if (cfg.faultPlanOverride != nullptr) {
+        active = cfg.faultPlanOverride;
+    } else if (cfg.faults.enabled) {
         _plan = std::make_unique<FaultPlan>(cfg.faults);
-        _sched.faultPlan = _plan.get();
+        active = _plan.get();
     }
+    if (active != nullptr)
+        _sched.faultPlan = active;
     uint64_t expected = 0;
     if (cfg.verifyOutput)
         expected = referenceChecksum();
@@ -48,8 +77,8 @@ ProtectedServer::ProtectedServer(const FatBinary &bin,
         pcfg.seed = cfg.seed;
         pcfg.hipstr = cfg.hipstr;
         pcfg.outputCap = cfg.outputCap;
-        if (_plan != nullptr) {
-            pcfg.faultPlan = _plan.get();
+        if (active != nullptr) {
+            pcfg.faultPlan = active;
             pcfg.watchdogQuanta = cfg.watchdogQuanta;
         }
         auto proc = std::make_unique<GuestProcess>(bin, pcfg);
@@ -78,201 +107,221 @@ ProtectedServer::referenceChecksum() const
     return os.outputChecksum();
 }
 
-ServerReport
-ProtectedServer::run(ThreadPool *pool)
+void
+ProtectedServer::beginRun()
 {
-    ServerReport report;
-
-    // Per-worker in-flight request bookkeeping.
-    struct InFlight
-    {
-        Request req;
-        uint64_t startRound = 0;
-        bool active = false;
-    };
-    std::vector<InFlight> inflight(_workers.size());
-    std::vector<bool> retired(_workers.size(), false);
-
-    std::deque<Request> requeue; // from retired workers
-    uint64_t next_id = 0;
-    std::vector<uint64_t> latencies;
-    latencies.reserve(static_cast<size_t>(
+    ServeState st;
+    st.inflight.assign(_workers.size(), InFlight{});
+    st.retired.assign(_workers.size(), false);
+    st.latencies.reserve(static_cast<size_t>(
         std::min<uint64_t>(_cfg.requestCount, 1 << 20)));
-    uint64_t sig = 0xcbf29ce484222325ull;
 
     // Request-lifecycle tracing on the modeled timeline (one round =
     // one quantum per core through the CMP's aggregate rate).
     using telemetry::TraceCategory;
     telemetry::TraceBuffer *tr = _cfg.trace;
-    const bool traced =
-        tr != nullptr && tr->enabled(TraceCategory::Server);
-    double us_per_round = 0;
-    {
-        double agg = _cmp.aggregateInstsPerSecond();
-        if (agg > 0) {
-            us_per_round = double(_cfg.sched.quantumInsts) *
-                double(_cmp.totalCores()) / agg * 1e6;
+    st.traced = tr != nullptr && tr->enabled(TraceCategory::Server);
+    double agg = _cmp.aggregateInstsPerSecond();
+    if (agg > 0) {
+        st.usPerRound = double(_cfg.sched.quantumInsts) *
+            double(_cmp.totalCores()) / agg * 1e6;
+    }
+    st.begun = true;
+    _serve = std::move(st);
+
+    // Degraded-mode gauge for dashboards.
+    if (_cfg.metrics != nullptr)
+        _cfg.metrics->gauge("server.degraded_mode").set(0);
+}
+
+bool
+ProtectedServer::stepRound(ThreadPool *pool)
+{
+    ServeState &st = _serve;
+    hipstr_assert(st.begun);
+    if (st.finished)
+        return false;
+    if (st.done >= _cfg.requestCount || st.roundNo >= kMaxRounds) {
+        st.finished = true;
+        return false;
+    }
+
+    using telemetry::TraceCategory;
+    telemetry::TraceBuffer *tr = _cfg.trace;
+    const bool traced = st.traced;
+    const double us_per_round = st.usPerRound;
+
+    // ---- Assign requests to idle workers in pid order. ----
+    for (size_t w = 0; w < _workers.size(); ++w) {
+        GuestProcess &proc = *_workers[w];
+        if (st.retired[w] || st.inflight[w].active ||
+            proc.state() != ProcState::Blocked) {
+            continue;
+        }
+        Request r;
+        if (!st.requeue.empty()) {
+            r = st.requeue.front();
+            st.requeue.pop_front();
+        } else if (st.nextId < _cfg.requestCount) {
+            uint64_t id = st.nextId++;
+            // Record/replay seam: a replayer supplies the journaled
+            // request; the live stream (a pure function of id) is
+            // drawn otherwise and offered to a recorder.
+            if (_cfg.tap == nullptr ||
+                !_cfg.tap->supplyRequest(id, r)) {
+                r = _stream.make(id);
+                if (_cfg.tap != nullptr)
+                    _cfg.tap->requestDrawn(r);
+            }
+        } else {
+            continue;
+        }
+        proc.beginService(r.costInsts);
+        // Stage the request's payload only on first delivery — a
+        // retried request already burned its exploit.
+        if (r.retries == 0) {
+            if (r.kind == RequestKind::Attack)
+                (void)proc.injectAttackProbe(r.id);
+            else if (r.kind == RequestKind::Malformed)
+                (void)proc.injectCorruption(r.id);
+        }
+        st.inflight[w] = InFlight{ r, st.roundNo, true };
+        _sched.notifyReady(&proc);
+        if (traced) {
+            tr->record(
+                telemetry::traceInstant(
+                    TraceCategory::Server, "server.request.assign",
+                    double(st.roundNo) * us_per_round,
+                    static_cast<uint32_t>(w) + 1)
+                    .arg("id", r.id)
+                    .arg("kind", static_cast<uint64_t>(r.kind))
+                    .arg("cost_insts", r.costInsts)
+                    .arg("retries", r.retries));
         }
     }
 
-    // Degraded-mode bookkeeping: a gauge for dashboards plus one
-    // Server-category span per complete outage window.
-    telemetry::GaugeMetric *degraded_gauge = _cfg.metrics != nullptr
-        ? &_cfg.metrics->gauge("server.degraded_mode")
-        : nullptr;
-    if (degraded_gauge != nullptr)
-        degraded_gauge->set(0);
-    bool was_degraded = false;
-    uint64_t degraded_start = 0;
+    if (_sched.idle() && !_sched.hasConvalescents()) {
+        // Nothing runnable now or parked for later: either all
+        // requests are done, or the remaining ones cannot be
+        // served (every worker retired).
+        bool any_alive = false;
+        for (size_t w = 0; w < _workers.size(); ++w)
+            any_alive = any_alive || !st.retired[w];
+        if (!any_alive || (st.requeue.empty() &&
+                           st.nextId >= _cfg.requestCount)) {
+            st.finished = true;
+            return false;
+        }
+    }
 
-    uint64_t done = 0;
-    uint64_t round_no = 0;
-    while (done < _cfg.requestCount && round_no < kMaxRounds) {
-        // ---- Assign requests to idle workers in pid order. ----
-        for (size_t w = 0; w < _workers.size(); ++w) {
-            GuestProcess &proc = *_workers[w];
-            if (retired[w] || inflight[w].active ||
-                proc.state() != ProcState::Blocked) {
-                continue;
+    _sched.round(pool);
+    ++st.roundNo;
+
+    if (faultPlan() != nullptr) {
+        const bool deg = _sched.degraded();
+        if (deg != st.wasDegraded) {
+            if (_cfg.metrics != nullptr)
+                _cfg.metrics->gauge("server.degraded_mode")
+                    .set(deg ? 1 : 0);
+            if (deg) {
+                st.degradedStart = st.roundNo;
+            } else if (traced) {
+                tr->record(telemetry::traceSpan(
+                    TraceCategory::Server, "server.degraded",
+                    double(st.degradedStart) * us_per_round,
+                    double(st.roundNo - st.degradedStart) *
+                        us_per_round,
+                    0));
             }
-            Request r;
-            if (!requeue.empty()) {
-                r = requeue.front();
-                requeue.pop_front();
-            } else if (next_id < _cfg.requestCount) {
-                r = _stream.make(next_id++);
-            } else {
-                continue;
-            }
-            proc.beginService(r.costInsts);
-            // Stage the request's payload only on first delivery — a
-            // retried request already burned its exploit.
-            if (r.retries == 0) {
-                if (r.kind == RequestKind::Attack)
-                    (void)proc.injectAttackProbe(r.id);
-                else if (r.kind == RequestKind::Malformed)
-                    (void)proc.injectCorruption(r.id);
-            }
-            inflight[w] = InFlight{ r, round_no, true };
-            _sched.notifyReady(&proc);
+            st.wasDegraded = deg;
+        }
+    }
+
+    // ---- Poll outcomes in pid order. ----
+    for (size_t w = 0; w < _workers.size(); ++w) {
+        GuestProcess &proc = *_workers[w];
+        if (!st.inflight[w].active)
+            continue;
+
+        if (proc.state() == ProcState::Blocked) {
+            // Service complete.
+            const Request &r = st.inflight[w].req;
+            uint64_t lat = st.roundNo - st.inflight[w].startRound;
+            st.latencies.push_back(lat);
+            ++st.report.requestsServed;
+            ++st.report.servedByKind[static_cast<size_t>(r.kind)];
+            fold64(st.sig, r.id);
+            fold64(st.sig, static_cast<uint64_t>(r.kind));
+            fold64(st.sig, lat);
+            fold64(st.sig, static_cast<uint64_t>(w));
             if (traced) {
                 tr->record(
-                    telemetry::traceInstant(
-                        TraceCategory::Server, "server.request.assign",
-                        double(round_no) * us_per_round,
+                    telemetry::traceSpan(
+                        TraceCategory::Server, "server.request",
+                        double(st.inflight[w].startRound) *
+                            us_per_round,
+                        double(lat) * us_per_round,
                         static_cast<uint32_t>(w) + 1)
                         .arg("id", r.id)
                         .arg("kind", static_cast<uint64_t>(r.kind))
-                        .arg("cost_insts", r.costInsts)
+                        .arg("latency_rounds", lat));
+            }
+            st.inflight[w].active = false;
+            ++st.done;
+        } else if (proc.state() == ProcState::Crashed &&
+                   _sched.isRetired(&proc)) {
+            // Still Crashed after the scheduler round *and*
+            // permanently retired (a worker merely parked in the
+            // supervisor's infirmary keeps its request and will
+            // finish it after respawning). The retired worker's
+            // request goes back to the head of the queue for
+            // another worker.
+            st.retired[w] = true;
+            Request r = st.inflight[w].req;
+            ++r.retries;
+            st.requeue.push_front(r);
+            st.inflight[w].active = false;
+            if (traced) {
+                tr->record(
+                    telemetry::traceInstant(
+                        TraceCategory::Server,
+                        "server.request.retry",
+                        double(st.roundNo) * us_per_round,
+                        static_cast<uint32_t>(w) + 1)
+                        .arg("id", r.id)
                         .arg("retries", r.retries));
             }
         }
-
-        if (_sched.idle() && !_sched.hasConvalescents()) {
-            // Nothing runnable now or parked for later: either all
-            // requests are done, or the remaining ones cannot be
-            // served (every worker retired).
-            bool any_alive = false;
-            for (size_t w = 0; w < _workers.size(); ++w)
-                any_alive = any_alive || !retired[w];
-            if (!any_alive || (requeue.empty() &&
-                               next_id >= _cfg.requestCount)) {
-                break;
-            }
-        }
-
-        _sched.round(pool);
-        ++round_no;
-
-        if (_plan != nullptr) {
-            const bool deg = _sched.degraded();
-            if (deg != was_degraded) {
-                if (degraded_gauge != nullptr)
-                    degraded_gauge->set(deg ? 1 : 0);
-                if (deg) {
-                    degraded_start = round_no;
-                } else if (traced) {
-                    tr->record(telemetry::traceSpan(
-                        TraceCategory::Server, "server.degraded",
-                        double(degraded_start) * us_per_round,
-                        double(round_no - degraded_start) *
-                            us_per_round,
-                        0));
-                }
-                was_degraded = deg;
-            }
-        }
-
-        // ---- Poll outcomes in pid order. ----
-        for (size_t w = 0; w < _workers.size(); ++w) {
-            GuestProcess &proc = *_workers[w];
-            if (!inflight[w].active)
-                continue;
-
-            if (proc.state() == ProcState::Blocked) {
-                // Service complete.
-                const Request &r = inflight[w].req;
-                uint64_t lat = round_no - inflight[w].startRound;
-                latencies.push_back(lat);
-                ++report.requestsServed;
-                ++report.servedByKind[static_cast<size_t>(r.kind)];
-                fold64(sig, r.id);
-                fold64(sig, static_cast<uint64_t>(r.kind));
-                fold64(sig, lat);
-                fold64(sig, static_cast<uint64_t>(w));
-                if (traced) {
-                    tr->record(
-                        telemetry::traceSpan(
-                            TraceCategory::Server, "server.request",
-                            double(inflight[w].startRound) *
-                                us_per_round,
-                            double(lat) * us_per_round,
-                            static_cast<uint32_t>(w) + 1)
-                            .arg("id", r.id)
-                            .arg("kind", static_cast<uint64_t>(r.kind))
-                            .arg("latency_rounds", lat));
-                }
-                inflight[w].active = false;
-                ++done;
-            } else if (proc.state() == ProcState::Crashed &&
-                       _sched.isRetired(&proc)) {
-                // Still Crashed after the scheduler round *and*
-                // permanently retired (a worker merely parked in the
-                // supervisor's infirmary keeps its request and will
-                // finish it after respawning). The retired worker's
-                // request goes back to the head of the queue for
-                // another worker.
-                retired[w] = true;
-                Request r = inflight[w].req;
-                ++r.retries;
-                requeue.push_front(r);
-                inflight[w].active = false;
-                if (traced) {
-                    tr->record(
-                        telemetry::traceInstant(
-                            TraceCategory::Server,
-                            "server.request.retry",
-                            double(round_no) * us_per_round,
-                            static_cast<uint32_t>(w) + 1)
-                            .arg("id", r.id)
-                            .arg("retries", r.retries));
-                }
-            }
-        }
-
-        // All workers gone: the remaining stream is unservable.
-        bool any_alive = false;
-        for (size_t w = 0; w < _workers.size(); ++w)
-            any_alive = any_alive || !retired[w];
-        if (!any_alive) {
-            report.requestsAbandoned =
-                _cfg.requestCount - done;
-            break;
-        }
     }
 
+    // All workers gone: the remaining stream is unservable.
+    bool any_alive = false;
+    for (size_t w = 0; w < _workers.size(); ++w)
+        any_alive = any_alive || !st.retired[w];
+    if (!any_alive) {
+        st.report.requestsAbandoned = _cfg.requestCount - st.done;
+        st.finished = true;
+    }
+
+    // The round completed (even if it finished the run) — let a
+    // recorder flush its per-round journal records and sync point.
+    if (_cfg.tap != nullptr)
+        _cfg.tap->roundEnd(st.roundNo, roundSyncSignature());
+
+    return !st.finished;
+}
+
+ServerReport
+ProtectedServer::finishRun()
+{
+    ServeState &st = _serve;
+    hipstr_assert(st.begun);
+    st.finished = true;
+
     // ---- Aggregate. ----
-    report.rounds = round_no;
+    ServerReport report = st.report;
+    uint64_t sig = st.sig;
+    report.rounds = st.roundNo;
     const SchedulerStats &ss = _sched.stats();
     report.migrationsRouted = ss.migrationsRouted;
     report.respawns = ss.respawns;
@@ -313,7 +362,7 @@ ProtectedServer::run(ThreadPool *pool)
         fold64(sig, proc->statsSignature());
     }
 
-    if (_plan != nullptr && _cfg.metrics != nullptr) {
+    if (faultPlan() != nullptr && _cfg.metrics != nullptr) {
         telemetry::MetricRegistry &m = *_cfg.metrics;
         for (size_t k = 1; k < kNumFaultKinds; ++k) {
             m.counter(std::string("server.fault.") +
@@ -350,8 +399,8 @@ ProtectedServer::run(ThreadPool *pool)
             .set(report.meanRoundsToRecover);
     }
 
-    if (!latencies.empty()) {
-        std::vector<uint64_t> sorted = latencies;
+    if (!st.latencies.empty()) {
+        std::vector<uint64_t> sorted = st.latencies;
         std::sort(sorted.begin(), sorted.end());
         double sum = 0;
         for (uint64_t l : sorted)
@@ -383,6 +432,111 @@ ProtectedServer::run(ThreadPool *pool)
 
     report.signature = sig;
     return report;
+}
+
+ServerReport
+ProtectedServer::run(ThreadPool *pool)
+{
+    beginRun();
+    while (stepRound(pool)) {
+    }
+    return finishRun();
+}
+
+uint64_t
+ProtectedServer::roundSyncSignature() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    fold64(h, _serve.roundNo);
+    fold64(h, _serve.done);
+    fold64(h, _serve.nextId);
+    for (const auto &proc : _workers)
+        fold64(h, proc->statsSignature());
+    return h;
+}
+
+void
+ProtectedServer::saveCheckpoint(ByteWriter &w) const
+{
+    const ServeState &st = _serve;
+    hipstr_assert(st.begun);
+    w.u32(uint32_t(_workers.size()));
+
+    w.u64(st.report.requestsServed);
+    w.u64(st.report.requestsAbandoned);
+    for (uint64_t n : st.report.servedByKind)
+        w.u64(n);
+    for (const InFlight &f : st.inflight) {
+        saveRequest(w, f.req);
+        w.u64(f.startRound);
+        w.boolean(f.active);
+    }
+    for (size_t i = 0; i < st.retired.size(); ++i)
+        w.boolean(st.retired[i]);
+    w.u32(uint32_t(st.requeue.size()));
+    for (const Request &r : st.requeue)
+        saveRequest(w, r);
+    w.u64(st.nextId);
+    w.u64(uint64_t(st.latencies.size()));
+    for (uint64_t l : st.latencies)
+        w.u64(l);
+    w.u64(st.sig);
+    w.u64(st.roundNo);
+    w.u64(st.done);
+    w.boolean(st.wasDegraded);
+    w.u64(st.degradedStart);
+    w.boolean(st.finished);
+
+    _sched.saveState(w);
+    for (const auto &proc : _workers)
+        proc->saveState(w);
+}
+
+void
+ProtectedServer::loadCheckpoint(ByteReader &r)
+{
+    ServeState &st = _serve;
+    hipstr_assert(st.begun);
+    uint32_t workers = r.u32();
+    if (workers != _workers.size())
+        throw SerializeError(SerializeErrc::Corrupt,
+                             "checkpoint worker count mismatch");
+
+    st.report = ServerReport{};
+    st.report.requestsServed = r.u64();
+    st.report.requestsAbandoned = r.u64();
+    for (uint64_t &n : st.report.servedByKind)
+        n = r.u64();
+    st.inflight.assign(_workers.size(), InFlight{});
+    for (InFlight &f : st.inflight) {
+        f.req = loadRequest(r);
+        f.startRound = r.u64();
+        f.active = r.boolean();
+    }
+    st.retired.assign(_workers.size(), false);
+    for (size_t i = 0; i < st.retired.size(); ++i)
+        st.retired[i] = r.boolean();
+    st.requeue.clear();
+    uint32_t queued = r.u32();
+    for (uint32_t i = 0; i < queued; ++i)
+        st.requeue.push_back(loadRequest(r));
+    st.nextId = r.u64();
+    st.latencies.clear();
+    uint64_t lats = r.u64();
+    for (uint64_t i = 0; i < lats; ++i)
+        st.latencies.push_back(r.u64());
+    st.sig = r.u64();
+    st.roundNo = r.u64();
+    st.done = r.u64();
+    st.wasDegraded = r.boolean();
+    st.degradedStart = r.u64();
+    st.finished = r.boolean();
+
+    _sched.loadState(r, [this](uint32_t pid) -> GuestProcess * {
+        return pid < _workers.size() ? _workers[pid].get() : nullptr;
+    });
+    for (auto &proc : _workers)
+        proc->loadState(r);
 }
 
 } // namespace hipstr

@@ -23,10 +23,53 @@
 #include "server/guest_process.hh"
 #include "server/request_stream.hh"
 #include "server/scheduler.hh"
+#include "support/serialize.hh"
 #include "telemetry/metrics.hh"
 
 namespace hipstr
 {
+
+/**
+ * Observation/substitution seam for the record/replay layer
+ * (src/replay). The server consults the tap at the three points where
+ * its behaviour is not a pure function of the configuration alone:
+ * request materialization, and the end of every scheduler round. A
+ * null tap (the default) leaves the serve loop exactly as it was —
+ * every hook sits on a per-round (not per-instruction) path, so even
+ * a non-null tap costs nothing measurable.
+ */
+class ServerTap
+{
+  public:
+    virtual ~ServerTap() = default;
+
+    /**
+     * Offer to supply request @p id instead of drawing it from the
+     * stream (a replayer answers from its journal). Return false to
+     * let the server draw normally.
+     */
+    virtual bool supplyRequest(uint64_t id, Request &out)
+    {
+        (void)id;
+        (void)out;
+        return false;
+    }
+
+    /** A request was drawn from the live stream (a recorder logs it). */
+    virtual void requestDrawn(const Request &r) { (void)r; }
+
+    /**
+     * A scheduler round completed. @p syncSig is the server's
+     * round-sync signature (roundSyncSignature()) — the recorder
+     * journals it as a sync point; the replayer compares it against
+     * the journal to detect divergence at round granularity.
+     */
+    virtual void roundEnd(uint64_t round, uint64_t syncSig)
+    {
+        (void)round;
+        (void)syncSig;
+    }
+};
 
 /** Full server configuration. */
 struct ServerConfig
@@ -80,6 +123,20 @@ struct ServerConfig
      * the run. nullptr disables.
      */
     telemetry::MetricRegistry *metrics = nullptr;
+
+    /**
+     * Record/replay tap (see ServerTap), or nullptr for the plain
+     * server. Not part of the behavioural configuration: a tapped run
+     * is byte-identical to an untapped one.
+     */
+    ServerTap *tap = nullptr;
+
+    /**
+     * Substitute fault plan (a replayer's journal-backed plan), used
+     * instead of the one the server would build from `faults`. The
+     * server does not own it. nullptr = build from `faults` normally.
+     */
+    const FaultPlan *faultPlanOverride = nullptr;
 };
 
 /** Latency distribution in scheduler rounds. */
@@ -165,23 +222,109 @@ class ProtectedServer
     /**
      * Serve the whole request stream to completion (or until every
      * worker is retired) and return the report. Runs the per-round
-     * quanta on @p pool (global pool when null).
+     * quanta on @p pool (global pool when null). Exactly equivalent
+     * to beginRun(); while (stepRound(pool)); finishRun().
      */
     ServerReport run(ThreadPool *pool = nullptr);
+
+    /**
+     * Stepwise serve-loop engine — the same loop run() executes, but
+     * advanced one scheduler round at a time so a replayer (or the
+     * introspection server) can pause between rounds, checkpoint, or
+     * single-step. @{
+     */
+    /** Initialize the serve loop. Call once before stepRound(). */
+    void beginRun();
+    /**
+     * Advance one round: assign requests, run one scheduler round,
+     * poll outcomes. Returns false when the run is over (all requests
+     * served, stream abandoned, or the round cap hit) — finishRun()
+     * then produces the report.
+     */
+    bool stepRound(ThreadPool *pool = nullptr);
+    /** Aggregate and return the report of the stepped run. */
+    ServerReport finishRun();
+    /** @} */
+
+    /** Rounds completed so far in a stepped run. */
+    uint64_t roundNumber() const { return _serve.roundNo; }
+
+    /**
+     * FNV-1a fold of the serve-loop state that must agree between a
+     * recording and its replay at the end of a round: round number,
+     * requests done, next stream id, and every worker's stats
+     * signature. Cheap relative to a round, but only computed when a
+     * tap is attached.
+     */
+    uint64_t roundSyncSignature() const;
+
+    /**
+     * Checkpoint the complete server mid-run (between rounds): the
+     * serve-loop state (in-flight requests, requeue, latency samples,
+     * report signature accumulator), the scheduler (queues, outage
+     * and infirmary state), and every worker process. Restore into a
+     * server constructed from the identical (FatBinary, ServerConfig)
+     * after beginRun(); the restored server continues byte-
+     * identically. @{
+     */
+    void saveCheckpoint(ByteWriter &w) const;
+    void loadCheckpoint(ByteReader &r);
+    /** @} */
 
     const std::vector<std::unique_ptr<GuestProcess>> &workers() const
     {
         return _workers;
     }
+    /** Mutable worker access (replay coin-feed wiring). */
+    GuestProcess &worker(size_t i) { return *_workers[i]; }
     const CmpModel &cmp() const { return _cmp; }
     const CmpScheduler &scheduler() const { return _sched; }
     const ServerConfig &config() const { return _cfg; }
     /** The active fault plan (nullptr when faults are disabled). */
-    const FaultPlan *faultPlan() const { return _plan.get(); }
+    const FaultPlan *faultPlan() const
+    {
+        return _cfg.faultPlanOverride != nullptr
+            ? _cfg.faultPlanOverride
+            : _plan.get();
+    }
 
   private:
     /** Reference output checksum of one clean program run. */
     uint64_t referenceChecksum() const;
+
+    /** Per-worker in-flight request bookkeeping. */
+    struct InFlight
+    {
+        Request req;
+        uint64_t startRound = 0;
+        bool active = false;
+    };
+
+    /**
+     * Everything the serve loop kept on run()'s stack before the
+     * stepwise split — now a member so the loop can pause between
+     * rounds and be checkpointed.
+     */
+    struct ServeState
+    {
+        ServerReport report; ///< served/abandoned counters accrue here
+        std::vector<InFlight> inflight;
+        std::vector<bool> retired;
+        std::deque<Request> requeue; ///< from retired workers
+        uint64_t nextId = 0;
+        std::vector<uint64_t> latencies;
+        uint64_t sig = 0xcbf29ce484222325ull;
+        uint64_t roundNo = 0;
+        uint64_t done = 0;
+        bool wasDegraded = false;
+        uint64_t degradedStart = 0;
+        bool finished = false; ///< loop over; stepRound() refuses
+        bool begun = false;
+        /** Trace plumbing, fixed at beginRun(). @{ */
+        bool traced = false;
+        double usPerRound = 0;
+        /** @} */
+    };
 
     const FatBinary &_bin;
     ServerConfig _cfg;
@@ -190,6 +333,7 @@ class ProtectedServer
     RequestStream _stream;
     std::unique_ptr<FaultPlan> _plan;
     std::vector<std::unique_ptr<GuestProcess>> _workers;
+    ServeState _serve;
 };
 
 } // namespace hipstr

@@ -24,6 +24,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -189,6 +190,19 @@ class CmpScheduler
     {
         return _isaOffline[0] || _isaOffline[1];
     }
+    /** @} */
+
+    /**
+     * Checkpoint the scheduler: queue contents (as pids), stats,
+     * outage state, infirmary and crash streaks. Restore requires a
+     * scheduler over the identical CmpModel/config plus a @p resolve
+     * function mapping a pid back to its (already restored)
+     * GuestProcess. faultPlan/trace wiring is the caller's. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r,
+                   const std::function<GuestProcess *(uint32_t)>
+                       &resolve);
     /** @} */
 
     /** Mean crash→release gap of infirmary recoveries, in rounds. */

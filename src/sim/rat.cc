@@ -84,6 +84,44 @@ ReturnAddressTable::lookup(Addr source, Addr &translated,
 }
 
 void
+ReturnAddressTable::saveState(ByteWriter &w) const
+{
+    w.u32(_entries);
+    w.u32(_ways);
+    w.u64(_tick);
+    w.u64(_hits);
+    w.u64(_misses);
+    w.u64(_insertions);
+    for (const Entry &e : _table) {
+        w.boolean(e.valid);
+        w.u32(e.source);
+        w.u32(e.translated);
+        w.u64(e.lastUse);
+    }
+}
+
+void
+ReturnAddressTable::loadState(ByteReader &r)
+{
+    uint32_t entries = r.u32();
+    uint32_t ways = r.u32();
+    if (entries != _entries || ways != _ways)
+        throw SerializeError(SerializeErrc::Corrupt,
+                             "RAT geometry mismatch");
+    _tick = r.u64();
+    _hits = r.u64();
+    _misses = r.u64();
+    _insertions = r.u64();
+    for (Entry &e : _table) {
+        e.valid = r.boolean();
+        e.source = r.u32();
+        e.translated = r.u32();
+        e.block = nullptr;
+        e.lastUse = r.u64();
+    }
+}
+
+void
 ReturnAddressTable::flush()
 {
     for (Entry &e : _table) {

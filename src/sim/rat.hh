@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "isa/isa.hh"
+#include "support/serialize.hh"
 
 namespace hipstr
 {
@@ -65,6 +66,19 @@ class ReturnAddressTable
 
     /** Per-lookup latency in cycles (the paper's 1-cycle penalty). */
     static constexpr unsigned kLookupCycles = 1;
+
+    /**
+     * Checkpoint the table contents and LRU/hit counters. The block
+     * memo pointers die with the code cache and are NOT serialized:
+     * a restored entry carries block == nullptr, so the first return
+     * through it takes the existing stale-memo path (silent refetch,
+     * still a RAT hit) and the translation rebuilds cold. loadState
+     * requires identical geometry (entries/ways) and throws
+     * SerializeError otherwise. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r);
+    /** @} */
 
   private:
     struct Entry

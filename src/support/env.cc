@@ -1,0 +1,66 @@
+#include "env.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace hipstr
+{
+
+namespace
+{
+
+std::string
+lowered(const char *s)
+{
+    std::string out;
+    for (; *s != '\0'; ++s)
+        out.push_back(char(std::tolower(static_cast<unsigned char>(*s))));
+    return out;
+}
+
+} // namespace
+
+bool
+envFlag(const char *name, bool def)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return def;
+    std::string v = lowered(raw);
+    if (v == "1" || v == "true" || v == "on" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "off" || v == "no")
+        return false;
+    hipstr_fatal("%s=\"%s\" is not a boolean (want 1/0, true/false, "
+                 "on/off, yes/no)",
+                 name, raw);
+}
+
+uint64_t
+envUnsigned(const char *name, uint64_t def, uint64_t lo, uint64_t hi)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return def;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0' || raw[0] == '-')
+        hipstr_fatal("%s=\"%s\" is not an unsigned integer", name, raw);
+    if (v < lo || v > hi)
+        hipstr_fatal("%s=%llu out of range [%llu, %llu]", name, v,
+                     (unsigned long long)lo, (unsigned long long)hi);
+    return uint64_t(v);
+}
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || raw[0] == '\0')
+        return def;
+    return std::string(raw);
+}
+
+} // namespace hipstr

@@ -1,9 +1,9 @@
 #include "parallel.hh"
 
 #include <atomic>
-#include <cstdlib>
 #include <memory>
 
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hipstr
@@ -12,12 +12,9 @@ namespace hipstr
 unsigned
 hipstrJobs()
 {
-    if (const char *env = std::getenv("HIPSTR_JOBS")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return unsigned(v);
-    }
+    uint64_t jobs = envUnsigned("HIPSTR_JOBS", 0, 1, 4096);
+    if (jobs != 0)
+        return unsigned(jobs);
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

@@ -12,6 +12,7 @@
 #ifndef HIPSTR_SUPPORT_RANDOM_HH
 #define HIPSTR_SUPPORT_RANDOM_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -66,6 +67,26 @@ class Rng
     {
         return v[static_cast<size_t>(below(v.size()))];
     }
+
+    /**
+     * Raw xoshiro state, for checkpointing: a generator restored via
+     * setStateWords continues the exact stream of the saved one. @{
+     */
+    std::array<uint64_t, 4>
+    stateWords() const
+    {
+        return { s[0], s[1], s[2], s[3] };
+    }
+
+    void
+    setStateWords(const std::array<uint64_t, 4> &w)
+    {
+        s[0] = w[0];
+        s[1] = w[1];
+        s[2] = w[2];
+        s[3] = w[3];
+    }
+    /** @} */
 
   private:
     uint64_t s[4];

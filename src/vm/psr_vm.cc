@@ -1,12 +1,15 @@
 #include "psr_vm.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 #include "binary/loader.hh"
 #include "isa/interp.hh"
 #include "isa/mem_traffic.hh"
 #include "sim/core_config.hh"
 #include "sim/timing.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace hipstr
@@ -15,14 +18,11 @@ namespace hipstr
 namespace
 {
 
-/** HIPSTR_TRACE=0 disables superblock traces; anything else is on. */
+/** HIPSTR_TRACE=0/off disables superblock traces; default on. */
 bool
 traceEnvEnabled()
 {
-    const char *e = std::getenv("HIPSTR_TRACE");
-    if (e == nullptr || *e == '\0')
-        return true;
-    return !(e[0] == '0' && e[1] == '\0');
+    return envFlag("HIPSTR_TRACE", true);
 }
 
 bool
@@ -99,6 +99,7 @@ PsrVm::reRandomize()
     _cache.flush();
     _rat.flush();
     _traces.invalidateAll();
+    _vetted.clear();
     ++stats.cacheFlushes;
     if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
         trace->record(
@@ -115,6 +116,7 @@ PsrVm::flushTranslations()
     _cache.flush();
     _rat.flush();
     _traces.invalidateAll();
+    _vetted.clear();
     ++stats.cacheFlushes;
     if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
         trace->record(
@@ -122,6 +124,121 @@ PsrVm::flushTranslations()
                                     "vm.fault_flush", traceTs(), 0,
                                     static_cast<uint32_t>(_isa)));
     }
+}
+
+void
+PsrVm::saveState(ByteWriter &w) const
+{
+    // Architectural state.
+    w.u8(uint8_t(state.isa));
+    for (uint32_t r : state.regs)
+        w.u32(r);
+    w.boolean(state.flags.zf);
+    w.boolean(state.flags.sf);
+    w.boolean(state.flags.cf);
+    w.boolean(state.flags.of);
+    w.u32(state.pc);
+
+    // Counters. traceFollows/chainFollows split legitimately varies
+    // with HIPSTR_TRACE, but both are saved verbatim: a checkpoint is
+    // restored under the same knob setting it was taken under.
+    w.u64(stats.guestInsts);
+    w.u64(stats.hostInsts);
+    w.u64(stats.memReads);
+    w.u64(stats.memWrites);
+    w.u64(stats.dispatches);
+    w.u64(stats.chainFollows);
+    w.u64(stats.traceFollows);
+    w.u64(stats.translations);
+    w.u64(stats.translatedGuestInsts);
+    w.u64(stats.ratHits);
+    w.u64(stats.ratMisses);
+    w.u64(stats.indirectTransfers);
+    w.u64(stats.codeCacheMisses);
+    w.u64(stats.securityEvents);
+    w.u64(stats.migrationsRequested);
+    w.u64(stats.cacheFlushes);
+    w.u64(stats.syscalls);
+    w.u64(stats.diversificationFlips);
+
+    w.u64(translatePhase.invocations);
+    w.u64(translatePhase.workUnits);
+    w.f64(translatePhase.modeledMicros);
+
+    w.boolean(_decodeFaultArmed);
+    _randomizer.saveState(w);
+    _rat.saveState(w);
+
+    // Vetted addresses: everything currently cache-resident, plus
+    // any not-yet-drained vetted addresses if this VM is itself a
+    // restored one. Sorted for a byte-deterministic image.
+    std::vector<Addr> vetted(_vetted.begin(), _vetted.end());
+    for (const auto &blk : _cache.blocks())
+        vetted.push_back(blk->srcStart);
+    std::sort(vetted.begin(), vetted.end());
+    vetted.erase(std::unique(vetted.begin(), vetted.end()),
+                 vetted.end());
+    w.u32(uint32_t(vetted.size()));
+    for (Addr a : vetted)
+        w.u32(a);
+}
+
+void
+PsrVm::loadState(ByteReader &r)
+{
+    // Drop every derived structure first: translations, traces and
+    // memoized pointers rebuild cold, exactly as after a flush —
+    // but without counter side effects; the counters come from the
+    // snapshot below.
+    _cache.flush();
+    _rat.flush();
+    _traces.invalidateAll();
+
+    IsaKind isa = IsaKind(r.u8());
+    if (isa != _isa)
+        throw SerializeError(SerializeErrc::Corrupt,
+                             "VM checkpoint ISA mismatch");
+    state.isa = isa;
+    for (uint32_t &reg : state.regs)
+        reg = r.u32();
+    state.flags.zf = r.boolean();
+    state.flags.sf = r.boolean();
+    state.flags.cf = r.boolean();
+    state.flags.of = r.boolean();
+    state.pc = r.u32();
+
+    stats.guestInsts = r.u64();
+    stats.hostInsts = r.u64();
+    stats.memReads = r.u64();
+    stats.memWrites = r.u64();
+    stats.dispatches = r.u64();
+    stats.chainFollows = r.u64();
+    stats.traceFollows = r.u64();
+    stats.translations = r.u64();
+    stats.translatedGuestInsts = r.u64();
+    stats.ratHits = r.u64();
+    stats.ratMisses = r.u64();
+    stats.indirectTransfers = r.u64();
+    stats.codeCacheMisses = r.u64();
+    stats.securityEvents = r.u64();
+    stats.migrationsRequested = r.u64();
+    stats.cacheFlushes = r.u64();
+    stats.syscalls = r.u64();
+    stats.diversificationFlips = r.u64();
+
+    translatePhase.invocations = r.u64();
+    translatePhase.workUnits = r.u64();
+    translatePhase.modeledMicros = r.f64();
+
+    _decodeFaultArmed = r.boolean();
+    _randomizer.loadState(r);
+    _rat.loadState(r);
+
+    _vetted.clear();
+    uint32_t vetted = r.u32();
+    _vetted.reserve(vetted);
+    for (uint32_t i = 0; i < vetted; ++i)
+        _vetted.insert(r.u32());
 }
 
 TranslatedBlock *
@@ -167,6 +284,10 @@ PsrVm::fetchBlock(Addr src, VmRunResult &stop)
         // another trace-held pointer.
         _rat.flush();
         _traces.invalidateAll();
+        // The uninterrupted run's cache is empty after this flush, so
+        // restore-vetting (which models "would have hit the cache")
+        // must not outlive it either.
+        _vetted.clear();
         ++stats.cacheFlushes;
     }
     return placed;
@@ -251,6 +372,8 @@ PsrVm::indirectResolve(Addr target, VmRunResult &stop)
     TranslatedBlock *next = _cache.lookup(target);
     if (next != nullptr)
         return next;
+    if (!_vetted.empty() && consumeVetted(target))
+        return fetchBlock(target, stop);
     // Indirect control transfer missing the code cache: the
     // PSR virtual machine suspects a security breach.
     ++stats.codeCacheMisses;
@@ -587,6 +710,12 @@ PsrVm::runLoop(uint64_t max_guest_insts)
                 // Trap into the translator.
                 state.pc = ret_target;
                 TranslatedBlock *next = _cache.lookup(ret_target);
+                if (next == nullptr && !_vetted.empty() &&
+                    consumeVetted(ret_target)) {
+                    next = fetchBlock(ret_target, stop);
+                    if (next == nullptr)
+                        return stop;
+                }
                 if (next == nullptr) {
                     // Code cache miss on an indirect transfer.
                     ++stats.codeCacheMisses;

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_set>
 
 #include "binary/fatbin.hh"
 #include "core/psr_config.hh"
@@ -24,6 +25,7 @@
 #include "isa/machine_state.hh"
 #include "isa/memory.hh"
 #include "sim/rat.hh"
+#include "support/serialize.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/phase.hh"
 #include "telemetry/trace.hh"
@@ -208,6 +210,36 @@ class PsrVm
      */
     void publishTraceTelemetry(telemetry::MetricRegistry &reg) const;
 
+    /**
+     * Checkpointing (src/replay): serialize the architectural state,
+     * stats, RAT contents, relocation maps and randomization
+     * generation, plus the set of source addresses that held a
+     * resident translation. The code cache, superblock traces and
+     * inline caches are deliberately NOT serialized — loadState
+     * flushes them and they rebuild cold through the normal
+     * flush-generation contract. The vetted-address set keeps the
+     * Section 3.5 security-event stream identical after a restore:
+     * an indirect transfer to a vetted address translates silently
+     * (the uninterrupted run would have hit the cache there) instead
+     * of raising a spurious event. @{
+     */
+    void saveState(ByteWriter &w) const;
+    void loadState(ByteReader &r);
+
+    /**
+     * True if @p src currently has a resident translation, or had
+     * one at the checkpoint this VM was restored from (cold rebuild
+     * still pending). Attack staging uses this instead of a raw
+     * cache probe so candidate selection is restore-invariant.
+     */
+    bool
+    wasTranslated(Addr src)
+    {
+        return _cache.lookup(src) != nullptr ||
+            _vetted.count(src) != 0;
+    }
+    /** @} */
+
     IsaKind isa() const { return _isa; }
     VmStats stats;
     CodeCache &codeCache() { return _cache; }
@@ -251,6 +283,21 @@ class PsrVm
     /** Modeled timestamp of "now" for trace events (cold paths). */
     double traceTs() const;
 
+    /**
+     * If @p target is in the restored vetted set, consume it and
+     * return true (the caller translates silently, no security
+     * event). Only reached on cold cache-miss paths.
+     */
+    bool
+    consumeVetted(Addr target)
+    {
+        auto it = _vetted.find(target);
+        if (it == _vetted.end())
+            return false;
+        _vetted.erase(it);
+        return true;
+    }
+
     const FatBinary &_bin;
     IsaKind _isa;
     Memory &_mem;
@@ -264,6 +311,15 @@ class PsrVm
     TraceEngine _traces;
     bool _traceOn = false; ///< traceMode resolved against HIPSTR_TRACE
     bool _decodeFaultArmed = false;
+
+    /**
+     * Source addresses whose translations were cache-resident at the
+     * checkpoint this VM was restored from. Empty except after
+     * loadState(); drained as the cold cache rebuilds, and dropped
+     * wholesale at the first cache flush — the uninterrupted run's
+     * cache is empty after a flush, so vetting must not outlive it.
+     */
+    std::unordered_set<Addr> _vetted;
 };
 
 } // namespace hipstr

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "replay/record_replay.hh"
 #include "server/protected_server.hh"
 #include "test_util.hh"
 #include "workloads/workloads.hh"
@@ -107,4 +108,65 @@ TEST(ChaosSoak, NoRequestLostAcrossFullIsaOutage)
               r1.faultsInjectedTotal);
     EXPECT_EQ(threaded_reg.counter("server.fault.total").value(),
               r2.faultsInjectedTotal);
+}
+
+// Acceptance: the same 5000-request, 1%-fault chaos run records into
+// a journal and replays bit-exactly — every round's sync signature
+// verifies — and a windowed replay restored from a mid-run checkpoint
+// lands on the identical final report.
+TEST(ChaosSoak, RecordedChaosRunReplaysBitExact)
+{
+    using namespace hipstr::replay;
+
+    WorkloadConfig wcfg;
+    wcfg.scale = 1;
+    FatBinary bin = compileModule(buildWorkload("httpd", wcfg));
+
+    ServerConfig cfg;
+    cfg.workers = 8;
+    cfg.requestCount = 5000;
+    cfg.mix.attackFrac = 0.02;
+    cfg.mix.malformedFrac = 0.02;
+    cfg.hipstr.diversificationProbability = 1.0;
+    cfg.faults.enabled = true;
+    cfg.faults.quantumFaultRate = 0.01;
+    cfg.faults.coreFailRate = 0.002;
+    cfg.faults.scriptedOutageIsa = IsaKind::Risc;
+    cfg.faults.scriptedOutageRound = 40;
+    cfg.faults.scriptedOutageRounds = 30;
+    cfg.watchdogQuanta = 3;
+    cfg.sched.supervisor.backoffBaseRounds = 1;
+    cfg.sched.supervisor.backoffCapRounds = 8;
+    cfg.sched.supervisor.quarantineAfter = 4;
+    cfg.sched.supervisor.quarantineRounds = 16;
+
+    std::string path = ::testing::TempDir() + "chaos_soak.hjl";
+    RecordOptions opts;
+    opts.checkpointEveryRounds = 64;
+    RecordResult rec = recordRun(bin, cfg, path, nullptr, opts);
+    EXPECT_EQ(rec.report.requestsServed, cfg.requestCount);
+    EXPECT_GT(rec.report.faultsInjectedTotal, 0u);
+    EXPECT_GE(rec.report.degradedEntries, 1u);
+    ASSERT_GT(rec.checkpoints, 0u);
+
+    ReplayResult rep = replayRun(bin, cfg, path);
+    EXPECT_EQ(rep.report.signature, rec.report.signature);
+    EXPECT_EQ(rep.report.rounds, rec.report.rounds);
+    EXPECT_EQ(rep.report.requestsServed, rec.report.requestsServed);
+    EXPECT_EQ(rep.report.faultsInjectedTotal,
+              rec.report.faultsInjectedTotal);
+    EXPECT_EQ(rep.report.crashes, rec.report.crashes);
+    EXPECT_EQ(rep.report.degradedRounds, rec.report.degradedRounds);
+    EXPECT_EQ(rep.report.latency.p95Rounds,
+              rec.report.latency.p95Rounds);
+    EXPECT_EQ(rep.syncChecks, rec.rounds);
+
+    // Windowed replay from a mid-run sync point: restore the nearest
+    // checkpoint and re-drive only the tail of the chaos.
+    ReplayResult win = replayWindow(bin, cfg, path, rec.rounds / 2);
+    EXPECT_GT(win.startRound, 0u);
+    EXPECT_LT(win.rounds, rec.rounds);
+    EXPECT_EQ(win.report.signature, rec.report.signature);
+    EXPECT_EQ(win.report.rounds, rec.report.rounds);
+    EXPECT_EQ(win.report.requestsServed, rec.report.requestsServed);
 }

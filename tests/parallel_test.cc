@@ -51,25 +51,32 @@ TEST(HipstrJobs, ParsesPositiveInteger)
     EXPECT_EQ(hipstrJobs(), 5u);
 }
 
-TEST(HipstrJobs, IgnoresInvalidValues)
+TEST(HipstrJobs, FallsBackWhenUnset)
 {
     unsigned hw = std::thread::hardware_concurrency();
     unsigned fallback = hw > 0 ? hw : 1;
+    ScopedJobsEnv env(nullptr);
+    EXPECT_EQ(hipstrJobs(), fallback);
+}
+
+// Garbage knob values are rejected loudly (support/env.hh) instead
+// of silently falling back to hardware concurrency.
+TEST(HipstrJobsDeathTest, RejectsGarbageValues)
+{
     {
         ScopedJobsEnv env("0");
-        EXPECT_EQ(hipstrJobs(), fallback);
+        EXPECT_EXIT(hipstrJobs(), ::testing::ExitedWithCode(1),
+                    "HIPSTR_JOBS");
     }
     {
         ScopedJobsEnv env("-3");
-        EXPECT_EQ(hipstrJobs(), fallback);
+        EXPECT_EXIT(hipstrJobs(), ::testing::ExitedWithCode(1),
+                    "HIPSTR_JOBS");
     }
     {
         ScopedJobsEnv env("fast");
-        EXPECT_EQ(hipstrJobs(), fallback);
-    }
-    {
-        ScopedJobsEnv env(nullptr);
-        EXPECT_EQ(hipstrJobs(), fallback);
+        EXPECT_EXIT(hipstrJobs(), ::testing::ExitedWithCode(1),
+                    "HIPSTR_JOBS");
     }
 }
 

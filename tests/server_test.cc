@@ -416,3 +416,48 @@ TEST(GuestOs, BadSyscallPointersReturnGuestError)
     EXPECT_EQ(st.sp(), 0x00ff0000u);
     EXPECT_EQ(mem.read32(buf + 8), 42u);
 }
+
+// Mid-run server checkpoint equivalence: a server checkpointed after
+// N rounds and restored into a fresh instance (same binary, same
+// config) finishes with the byte-identical report the uninterrupted
+// run produces — caches, traces, and inline caches rebuild cold on
+// the restored side without perturbing a single observable outcome.
+TEST(ProtectedServer, CheckpointRestoreContinuesByteIdentically)
+{
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.requestCount = 60;
+    cfg.mix.attackFrac = 0.05;
+    cfg.mix.malformedFrac = 0.05;
+    cfg.hipstr.diversificationProbability = 0.5;
+
+    ProtectedServer a(httpdBin(), cfg);
+    a.beginRun();
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(a.stepRound());
+    ByteWriter snap;
+    a.saveCheckpoint(snap);
+    while (a.stepRound()) {
+    }
+    ServerReport ra = a.finishRun();
+
+    ProtectedServer b(httpdBin(), cfg);
+    b.beginRun();
+    ByteReader r(snap.data());
+    b.loadCheckpoint(r);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(b.roundNumber(), 6u);
+    while (b.stepRound()) {
+    }
+    ServerReport rb = b.finishRun();
+
+    EXPECT_EQ(rb.signature, ra.signature);
+    EXPECT_EQ(rb.rounds, ra.rounds);
+    EXPECT_EQ(rb.requestsServed, ra.requestsServed);
+    EXPECT_EQ(rb.migrations, ra.migrations);
+    EXPECT_EQ(rb.securityEvents, ra.securityEvents);
+    EXPECT_EQ(rb.crashes, ra.crashes);
+    EXPECT_EQ(rb.respawns, ra.respawns);
+    EXPECT_EQ(rb.totalGuestInsts, ra.totalGuestInsts);
+    EXPECT_EQ(rb.latency.p95Rounds, ra.latency.p95Rounds);
+}

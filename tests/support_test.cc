@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
 #include "support/bitops.hh"
 #include "support/bitset.hh"
+#include "support/env.hh"
 #include "support/random.hh"
+#include "support/serialize.hh"
 #include "support/stats.hh"
 
 namespace hipstr
@@ -259,6 +262,159 @@ TEST(Stats, Formatters)
     EXPECT_EQ(formatPercent(0.9804), "98.04%");
     EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
     EXPECT_EQ(formatScientific(9.11e33, 2), "9.11e+33");
+}
+
+/** Scoped env override that restores the previous value on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : _name(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            _had = true;
+            _old = old;
+        }
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (_had)
+            setenv(_name, _old.c_str(), 1);
+        else
+            unsetenv(_name);
+    }
+
+  private:
+    const char *_name;
+    bool _had = false;
+    std::string _old;
+};
+
+TEST(Env, FlagAcceptsCommonSpellings)
+{
+    const char *kName = "HIPSTR_TEST_FLAG";
+    for (const char *on : { "1", "true", "ON", "Yes" }) {
+        ScopedEnv e(kName, on);
+        EXPECT_TRUE(envFlag(kName, false)) << on;
+    }
+    for (const char *off : { "0", "false", "OFF", "no" }) {
+        ScopedEnv e(kName, off);
+        EXPECT_FALSE(envFlag(kName, true)) << off;
+    }
+    ScopedEnv unset(kName, nullptr);
+    EXPECT_TRUE(envFlag(kName, true));
+    EXPECT_FALSE(envFlag(kName, false));
+}
+
+TEST(EnvDeathTest, FlagRejectsGarbage)
+{
+    ScopedEnv e("HIPSTR_TEST_FLAG", "maybe");
+    EXPECT_EXIT(envFlag("HIPSTR_TEST_FLAG", false),
+                ::testing::ExitedWithCode(1), "HIPSTR_TEST_FLAG");
+}
+
+TEST(Env, UnsignedParsesAndDefaults)
+{
+    const char *kName = "HIPSTR_TEST_UNSIGNED";
+    {
+        ScopedEnv e(kName, "17");
+        EXPECT_EQ(envUnsigned(kName, 3, 1, 100), 17u);
+    }
+    {
+        ScopedEnv e(kName, nullptr);
+        EXPECT_EQ(envUnsigned(kName, 3, 1, 100), 3u);
+    }
+    {
+        ScopedEnv e(kName, "");
+        EXPECT_EQ(envUnsigned(kName, 3, 1, 100), 3u);
+    }
+}
+
+TEST(EnvDeathTest, UnsignedRejectsGarbageAndRange)
+{
+    const char *kName = "HIPSTR_TEST_UNSIGNED";
+    {
+        ScopedEnv e(kName, "8x");
+        EXPECT_EXIT(envUnsigned(kName, 3, 1, 100),
+                    ::testing::ExitedWithCode(1), kName);
+    }
+    {
+        ScopedEnv e(kName, "101");
+        EXPECT_EXIT(envUnsigned(kName, 3, 1, 100),
+                    ::testing::ExitedWithCode(1), "out of range");
+    }
+}
+
+TEST(Env, StringDefaultsWhenUnset)
+{
+    const char *kName = "HIPSTR_TEST_STRING";
+    ScopedEnv e(kName, nullptr);
+    EXPECT_EQ(envString(kName, "fallback"), "fallback");
+    ScopedEnv e2(kName, "/tmp/x.journal");
+    EXPECT_EQ(envString(kName), "/tmp/x.journal");
+}
+
+TEST(Serialize, RoundTripsScalars)
+{
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0xcdef);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.f64(3.14159265358979);
+    w.boolean(true);
+    w.str("hipstr");
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xcdef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f64(), 3.14159265358979);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_EQ(r.str(), "hipstr");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, TruncatedReadThrowsTyped)
+{
+    ByteWriter w;
+    w.u32(7);
+    ByteReader r(w.data());
+    r.u16();
+    try {
+        r.u32();
+        FAIL() << "expected SerializeError";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.code(), SerializeErrc::Truncated);
+    }
+}
+
+TEST(Serialize, CorruptBooleanThrowsTyped)
+{
+    ByteWriter w;
+    w.u8(7);
+    ByteReader r(w.data());
+    try {
+        r.boolean();
+        FAIL() << "expected SerializeError";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.code(), SerializeErrc::Corrupt);
+    }
+}
+
+TEST(Rng, StateWordsRoundTrip)
+{
+    Rng a(1234);
+    a.next();
+    a.next();
+    Rng b(999);
+    b.setStateWords(a.stateWords());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.next(), b.next());
 }
 
 } // namespace
