@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "bench_util.hh"
+#include "fleet/fleet.hh"
 #include "support/parallel.hh"
 
 using namespace hipstr;
@@ -61,6 +62,57 @@ TEST(BenchDeterminism, GadgetStudyIdenticalAcrossJobCounts)
     // equality above is not two copies of one cached result.
     GadgetStudy serial2 = studyAtJobs(1, "mcf");
     expectIdentical(serial, serial2);
+    ThreadPool::setGlobalThreads(0);
+}
+
+/** A small bench_fleet_serving-shaped run at a job count. */
+FleetReport
+fleetAtJobs(unsigned jobs)
+{
+    ThreadPool::setGlobalThreads(jobs - 1);
+    const FatBinary &bin = compiledWorkload("httpd", 1);
+    FleetConfig cfg;
+    cfg.shards = 3;
+    cfg.requestCount = 240;
+    cfg.batchSize = 16;
+    cfg.mix.attackFrac = 0.05;
+    cfg.mix.malformedFrac = 0.05;
+    cfg.server.workers = 4;
+    cfg.server.hipstr.diversificationProbability = 1.0;
+    cfg.server.watchdogQuanta = 3;
+    cfg.server.faults.enabled = true;
+    cfg.server.faults.quantumFaultRate = 0.01;
+    ProtectedFleet fleet(bin, cfg);
+    return fleet.run();
+}
+
+TEST(BenchDeterminism, FleetReportIdenticalAcrossJobCounts)
+{
+    FleetReport serial = fleetAtJobs(1);
+    ASSERT_GT(serial.requestsServed, 0u);
+    FleetReport wide = fleetAtJobs(8);
+    EXPECT_EQ(serial.signature, wide.signature);
+    EXPECT_EQ(serial.outcomeSetSignature, wide.outcomeSetSignature);
+    EXPECT_EQ(serial.rounds, wide.rounds);
+    EXPECT_EQ(serial.requestsServed, wide.requestsServed);
+    EXPECT_EQ(serial.steals, wide.steals);
+    EXPECT_EQ(serial.backpressureStalls, wide.backpressureStalls);
+    EXPECT_EQ(serial.p50Rounds, wide.p50Rounds);
+    EXPECT_EQ(serial.p99Rounds, wide.p99Rounds);
+    EXPECT_EQ(serial.p999Rounds, wide.p999Rounds);
+    EXPECT_DOUBLE_EQ(serial.meanLatencyRounds,
+                     wide.meanLatencyRounds);
+    EXPECT_DOUBLE_EQ(serial.availability, wide.availability);
+    ASSERT_EQ(serial.shardReports.size(), wide.shardReports.size());
+    for (size_t k = 0; k < serial.shardReports.size(); ++k) {
+        EXPECT_EQ(serial.shardReports[k].signature,
+                  wide.shardReports[k].signature)
+            << "shard " << k;
+    }
+    // Serial rerun reproduces itself: the equality above is not two
+    // copies of one cached result.
+    FleetReport serial2 = fleetAtJobs(1);
+    EXPECT_EQ(serial.signature, serial2.signature);
     ThreadPool::setGlobalThreads(0);
 }
 

@@ -16,6 +16,13 @@
  *   ./examples/protected_server
  *   ./examples/protected_server --trace server_trace.json
  *   ./examples/protected_server --chaos
+ *   ./examples/protected_server --fleet 4 --chaos
+ *
+ * With --fleet K, the run scales out to K sharded servers behind the
+ * deterministic load balancer (src/fleet): consistent-hash session
+ * pinning, bounded admission queues, SLO shedding, and cross-shard
+ * work stealing during respawn storms. The record/replay knobs below
+ * work for fleet runs too (fleet journals share the format).
  *
  * With --trace, the run records a structured event trace (scheduler
  * quanta, request lifecycles, VM translations, cross-ISA migrations)
@@ -42,11 +49,14 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 
 #include "compiler/compile.hh"
+#include "fleet/fleet.hh"
+#include "replay/fleet_replay.hh"
 #include "replay/record_replay.hh"
 #include "server/protected_server.hh"
 #include "support/env.hh"
@@ -59,15 +69,24 @@ main(int argc, char **argv)
 {
     const char *trace_path = nullptr;
     bool chaos = false;
+    unsigned fleetShards = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0) {
             trace_path = (i + 1 < argc) ? argv[++i]
                                         : "server_trace.json";
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             chaos = true;
+        } else if (std::strcmp(argv[i], "--fleet") == 0 &&
+                   i + 1 < argc) {
+            fleetShards = unsigned(std::atoi(argv[++i]));
+            if (fleetShards == 0 || fleetShards > 64) {
+                std::fprintf(stderr, "--fleet wants 1..64 shards\n");
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--trace [file.json]] [--chaos]\n",
+                         "usage: %s [--trace [file.json]] [--chaos] "
+                         "[--fleet K]\n",
                          argv[0]);
             return 2;
         }
@@ -118,6 +137,107 @@ main(int argc, char **argv)
         std::fprintf(stderr, "set HIPSTR_RECORD or HIPSTR_REPLAY, "
                              "not both\n");
         return 2;
+    }
+
+    if (fleetShards != 0) {
+        FleetConfig fcfg;
+        fcfg.shards = fleetShards;
+        fcfg.server = cfg;
+        fcfg.requestCount = cfg.requestCount * fleetShards;
+        fcfg.mix = cfg.mix;
+        fcfg.sloRounds = 128;
+        fcfg.batchSize = 4 * fleetShards;
+        fcfg.trace = cfg.trace;
+        fcfg.metrics = cfg.metrics;
+
+        std::printf("fleet mode: %u shards x %u workers, %llu "
+                    "requests across %llu sessions\n",
+                    fcfg.shards, cfg.workers,
+                    static_cast<unsigned long long>(
+                        fcfg.requestCount),
+                    static_cast<unsigned long long>(fcfg.sessions));
+
+        FleetReport fr;
+        if (!replayPath.empty()) {
+            replay::FleetReplayResult rr =
+                replay::replayFleetRun(bin, fcfg, replayPath);
+            fr = rr.report;
+            std::printf("replayed %s bit-exactly: %llu fleet rounds, "
+                        "%llu sync points verified\n",
+                        replayPath.c_str(),
+                        static_cast<unsigned long long>(rr.rounds),
+                        static_cast<unsigned long long>(
+                            rr.syncChecks));
+        } else if (!recordPath.empty()) {
+            replay::FleetRecordResult rc =
+                replay::recordFleetRun(bin, fcfg, recordPath);
+            fr = rc.report;
+            std::printf("recorded %llu fleet rounds to %s (%llu "
+                        "journal bytes)\n",
+                        static_cast<unsigned long long>(rc.rounds),
+                        recordPath.c_str(),
+                        static_cast<unsigned long long>(
+                            rc.journalBytes));
+        } else {
+            ProtectedFleet fleet(bin, fcfg);
+            fr = fleet.run();
+        }
+
+        std::printf(
+            "fleet served %llu/%llu requests in %llu rounds "
+            "(availability %.4f)\n",
+            static_cast<unsigned long long>(fr.requestsServed),
+            static_cast<unsigned long long>(fr.requestsOffered),
+            static_cast<unsigned long long>(fr.rounds),
+            fr.availability);
+        std::printf("  shed past SLO: %llu, abandoned: %llu, "
+                    "re-routed after worker loss: %llu\n",
+                    static_cast<unsigned long long>(fr.requestsShed),
+                    static_cast<unsigned long long>(
+                        fr.requestsAbandoned),
+                    static_cast<unsigned long long>(
+                        fr.requestsRetried));
+        std::printf("  latency: mean %.1f rounds, p50 %llu, p99 "
+                    "%llu, p99.9 %llu, max %llu\n",
+                    fr.meanLatencyRounds,
+                    static_cast<unsigned long long>(fr.p50Rounds),
+                    static_cast<unsigned long long>(fr.p99Rounds),
+                    static_cast<unsigned long long>(fr.p999Rounds),
+                    static_cast<unsigned long long>(fr.maxRounds));
+        std::printf("  balancer: %llu steals during storms, %llu "
+                    "backpressure stalls\n",
+                    static_cast<unsigned long long>(fr.steals),
+                    static_cast<unsigned long long>(
+                        fr.backpressureStalls));
+        std::printf("  defense: %llu security events, %u migrations, "
+                    "%u crashes / %u respawns, %u quarantines\n",
+                    static_cast<unsigned long long>(
+                        fr.securityEvents),
+                    fr.migrations, fr.crashes, fr.respawns,
+                    fr.quarantines);
+        for (size_t k = 0; k < fr.shardReports.size(); ++k) {
+            const ServerReport &s = fr.shardReports[k];
+            std::printf("  shard %zu: %llu served, %llu rounds, %u "
+                        "crashes, %u migrations\n",
+                        k,
+                        static_cast<unsigned long long>(
+                            s.requestsServed),
+                        static_cast<unsigned long long>(s.rounds),
+                        s.crashes, s.migrations);
+        }
+
+        if (trace_path != nullptr) {
+            std::ofstream os(trace_path);
+            trace.exportChrome(os);
+            std::printf("wrote %zu trace events (%llu dropped) to "
+                        "%s\n",
+                        trace.size(),
+                        static_cast<unsigned long long>(
+                            trace.dropped()),
+                        trace_path);
+        }
+        std::printf("done\n");
+        return 0;
     }
 
     // The record/replay harnesses own their server internally, so

@@ -137,6 +137,46 @@ def check_record_replay(path, metrics):
             fail(path, f"{name} {v!r} invalid, want > 0")
 
 
+def check_fleet_serving(path, metrics):
+    """BENCH_fleet_serving.json carries the fleet's merged report:
+    availability gauges in [0, 1], the full latency percentile
+    ladder in non-decreasing order, request conservation
+    (served + shed + abandoned == offered), and the shard-count
+    invariance witness."""
+    for prefix in ("fleet.", "fleet.slo."):
+        avail = metrics.get(prefix + "availability")
+        if avail is None:
+            fail(path, f"{prefix}availability missing")
+        elif not is_finite_number(avail) or not 0.0 <= avail <= 1.0:
+            fail(path, f"{prefix}availability {avail!r} not in "
+                       f"[0, 1]")
+    ladder = []
+    for q in ("p50", "p99", "p999", "max"):
+        name = f"fleet.latency_{q}_rounds"
+        v = metrics.get(name)
+        if v is None or not is_finite_number(v) or v < 0:
+            fail(path, f"{name} missing or invalid: {v!r}")
+            return
+        ladder.append(v)
+    if ladder != sorted(ladder):
+        fail(path, f"latency percentiles not non-decreasing: "
+                   f"{ladder}")
+    counts = {}
+    for part in ("offered", "served", "shed", "abandoned"):
+        name = f"fleet.requests_{part}"
+        v = metrics.get(name)
+        if v is None or not isinstance(v, int) or v < 0:
+            fail(path, f"{name} missing or invalid: {v!r}")
+            return
+        counts[part] = v
+    if counts["served"] + counts["shed"] + counts["abandoned"] != \
+            counts["offered"]:
+        fail(path, f"request conservation violated: {counts}")
+    if metrics.get("fleet.kinv.match") != 1:
+        fail(path, "fleet.kinv.match != 1 (outcome set depends on "
+                   "shard count)")
+
+
 def check_deterministic(path, bench_name):
     doc = json.loads(path.read_text())
     if set(doc.keys()) != {"bench", "smoke", "metrics"}:
@@ -155,6 +195,9 @@ def check_deterministic(path, bench_name):
     if bench_name == "record_replay" and \
             isinstance(doc["metrics"], dict):
         check_record_replay(path, doc["metrics"])
+    if bench_name == "fleet_serving" and \
+            isinstance(doc["metrics"], dict):
+        check_fleet_serving(path, doc["metrics"])
 
 
 def check_host(path, bench_name):

@@ -1,0 +1,409 @@
+#include "fleet_replay.hh"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "replay/record_replay.hh"
+#include "support/logging.hh"
+
+namespace hipstr
+{
+namespace replay
+{
+
+namespace
+{
+
+void
+writeRequest(ByteWriter &w, const Request &r)
+{
+    w.u64(r.id);
+    w.u8(static_cast<uint8_t>(r.kind));
+    w.u64(r.costInsts);
+    w.u32(r.retries);
+}
+
+/** Cores per shard CMP — the stride of the global core-id space. */
+unsigned
+coresPerShard(const FleetConfig &cfg)
+{
+    return cfg.server.cmp.riscCores + cfg.server.cmp.ciscCores;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Config hashing.
+// ---------------------------------------------------------------
+
+uint64_t
+fleetConfigHash(const FleetConfig &cfg)
+{
+    ByteWriter w;
+    w.u32(cfg.shards);
+    w.u64(cfg.requestCount);
+    w.u64(cfg.seed);
+    w.f64(cfg.mix.dynamicFrac);
+    w.f64(cfg.mix.postFrac);
+    w.f64(cfg.mix.malformedFrac);
+    w.f64(cfg.mix.attackFrac);
+    w.u64(cfg.costs.staticInsts);
+    w.u64(cfg.costs.dynamicInsts);
+    w.u64(cfg.costs.postInsts);
+    w.u64(cfg.costs.malformedInsts);
+    w.u64(cfg.costs.attackInsts);
+    w.u64(cfg.sessions);
+    w.u32(cfg.vnodesPerShard);
+    w.u64(static_cast<uint64_t>(cfg.queueCap));
+    w.u64(cfg.sloRounds);
+    w.u32(cfg.batchSize);
+    w.boolean(cfg.workStealing);
+    // Every derived shard config, k order: two fleets hash equal iff
+    // every shard would behave identically. shardPlanOverrides do not
+    // feed shardServerConfig's hashed fields (faultPlanOverride is an
+    // excluded observer), so a recording config and a replay config
+    // carrying different decorators still hash the same — by design.
+    for (unsigned k = 0; k < cfg.shards; ++k)
+        w.u64(serverConfigHash(shardServerConfig(cfg, k)));
+
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : w.data()) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------
+// Recording.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * The fleet recorder tap: buffers one fleet round's balancer draws
+ * and flushes every journaled stream at the round boundary in fixed
+ * order — draws, then each shard's fault plan in shard order (pids
+ * and core ids rebased to the global spaces), then every worker's
+ * coins in global-pid order, then the Sync record. Identical journal
+ * grammar to the single-server recorder, so parseJournal needs no
+ * fleet variant.
+ */
+class FleetRecorder : public FleetTap
+{
+  public:
+    FleetRecorder(
+        JournalWriter &out,
+        const std::vector<std::unique_ptr<RecordingFaultPlan>> &plans,
+        unsigned shards, unsigned workersPerShard,
+        unsigned coresPerShard)
+        : coinLogs(size_t(shards) * workersPerShard), _out(out),
+          _plans(plans), _workers(workersPerShard),
+          _cores(coresPerShard)
+    {
+    }
+
+    void
+    requestDrawn(const Request &r) override
+    {
+        ++requestsDrawn;
+        _draws.push_back(r);
+    }
+
+    void
+    roundEnd(uint64_t round, uint64_t sig) override
+    {
+        for (const Request &r : _draws) {
+            ByteWriter w;
+            writeRequest(w, r);
+            _out.record(RecordTag::Request, w);
+        }
+        _draws.clear();
+        for (size_t k = 0; k < _plans.size(); ++k) {
+            if (_plans[k] == nullptr)
+                continue;
+            std::vector<RecordingFaultPlan::FaultRec> fs;
+            std::vector<RecordingFaultPlan::OutageRec> os;
+            _plans[k]->drain(fs, os);
+            for (const auto &f : fs) {
+                ByteWriter w;
+                w.u32(uint32_t(k) * _workers + f.pid);
+                w.u64(f.serial);
+                w.u8(static_cast<uint8_t>(f.fault.kind));
+                w.u64(f.fault.payload);
+                _out.record(RecordTag::Fault, w);
+            }
+            for (const auto &o : os) {
+                ByteWriter w;
+                w.u32(uint32_t(k) * _cores + o.coreId);
+                w.u8(static_cast<uint8_t>(o.isa));
+                w.u64(o.round);
+                w.u32(o.len);
+                _out.record(RecordTag::Outage, w);
+            }
+        }
+        for (size_t gpid = 0; gpid < coinLogs.size(); ++gpid) {
+            for (uint8_t flip : coinLogs[gpid]) {
+                ByteWriter w;
+                w.u32(uint32_t(gpid));
+                w.u8(flip);
+                _out.record(RecordTag::Coin, w);
+            }
+            coinLogs[gpid].clear();
+        }
+        ByteWriter w;
+        w.u64(round);
+        w.u64(sig);
+        _out.record(RecordTag::Sync, w);
+    }
+
+    /** Per-worker coin capture, indexed by global pid. */
+    std::vector<std::vector<uint8_t>> coinLogs;
+    uint64_t requestsDrawn = 0;
+
+  private:
+    JournalWriter &_out;
+    const std::vector<std::unique_ptr<RecordingFaultPlan>> &_plans;
+    unsigned _workers;
+    unsigned _cores;
+    std::vector<Request> _draws;
+};
+
+} // namespace
+
+FleetRecordResult
+recordFleetRun(const FatBinary &bin, const FleetConfig &cfg,
+               const std::string &path, ThreadPool *pool)
+{
+    JournalWriter out(path, fleetConfigHash(cfg));
+
+    const unsigned W = cfg.server.workers;
+    const unsigned C = coresPerShard(cfg);
+
+    FleetConfig rcfg = cfg;
+    std::vector<std::unique_ptr<RecordingFaultPlan>> plans(cfg.shards);
+    if (cfg.server.faults.enabled) {
+        // Decorate the exact derived fault config each shard runs
+        // (per-shard seed included) so the recorded run draws the
+        // same fault stream as an un-recorded one.
+        rcfg.shardPlanOverrides.assign(cfg.shards, nullptr);
+        for (unsigned k = 0; k < cfg.shards; ++k) {
+            plans[k] = std::make_unique<RecordingFaultPlan>(
+                shardServerConfig(cfg, k).faults, W);
+            rcfg.shardPlanOverrides[k] = plans[k].get();
+        }
+    }
+    FleetRecorder rec(out, plans, cfg.shards, W, C);
+    rcfg.tap = &rec;
+
+    ProtectedFleet fleet(bin, rcfg);
+    for (unsigned k = 0; k < cfg.shards; ++k) {
+        for (unsigned i = 0; i < W; ++i) {
+            fleet.shard(k).worker(i).runtime().coinLog =
+                &rec.coinLogs[size_t(k) * W + i];
+        }
+    }
+
+    FleetReport report = fleet.run(pool);
+
+    ByteWriter end;
+    end.u64(report.rounds);
+    end.u64(report.signature);
+    end.u64(report.requestsServed);
+    out.record(RecordTag::End, end);
+    out.close();
+
+    FleetRecordResult res;
+    res.report = report;
+    res.rounds = report.rounds;
+    res.journalBytes = out.bytesWritten();
+    res.requestsDrawn = rec.requestsDrawn;
+    return res;
+}
+
+// ---------------------------------------------------------------
+// Replay.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * ReplayFaultPlan with rebased keys: shard k's plan answers pid/core
+ * queries from the journal's global id spaces. Wedge-length
+ * derivation stays in the base plan (pure function of the payload).
+ */
+class ShardReplayFaultPlan : public FaultPlan
+{
+  public:
+    ShardReplayFaultPlan(const FaultPlanConfig &cfg, const Journal &j,
+                         uint32_t pidBase, uint32_t coreBase)
+        : FaultPlan(cfg), _journal(j), _pidBase(pidBase),
+          _coreBase(coreBase)
+    {
+    }
+
+    QuantumFault
+    quantumFault(uint32_t pid, uint64_t serial) const override
+    {
+        auto it = _journal.faults.find({ _pidBase + pid, serial });
+        return it == _journal.faults.end() ? QuantumFault{}
+                                           : it->second;
+    }
+
+    uint32_t
+    coreOutageAt(unsigned coreId, IsaKind isa,
+                 uint64_t round) const override
+    {
+        (void)isa;
+        auto it = _journal.outages.find({ _coreBase + coreId, round });
+        return it == _journal.outages.end() ? 0 : it->second;
+    }
+
+  private:
+    const Journal &_journal;
+    uint32_t _pidBase;
+    uint32_t _coreBase;
+};
+
+/**
+ * The fleet replayer tap: balancer draws answer from the journal and
+ * every fleet round's sync signature is verified. Unlike the
+ * single-server replayer (which is polled between externally driven
+ * stepRound calls), the fleet loop runs inside ProtectedFleet::run,
+ * so the first disagreement throws ReplayError directly from the tap
+ * — the round boundary is on the caller's thread with every shard
+ * quantum already joined, so unwinding out of run() is safe.
+ */
+class FleetReplayer : public FleetTap
+{
+  public:
+    FleetReplayer(const Journal &j, unsigned shards, unsigned workers)
+        : _j(j), _shards(shards), _workers(workers)
+    {
+    }
+
+    bool
+    supplyRequest(uint64_t id, Request &req) override
+    {
+        auto it = _j.requests.find(id);
+        if (it == _j.requests.end())
+            return false;
+        req = it->second;
+        return true;
+    }
+
+    void
+    roundEnd(uint64_t round, uint64_t sig) override
+    {
+        auto it = _j.rounds.find(round);
+        if (it == _j.rounds.end()) {
+            throw ReplayError(ReplayErrc::Divergence,
+                              "fleet replay reached round " +
+                                  std::to_string(round) +
+                                  " which the recording never ran");
+        }
+        ++syncChecks;
+        if (it->second.syncSig != sig) {
+            throw ReplayError(
+                ReplayErrc::Divergence,
+                "fleet sync signature mismatch at round " +
+                    std::to_string(round));
+        }
+        if (fleet != nullptr) {
+            for (unsigned k = 0; k < _shards; ++k) {
+                for (unsigned i = 0; i < _workers; ++i) {
+                    if (fleet->shard(k).worker(i).runtime().coinStarved) {
+                        throw ReplayError(
+                            ReplayErrc::Divergence,
+                            "shard " + std::to_string(k) +
+                                " worker " + std::to_string(i) +
+                                " drew more coins than were recorded");
+                    }
+                }
+            }
+        }
+    }
+
+    /** Wired after construction, like the recorder's server link. */
+    ProtectedFleet *fleet = nullptr;
+    uint64_t syncChecks = 0;
+
+  private:
+    const Journal &_j;
+    unsigned _shards;
+    unsigned _workers;
+};
+
+} // namespace
+
+FleetReplayResult
+replayFleetRun(const FatBinary &bin, const FleetConfig &cfg,
+               const std::string &path, ThreadPool *pool)
+{
+    Journal j = parseJournal(path);
+    if (j.configHash != fleetConfigHash(cfg)) {
+        throw ReplayError(ReplayErrc::ConfigMismatch,
+                          "journal was recorded under a different "
+                          "fleet configuration");
+    }
+
+    const unsigned W = cfg.server.workers;
+    const unsigned C = coresPerShard(cfg);
+
+    FleetConfig rcfg = cfg;
+    std::vector<std::unique_ptr<ShardReplayFaultPlan>> plans(
+        cfg.shards);
+    if (cfg.server.faults.enabled) {
+        rcfg.shardPlanOverrides.assign(cfg.shards, nullptr);
+        for (unsigned k = 0; k < cfg.shards; ++k) {
+            plans[k] = std::make_unique<ShardReplayFaultPlan>(
+                shardServerConfig(cfg, k).faults, j, k * W, k * C);
+            rcfg.shardPlanOverrides[k] = plans[k].get();
+        }
+    }
+    FleetReplayer tap(j, cfg.shards, W);
+    rcfg.tap = &tap;
+
+    ProtectedFleet fleet(bin, rcfg);
+    tap.fleet = &fleet;
+
+    // Feed every worker its recorded coin flips, in journal order;
+    // feeds are per global pid so concurrent quanta never share one.
+    std::vector<std::deque<uint8_t>> feeds(size_t(cfg.shards) * W);
+    for (const auto &kv : j.rounds) {
+        for (const auto &c : kv.second.coins) {
+            if (c.first >= feeds.size())
+                throw ReplayError(ReplayErrc::Corrupt,
+                                  "journal coin names bad worker");
+            feeds[c.first].push_back(c.second);
+        }
+    }
+    for (unsigned k = 0; k < cfg.shards; ++k) {
+        for (unsigned i = 0; i < W; ++i) {
+            fleet.shard(k).worker(i).runtime().coinFeed =
+                &feeds[size_t(k) * W + i];
+        }
+    }
+
+    FleetReport report = fleet.run(pool);
+
+    if (report.rounds != j.endRounds ||
+        report.requestsServed != j.endServed ||
+        report.signature != j.endSignature) {
+        throw ReplayError(ReplayErrc::Divergence,
+                          "replayed fleet run's final report "
+                          "disagrees with the recording");
+    }
+
+    FleetReplayResult res;
+    res.report = report;
+    res.rounds = report.rounds;
+    res.syncChecks = tap.syncChecks;
+    return res;
+}
+
+} // namespace replay
+} // namespace hipstr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Record/replay for the sharded fleet (src/fleet), reusing the PR 7
+ * journal format unchanged: the balancer's request draws are the
+ * fleet's only stream nondeterminism, per-shard fault firings and
+ * migration coin flips are journaled under *global* worker/core ids
+ * (shard * workersPerShard + pid, shard * coresPerCmp + coreId) so
+ * the flat journal key spaces stay collision-free across shards, and
+ * every fleet round closes with the fleet-level sync signature.
+ * Replays are verified bit-exactly: the first divergent round throws
+ * ReplayErrc::Divergence, and the final FleetReport signature must
+ * match the recorded End record. Fleet journals carry no checkpoints
+ * — a fleet replay always re-drives from round 0.
+ */
+
+#ifndef HIPSTR_REPLAY_FLEET_REPLAY_HH
+#define HIPSTR_REPLAY_FLEET_REPLAY_HH
+
+#include <string>
+
+#include "fleet/fleet.hh"
+#include "replay/journal.hh"
+
+namespace hipstr
+{
+namespace replay
+{
+
+/**
+ * Behavioural hash of a FleetConfig: every derived shard config's
+ * serverConfigHash plus the balancer knobs (session count, ring
+ * shape, queue bound, SLO, batch size, stealing). Observers —
+ * trace/metrics/tap, keepOutcomes, metricsPrefix — and the
+ * interleaving-only permuteShardStep knob are excluded: a journal
+ * recorded with one shard-step order must replay under any other.
+ */
+uint64_t fleetConfigHash(const FleetConfig &cfg);
+
+/** What recordFleetRun() produced. */
+struct FleetRecordResult
+{
+    FleetReport report; ///< identical to an un-recorded run's
+    uint64_t rounds = 0;
+    uint64_t journalBytes = 0;
+    uint64_t requestsDrawn = 0;
+};
+
+/** What replayFleetRun() produced. */
+struct FleetReplayResult
+{
+    FleetReport report; ///< must equal the recorded run's report
+    uint64_t rounds = 0;
+    uint64_t syncChecks = 0; ///< fleet round signatures verified
+};
+
+/**
+ * Run the fleet to completion under recording, writing the journal
+ * to @p path. The run is bit-identical to an un-recorded one with
+ * the same (bin, cfg).
+ */
+FleetRecordResult recordFleetRun(const FatBinary &bin,
+                                 const FleetConfig &cfg,
+                                 const std::string &path,
+                                 ThreadPool *pool = nullptr);
+
+/**
+ * Re-drive a recorded fleet run from round 0 and verify it
+ * bit-exactly. Throws ReplayError (ConfigMismatch, Divergence, or
+ * any journal parse error).
+ */
+FleetReplayResult replayFleetRun(const FatBinary &bin,
+                                 const FleetConfig &cfg,
+                                 const std::string &path,
+                                 ThreadPool *pool = nullptr);
+
+} // namespace replay
+} // namespace hipstr
+
+#endif // HIPSTR_REPLAY_FLEET_REPLAY_HH

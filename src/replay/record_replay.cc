@@ -163,6 +163,9 @@ serverConfigHash(const ServerConfig &cfg)
     w.u64(cfg.faults.scriptedOutageRound);
     w.u32(cfg.faults.scriptedOutageRounds);
     w.u32(cfg.watchdogQuanta);
+    // Shard mode changes the serve loop (no stream draws, external
+    // intake) even though the callbacks themselves are output-only.
+    w.boolean(cfg.shardMode);
 
     uint64_t h = 0xcbf29ce484222325ull;
     for (uint8_t b : w.data()) {

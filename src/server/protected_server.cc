@@ -126,6 +126,11 @@ ProtectedServer::beginRun()
         st.usPerRound = double(_cfg.sched.quantumInsts) *
             double(_cmp.totalCores()) / agg * 1e6;
     }
+    // A shard cannot account for its requests alone: the fleet owns
+    // arrival times, routing, and re-routing after worker loss.
+    if (_cfg.shardMode)
+        hipstr_assert(_cfg.onComplete && _cfg.onRetry);
+
     st.begun = true;
     _serve = std::move(st);
 
@@ -141,7 +146,8 @@ ProtectedServer::stepRound(ThreadPool *pool)
     hipstr_assert(st.begun);
     if (st.finished)
         return false;
-    if (st.done >= _cfg.requestCount || st.roundNo >= kMaxRounds) {
+    if ((!_cfg.shardMode && st.done >= _cfg.requestCount) ||
+        st.roundNo >= kMaxRounds) {
         st.finished = true;
         return false;
     }
@@ -160,9 +166,11 @@ ProtectedServer::stepRound(ThreadPool *pool)
         }
         Request r;
         if (!st.requeue.empty()) {
+            // Internal requeue (retired-worker retries), or — in
+            // shard mode — the external intake submitExternal() fed.
             r = st.requeue.front();
             st.requeue.pop_front();
-        } else if (st.nextId < _cfg.requestCount) {
+        } else if (!_cfg.shardMode && st.nextId < _cfg.requestCount) {
             uint64_t id = st.nextId++;
             // Record/replay seam: a replayer supplies the journaled
             // request; the live stream (a pure function of id) is
@@ -200,7 +208,8 @@ ProtectedServer::stepRound(ThreadPool *pool)
         }
     }
 
-    if (_sched.idle() && !_sched.hasConvalescents()) {
+    if (!_cfg.shardMode && _sched.idle() &&
+        !_sched.hasConvalescents()) {
         // Nothing runnable now or parked for later: either all
         // requests are done, or the remaining ones cannot be
         // served (every worker retired).
@@ -268,6 +277,8 @@ ProtectedServer::stepRound(ThreadPool *pool)
             }
             st.inflight[w].active = false;
             ++st.done;
+            if (_cfg.shardMode)
+                _cfg.onComplete(r, lat);
         } else if (proc.state() == ProcState::Crashed &&
                    _sched.isRetired(&proc)) {
             // Still Crashed after the scheduler round *and*
@@ -279,7 +290,12 @@ ProtectedServer::stepRound(ThreadPool *pool)
             st.retired[w] = true;
             Request r = st.inflight[w].req;
             ++r.retries;
-            st.requeue.push_front(r);
+            // Shard mode: the fleet re-routes (possibly to another
+            // shard); the internal requeue is only for a lone server.
+            if (_cfg.shardMode)
+                _cfg.onRetry(r);
+            else
+                st.requeue.push_front(r);
             st.inflight[w].active = false;
             if (traced) {
                 tr->record(
@@ -294,12 +310,15 @@ ProtectedServer::stepRound(ThreadPool *pool)
         }
     }
 
-    // All workers gone: the remaining stream is unservable.
+    // All workers gone: the remaining stream is unservable. In shard
+    // mode the fleet does the abandonment accounting (it holds the
+    // queued requests); the shard just stops stepping.
     bool any_alive = false;
     for (size_t w = 0; w < _workers.size(); ++w)
         any_alive = any_alive || !st.retired[w];
     if (!any_alive) {
-        st.report.requestsAbandoned = _cfg.requestCount - st.done;
+        if (!_cfg.shardMode)
+            st.report.requestsAbandoned = _cfg.requestCount - st.done;
         st.finished = true;
     }
 
@@ -437,10 +456,46 @@ ProtectedServer::finishRun()
 ServerReport
 ProtectedServer::run(ThreadPool *pool)
 {
+    // A shard never finishes on its own (no stream, no requestCount
+    // stop) — only the fleet's step loop may drive it.
+    hipstr_assert(!_cfg.shardMode);
     beginRun();
     while (stepRound(pool)) {
     }
     return finishRun();
+}
+
+void
+ProtectedServer::submitExternal(const Request &r)
+{
+    hipstr_assert(_cfg.shardMode && _serve.begun);
+    _serve.requeue.push_back(r);
+}
+
+unsigned
+ProtectedServer::admissionCapacity() const
+{
+    const ServeState &st = _serve;
+    hipstr_assert(st.begun);
+    unsigned n = 0;
+    for (size_t w = 0; w < _workers.size(); ++w) {
+        if (!st.retired[w] && !st.inflight[w].active &&
+            _workers[w]->state() == ProcState::Blocked) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+unsigned
+ProtectedServer::liveWorkers() const
+{
+    const ServeState &st = _serve;
+    hipstr_assert(st.begun);
+    unsigned n = 0;
+    for (size_t w = 0; w < _workers.size(); ++w)
+        n += st.retired[w] ? 0 : 1;
+    return n;
 }
 
 uint64_t

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -137,6 +138,24 @@ struct ServerConfig
      * server does not own it. nullptr = build from `faults` normally.
      */
     const FaultPlan *faultPlanOverride = nullptr;
+
+    /**
+     * Shard mode (src/fleet): the server is one shard behind the
+     * fleet balancer and serves externally submitted requests only.
+     * stepRound() draws nothing from its own stream and never
+     * self-finishes on requestCount — the owner decides when the run
+     * is over. Completions and retired-worker retries are handed to
+     * the callbacks below instead of the internal requeue, so the
+     * fleet gets full per-request accounting. Both callbacks must be
+     * set when shardMode is true.
+     */
+    bool shardMode = false;
+    /** Shard mode: a request finished after @p latency rounds inside
+     *  this shard. */
+    std::function<void(const Request &, uint64_t latency)> onComplete;
+    /** Shard mode: a worker retired mid-service; its request (retries
+     *  already incremented) goes back to the fleet for re-routing. */
+    std::function<void(const Request &)> onRetry;
 };
 
 /** Latency distribution in scheduler rounds. */
@@ -248,6 +267,27 @@ class ProtectedServer
 
     /** Rounds completed so far in a stepped run. */
     uint64_t roundNumber() const { return _serve.roundNo; }
+
+    /**
+     * Shard-facing surface (shardMode; see ServerConfig). @{
+     */
+    /**
+     * Submit one externally routed request. Queued at the shard's
+     * intake tail; the next stepRound() assigns intake to idle
+     * workers in pid order. Submitting more than admissionCapacity()
+     * requests between rounds is allowed but leaves the excess queued
+     * — the fleet's bounded admission queues avoid that by never
+     * over-submitting.
+     */
+    void submitExternal(const Request &r);
+    /** Workers that would accept a request next round: not retired,
+     *  no request in flight, process Blocked awaiting service. */
+    unsigned admissionCapacity() const;
+    /** Workers not permanently retired. */
+    unsigned liveWorkers() const;
+    /** Externally submitted requests not yet assigned to a worker. */
+    size_t queuedExternal() const { return _serve.requeue.size(); }
+    /** @} */
 
     /**
      * FNV-1a fold of the serve-loop state that must agree between a

@@ -179,6 +179,10 @@ class CmpScheduler
     /** True while any crashed worker is parked awaiting respawn. */
     bool hasConvalescents() const { return !_infirmary.empty(); }
 
+    /** Crashed workers parked awaiting respawn — the fleet balancer's
+     *  respawn-storm signal (src/fleet). */
+    size_t convalescentCount() const { return _infirmary.size(); }
+
     /** Core/ISA availability under the fault plan. @{ */
     bool coreOnline(unsigned coreId) const;
     bool isaOffline(IsaKind isa) const

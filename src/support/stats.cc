@@ -57,6 +57,29 @@ Histogram::mean() const
     return static_cast<double>(_sum) / static_cast<double>(_samples);
 }
 
+uint64_t
+Histogram::percentile(double p) const
+{
+    // Same guard as mean(): percentile queries on an empty histogram
+    // (including one merged from only-empty shards) answer 0 rather
+    // than dividing by — or walking past — zero samples.
+    if (_samples == 0)
+        return 0;
+    p = std::min(1.0, std::max(0.0, p));
+    // Rank of the p-quantile sample, 1-based, clamped into range so
+    // p=0 answers the first sample's bin and p=1 the last's.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(_samples)));
+    rank = std::max<uint64_t>(1, std::min(rank, _samples));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < _bins.size(); ++i) {
+        seen += _bins[i];
+        if (seen >= rank)
+            return static_cast<uint64_t>(i) * _binWidth;
+    }
+    return static_cast<uint64_t>(_bins.size() - 1) * _binWidth;
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {

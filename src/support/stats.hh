@@ -69,6 +69,16 @@ class Histogram
     /** Mean of all samples; 0.0 for an empty histogram (no samples
      *  recorded yet must never fault a stats dump mid-run). */
     double mean() const;
+    /**
+     * Lower edge of the bin containing the @p p-quantile (p in
+     * [0, 1]), by cumulative-count walk. With binWidth 1 this is the
+     * exact integer percentile of the recorded samples; wider bins
+     * round down to the bin edge. An empty histogram answers 0 —
+     * like mean(), percentile queries must stay well-defined on a
+     * histogram that has no samples yet (e.g. the merge of several
+     * empty shards).
+     */
+    uint64_t percentile(double p) const;
     /** Count in bin @p i; the final bin absorbs overflow (see the
      *  class comment). */
     uint64_t binCount(size_t i) const { return _bins.at(i); }

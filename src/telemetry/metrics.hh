@@ -121,7 +121,13 @@ class HistogramMetric
         _hist.sample(v, count);
     }
 
-    /** Fold @p other in. @throws MetricError on geometry mismatch. */
+    /**
+     * Fold @p other in. @throws MetricError on geometry mismatch.
+     * Merging empty histograms is well-defined: the result is empty
+     * and mean()/percentile() on it answer 0 rather than dividing by
+     * zero samples — cross-shard aggregation relies on this when a
+     * shard served nothing.
+     */
     void merge(const HistogramMetric &other);
 
     /** Immutable snapshot for export (copies under the lock). */
@@ -129,6 +135,26 @@ class HistogramMetric
     {
         std::lock_guard<std::mutex> lock(_mutex);
         return _hist;
+    }
+
+    uint64_t totalSamples() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _hist.totalSamples();
+    }
+
+    /** Mean of all samples; 0.0 when empty (see Histogram::mean). */
+    double mean() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _hist.mean();
+    }
+
+    /** p-quantile bin edge; 0 when empty (Histogram::percentile). */
+    uint64_t percentile(double p) const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _hist.percentile(p);
     }
 
     uint64_t binWidth() const { return _binWidth; }

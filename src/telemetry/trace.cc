@@ -15,6 +15,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Scheduler: return "sched";
       case TraceCategory::Server: return "server";
       case TraceCategory::Phase: return "phase";
+      case TraceCategory::Fleet: return "fleet";
       case TraceCategory::kNum: break;
     }
     return "?";

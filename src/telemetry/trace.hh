@@ -56,6 +56,7 @@ enum class TraceCategory : uint8_t
     Scheduler, ///< CmpScheduler rounds, quanta, respawns, routing
     Server,    ///< ProtectedServer request lifecycle
     Phase,     ///< per-phase profiling scopes
+    Fleet,     ///< ProtectedFleet admission, shedding, stealing
     kNum
 };
 

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Fleet balancer contract tests (the fleet_smoke tier):
+ *
+ *  - session pinning is stable: every request of a session is held
+ *    and served by the shard the ring pins it to, for the whole run;
+ *  - per-session outcomes are shard-count invariant: K=1 and K=4
+ *    dispose of every request identically (placement changes, fates
+ *    do not);
+ *  - SLO shedding is deterministic: the exact set of shed request
+ *    ids is identical serially and on a 4-thread pool;
+ *  - work stealing during a respawn storm loses nothing and serves
+ *    nothing twice: the disposal ledger covers every offered request
+ *    exactly once (double disposal is a hipstr_fatal in the fleet).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "fleet/fleet.hh"
+#include "support/parallel.hh"
+#include "workloads/workloads.hh"
+
+using namespace hipstr;
+
+namespace
+{
+
+const FatBinary &
+testBinary()
+{
+    static FatBinary bin = [] {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        return compileModule(buildWorkload("httpd", wcfg));
+    }();
+    return bin;
+}
+
+FleetConfig
+baseConfig()
+{
+    FleetConfig cfg;
+    cfg.shards = 4;
+    cfg.requestCount = 600;
+    cfg.sessions = 32;
+    cfg.batchSize = 16;
+    cfg.keepOutcomes = true;
+    cfg.server.workers = 4;
+    cfg.server.hipstr.diversificationProbability = 1.0;
+    cfg.server.sched.respawnLimit = 0; // production: always respawn
+    return cfg;
+}
+
+/** Disposal ledger invariants every run must satisfy: one outcome
+ *  per offered request, unique ids, counters consistent. */
+void
+checkLedger(const FleetConfig &cfg, const FleetReport &r)
+{
+    EXPECT_EQ(r.requestsOffered,
+              r.requestsServed + r.requestsShed +
+                  r.requestsAbandoned);
+    ASSERT_EQ(r.outcomes.size(), r.requestsOffered);
+    std::set<uint64_t> ids;
+    uint64_t served = 0, shed = 0, abandoned = 0;
+    for (const FleetOutcomeRec &o : r.outcomes) {
+        EXPECT_TRUE(ids.insert(o.id).second)
+            << "request " << o.id << " disposed twice";
+        EXPECT_LT(o.id, cfg.requestCount);
+        switch (o.outcome) {
+          case FleetOutcome::Served:
+            ++served;
+            break;
+          case FleetOutcome::ShedDeadline:
+            ++shed;
+            break;
+          case FleetOutcome::Abandoned:
+            ++abandoned;
+            break;
+        }
+    }
+    EXPECT_EQ(served, r.requestsServed);
+    EXPECT_EQ(shed, r.requestsShed);
+    EXPECT_EQ(abandoned, r.requestsAbandoned);
+}
+
+} // namespace
+
+TEST(Fleet, SessionPinningStableAcrossTheRun)
+{
+    // Benign traffic, no storms: stealing never kicks in, so every
+    // request must be served by exactly the shard its session pins
+    // to, and the pin must agree with the public ring lookup.
+    FleetConfig cfg = baseConfig();
+    ProtectedFleet fleet(testBinary(), cfg);
+    FleetReport r = fleet.run();
+
+    EXPECT_EQ(r.requestsServed, cfg.requestCount);
+    EXPECT_EQ(r.steals, 0u);
+    checkLedger(cfg, r);
+
+    std::map<uint64_t, uint32_t> sessionShard;
+    for (const FleetOutcomeRec &o : r.outcomes) {
+        EXPECT_EQ(o.session, fleet.sessionOf(o.id));
+        EXPECT_EQ(o.homeShard, fleet.shardOf(o.session));
+        EXPECT_EQ(o.shard, o.homeShard)
+            << "request " << o.id << " strayed off its pin";
+        auto [it, fresh] =
+            sessionShard.emplace(o.session, o.shard);
+        if (!fresh) {
+            EXPECT_EQ(it->second, o.shard)
+                << "session " << o.session << " moved shards";
+        }
+    }
+    // With 32 sessions on a 4x16-vnode ring, every shard should own
+    // at least one session (smoke check that hashing spreads).
+    std::set<uint32_t> used;
+    for (const auto &kv : sessionShard)
+        used.insert(kv.second);
+    EXPECT_EQ(used.size(), cfg.shards);
+}
+
+TEST(Fleet, OutcomesInvariantAcrossShardCounts)
+{
+    // The same hostile stream through K=1 and K=4: what happens to
+    // each request (served, and as what kind) must not depend on how
+    // many shards the sessions were spread over.
+    auto runAt = [](unsigned k) {
+        FleetConfig cfg = baseConfig();
+        cfg.shards = k;
+        cfg.mix.attackFrac = 0.05;
+        cfg.mix.malformedFrac = 0.05;
+        cfg.server.watchdogQuanta = 3;
+        ProtectedFleet fleet(testBinary(), cfg);
+        return fleet.run();
+    };
+    FleetReport one = runAt(1);
+    FleetReport four = runAt(4);
+    checkLedger(baseConfig(), one);
+    checkLedger(baseConfig(), four);
+    EXPECT_EQ(one.requestsServed, one.requestsOffered);
+    EXPECT_EQ(four.requestsServed, four.requestsOffered);
+
+    // Commutative witness first...
+    EXPECT_EQ(one.outcomeSetSignature, four.outcomeSetSignature);
+    // ...then the explicit per-request comparison behind it.
+    using Fate = std::tuple<uint64_t, RequestKind, FleetOutcome>;
+    auto fates = [](const FleetReport &r) {
+        std::map<uint64_t, std::set<Fate>> bySession;
+        for (const FleetOutcomeRec &o : r.outcomes)
+            bySession[o.session].insert(
+                Fate(o.id, o.kind, o.outcome));
+        return bySession;
+    };
+    EXPECT_EQ(fates(one), fates(four));
+}
+
+TEST(Fleet, SheddingDeterministicAcrossThreadCounts)
+{
+    // Overload a small fleet behind a tight deadline so a large
+    // fraction sheds, then compare the exact shed id set between a
+    // serial run and a 4-job run: SLO decisions are balancer-side
+    // and sequential, so they must not move with the pool width.
+    auto runAt = [](unsigned jobs) {
+        ThreadPool::setGlobalThreads(jobs - 1);
+        FleetConfig cfg = baseConfig();
+        cfg.shards = 2;
+        cfg.sloRounds = 6;
+        cfg.queueCap = 8;
+        cfg.batchSize = 32;
+        ProtectedFleet fleet(testBinary(), cfg);
+        return fleet.run();
+    };
+    FleetReport serial = runAt(1);
+    FleetReport wide = runAt(4);
+    ThreadPool::setGlobalThreads(0);
+
+    ASSERT_GT(serial.requestsShed, 0u)
+        << "config no longer sheds; tighten the SLO";
+    EXPECT_EQ(serial.signature, wide.signature);
+    auto shedIds = [](const FleetReport &r) {
+        std::set<uint64_t> ids;
+        for (const FleetOutcomeRec &o : r.outcomes)
+            if (o.outcome == FleetOutcome::ShedDeadline)
+                ids.insert(o.id);
+        return ids;
+    };
+    EXPECT_EQ(shedIds(serial), shedIds(wide));
+    EXPECT_EQ(serial.requestsShed, wide.requestsShed);
+    EXPECT_EQ(serial.rounds, wide.rounds);
+}
+
+TEST(Fleet, WorkStealingDrainsStormyShardsWithoutLoss)
+{
+    // A crash-heavy mix with slow convalescence: every crash parks
+    // its worker in the infirmary for several rounds and repeat
+    // offenders quarantine, so shards go stormy and healthy shards
+    // must steal their queues. Nothing may be lost or double-served.
+    FleetConfig cfg = baseConfig();
+    cfg.mix.malformedFrac = 0.10;
+    cfg.queueCap = 16;
+    cfg.server.watchdogQuanta = 3;
+    cfg.server.sched.supervisor.backoffBaseRounds = 4;
+    cfg.server.sched.supervisor.backoffCapRounds = 16;
+    cfg.server.sched.supervisor.quarantineAfter = 2;
+    cfg.server.sched.supervisor.quarantineRounds = 40;
+    ProtectedFleet fleet(testBinary(), cfg);
+    FleetReport r = fleet.run();
+
+    checkLedger(cfg, r);
+    EXPECT_EQ(r.requestsOffered, cfg.requestCount);
+    EXPECT_EQ(r.requestsServed, cfg.requestCount)
+        << "a stormy shard lost requests";
+    EXPECT_GT(r.crashes, 0u);
+    EXPECT_GT(r.steals, 0u)
+        << "storm never triggered stealing; crank malformedFrac";
+
+    // Stolen requests really ran away from home.
+    uint64_t strayed = 0;
+    for (const FleetOutcomeRec &o : r.outcomes)
+        if (o.shard != o.homeShard)
+            ++strayed;
+    EXPECT_GT(strayed, 0u);
+    EXPECT_LE(strayed, r.steals);
+}

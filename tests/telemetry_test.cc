@@ -100,6 +100,35 @@ TEST(MetricRegistry, HistogramMergeAndMismatch)
     EXPECT_THROW(a.merge(c), MetricError);
 }
 
+TEST(MetricRegistry, HistogramEmptyMergeWellDefined)
+{
+    // Merging two empty histograms of identical geometry (the
+    // cross-shard fleet aggregation path when a shard saw no
+    // traffic) must leave every statistical query well-defined:
+    // zero samples, zero mean, zero percentiles — no NaN from the
+    // 0/0 divide, no out-of-range bin walk.
+    MetricRegistry reg;
+    HistogramMetric &a = reg.histogram("a", 10, 4);
+    HistogramMetric &b = reg.histogram("b", 10, 4);
+    a.merge(b);
+    EXPECT_EQ(a.totalSamples(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.percentile(0.5), 0u);
+    EXPECT_EQ(a.percentile(0.999), 0u);
+    Histogram s = a.snapshot();
+    EXPECT_EQ(s.totalSamples(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.percentile(0.99), 0u);
+
+    // And the moment one real sample lands, the queries snap to it.
+    b.sample(15);
+    a.merge(b);
+    EXPECT_EQ(a.totalSamples(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+    EXPECT_EQ(a.percentile(0.5), 10u); // lower edge of its bin
+    EXPECT_EQ(a.percentile(1.0), 10u);
+}
+
 TEST(MetricRegistry, JsonExportGolden)
 {
     // Golden comparison: names sorted, integers verbatim, doubles via
