@@ -17,6 +17,18 @@
  *   ./examples/protected_server --trace server_trace.json
  *   ./examples/protected_server --chaos
  *   ./examples/protected_server --fleet 4 --chaos
+ *   ./examples/protected_server --campaign brute
+ *   ./examples/protected_server --fleet 4 --campaign crossguest
+ *
+ * With --campaign <oneshot|brute|isomeron|respawn|crossguest>, an
+ * adaptive adversary campaign (src/attack/campaign.hh) owns a share
+ * of the request stream: it rewrites drawn requests into probes,
+ * observes only what an external client could (responses, connection
+ * resets, latency), and steers its next probes from the belief it
+ * builds. The run prints the attacker's scorecard next to the
+ * defender's. Campaign runs record and replay like any other — the
+ * journal carries the rewritten probes, so HIPSTR_REPLAY re-drives
+ * the hostile run bit-exactly with no engine attached.
  *
  * With --fleet K, the run scales out to K sharded servers behind the
  * deterministic load balancer (src/fleet): consistent-hash session
@@ -54,6 +66,7 @@
 #include <fstream>
 #include <memory>
 
+#include "attack/campaign.hh"
 #include "compiler/compile.hh"
 #include "fleet/fleet.hh"
 #include "replay/fleet_replay.hh"
@@ -70,6 +83,9 @@ main(int argc, char **argv)
     const char *trace_path = nullptr;
     bool chaos = false;
     unsigned fleetShards = 0;
+    bool haveCampaign = false;
+    attack::CampaignStrategy strategy =
+        attack::CampaignStrategy::OneShot;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0) {
             trace_path = (i + 1 < argc) ? argv[++i]
@@ -83,10 +99,20 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--fleet wants 1..64 shards\n");
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--campaign") == 0 &&
+                   i + 1 < argc) {
+            if (!attack::campaignStrategyFromName(argv[++i],
+                                                  strategy)) {
+                std::fprintf(stderr,
+                             "--campaign wants one of: oneshot brute "
+                             "isomeron respawn crossguest\n");
+                return 2;
+            }
+            haveCampaign = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--trace [file.json]] [--chaos] "
-                         "[--fleet K]\n",
+                         "[--fleet K] [--campaign <strategy>]\n",
                          argv[0]);
             return 2;
         }
@@ -139,6 +165,66 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // A live campaign makes no sense during replay: the journal
+    // already carries every rewritten probe, and the drivers null the
+    // engine anyway.
+    std::unique_ptr<attack::CampaignEngine> campaign;
+    auto makeCampaign = [&](uint64_t defenseSeed, unsigned shards) {
+        attack::CampaignConfig ccfg = attack::campaignConfigFor(
+            strategy, /*attackerSeed=*/0xa77ac4, defenseSeed,
+            cfg.hipstr.psr.randSpaceBytes,
+            cfg.hipstr.diversificationProbability, shards);
+        ccfg.probeFrac = 0.25; // hostile tenant owns 25% of traffic
+        if (trace_path != nullptr)
+            ccfg.trace = &trace;
+        campaign = std::make_unique<attack::CampaignEngine>(ccfg);
+        std::printf("campaign: %s strategy, 25%% hostile tenancy, "
+                    "secret space %u\n",
+                    attack::campaignStrategyName(strategy),
+                    campaign->config().secretSpace);
+    };
+    auto printCampaign = [&] {
+        if (campaign == nullptr)
+            return;
+        if (!replayPath.empty()) {
+            std::printf("  campaign: replayed from journal (no live "
+                        "engine)\n");
+            return;
+        }
+        const attack::CampaignReport cr = campaign->report();
+        std::printf(
+            "  campaign: %llu probes (%llu attack, %llu crash), "
+            "%llu responses, %llu crashes seen, %llu silences\n",
+            static_cast<unsigned long long>(cr.probesSent),
+            static_cast<unsigned long long>(cr.attackProbes),
+            static_cast<unsigned long long>(cr.crashProbes),
+            static_cast<unsigned long long>(cr.responses),
+            static_cast<unsigned long long>(cr.crashesObserved),
+            static_cast<unsigned long long>(cr.silences));
+        if (cr.compromises > 0) {
+            std::printf("  campaign: %llu compromises, first after "
+                        "%llu probes (round %llu)\n",
+                        static_cast<unsigned long long>(
+                            cr.compromises),
+                        static_cast<unsigned long long>(
+                            cr.firstCompromiseProbe),
+                        static_cast<unsigned long long>(
+                            cr.firstCompromiseRound));
+        } else {
+            std::printf("  campaign: no payload landed — the defense "
+                        "held for the whole run\n");
+        }
+        std::printf(
+            "  belief: %llu exclusions learned, %llu dropped to "
+            "crash resets, %llu ISA leaks folded, %llu respawn gaps "
+            "timed\n",
+            static_cast<unsigned long long>(
+                cr.belief.exclusionsLearned),
+            static_cast<unsigned long long>(cr.belief.epochResets),
+            static_cast<unsigned long long>(cr.belief.isaLeaksSeen),
+            static_cast<unsigned long long>(cr.belief.gapsLearned));
+    };
+
     if (fleetShards != 0) {
         FleetConfig fcfg;
         fcfg.shards = fleetShards;
@@ -149,6 +235,10 @@ main(int argc, char **argv)
         fcfg.batchSize = 4 * fleetShards;
         fcfg.trace = cfg.trace;
         fcfg.metrics = cfg.metrics;
+        if (haveCampaign) {
+            makeCampaign(fcfg.seed, fcfg.shards);
+            fcfg.campaign = campaign.get();
+        }
 
         std::printf("fleet mode: %u shards x %u workers, %llu "
                     "requests across %llu sessions\n",
@@ -215,6 +305,7 @@ main(int argc, char **argv)
                         fr.securityEvents),
                     fr.migrations, fr.crashes, fr.respawns,
                     fr.quarantines);
+        printCampaign();
         for (size_t k = 0; k < fr.shardReports.size(); ++k) {
             const ServerReport &s = fr.shardReports[k];
             std::printf("  shard %zu: %llu served, %llu rounds, %u "
@@ -242,6 +333,10 @@ main(int argc, char **argv)
 
     // The record/replay harnesses own their server internally, so
     // the per-worker dump below only runs for a plain serve.
+    if (haveCampaign) {
+        makeCampaign(cfg.seed, 1);
+        cfg.campaign = campaign.get();
+    }
     std::unique_ptr<ProtectedServer> server;
     ServerReport r;
     if (!replayPath.empty()) {
@@ -292,6 +387,7 @@ main(int argc, char **argv)
     std::printf("  integrity: %u program completions verified, %u "
                 "checksum mismatches\n",
                 r.programsCompleted, r.checksumMismatches);
+    printCampaign();
 
     if (chaos) {
         std::printf(

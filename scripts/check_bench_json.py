@@ -177,6 +177,67 @@ def check_fleet_serving(path, metrics):
                    "shard count)")
 
 
+def check_campaign_pareto(path, metrics):
+    """BENCH_campaign_pareto.json carries the adaptive-adversary
+    sweep: every sweep point has a positive time-to-compromise and an
+    availability in [0, 1]; the published frontier is monotone (rising
+    ttc never buys better p99 — otherwise a dominated point leaked
+    in); and the headline claims hold (adaptive strictly beats
+    one-shot at equal probe budget, the hostile replay matched)."""
+    points = set()
+    for name in metrics:
+        m = re.match(r"^pareto\.p(\d+)\.", name)
+        if m:
+            points.add(int(m.group(1)))
+    if len(points) < 4:
+        fail(path, f"pareto sweep has {len(points)} point(s), "
+                   f"want >= 4")
+    for i in sorted(points):
+        prefix = f"pareto.p{i}."
+        ttc = metrics.get(prefix + "ttc_rounds")
+        if not is_finite_number(ttc) or ttc <= 0:
+            fail(path, f"{prefix}ttc_rounds {ttc!r} invalid, "
+                       f"want > 0")
+        avail = metrics.get(prefix + "availability")
+        if avail is None:
+            fail(path, f"{prefix}availability missing")
+        elif not is_finite_number(avail) or not 0.0 <= avail <= 1.0:
+            fail(path, f"{prefix}availability {avail!r} not in "
+                       f"[0, 1]")
+    size = metrics.get("pareto.frontier.size")
+    if not isinstance(size, int) or size < 1:
+        fail(path, f"pareto.frontier.size {size!r} invalid")
+        size = 0
+    frontier = []
+    for j in range(size):
+        prefix = f"pareto.frontier.f{j}."
+        ttc = metrics.get(prefix + "ttc_rounds")
+        p99 = metrics.get(prefix + "latency_p99_rounds")
+        if not is_finite_number(ttc) or not is_finite_number(p99):
+            fail(path, f"{prefix}: missing ttc/p99 pair")
+            return
+        frontier.append((ttc, p99))
+    for (t0, l0), (t1, l1) in zip(frontier, frontier[1:]):
+        if t1 <= t0:
+            fail(path, f"frontier ttc not strictly increasing: "
+                       f"{t0} -> {t1}")
+        if l1 < l0:
+            fail(path, f"frontier p99 improves as ttc rises "
+                       f"({l0} -> {l1}): a dominated point leaked in")
+    one = metrics.get("pareto.duel.oneshot_ttc_probes")
+    ada = metrics.get("pareto.duel.adaptive_ttc_probes")
+    if not is_finite_number(one) or not is_finite_number(ada):
+        fail(path, "duel ttc metrics missing")
+    elif not ada < one:
+        fail(path, f"adaptive ttc {ada} not strictly below "
+                   f"one-shot {one}")
+    for name in ("pareto.duel.adaptive_beats_oneshot",
+                 "pareto.replay_match"):
+        v = metrics.get(name)
+        if v != 1:
+            fail(path, f"{name} is {v!r}, want 1")
+
+
 def check_deterministic(path, bench_name):
     doc = json.loads(path.read_text())
     if set(doc.keys()) != {"bench", "smoke", "metrics"}:
@@ -198,6 +259,9 @@ def check_deterministic(path, bench_name):
     if bench_name == "fleet_serving" and \
             isinstance(doc["metrics"], dict):
         check_fleet_serving(path, doc["metrics"])
+    if bench_name == "campaign_pareto" and \
+            isinstance(doc["metrics"], dict):
+        check_campaign_pareto(path, doc["metrics"])
 
 
 def check_host(path, bench_name):

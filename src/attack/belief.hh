@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Attacker-side belief state for adaptive campaigns (src/attack/
+ * campaign.hh): everything a feedback-driven adversary can infer
+ * about one protected worker from the outcomes of its own probes —
+ * an ISA-placement posterior fed by a modeled response-timing side
+ * channel, a crash-epoch counter tracking observed re-randomizations,
+ * a learned respawn-gap estimate (the quarantine/backoff window the
+ * respawn-timing strategy races), and a disproven-guess exclusion set
+ * over the stack-entropy secret space.
+ *
+ * Nothing in here reads defender state: the belief is updated only
+ * from ProbeEvent fields an external client could observe (response
+ * vs. reset vs. silence, latency, and a deterministic leak of the
+ * serving ISA with configured fidelity). The oracle that scores a
+ * probe against the defender's true secret lives in the campaign
+ * engine, clearly separated from the inference below it.
+ */
+
+#ifndef HIPSTR_ATTACK_BELIEF_HH
+#define HIPSTR_ATTACK_BELIEF_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "isa/isa.hh"
+
+namespace hipstr
+{
+namespace attack
+{
+
+/**
+ * What the attacker believes about one worker it has probed. Keyed by
+ * (shard, pid) in the campaign engine — an external adversary can
+ * distinguish workers by connection affinity even when it cannot pick
+ * them.
+ */
+struct TargetBelief
+{
+    /** Posterior that the worker currently executes on the RISC ISA
+     *  (0.5 = no information). Fed by the timing side channel and
+     *  decayed through the attacker's model of the defender's
+     *  migration probability. */
+    double pRisc = 0.5;
+
+    /** Crash epoch: probes observed to reset the connection. Every
+     *  crash respawns the worker with fresh randomization, so the
+     *  exclusion set below is only valid within one epoch. */
+    uint32_t crashEpoch = 0;
+
+    /** Round of the most recent observed crash (respawn-gap
+     *  learning). */
+    uint64_t lastCrashRound = 0;
+    /** Learned crash → first-subsequent-response gap in rounds — the
+     *  infirmary backoff/quarantine window as seen from outside.
+     *  0 until the first full crash/recover cycle is observed. */
+    uint64_t respawnGapRounds = 0;
+    /** True between an observed crash and the next response from the
+     *  same worker (the recovery window is open). */
+    bool awaitingRecovery = false;
+
+    /** Secret guesses disproven in the current crash epoch (guessing
+     *  without replacement — the core adaptive advantage over the
+     *  one-shot attacks in brute_force.cc). */
+    std::set<uint32_t> excluded;
+    /** Sweep cursor into the secret space. */
+    uint32_t cursor = 0;
+
+    /** Probes this worker has served (attacker-visible). */
+    uint64_t probesServed = 0;
+};
+
+/** Aggregate counters the campaign report exposes about the belief's
+ *  evolution. */
+struct BeliefStats
+{
+    uint64_t exclusionsLearned = 0;
+    uint64_t epochResets = 0;   ///< exclusion sets dropped on crash
+    uint64_t isaLeaksSeen = 0;  ///< side-channel leaks incorporated
+    uint64_t sweepRestarts = 0; ///< space exhausted, re-sweep begun
+    uint64_t gapsLearned = 0;   ///< respawn-gap samples folded
+};
+
+/**
+ * Belief over every worker the campaign has touched, plus the
+ * attacker's static model of the defense policy (migration
+ * probability and secret-space size are public knobs — Kerckhoffs).
+ */
+class BeliefState
+{
+  public:
+    /**
+     * @param secretSpace  size of the per-(worker, generation) secret
+     *                     space the campaign guesses over
+     * @param migrationProb the defender's published diversification
+     *                     probability, used to invert the timing leak
+     */
+    BeliefState(uint32_t secretSpace, double migrationProb);
+
+    /** Belief for worker @p pid on shard @p shard (created cold). */
+    TargetBelief &target(uint32_t shard, uint32_t pid);
+    const TargetBelief *find(uint32_t shard, uint32_t pid) const;
+
+    /**
+     * A response (any probe) from worker @p pid arrived at @p round:
+     * count it and close an open recovery window (learning the
+     * respawn gap).
+     */
+    void noteServiced(uint32_t shard, uint32_t pid, uint64_t round);
+
+    /**
+     * Incorporate a served *attack* probe's result: learn an
+     * exclusion when the tested guess is attributable (see
+     * inferStagingIsa) and fold the timing side channel when
+     * @p leaked. Call after noteServiced().
+     *
+     * @param guess     the secret value the probe tested
+     * @param guessIsa  the ISA the probe's payload assumed
+     * @param sentRound round the probe was sent — a crash observed at
+     *                  or after it re-randomized the secret, making
+     *                  the result unattributable
+     * @param leaked    whether the timing channel leaked the ISA
+     * @param servedIsa the completion ISA the leak exposes (ignored
+     *                  unless @p leaked)
+     */
+    void noteProbeResult(uint32_t shard, uint32_t pid, uint32_t guess,
+                         IsaKind guessIsa, uint64_t sentRound,
+                         bool leaked, IsaKind servedIsa);
+
+    /** Incorporate an observed crash (connection reset): open a new
+     *  crash epoch, drop stale exclusions, start gap timing. */
+    void noteCrash(uint32_t shard, uint32_t pid, uint64_t round);
+
+    /**
+     * The next guess for a worker: first unexcluded value at or after
+     * the sweep cursor, wrapping. When every value is excluded the
+     * epoch's inferences must contain an error (the staging-ISA
+     * attribution is probabilistic) — the set is dropped and the
+     * sweep restarts.
+     */
+    uint32_t nextGuess(uint32_t shard, uint32_t pid);
+
+    /** The ISA the attacker expects the *next* probe to be staged on.
+     *  Migration happens during service — after staging — and only on
+     *  security events, so the worker sits where its last leaked
+     *  completion left it: the placement posterior reads out
+     *  directly. */
+    IsaKind predictedStagingIsa(uint32_t shard, uint32_t pid) const;
+
+    /**
+     * The attacker's inversion of the timing leak: the leak exposes
+     * the ISA the response *completed* on, but the payload ran at
+     * staging — before the probe's own security event could migrate
+     * the worker. With migration probability p the staging ISA is the
+     * completion ISA when p < 0.5 and its opposite when p > 0.5;
+     * either way the attribution is right with max(p, 1-p).
+     */
+    IsaKind inferStagingIsa(IsaKind completionIsa) const;
+
+    uint32_t secretSpace() const { return _space; }
+    double migrationProb() const { return _migrationProb; }
+    const BeliefStats &stats() const { return _stats; }
+
+    /** Shard whose workers have crashed the most — the cross-guest
+     *  strategy's "weakest shard" focus. @p shards bounds the answer;
+     *  returns 0 with no observations yet. */
+    uint32_t weakestShard(uint32_t shards) const;
+
+    /** Worker on @p shard with the largest exclusion set (closest to
+     *  exhaustion); ties resolve to the lowest pid; 0 when the shard
+     *  is untouched. */
+    uint32_t mostExcludedWorker(uint32_t shard) const;
+
+    /** Deterministic FNV-1a fold of the whole belief (tests). */
+    uint64_t signature() const;
+
+  private:
+    struct Key
+    {
+        uint32_t shard;
+        uint32_t pid;
+        bool operator<(const Key &o) const
+        {
+            return shard != o.shard ? shard < o.shard : pid < o.pid;
+        }
+    };
+
+    uint32_t _space;
+    double _migrationProb;
+    std::map<Key, TargetBelief> _targets;
+    BeliefStats _stats;
+};
+
+} // namespace attack
+} // namespace hipstr
+
+#endif // HIPSTR_ATTACK_BELIEF_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "attack/campaign.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
@@ -77,6 +78,13 @@ shardServerConfig(const FleetConfig &cfg, unsigned k)
     sc.faultPlanOverride = k < cfg.shardPlanOverrides.size()
         ? cfg.shardPlanOverrides[k]
         : nullptr;
+    // Campaign plumbing: shards observe probe outcomes on their own
+    // channel but never rewrite (the fleet's ingest does) and never
+    // commit (the fleet commits once per fleet round, in shard-index
+    // order — the permuteShardStep invariance root).
+    sc.campaign = cfg.campaign;
+    sc.campaignShard = k;
+    sc.campaignCommits = false;
     // onComplete/onRetry are wired by the ProtectedFleet constructor.
     sc.onComplete = nullptr;
     sc.onRetry = nullptr;
@@ -206,6 +214,17 @@ ProtectedFleet::dispose(const Pending &p, uint32_t shard,
         static_cast<uint64_t>(o);
     _outcomeSetSig += splitMix64(x);
 
+    // Non-served disposals are silence from the attacker's seat: the
+    // request vanished without a response or a reset.
+    if (_cfg.campaign != nullptr && o != FleetOutcome::Served) {
+        attack::ProbeEvent ev;
+        ev.id = p.req.id;
+        ev.signal = attack::ProbeSignal::Silence;
+        ev.shard = shard;
+        ev.latencyRounds = latency;
+        _cfg.campaign->observe(ev);
+    }
+
     if (_cfg.keepOutcomes) {
         FleetOutcomeRec rec;
         rec.id = p.req.id;
@@ -264,19 +283,24 @@ ProtectedFleet::ingestRound()
     for (unsigned b = 0;
          b < _cfg.batchSize && _nextId < _cfg.requestCount; ++b) {
         uint64_t id = _nextId++;
+        const uint64_t session = sessionOf(id);
+        const uint32_t home = shardOf(session);
         Request r;
         // Record/replay seam, mirroring the single server's: a
         // replayer supplies the journaled request, a recorder logs
-        // the live draw.
+        // the live draw. The campaign rewrites between draw and
+        // journal, so recordings carry the probes.
         if (_cfg.tap == nullptr || !_cfg.tap->supplyRequest(id, r)) {
             r = _stream.make(id);
+            if (_cfg.campaign != nullptr)
+                _cfg.campaign->rewrite(r, home, session, _roundNo);
             if (_cfg.tap != nullptr)
                 _cfg.tap->requestDrawn(r);
         }
         Pending p;
         p.req = r;
-        p.session = sessionOf(id);
-        p.home = shardOf(p.session);
+        p.session = session;
+        p.home = home;
         p.arrival = _roundNo;
         _arrival.push_back(p);
     }
@@ -519,6 +543,13 @@ ProtectedFleet::run(ThreadPool *pool)
                 empty = empty && _queues[k].empty();
             finished = empty;
         }
+
+        // Commit the campaign's buffered observations for this round
+        // — after every shard stepped and every disposal landed, so
+        // the engine sees one canonical, shard-ordered event stream
+        // regardless of the step permutation above.
+        if (_cfg.campaign != nullptr)
+            _cfg.campaign->commitRound(_roundNo);
 
         if (_traced) {
             size_t queued = 0;

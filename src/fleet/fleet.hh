@@ -158,6 +158,18 @@ struct FleetConfig
      * from the derived config. Entries may be null.
      */
     std::vector<const FaultPlan *> shardPlanOverrides;
+
+    /**
+     * Adaptive adversary campaign (src/attack/campaign.hh), or
+     * nullptr for an unattacked fleet. The engine rewrites the
+     * fleet's fresh draws at ingest (before the tap journals them —
+     * replays are bit-exact with no engine; pass nullptr when
+     * replaying), every shard reports probe outcomes on its channel,
+     * and the fleet commits the round in shard-index order after all
+     * shards stepped — so campaign decisions are invariant under
+     * permuteShardStep. Not owned, and not part of fleetConfigHash.
+     */
+    attack::CampaignEngine *campaign = nullptr;
 };
 
 /**

@@ -354,6 +354,9 @@ replayFleetRun(const FatBinary &bin, const FleetConfig &cfg,
     const unsigned C = coresPerShard(cfg);
 
     FleetConfig rcfg = cfg;
+    // The journal already carries every campaign rewrite; replaying
+    // with a live engine attached would double-feed it observations.
+    rcfg.campaign = nullptr;
     std::vector<std::unique_ptr<ShardReplayFaultPlan>> plans(
         cfg.shards);
     if (cfg.server.faults.enabled) {

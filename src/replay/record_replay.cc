@@ -381,6 +381,9 @@ drive(const FatBinary &bin, const ServerConfig &cfg,
     }
 
     ServerConfig rcfg = cfg;
+    // The journal already carries every campaign rewrite; replaying
+    // with a live engine attached would double-feed it observations.
+    rcfg.campaign = nullptr;
     std::unique_ptr<ReplayFaultPlan> rplan;
     if (cfg.faults.enabled) {
         rplan = std::make_unique<ReplayFaultPlan>(cfg.faults, j);

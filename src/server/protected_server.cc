@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "attack/campaign.hh"
 #include "binary/loader.hh"
 #include "isa/interp.hh"
 #include "support/logging.hh"
@@ -178,6 +179,13 @@ ProtectedServer::stepRound(ThreadPool *pool)
             if (_cfg.tap == nullptr ||
                 !_cfg.tap->supplyRequest(id, r)) {
                 r = _stream.make(id);
+                // Adaptive campaign seam: the attacker may turn its
+                // share of the fresh stream into probes — before the
+                // tap journals the draw, so a recording carries the
+                // probes and replays bit-exactly with no engine.
+                if (_cfg.campaign != nullptr)
+                    _cfg.campaign->rewrite(r, _cfg.campaignShard, 0,
+                                           st.roundNo);
                 if (_cfg.tap != nullptr)
                     _cfg.tap->requestDrawn(r);
             }
@@ -193,7 +201,15 @@ ProtectedServer::stepRound(ThreadPool *pool)
             else if (r.kind == RequestKind::Malformed)
                 (void)proc.injectCorruption(r.id);
         }
-        st.inflight[w] = InFlight{ r, st.roundNo, true };
+        InFlight f{ r, st.roundNo, true };
+        // Staging-time facts for the campaign's compromise oracle and
+        // crash detection; cheap and deterministic, so captured
+        // unconditionally (checkpoint format stays campaign-free).
+        f.assignIsa = proc.isa();
+        f.assignGeneration = static_cast<uint32_t>(
+            proc.runtime().vm(proc.isa()).randomizer().generation());
+        f.assignRespawns = proc.respawnCount();
+        st.inflight[w] = f;
         _sched.notifyReady(&proc);
         if (traced) {
             tr->record(
@@ -256,6 +272,38 @@ ProtectedServer::stepRound(ThreadPool *pool)
             // Service complete.
             const Request &r = st.inflight[w].req;
             uint64_t lat = st.roundNo - st.inflight[w].startRound;
+            if (_cfg.campaign != nullptr) {
+                // A crash the poll loop never saw as a Crashed state
+                // (immediate-respawn supervisor configs) still reset
+                // the connection: the respawn-count delta says so.
+                if (!st.inflight[w].crashSeen &&
+                    proc.respawnCount() >
+                        st.inflight[w].assignRespawns) {
+                    attack::ProbeEvent cev;
+                    cev.id = r.id;
+                    cev.signal = attack::ProbeSignal::Crash;
+                    cev.shard = _cfg.campaignShard;
+                    cev.worker = static_cast<uint32_t>(w);
+                    cev.latencyRounds = lat;
+                    cev.isaAtEvent = proc.isa();
+                    cev.isaAtAssign = st.inflight[w].assignIsa;
+                    cev.generationAtAssign =
+                        st.inflight[w].assignGeneration;
+                    _cfg.campaign->observe(cev);
+                }
+                attack::ProbeEvent ev;
+                ev.id = r.id;
+                ev.signal = attack::ProbeSignal::Response;
+                ev.shard = _cfg.campaignShard;
+                ev.worker = static_cast<uint32_t>(w);
+                ev.latencyRounds = lat;
+                ev.payloadDelivered = r.retries == 0;
+                ev.isaAtEvent = proc.isa();
+                ev.isaAtAssign = st.inflight[w].assignIsa;
+                ev.generationAtAssign =
+                    st.inflight[w].assignGeneration;
+                _cfg.campaign->observe(ev);
+            }
             st.latencies.push_back(lat);
             ++st.report.requestsServed;
             ++st.report.servedByKind[static_cast<size_t>(r.kind)];
@@ -279,8 +327,27 @@ ProtectedServer::stepRound(ThreadPool *pool)
             ++st.done;
             if (_cfg.shardMode)
                 _cfg.onComplete(r, lat);
-        } else if (proc.state() == ProcState::Crashed &&
-                   _sched.isRetired(&proc)) {
+        } else if (proc.state() == ProcState::Crashed) {
+            // The campaign sees every crash as a connection reset,
+            // exactly once per service attempt (the worker stays
+            // Crashed for every round it convalesces).
+            if (_cfg.campaign != nullptr && !st.inflight[w].crashSeen) {
+                st.inflight[w].crashSeen = true;
+                attack::ProbeEvent ev;
+                ev.id = st.inflight[w].req.id;
+                ev.signal = attack::ProbeSignal::Crash;
+                ev.shard = _cfg.campaignShard;
+                ev.worker = static_cast<uint32_t>(w);
+                ev.latencyRounds =
+                    st.roundNo - st.inflight[w].startRound;
+                ev.isaAtEvent = proc.isa();
+                ev.isaAtAssign = st.inflight[w].assignIsa;
+                ev.generationAtAssign =
+                    st.inflight[w].assignGeneration;
+                _cfg.campaign->observe(ev);
+            }
+            if (!_sched.isRetired(&proc))
+                continue;
             // Still Crashed after the scheduler round *and*
             // permanently retired (a worker merely parked in the
             // supervisor's infirmary keeps its request and will
@@ -321,6 +388,12 @@ ProtectedServer::stepRound(ThreadPool *pool)
             st.report.requestsAbandoned = _cfg.requestCount - st.done;
         st.finished = true;
     }
+
+    // Commit the campaign's buffered observations once per round —
+    // only when this server owns the engine (the fleet commits for
+    // its shards, in shard-index order, after all of them stepped).
+    if (_cfg.campaign != nullptr && _cfg.campaignCommits)
+        _cfg.campaign->commitRound(st.roundNo);
 
     // The round completed (even if it finished the run) — let a
     // recorder flush its per-round journal records and sync point.
@@ -525,6 +598,10 @@ ProtectedServer::saveCheckpoint(ByteWriter &w) const
         saveRequest(w, f.req);
         w.u64(f.startRound);
         w.boolean(f.active);
+        w.u8(static_cast<uint8_t>(f.assignIsa));
+        w.u32(f.assignGeneration);
+        w.u32(f.assignRespawns);
+        w.boolean(f.crashSeen);
     }
     for (size_t i = 0; i < st.retired.size(); ++i)
         w.boolean(st.retired[i]);
@@ -567,6 +644,14 @@ ProtectedServer::loadCheckpoint(ByteReader &r)
         f.req = loadRequest(r);
         f.startRound = r.u64();
         f.active = r.boolean();
+        uint8_t isa = r.u8();
+        if (isa >= kNumIsas)
+            throw SerializeError(SerializeErrc::Corrupt,
+                                 "bad in-flight ISA in checkpoint");
+        f.assignIsa = static_cast<IsaKind>(isa);
+        f.assignGeneration = r.u32();
+        f.assignRespawns = r.u32();
+        f.crashSeen = r.boolean();
     }
     st.retired.assign(_workers.size(), false);
     for (size_t i = 0; i < st.retired.size(); ++i)

@@ -30,6 +30,11 @@
 namespace hipstr
 {
 
+namespace attack
+{
+class CampaignEngine;
+}
+
 /**
  * Observation/substitution seam for the record/replay layer
  * (src/replay). The server consults the tap at the three points where
@@ -156,6 +161,26 @@ struct ServerConfig
     /** Shard mode: a worker retired mid-service; its request (retries
      *  already incremented) goes back to the fleet for re-routing. */
     std::function<void(const Request &)> onRetry;
+
+    /**
+     * Adaptive adversary campaign (src/attack/campaign.hh), or
+     * nullptr for an unattacked server. The engine rewrites freshly
+     * drawn requests into probes *before* the tap journals them (a
+     * recorded campaign run replays bit-exactly with no engine
+     * attached — pass nullptr when replaying) and receives probe
+     * outcomes from the poll loop. Not owned.
+     */
+    attack::CampaignEngine *campaign = nullptr;
+    /** Shard id this server reports on the campaign's outcome
+     *  channel (the fleet sets it; 0 for a lone server). */
+    uint32_t campaignShard = 0;
+    /**
+     * Whether this server owns the campaign's per-round commit. True
+     * for a lone server; the fleet clears it on its shards and
+     * commits once per fleet round itself, in shard-index order —
+     * the invariance root under permuteShardStep.
+     */
+    bool campaignCommits = true;
 };
 
 /** Latency distribution in scheduler rounds. */
@@ -338,6 +363,13 @@ class ProtectedServer
         Request req;
         uint64_t startRound = 0;
         bool active = false;
+        /** Staging-time facts for the campaign's compromise oracle
+         *  and crash detection (captured at assignment). @{ */
+        IsaKind assignIsa = IsaKind::Risc;
+        uint32_t assignGeneration = 0;
+        uint32_t assignRespawns = 0;
+        bool crashSeen = false;
+        /** @} */
     };
 
     /**

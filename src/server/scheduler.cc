@@ -139,10 +139,17 @@ CmpScheduler::superviseRound(bool traced, double round_ts)
                 // ISA's queue (it would be evacuated again each
                 // round until the outage ends).
                 p->setStartIsa(to);
-                if (p->relocateToIsa(to))
+                if (p->relocateToIsa(to)) {
                     ++_stats.reroutes;
-                else
+                } else {
                     ++_stats.rerouteRespawns;
+                    // The hard evacuation respawned the worker with
+                    // fresh randomization: its consecutive-crash
+                    // streak belongs to the incarnation that was just
+                    // lost, and carrying it over would quarantine the
+                    // fresh one for crashes it never had.
+                    _streak.erase(p->pid());
+                }
                 if (traced) {
                     trace->record(
                         telemetry::traceInstant(
@@ -252,9 +259,20 @@ CmpScheduler::superviseCrash(GuestProcess *p, unsigned coreId,
         return true;
     }
 
-    const uint64_t backoff = std::min<uint64_t>(
-        uint64_t(sup.backoffBaseRounds) << (streak - 1),
-        sup.backoffCapRounds);
+    // Saturating base << (streak-1), clamped to the cap. The shift
+    // count is unbounded (with quarantine disabled a guest can crash
+    // hundreds of times in a row), so a raw shift is UB past 63 and
+    // wraps to a *shorter* backoff well before that — saturate
+    // instead: once the doubling passes the cap it stays there.
+    const uint32_t shift = streak - 1;
+    uint64_t backoff = sup.backoffCapRounds;
+    if (shift < 64 &&
+        (uint64_t(sup.backoffBaseRounds) << shift) >> shift ==
+            sup.backoffBaseRounds) {
+        backoff = std::min<uint64_t>(
+            uint64_t(sup.backoffBaseRounds) << shift,
+            sup.backoffCapRounds);
+    }
     _infirmary.emplace(
         p->pid(), Convalescent{ p, _stats.rounds,
                                 _stats.rounds + backoff, false });

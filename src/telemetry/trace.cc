@@ -16,6 +16,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Server: return "server";
       case TraceCategory::Phase: return "phase";
       case TraceCategory::Fleet: return "fleet";
+      case TraceCategory::Attack: return "attack";
       case TraceCategory::kNum: break;
     }
     return "?";

@@ -57,6 +57,7 @@ enum class TraceCategory : uint8_t
     Server,    ///< ProtectedServer request lifecycle
     Phase,     ///< per-phase profiling scopes
     Fleet,     ///< ProtectedFleet admission, shedding, stealing
+    Attack,    ///< campaign probes, observations, compromises
     kNum
 };
 

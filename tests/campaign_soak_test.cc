@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hostile soak (the soak tier): 20000 requests through a 4-shard
+ * fleet while an adaptive cross-guest campaign owns a large tenancy
+ * share — crash probes, compromise-hunting attack probes, and a
+ * scripted full-ISA blackout on one shard mid-run. The fleet must
+ * finish with every request accounted for (zero lost, zero
+ * double-served), recover out of degraded mode, and produce the
+ * identical merged report on a wide pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/campaign.hh"
+#include "compiler/compile.hh"
+#include "fault/plan.hh"
+#include "fleet/fleet.hh"
+#include "support/parallel.hh"
+#include "workloads/workloads.hh"
+
+using namespace hipstr;
+
+TEST(CampaignSoak, TwentyThousandHostileRequestsLoseNothing)
+{
+    WorkloadConfig wcfg;
+    wcfg.scale = 1;
+    FatBinary bin = compileModule(buildWorkload("httpd", wcfg));
+
+    FleetConfig cfg;
+    cfg.shards = 4;
+    cfg.requestCount = 20'000;
+    cfg.sessions = 128;
+    cfg.batchSize = 64;
+    cfg.keepOutcomes = true;
+    cfg.server.workers = 6;
+    cfg.server.hipstr.diversificationProbability = 1.0;
+    cfg.server.watchdogQuanta = 3;
+    cfg.server.sched.respawnLimit = 0;
+    cfg.server.sched.supervisor.backoffBaseRounds = 2;
+    cfg.server.sched.supervisor.backoffCapRounds = 8;
+    cfg.server.sched.supervisor.quarantineAfter = 4;
+    cfg.server.sched.supervisor.quarantineRounds = 24;
+
+    // Mid-run full-ISA blackout on shard 0 while the probes keep
+    // coming: the recovery seams (evacuation, degraded entry/exit,
+    // infirmary release onto the surviving ISA) all get exercised
+    // under live hostile load.
+    FaultPlanConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.scriptedOutageIsa = IsaKind::Risc;
+    fcfg.scriptedOutageRound = 40;
+    fcfg.scriptedOutageRounds = 25;
+    FaultPlan blackout(fcfg);
+    cfg.shardPlanOverrides.assign(cfg.shards, nullptr);
+    cfg.shardPlanOverrides[0] = &blackout;
+
+    auto campaignConfig = [&] {
+        attack::CampaignConfig ccfg = attack::campaignConfigFor(
+            attack::CampaignStrategy::CrossGuest, 0x50a43,
+            cfg.seed, cfg.server.hipstr.psr.randSpaceBytes,
+            cfg.server.hipstr.diversificationProbability, cfg.shards);
+        ccfg.probeFrac = 0.4; // hostile tenant owns 40% of traffic
+        return ccfg;
+    }();
+
+    auto runAt = [&](unsigned jobs) {
+        ThreadPool::setGlobalThreads(jobs - 1);
+        attack::CampaignEngine eng(campaignConfig);
+        FleetConfig rcfg = cfg;
+        rcfg.campaign = &eng;
+        ProtectedFleet fleet(bin, rcfg);
+        FleetReport r = fleet.run();
+        ThreadPool::setGlobalThreads(0);
+        return std::make_pair(r, eng.report());
+    };
+
+    auto [serial, camp] = runAt(1);
+
+    // Zero lost, zero double-served: the ledger covers every request
+    // exactly once.
+    EXPECT_EQ(serial.requestsOffered, cfg.requestCount);
+    EXPECT_EQ(serial.requestsOffered,
+              serial.requestsServed + serial.requestsShed +
+                  serial.requestsAbandoned);
+    EXPECT_EQ(serial.requestsShed, 0u); // no SLO configured
+    EXPECT_EQ(serial.requestsAbandoned, 0u);
+    EXPECT_EQ(serial.requestsServed, cfg.requestCount);
+    ASSERT_EQ(serial.outcomes.size(), cfg.requestCount);
+    std::set<uint64_t> ids;
+    for (const FleetOutcomeRec &o : serial.outcomes)
+        ASSERT_TRUE(ids.insert(o.id).second)
+            << "request " << o.id << " disposed twice";
+
+    // The storm was real...
+    EXPECT_GT(serial.crashes, 0u);
+    EXPECT_GT(camp.probesSent, 0u);
+    EXPECT_GT(camp.crashProbes, 0u);
+    EXPECT_GT(camp.crashesObserved, 0u);
+
+    // ...and the fleet recovered from it: the blackout shard left
+    // degraded mode, and every infirmary emptied before termination.
+    const ServerReport &dark = serial.shardReports[0];
+    EXPECT_EQ(dark.degradedEntries, 1u);
+    EXPECT_EQ(dark.degradedExits, 1u);
+    EXPECT_EQ(dark.degradedRounds, 25u);
+    for (unsigned k = 1; k < cfg.shards; ++k)
+        EXPECT_EQ(serial.shardReports[k].degradedEntries, 0u);
+
+    // Byte-identical on a wide pool, campaign and all.
+    auto [wide, wideCamp] = runAt(4);
+    EXPECT_EQ(serial.signature, wide.signature);
+    EXPECT_EQ(camp.signature, wideCamp.signature);
+    EXPECT_EQ(camp.compromises, wideCamp.compromises);
+}
