@@ -73,6 +73,7 @@
 #include "replay/record_replay.hh"
 #include "server/protected_server.hh"
 #include "support/env.hh"
+#include "vm/jit/engine.hh"
 #include "workloads/workloads.hh"
 
 using namespace hipstr;
@@ -151,11 +152,21 @@ main(int argc, char **argv)
         cfg.metrics = &metrics;
     }
 
+    // Every worker VM honours HIPSTR_JIT through PsrConfig's default
+    // JitMode::FromEnv; surface the effective engine choice up front
+    // so a surprising perf profile is explainable from the banner.
+    const char *jit_reason = nullptr;
+    const bool jit_host_ok = jit::TraceJit::hostSupported(&jit_reason);
+    const bool jit_on = jit_host_ok && envFlag("HIPSTR_JIT", true) &&
+        envFlag("HIPSTR_TRACE", true);
     std::printf("protected server: %u workers on %s, %llu requests "
-                "(5%% attacks, 5%% malformed)%s\n",
+                "(5%% attacks, 5%% malformed)%s, trace jit %s%s%s\n",
                 cfg.workers, CmpModel(cfg.cmp).describe().c_str(),
                 static_cast<unsigned long long>(cfg.requestCount),
-                chaos ? " + seeded chaos plan" : "");
+                chaos ? " + seeded chaos plan" : "",
+                jit_on ? "on" : "off",
+                !jit_host_ok ? ": " : "",
+                !jit_host_ok ? jit_reason : "");
 
     const std::string recordPath = envString("HIPSTR_RECORD");
     const std::string replayPath = envString("HIPSTR_REPLAY");

@@ -238,6 +238,38 @@ def check_campaign_pareto(path, metrics):
             fail(path, f"{name} is {v!r}, want 1")
 
 
+FIG9_JIT_KEYS = (
+    "jit.compiledTraces", "jit.codeBytes", "jit.executions",
+    "jit.sideExits", "jit.bailouts", "jit.invalidated",
+)
+
+
+def check_fig9_host(path, doc):
+    """BENCH_fig9_performance_host.json carries the trace-JIT
+    observability counters next to the wall-clock rates. All six are
+    required (an HIPSTR_JIT=0 run publishes zeros); when the JIT did
+    run, the counters must be internally consistent: every execution
+    comes from a compiled trace, compiled traces occupy code bytes,
+    and at most one side exit fires per entry."""
+    for key in FIG9_JIT_KEYS:
+        v = doc.get(key)
+        if v is None:
+            fail(path, f"missing jit counter {key!r}")
+            return
+        if not is_finite_number(v) or v < 0 or v != int(v):
+            fail(path, f"{key} {v!r} is not a non-negative integer")
+            return
+    if doc["jit.executions"] > 0 and doc["jit.compiledTraces"] < 1:
+        fail(path, "jit.executions > 0 without a compiled trace")
+    if (doc["jit.compiledTraces"] > 0) != (doc["jit.codeBytes"] > 0):
+        fail(path, "jit.compiledTraces and jit.codeBytes disagree "
+                   "about whether anything was compiled")
+    if doc["jit.sideExits"] > doc["jit.executions"]:
+        fail(path, f"jit.sideExits {doc['jit.sideExits']} exceeds "
+                   f"jit.executions {doc['jit.executions']} (at most "
+                   f"one side exit per entry)")
+
+
 def check_deterministic(path, bench_name):
     doc = json.loads(path.read_text())
     if set(doc.keys()) != {"bench", "smoke", "metrics"}:
@@ -282,6 +314,8 @@ def check_host(path, bench_name):
     for key, value in doc.items():
         if key != "bench" and not is_finite_number(value):
             fail(path, f"host metric {key!r} is not a finite number")
+    if bench_name == "fig9_performance":
+        check_fig9_host(path, doc)
 
 
 def main(argv):

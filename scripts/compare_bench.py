@@ -238,6 +238,21 @@ def selftest(fixture_dir):
           "--min-speedup 1.5 should fail on the 1.2x fixture pair")
     check(check_min_speedup([], 1.1) == 2,
           "--min-speedup with no matched metric should fail")
+
+    # The trace-JIT acceptance pair: fig9_jit records the fig9
+    # steady-state rate before and after direct host-code emission at
+    # exactly 2.6x. The PR acceptance floor of 1.6x must pass on it,
+    # and a floor above the recorded speedup must still fail — the
+    # fixture keeps the exact gate command from EXPERIMENTS.md
+    # exercised without rerunning the benches.
+    jit_rows = [r for r in rows
+                if r[0] == "fig9_jit"
+                and r[1] == "telemetry_off_insts_per_sec"]
+    check(len(jit_rows) == 1, "fig9_jit fixture pair missing")
+    check(check_min_speedup(jit_rows, 1.6) == 0,
+          "--min-speedup 1.6 should pass on the 2.6x fig9_jit pair")
+    check(check_min_speedup(jit_rows, 3.0) == 2,
+          "--min-speedup 3.0 should fail on the 2.6x fig9_jit pair")
     zero_rows = compare_trees(before, after,
                               only="zero_baseline_metric")
     check(check_min_speedup(zero_rows, 1.1) == 2,

@@ -74,6 +74,30 @@ struct PsrConfig
     unsigned traceMaxBlocks = 16;
 
     /**
+     * Trace JIT (direct x86-64 emission for hot superblock traces).
+     * FromEnv honours HIPSTR_JIT=0/1 (default on); On/Off force the
+     * decision — the JIT additionally requires tracing itself to be
+     * on, an x86-64 host, and a sanitizer-free build, and silently
+     * falls back to the threaded interpreter per trace entry when a
+     * per-entry gate (control-trace hook, memory journaling) is live.
+     */
+    enum class JitMode : uint8_t
+    {
+        FromEnv,
+        On,
+        Off
+    };
+    JitMode jitMode = JitMode::FromEnv;
+
+    /**
+     * Executable-arena size for compiled traces. Bump-allocated with
+     * generational reclaim: when full, every compiled trace is
+     * stranded and recompiles lazily. Tiny arenas (a few KiB) are the
+     * eviction-storm stress mode the jit_smoke tier uses.
+     */
+    size_t jitArenaBytes = 1u << 20;
+
+    /**
      * Isomeron baseline mode (Davi et al.): function-granularity
      * two-variant execution-path diversification with a coin flip at
      * every call and return. No PSR transformations; chaining across

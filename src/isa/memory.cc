@@ -35,6 +35,7 @@ Memory::setRegion(Addr base, uint32_t size, Perm perm,
 void
 Memory::rebuildSpans()
 {
+    ++_layoutEpoch;
     // Every region edge is a potential permission change; resolve the
     // perm of each cell with the region list's last-definition-wins
     // rule, then merge equal neighbours. Region counts are single

@@ -235,6 +235,24 @@ class Memory
     /** @} */
 
     /**
+     * Validate a 4-byte access at @p addr for @p needed and refill
+     * @p h around it *without* performing the access. This is the
+     * trace JIT's hint-miss probe: it must stay free of guest-visible
+     * effects so the op that missed can be retried from its start
+     * (read-modify-write ops would otherwise double-apply).
+     * Semantically the miss path of tryRead32Span/tryWrite32Span
+     * minus the data move.
+     */
+    bool
+    probe32Span(SpanHint &h, Addr addr, Perm needed) const noexcept
+    {
+        if (!checkOk(addr, 4, needed))
+            return false;
+        refillHint(h, addr);
+        return true;
+    }
+
+    /**
      * True iff every byte of [addr, addr+len) is inside the address
      * space and grants @p needed. Syscall argument validation uses
      * this to reject guest-supplied buffer pointers up front — a
@@ -272,7 +290,22 @@ class Memory
 
     /** Direct pointer into the backing store (attacker disclosures). */
     const uint8_t *data() const { return _bytes.data(); }
+    /**
+     * Mutable backing-store base for the trace JIT, whose compiled
+     * code addresses guest memory as [base + addr] after passing the
+     * same span-hint window checks the interpreter uses. The vector
+     * never reallocates after load (the address space is fixed at
+     * construction), so the pointer stays valid across a run.
+     */
+    uint8_t *jitBase() { return _bytes.data(); }
     uint32_t size() const { return static_cast<uint32_t>(_bytes.size()); }
+
+    /**
+     * Monotonic stamp of the permission-span layout, bumped on every
+     * region change. Cached hint windows (the trace JIT's persistent
+     * per-op tables) are valid only while this stands still.
+     */
+    uint64_t layoutEpoch() const { return _layoutEpoch; }
 
     /**
      * Journaling: while enabled, checked writes record the bytes they
@@ -346,6 +379,7 @@ class Memory
     std::vector<uint8_t> _bytes;
     std::vector<Region> _regions;
     std::vector<Span> _spans;
+    uint64_t _layoutEpoch = 0; ///< incremented by rebuildSpans()
     bool _journaling = false;
     std::vector<std::pair<Addr, uint8_t>> _journal;
 };

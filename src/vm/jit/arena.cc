@@ -1,0 +1,91 @@
+#include "arena.hh"
+
+#include "support/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define HIPSTR_JIT_HAVE_MMAP 1
+#endif
+
+namespace hipstr::jit
+{
+
+ExecArena::~ExecArena()
+{
+#if HIPSTR_JIT_HAVE_MMAP
+    if (_base != nullptr)
+        ::munmap(_base, _cap);
+#endif
+}
+
+bool
+ExecArena::init(size_t bytes)
+{
+#if HIPSTR_JIT_HAVE_MMAP
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    _cap = (bytes + page - 1) & ~(page - 1);
+    if (_cap < page)
+        _cap = page;
+    void *p = ::mmap(nullptr, _cap, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) {
+        _cap = 0;
+        return false;
+    }
+    _base = static_cast<uint8_t *>(p);
+    _used = 0;
+    _writable = true;
+    return true;
+#else
+    (void)bytes;
+    return false;
+#endif
+}
+
+void
+ExecArena::beginWrite()
+{
+#if HIPSTR_JIT_HAVE_MMAP
+    hipstr_assert(_base != nullptr);
+    if (_writable)
+        return;
+    if (::mprotect(_base, _cap, PROT_READ | PROT_WRITE) != 0)
+        hipstr_fatal("jit arena: mprotect(RW) failed");
+    _writable = true;
+#endif
+}
+
+void
+ExecArena::endWrite()
+{
+#if HIPSTR_JIT_HAVE_MMAP
+    hipstr_assert(_base != nullptr);
+    if (!_writable)
+        return;
+    if (::mprotect(_base, _cap, PROT_READ | PROT_EXEC) != 0)
+        hipstr_fatal("jit arena: mprotect(RX) failed");
+    _writable = false;
+#endif
+}
+
+uint8_t *
+ExecArena::alloc(size_t bytes)
+{
+    hipstr_assert(_base != nullptr && _writable);
+    size_t aligned = (_used + 15) & ~size_t(15);
+    if (aligned + bytes > _cap)
+        return nullptr;
+    _used = aligned + bytes;
+    return _base + aligned;
+}
+
+void
+ExecArena::reset()
+{
+    hipstr_assert(_base != nullptr && _writable);
+    ++_gen;
+    _used = 0;
+}
+
+} // namespace hipstr::jit

@@ -36,6 +36,42 @@ resolveTraceMode(const PsrConfig &cfg)
     return traceEnvEnabled();
 }
 
+/** HIPSTR_JIT=0/off disables the trace JIT; default on. */
+bool
+jitEnvEnabled()
+{
+    return envFlag("HIPSTR_JIT", true);
+}
+
+/**
+ * Resolve the trace-JIT switch: the config/env knob ANDed with host
+ * support. When the knob asks for the JIT but the host or build
+ * cannot run it (non-x86-64, sanitizers), log the reason once so a
+ * silent 0 in the jit.* counters is explicable.
+ */
+bool
+resolveJitMode(const PsrConfig &cfg)
+{
+    bool wanted;
+    switch (cfg.jitMode) {
+      case PsrConfig::JitMode::On: wanted = true; break;
+      case PsrConfig::JitMode::Off: wanted = false; break;
+      default: wanted = jitEnvEnabled(); break;
+    }
+    if (!wanted)
+        return false;
+    const char *reason = nullptr;
+    if (!jit::TraceJit::hostSupported(&reason)) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            hipstr_inform("trace JIT auto-disabled: %s", reason);
+        }
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 const char *
@@ -68,6 +104,8 @@ PsrVm::PsrVm(const FatBinary &bin, IsaKind isa, Memory &mem,
     // Trace formation needs chained exits, so it rides the same O1
     // switch as chaining itself.
     _traceOn = resolveTraceMode(cfg) && cfg.superblocks();
+    // The JIT compiles formed traces, so it rides the trace switch.
+    _jitOn = _traceOn && resolveJitMode(cfg);
 }
 
 void
@@ -77,6 +115,17 @@ PsrVm::publishTraceTelemetry(telemetry::MetricRegistry &reg) const
     reg.counter("trace.follows").set(stats.traceFollows);
     reg.counter("trace.invalidated").set(_traces.stats.invalidated);
     reg.counter("trace.sideExits").set(_traces.stats.sideExits);
+}
+
+void
+PsrVm::publishJitTelemetry(telemetry::MetricRegistry &reg) const
+{
+    reg.counter("jit.compiledTraces").set(_jit.stats.compiledTraces);
+    reg.counter("jit.codeBytes").set(_jit.stats.codeBytes);
+    reg.counter("jit.executions").set(_jit.stats.executions);
+    reg.counter("jit.sideExits").set(_jit.stats.sideExits);
+    reg.counter("jit.bailouts").set(_jit.stats.bailouts);
+    reg.counter("jit.invalidated").set(_jit.stats.invalidated);
 }
 
 double
@@ -98,7 +147,7 @@ PsrVm::reRandomize()
     _randomizer.reRandomize();
     _cache.flush();
     _rat.flush();
-    _traces.invalidateAll();
+    invalidateTraces();
     _vetted.clear();
     ++stats.cacheFlushes;
     if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
@@ -115,7 +164,7 @@ PsrVm::flushTranslations()
 {
     _cache.flush();
     _rat.flush();
-    _traces.invalidateAll();
+    invalidateTraces();
     _vetted.clear();
     ++stats.cacheFlushes;
     if (trace && trace->enabled(telemetry::TraceCategory::Vm)) {
@@ -192,7 +241,7 @@ PsrVm::loadState(ByteReader &r)
     // snapshot below.
     _cache.flush();
     _rat.flush();
-    _traces.invalidateAll();
+    invalidateTraces();
 
     IsaKind isa = IsaKind(r.u8());
     if (isa != _isa)
@@ -283,7 +332,7 @@ PsrVm::fetchBlock(Addr src, VmRunResult &stop)
         // executing trace checks the flush generation before touching
         // another trace-held pointer.
         _rat.flush();
-        _traces.invalidateAll();
+        invalidateTraces();
         // The uninterrupted run's cache is empty after this flush, so
         // restore-vetting (which models "would have hit the cache")
         // must not outlive it either.
@@ -479,7 +528,21 @@ PsrVm::runLoop(uint64_t max_guest_insts)
             from_resume = false;
             if (_traceOn && !entered_from_resume) {
                 if (SuperTrace *t = blk->strace; t != nullptr) {
-                    TraceExit tx = runTrace(t, guest_budget, stop);
+                    // Compiled execution first; the threaded
+                    // interpreter is the per-entry fallback when a
+                    // gate is live (control-trace hook, journaling)
+                    // or the trace cannot be compiled. Both paths
+                    // produce identical TraceExits and identical
+                    // deterministic counters.
+                    TraceExit tx;
+                    const bool jitted = _jitOn && !controlTraceHook &&
+                        !_mem.journaling() &&
+                        _jit.run(*this, t, guest_budget, stop, tx);
+                    if (!jitted) {
+                        if (_jitOn)
+                            ++_jit.stats.bailouts;
+                        tx = runTrace(t, guest_budget, stop);
+                    }
                     if (tx.kind == TraceExitKind::Stop)
                         return stop;
                     if (tx.kind == TraceExitKind::DispatchTo) {

@@ -30,6 +30,7 @@
 #include "telemetry/phase.hh"
 #include "telemetry/trace.hh"
 #include "vm/code_cache.hh"
+#include "vm/jit/engine.hh"
 #include "vm/superblock.hh"
 
 namespace hipstr
@@ -211,6 +212,20 @@ class PsrVm
     void publishTraceTelemetry(telemetry::MetricRegistry &reg) const;
 
     /**
+     * Trace-JIT observability: whether the JIT is active for this VM
+     * (jitMode resolved against HIPSTR_JIT, host support, tracing on)
+     * and the engine counters. Like the trace counters these are
+     * host-side only — coverage changes with HIPSTR_JIT, so they must
+     * never feed a deterministic bench registry. @{
+     */
+    bool jitEnabled() const { return _jitOn; }
+    const jit::JitStats &jitStats() const { return _jit.stats; }
+    /** The engine itself (arena occupancy assertions in jit_smoke). */
+    const jit::TraceJit &jitEngine() const { return _jit; }
+    void publishJitTelemetry(telemetry::MetricRegistry &reg) const;
+    /** @} */
+
+    /**
      * Checkpointing (src/replay): serialize the architectural state,
      * stats, RAT contents, relocation maps and randomization
      * generation, plus the set of source addresses that held a
@@ -280,6 +295,19 @@ class PsrVm
     TraceExit runTrace(SuperTrace *tr, uint64_t guest_budget,
                        VmRunResult &stop);
 
+    /**
+     * Retire every live trace, counting traces that held compiled
+     * JIT code into jit.invalidated first. Wraps every code-cache
+     * flush's invalidateAll so the two generation protocols (cache
+     * flush count, arena generation) stay composed in one place.
+     */
+    void
+    invalidateTraces()
+    {
+        _jit.stats.invalidated += _traces.liveJittedCount();
+        _traces.invalidateAll();
+    }
+
     /** Modeled timestamp of "now" for trace events (cold paths). */
     double traceTs() const;
 
@@ -310,6 +338,12 @@ class PsrVm
     ReturnAddressTable _rat;
     TraceEngine _traces;
     bool _traceOn = false; ///< traceMode resolved against HIPSTR_TRACE
+    /** The trace JIT needs the dispatch internals its helpers mirror
+        (emitCallLinkage, _cache, _traces, _mem, _os). */
+    friend class jit::TraceJit;
+    jit::TraceJit _jit;
+    bool _jitOn = false; ///< jitMode resolved against HIPSTR_JIT +
+                         ///< host support; requires _traceOn
     bool _decodeFaultArmed = false;
 
     /**

@@ -134,6 +134,29 @@ struct SuperTrace
     bool loopBack = false; ///< last edge jumps to op 0 (hot loop)
     std::vector<TraceOp> ops;
     std::vector<TraceSegment> segs;
+
+    /**
+     * Trace-JIT metadata, embedded here (rather than keyed on the
+     * trace pointer in a side table) so the compiled-entry lifetime
+     * is exactly the trace lifetime — a recycled allocation can never
+     * alias another trace's code. @c gen is the executable arena's
+     * generation at compile time; a stale stamp means the bytes may
+     * have been reclaimed and the trace is recompiled on next entry.
+     */
+    struct JitInfo
+    {
+        const void *entry = nullptr; ///< compiled body, or nullptr
+        uint64_t gen = 0;            ///< arena generation stamp
+        bool failed = false;         ///< compile declined: interpret
+        /**
+         * Persistent per-op span-hint slots (one per TraceOp; only
+         * memory ops consult theirs) and the Memory layout epoch
+         * they were refilled under — the JIT engine clears the table
+         * when the epoch moves. See jit::JitFrame.
+         */
+        std::vector<Memory::SpanHint> hints;
+        uint64_t hintEpoch = 0;
+    } jit;
 };
 
 /** How a trace run hands control back to the dispatch loop. */
@@ -188,6 +211,22 @@ class TraceEngine
     void collectRetired() { _retired.clear(); }
 
     size_t liveCount() const { return _live.size(); }
+
+    /**
+     * Live traces that currently hold a compiled JIT body — the ones
+     * a code-cache flush retires *as compiled code* (the jit.invalidated
+     * counter); traces stranded by an arena reset are not retired and
+     * recompile lazily instead.
+     */
+    size_t
+    liveJittedCount() const
+    {
+        size_t n = 0;
+        for (const auto &t : _live)
+            if (t->jit.entry != nullptr)
+                ++n;
+        return n;
+    }
 
     TraceStats stats;
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "test_util.hh"
+#include "vm/jit/engine.hh"
 #include "vm/psr_vm.hh"
 #include "workloads/workloads.hh"
 
@@ -405,6 +406,214 @@ TEST(Differential, SuperblockTracingOnOffMatchesReference)
     // The sweep must actually exercise trace execution somewhere —
     // a formation layer that never fires would pass vacuously.
     EXPECT_GT(on_follows_total, 0u);
+}
+
+// ------------------------------------------------------------------
+// Trace-JIT differential sweeps.
+//
+// The JIT is a third execution engine under the same traces, so its
+// differential obligation is stronger than guest-visible equality:
+// every *deterministic* VmStats counter (guest/host instructions,
+// memory ops, trace follows) must be identical between HIPSTR_JIT
+// on and off — the counters are folded from the same translate-time
+// deltas at the same segment boundaries, and any divergence means
+// emitted code and threaded interpreter disagreed about what
+// executed. controlTraceHook is deliberately NOT installed here: it
+// is a per-entry JIT gate (hook runs need interpreter fidelity), so
+// these sweeps compare checksums and counters instead.
+// ------------------------------------------------------------------
+
+/** Everything a JIT-vs-interpreter run pair must agree on. */
+struct EngineOutcome
+{
+    uint32_t exitCode = 0;
+    uint64_t outputChecksum = 0;
+    uint64_t dataChecksum = 0;
+    uint64_t guestInsts = 0;
+    uint64_t hostInsts = 0;
+    uint64_t memReads = 0;
+    uint64_t memWrites = 0;
+    uint64_t traceFollows = 0;
+    uint64_t jitExecutions = 0;
+
+    void
+    expectDeterministicallyEqual(const EngineOutcome &o,
+                                 const std::string &label) const
+    {
+        EXPECT_EQ(exitCode, o.exitCode) << label;
+        EXPECT_EQ(outputChecksum, o.outputChecksum) << label;
+        EXPECT_EQ(dataChecksum, o.dataChecksum) << label;
+        EXPECT_EQ(guestInsts, o.guestInsts) << label;
+        EXPECT_EQ(hostInsts, o.hostInsts) << label;
+        EXPECT_EQ(memReads, o.memReads) << label;
+        EXPECT_EQ(memWrites, o.memWrites) << label;
+        EXPECT_EQ(traceFollows, o.traceFollows) << label;
+    }
+};
+
+/**
+ * One complete run under the given JIT mode. @p flushEvery > 0
+ * slices the run and issues a mid-run flushTranslations() every that
+ * many StepLimit stops — the adversarial invalidation schedule, kept
+ * identical across modes so the deterministic counters stay
+ * comparable.
+ */
+EngineOutcome
+engineRun(const FatBinary &bin, IsaKind isa, uint64_t seed,
+          PsrConfig::JitMode mode, unsigned flushEvery,
+          const std::string &label)
+{
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    cfg.seed = seed;
+    cfg.optLevel = unsigned(seed % 3) + 1;
+    cfg.traceMode = PsrConfig::TraceMode::On;
+    cfg.jitMode = mode;
+    PsrVm vm(bin, isa, mem, os, cfg);
+    vm.reset();
+    VmRunResult r;
+    if (flushEvery == 0) {
+        r = vm.run(kMaxInsts);
+    } else {
+        unsigned slice = 0;
+        do {
+            r = vm.run(5'000);
+            if (r.reason == VmStop::StepLimit &&
+                ++slice % flushEvery == 0)
+                vm.flushTranslations();
+        } while (r.reason == VmStop::StepLimit);
+        EXPECT_GT(slice, 5u)
+            << label << ": run too short to stress invalidation";
+    }
+    EXPECT_EQ(r.reason, VmStop::Exited) << label;
+    EngineOutcome out;
+    out.exitCode = os.exitCode();
+    out.outputChecksum = os.outputChecksum();
+    out.dataChecksum = dataChecksum(mem);
+    out.guestInsts = vm.stats.guestInsts;
+    out.hostInsts = vm.stats.hostInsts;
+    out.memReads = vm.stats.memReads;
+    out.memWrites = vm.stats.memWrites;
+    out.traceFollows = vm.stats.traceFollows;
+    out.jitExecutions = vm.jitStats().executions;
+    const char *reason = nullptr;
+    const bool host_ok = jit::TraceJit::hostSupported(&reason);
+    EXPECT_EQ(vm.jitEnabled(),
+              mode == PsrConfig::JitMode::On && host_ok)
+        << label;
+    if (mode == PsrConfig::JitMode::Off) {
+        EXPECT_EQ(out.jitExecutions, 0u) << label;
+    }
+    return out;
+}
+
+TEST(Differential, TraceJitOnOffMatchesReference)
+{
+    // Workloads x ISAs x seed sweep, each seed run under JIT forced
+    // on and forced off. Both runs must match the reference
+    // interpreter's guest-visible outcome AND each other's
+    // deterministic counters.
+    uint64_t jit_executions_total = 0;
+    for (const std::string &name : allWorkloadNames()) {
+        WorkloadConfig wcfg;
+        wcfg.scale = 1;
+        FatBinary bin = compileModule(buildWorkload(name, wcfg));
+        for (IsaKind isa : kAllIsas) {
+            Reference ref = referenceRun(bin, isa);
+            for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+                const std::string label = name + "/" + isaName(isa) +
+                    "/seed=" + std::to_string(seed);
+                EngineOutcome off =
+                    engineRun(bin, isa, seed, PsrConfig::JitMode::Off,
+                              0, label + "/jit=off");
+                EngineOutcome on =
+                    engineRun(bin, isa, seed, PsrConfig::JitMode::On,
+                              0, label + "/jit=on");
+                EXPECT_EQ(off.exitCode, ref.exitCode) << label;
+                EXPECT_EQ(off.outputChecksum, ref.outputChecksum)
+                    << label;
+                off.expectDeterministicallyEqual(on, label);
+                jit_executions_total += on.jitExecutions;
+            }
+        }
+    }
+    const char *reason = nullptr;
+    if (jit::TraceJit::hostSupported(&reason)) {
+        // On a JIT-capable host the sweep must actually run compiled
+        // code somewhere, or the comparison is vacuous.
+        EXPECT_GT(jit_executions_total, 0u);
+    }
+}
+
+TEST(Differential, TraceJitSurvivesMidRunInvalidation)
+{
+    // flushTranslations() mid-run retires every compiled trace while
+    // guest frames stay live; the JIT must recompile on re-entry and
+    // the identical flush schedule under both modes must leave every
+    // deterministic counter equal.
+    FatBinary bin = compileModule(buildWorkload("httpd"));
+    for (IsaKind isa : kAllIsas) {
+        Reference ref = referenceRun(bin, isa);
+        for (uint64_t seed : { 3ull, 11ull }) {
+            const std::string label = std::string("httpd-jitflush/") +
+                isaName(isa) + "/seed=" + std::to_string(seed);
+            EngineOutcome off =
+                engineRun(bin, isa, seed, PsrConfig::JitMode::Off, 2,
+                          label + "/jit=off");
+            EngineOutcome on =
+                engineRun(bin, isa, seed, PsrConfig::JitMode::On, 2,
+                          label + "/jit=on");
+            EXPECT_EQ(on.exitCode, ref.exitCode) << label;
+            EXPECT_EQ(on.outputChecksum, ref.outputChecksum) << label;
+            off.expectDeterministicallyEqual(on, label);
+        }
+    }
+}
+
+TEST(Differential, TraceJitFreshAfterRespawnReRandomize)
+{
+    // reRandomize() at the respawn boundary regenerates every
+    // relocation map and retires every compiled trace; generation 2
+    // must recompile from scratch and still reproduce the reference
+    // outcome with counters equal across JIT modes.
+    FatBinary bin = compileModule(buildWorkload("httpd"));
+    for (IsaKind isa : kAllIsas) {
+        ReferenceTrace ref = referenceControlTrace(bin, isa);
+        const std::string base =
+            std::string("httpd-jitrespawn/") + isaName(isa);
+        for (PsrConfig::JitMode mode : { PsrConfig::JitMode::Off,
+                                         PsrConfig::JitMode::On }) {
+            Memory mem;
+            loadFatBinary(bin, mem);
+            GuestOs os;
+            PsrConfig cfg;
+            cfg.seed = 5;
+            cfg.traceMode = PsrConfig::TraceMode::On;
+            cfg.jitMode = mode;
+            PsrVm vm(bin, isa, mem, os, cfg);
+            for (int generation = 0; generation < 2; ++generation) {
+                const std::string label = base + "/gen=" +
+                    std::to_string(generation) +
+                    (mode == PsrConfig::JitMode::On ? "/jit=on"
+                                                    : "/jit=off");
+                mem.zeroRange(layout::kDataBase,
+                              layout::kStackTop - layout::kDataBase);
+                loadFatBinary(bin, mem);
+                os.reset();
+                vm.reset();
+                VmRunResult r = vm.run(kMaxInsts);
+                ASSERT_EQ(r.reason, VmStop::Exited) << label;
+                EXPECT_EQ(os.exitCode(), ref.exitCode) << label;
+                EXPECT_EQ(os.outputChecksum(), ref.outputChecksum)
+                    << label;
+                EXPECT_EQ(dataChecksum(mem), ref.dataChecksum)
+                    << label;
+                vm.reRandomize();
+            }
+        }
+    }
 }
 
 } // namespace

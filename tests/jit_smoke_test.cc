@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Trace-JIT smoke tier (`ctest -L jit_smoke`): the fast canaries for
+ * the direct x86-64 emission engine. Covers the steady-state shape
+ * the fig9 measurement depends on (hot execution actually runs in
+ * compiled code, with zero bailouts), side-exit equivalence against
+ * the threaded trace interpreter, the tiny-arena eviction storm
+ * (generational reclaim plus lazy recompilation), and the W^X
+ * executable-arena round trip. On hosts where the JIT cannot run at
+ * all (non-x86-64, sanitizer builds) the execution tests skip — the
+ * differential suite still covers the interpreter there.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "binary/loader.hh"
+#include "compiler/compile.hh"
+#include "isa/guest_os.hh"
+#include "vm/jit/arena.hh"
+#include "vm/jit/emitter.hh"
+#include "vm/jit/engine.hh"
+#include "vm/psr_vm.hh"
+#include "workloads/workloads.hh"
+
+namespace hipstr
+{
+namespace
+{
+
+bool
+jitHostOk()
+{
+    const char *reason = nullptr;
+    return jit::TraceJit::hostSupported(&reason);
+}
+
+/** Final counters of one steady-state hmmer run. */
+struct SmokeRun
+{
+    uint64_t guestInsts = 0;
+    uint64_t traceFollows = 0;
+    uint64_t traceSideExits = 0;
+    jit::JitStats jit;
+    uint64_t arenaGeneration = 0;
+    size_t arenaUsed = 0;
+    uint32_t exitCode = 0;
+    uint64_t outputChecksum = 0;
+};
+
+SmokeRun
+steadyRun(PsrConfig::JitMode mode, size_t arena_bytes,
+          uint64_t budget)
+{
+    FatBinary bin = compileModule(buildHmmer(WorkloadConfig{}));
+    Memory mem;
+    loadFatBinary(bin, mem);
+    GuestOs os;
+    PsrConfig cfg;
+    cfg.seed = 11;
+    cfg.jitMode = mode;
+    if (arena_bytes != 0)
+        cfg.jitArenaBytes = arena_bytes;
+    PsrVm vm(bin, IsaKind::Cisc, mem, os, cfg);
+    vm.reset();
+    (void)vm.run(50'000); // warm the code cache and form traces
+    uint64_t executed = 0;
+    while (executed < budget) {
+        uint64_t before = vm.stats.guestInsts;
+        VmRunResult r = vm.run(100'000);
+        executed += vm.stats.guestInsts - before;
+        if (r.reason != VmStop::StepLimit) {
+            os.reset();
+            vm.reset();
+        }
+    }
+    SmokeRun out;
+    out.guestInsts = vm.stats.guestInsts;
+    out.traceFollows = vm.stats.traceFollows;
+    out.traceSideExits = vm.traceStats().sideExits;
+    out.jit = vm.jitStats();
+    out.arenaGeneration = vm.jitEngine().arenaGeneration();
+    out.arenaUsed = vm.jitEngine().arenaUsed();
+    out.exitCode = os.exitCode();
+    out.outputChecksum = os.outputChecksum();
+    return out;
+}
+
+TEST(JitSmoke, SteadyStateIsJitDominated)
+{
+    if (!jitHostOk())
+        GTEST_SKIP() << "trace JIT unsupported on this host/build";
+    SmokeRun r = steadyRun(PsrConfig::JitMode::On, 0, 2'000'000);
+    // The hot loop must compile and then actually execute compiled
+    // code — and never fall back: every per-entry gate is off in
+    // this configuration, so a bailout means compileTrace declined
+    // a handler the steady-state workload uses.
+    EXPECT_GT(r.jit.compiledTraces, 0u);
+    EXPECT_GT(r.jit.codeBytes, 0u);
+    EXPECT_GT(r.jit.executions, 100u);
+    EXPECT_EQ(r.jit.bailouts, 0u);
+    // Compiled entries dominate trace execution: the follows counter
+    // (segment boundaries crossed inside traces) must dwarf the
+    // entry count, i.e. entries run many segments in JIT code.
+    EXPECT_GT(r.traceFollows, r.jit.executions);
+}
+
+TEST(JitSmoke, SideExitsMatchInterpreter)
+{
+    if (!jitHostOk())
+        GTEST_SKIP() << "trace JIT unsupported on this host/build";
+    SmokeRun off = steadyRun(PsrConfig::JitMode::Off, 0, 2'000'000);
+    SmokeRun on = steadyRun(PsrConfig::JitMode::On, 0, 2'000'000);
+    // Identical workload, seed, and budget: the trace engine's
+    // deterministic counters must not depend on which engine ran the
+    // trace bodies, and every guard that side-exits in the
+    // interpreter must side-exit in compiled code.
+    EXPECT_EQ(on.guestInsts, off.guestInsts);
+    EXPECT_EQ(on.traceFollows, off.traceFollows);
+    EXPECT_EQ(on.traceSideExits, off.traceSideExits);
+    EXPECT_EQ(on.exitCode, off.exitCode);
+    EXPECT_EQ(on.outputChecksum, off.outputChecksum);
+    // The engine-local mirror counts only JIT-taken side exits.
+    EXPECT_GT(on.jit.sideExits, 0u);
+    EXPECT_LE(on.jit.sideExits, on.traceSideExits);
+    EXPECT_EQ(off.jit.executions, 0u);
+}
+
+TEST(JitSmoke, TinyArenaEvictionStorm)
+{
+    if (!jitHostOk())
+        GTEST_SKIP() << "trace JIT unsupported on this host/build";
+    // An arena smaller than the workload's compiled footprint forces
+    // generational reclaim: every reset strands all compiled traces
+    // and they recompile lazily on their next entry. The run must
+    // stay correct and keep executing compiled code throughout.
+    SmokeRun big = steadyRun(PsrConfig::JitMode::On, 0, 1'000'000);
+    SmokeRun tiny =
+        steadyRun(PsrConfig::JitMode::On, 16 * 1024, 1'000'000);
+    EXPECT_GT(tiny.arenaGeneration, big.arenaGeneration);
+    EXPECT_GT(tiny.jit.compiledTraces, big.jit.compiledTraces)
+        << "eviction must force recompilation";
+    EXPECT_GT(tiny.jit.executions, 0u);
+    EXPECT_LE(tiny.arenaUsed, 16u * 1024u);
+    EXPECT_EQ(tiny.guestInsts, big.guestInsts);
+    EXPECT_EQ(tiny.traceFollows, big.traceFollows);
+    EXPECT_EQ(tiny.outputChecksum, big.outputChecksum);
+}
+
+TEST(JitSmoke, ExecArenaWxRoundTrip)
+{
+#if !defined(HIPSTR_JIT_HAVE_MMAP) && !defined(__linux__)
+    GTEST_SKIP() << "no executable-memory support on this platform";
+#endif
+    if (!jitHostOk())
+        GTEST_SKIP() << "trace JIT unsupported on this host/build";
+    jit::ExecArena arena;
+    ASSERT_TRUE(arena.init(4096));
+    EXPECT_TRUE(arena.valid());
+    const uint64_t gen0 = arena.generation();
+
+    // Emit `mov eax, 42; ret`, copy it in under the write window,
+    // seal, and call it out of the now-executable mapping.
+    jit::Emitter em;
+    em.movRI32(jit::RAX, 42);
+    em.ret();
+    em.finalize();
+    arena.beginWrite();
+    uint8_t *p = arena.alloc(em.size());
+    ASSERT_NE(p, nullptr);
+    std::memcpy(p, em.code.data(), em.size());
+    arena.endWrite();
+    EXPECT_GE(arena.used(), em.size());
+    EXPECT_EQ(reinterpret_cast<int (*)()>(p)(), 42);
+
+    // Generational reclaim: reset requires the write window open,
+    // bumps the stamp, and empties the bump pointer; the next
+    // allocation reuses the same mapping.
+    arena.beginWrite();
+    arena.reset();
+    EXPECT_EQ(arena.generation(), gen0 + 1);
+    EXPECT_EQ(arena.used(), 0u);
+    uint8_t *q = arena.alloc(em.size());
+    ASSERT_NE(q, nullptr);
+    std::memcpy(q, em.code.data(), em.size());
+    arena.endWrite();
+    EXPECT_EQ(reinterpret_cast<int (*)()>(q)(), 42);
+}
+
+} // namespace
+} // namespace hipstr
